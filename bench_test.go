@@ -1,0 +1,289 @@
+package smartflux_test
+
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§5), one per experiment, plus the §5.3 overhead microbenchmarks. The
+// figure benchmarks run the full experiment pipeline at a reduced scale
+// (Scale 0.12) so `go test -bench=.` completes in minutes; run
+// cmd/experiments with -scale 1 for paper-length reproductions.
+
+import (
+	"io"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"smartflux"
+	"smartflux/internal/core"
+	"smartflux/internal/engine"
+	"smartflux/internal/experiments"
+	"smartflux/internal/kvstore"
+	"smartflux/internal/metric"
+	"smartflux/internal/ml"
+	"smartflux/internal/ml/multilabel"
+	"smartflux/workloads"
+)
+
+// benchRunner shares pipeline runs across figure benchmarks within one
+// bench binary invocation.
+var benchRunner = experiments.NewRunner(experiments.Config{Seed: 42, Scale: 0.12})
+
+// BenchmarkFig03FireRiskGenerators regenerates Figure 3 (diurnal sensor
+// series of the motivational fire-risk scenario).
+func BenchmarkFig03FireRiskGenerators(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig3(experiments.Config{Seed: 42})
+		if len(res.Hours) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkClassifierSelection regenerates the §3.2 classifier-comparison
+// table (ROC areas of the six algorithms).
+func BenchmarkClassifierSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ClassifierSelection(benchRunner, 0.20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Render(io.Discard)
+	}
+}
+
+// BenchmarkFig07Correlation regenerates the Figure 7 correlation panels.
+func BenchmarkFig07Correlation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(benchRunner, 0.20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Render(io.Discard)
+	}
+}
+
+// BenchmarkFig08LearningCurves regenerates the Figure 8 learning curves.
+func BenchmarkFig08LearningCurves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(benchRunner)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Render(io.Discard)
+	}
+}
+
+// BenchmarkFig09PredictionError regenerates the Figure 9 measured/predicted
+// error series.
+func BenchmarkFig09PredictionError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(benchRunner)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Render(io.Discard)
+	}
+}
+
+// BenchmarkFig10Confidence regenerates the Figure 10 confidence curves.
+func BenchmarkFig10Confidence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(benchRunner)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Render(io.Discard)
+	}
+}
+
+// BenchmarkFig11PolicyComparison regenerates the Figure 11 policy
+// comparison (SmartFlux vs random/seq2/seq3/seq5).
+func BenchmarkFig11PolicyComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11(benchRunner)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Render(io.Discard)
+	}
+}
+
+// BenchmarkFig12ResourceSavings regenerates the Figure 12 execution/savings
+// tables.
+func BenchmarkFig12ResourceSavings(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig12(benchRunner)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Render(io.Discard)
+	}
+}
+
+// --- §5.3 overhead microbenchmarks -------------------------------------
+
+// BenchmarkOverheadImpactComputation measures one input-impact evaluation
+// over a 1000-element container state (the per-wave Monitoring cost).
+func BenchmarkOverheadImpactComputation(b *testing.B) {
+	state := make(metric.State, 1000)
+	baseline := make(metric.State, 1000)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		key := "r" + strconv.Itoa(i) + "/v"
+		baseline[key] = rng.Float64() * 100
+		state[key] = baseline[key] + rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := metric.Evaluate(metric.NewRelativeError, state, baseline); v < 0 {
+			b.Fatal("negative metric")
+		}
+	}
+}
+
+// BenchmarkOverheadModelBuild measures predictor construction (the paper
+// reports < 1 s; this is the dominant overhead source).
+func BenchmarkOverheadModelBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	var data multilabel.Dataset
+	for i := 0; i < 300; i++ {
+		x := []float64{rng.Float64() * 10, rng.Float64() * 10}
+		y := []int{0, 0}
+		if x[0] > 5 {
+			y[0] = 1
+		}
+		if x[1] > 5 {
+			y[1] = 1
+		}
+		data.Append(x, y)
+	}
+	factory := func() ml.Classifier { return ml.NewForest(ml.ForestConfig{Seed: 1}) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewPredictor(factory, data, nil, core.FeatureOwnImpact); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOverheadPrediction measures one per-wave classifier query.
+func BenchmarkOverheadPrediction(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	var data multilabel.Dataset
+	for i := 0; i < 300; i++ {
+		x := []float64{rng.Float64() * 10, rng.Float64() * 10}
+		y := []int{boolToInt(x[0] > 5), boolToInt(x[1] > 5)}
+		data.Append(x, y)
+	}
+	factory := func() ml.Classifier { return ml.NewForest(ml.ForestConfig{Seed: 1}) }
+	predictor, err := core.NewPredictor(factory, data, nil, core.FeatureOwnImpact)
+	if err != nil {
+		b.Fatal(err)
+	}
+	impacts := []float64{4.2, 6.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := predictor.Scores(impacts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func boolToInt(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// BenchmarkOverheadKVStorePut measures raw store write throughput.
+func BenchmarkOverheadKVStorePut(b *testing.B) {
+	store := kvstore.New()
+	table, err := store.CreateTable("t", kvstore.TableOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := table.PutFloat("r"+strconv.Itoa(i%1000), "c", float64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOverheadKVStoreScan measures a full container snapshot (the
+// read path of every impact computation).
+func BenchmarkOverheadKVStoreScan(b *testing.B) {
+	store := kvstore.New()
+	table, err := store.CreateTable("t", kvstore.TableOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := table.PutFloat("r"+strconv.Itoa(i), "c", float64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := table.ScanFloats(kvstore.ScanOptions{}); len(got) != 1000 {
+			b.Fatal("short scan")
+		}
+	}
+}
+
+// BenchmarkOverheadAQHIWave measures one fully synchronous AQHI wave
+// through the engine (execution + impact/error computation).
+func BenchmarkOverheadAQHIWave(b *testing.B) {
+	build := workloads.AirQuality(workloads.AirQualityConfig{Seed: 42})
+	wf, store, err := build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := engine.NewInstance(wf, store, engine.InstanceConfig{TrainingMode: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.RunWave(engine.Sync{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOverheadLRBWave measures one fully synchronous Linear Road wave.
+func BenchmarkOverheadLRBWave(b *testing.B) {
+	build := workloads.LinearRoad(workloads.LinearRoadConfig{Seed: 42})
+	wf, store, err := build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := engine.NewInstance(wf, store, engine.InstanceConfig{TrainingMode: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.RunWave(engine.Sync{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPublicPipeline measures the end-to-end public-API lifecycle on
+// the quickstart-sized workload (sanity benchmark for library adopters).
+func BenchmarkPublicPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := smartflux.RunPipeline(buildPublic, nil, smartflux.PipelineConfig{
+			TrainWaves: 40,
+			ApplyWaves: 20,
+			Session:    smartflux.SessionConfig{Seed: 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Apply == nil {
+			b.Fatal("no apply phase")
+		}
+	}
+}

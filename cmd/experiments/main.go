@@ -1,0 +1,144 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (§5). Select an experiment with -fig:
+//
+//	experiments -fig 3         # Figure 3 sensor series
+//	experiments -fig roc       # §3.2 classifier selection table
+//	experiments -fig 7         # correlation panels + Pearson r
+//	experiments -fig 8         # learning curves
+//	experiments -fig 9         # measured vs predicted errors
+//	experiments -fig 10        # confidence curves
+//	experiments -fig 11        # policy comparison
+//	experiments -fig 12        # resource savings
+//	experiments -fig overhead  # §5.3 overhead
+//	experiments -fig all       # everything
+//
+// -scale shrinks wave counts for quick runs (e.g. -scale 0.2); -seed makes
+// alternative deterministic universes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"smartflux/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "experiment to run: 3, roc, 7, 8, 9, 10, 11, 12, overhead, all")
+	seed := fs.Int64("seed", 42, "deterministic seed")
+	scale := fs.Float64("scale", 1, "wave-count scale factor (1 = paper-length runs)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	runner := experiments.NewRunner(experiments.Config{Seed: *seed, Scale: *scale})
+	selected := strings.Split(*fig, ",")
+	all := *fig == "all"
+
+	want := func(name string) bool {
+		if all {
+			return true
+		}
+		for _, s := range selected {
+			if strings.TrimSpace(s) == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	ran := false
+	if want("3") {
+		experiments.Fig3(runner.Config()).Render(out)
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if want("roc") {
+		res, err := experiments.ClassifierSelection(runner, 0.20)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if want("7") {
+		res, err := experiments.Fig7(runner, 0.20)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if want("8") {
+		res, err := experiments.Fig8(runner)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if want("9") {
+		res, err := experiments.Fig9(runner)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if want("10") {
+		res, err := experiments.Fig10(runner)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if want("11") {
+		res, err := experiments.Fig11(runner)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if want("12") {
+		res, err := experiments.Fig12(runner)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if want("overhead") {
+		for _, w := range []experiments.Workload{experiments.LRB, experiments.AQHI} {
+			res, err := experiments.Overhead(runner, w)
+			if err != nil {
+				return err
+			}
+			res.Render(out)
+			fmt.Fprintln(out)
+		}
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *fig)
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs the CLI with stdout redirected to a pipe.
+func capture(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := run(args, w)
+	w.Close()
+	out := make([]byte, 1<<20)
+	n, _ := r.Read(out)
+	r.Close()
+	return string(out[:n]), runErr
+}
+
+func TestRunFig3(t *testing.T) {
+	out, err := capture(t, []string{"-fig", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 3") {
+		t.Errorf("missing header:\n%s", out)
+	}
+}
+
+func TestRunUnknownFig(t *testing.T) {
+	if _, err := capture(t, []string{"-fig", "99"}); err == nil {
+		t.Error("unknown figure must fail")
+	}
+}
+
+func TestRunFigSelection(t *testing.T) {
+	// Tiny scale keeps this a smoke test of flag plumbing and rendering.
+	out, err := capture(t, []string{"-fig", "12", "-scale", "0.08", "-seed", "42"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 12") {
+		t.Errorf("missing Figure 12 output:\n%s", out)
+	}
+}

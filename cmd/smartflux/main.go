@@ -1,0 +1,129 @@
+// Command smartflux runs one of the built-in workloads under a chosen
+// triggering policy and reports resource usage and bound compliance.
+//
+//	smartflux -workload lrb -bound 0.05 -policy smartflux -train 500 -apply 500
+//	smartflux -workload aqhi -policy seq3 -apply 384
+//	smartflux -workload firerisk -policy sync
+//
+// Policies: smartflux (train + adaptive execution), sync, random, seq2,
+// seq3, seq5, oracle.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"smartflux"
+	"smartflux/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "smartflux:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("smartflux", flag.ContinueOnError)
+	workload := fs.String("workload", "aqhi", "workload: lrb, aqhi, firerisk")
+	bound := fs.Float64("bound", 0.10, "maximum tolerated output error (maxε)")
+	policy := fs.String("policy", "smartflux", "triggering policy: smartflux, sync, random, seqN, oracle")
+	train := fs.Int("train", 336, "training waves (smartflux policy only)")
+	apply := fs.Int("apply", 384, "application waves")
+	seed := fs.Int64("seed", 42, "deterministic seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var build smartflux.BuildFunc
+	var report smartflux.StepID
+	switch *workload {
+	case "lrb":
+		build = workloads.LinearRoad(workloads.LinearRoadConfig{Seed: *seed, MaxError: *bound})
+		report = workloads.LinearRoadClassify
+	case "aqhi":
+		build = workloads.AirQuality(workloads.AirQualityConfig{Seed: *seed, MaxError: *bound})
+		report = workloads.AirQualityIndex
+	case "firerisk":
+		build = workloads.FireRisk(workloads.FireRiskConfig{Seed: *seed, MaxError: *bound})
+		report = workloads.FireRiskOverall
+	default:
+		return fmt.Errorf("unknown workload %q", *workload)
+	}
+
+	if *policy == "smartflux" {
+		res, err := smartflux.RunPipeline(build, []smartflux.StepID{report}, smartflux.PipelineConfig{
+			TrainWaves: *train,
+			ApplyWaves: *apply,
+			Session: smartflux.SessionConfig{
+				Seed:           *seed + 7,
+				Thresholds:     []float64{0.15},
+				PositiveWeight: 14,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		macro := res.Test.Macro()
+		fmt.Fprintf(out, "%s @ %.0f%% bound, policy smartflux\n", *workload, *bound*100)
+		fmt.Fprintf(out, "  test phase: accuracy %.3f precision %.3f recall %.3f auc %.3f\n",
+			macro.Accuracy, macro.Precision, macro.Recall, macro.AUC)
+		printResult(out, res.Apply, report)
+		return nil
+	}
+
+	decider, err := parsePolicy(*policy, *seed)
+	if err != nil {
+		return err
+	}
+	harness, err := smartflux.NewHarness(build, []smartflux.StepID{report})
+	if err != nil {
+		return err
+	}
+	res, err := harness.Run(*apply, decider)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s @ %.0f%% bound, policy %s\n", *workload, *bound*100, decider.Name())
+	printResult(out, res, report)
+	return nil
+}
+
+// parsePolicy resolves a policy name to a Decider.
+func parsePolicy(name string, seed int64) (smartflux.Decider, error) {
+	switch {
+	case name == "sync":
+		return smartflux.SyncPolicy(), nil
+	case name == "random":
+		return smartflux.RandomPolicy(0.5, seed+11), nil
+	case name == "oracle":
+		return smartflux.OraclePolicy(), nil
+	case strings.HasPrefix(name, "seq"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "seq"))
+		if err != nil {
+			return nil, fmt.Errorf("bad seq policy %q", name)
+		}
+		return smartflux.SeqPolicy(n), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+// printResult renders one harness result.
+func printResult(out io.Writer, res *smartflux.Result, step smartflux.StepID) {
+	fmt.Fprintf(out, "  executions: %d live, %d optimal, %d sync (%.0f%% saved)\n",
+		res.TotalLiveExecutions(), res.TotalOptimalExecutions(),
+		res.TotalSyncExecutions(), res.SavingsRatio()*100)
+	report, ok := res.Reports[step]
+	if !ok {
+		return
+	}
+	conf := report.Confidence()
+	fmt.Fprintf(out, "  %s: %d violations in %d waves (confidence %.1f%%)\n",
+		step, report.ViolationCount(), len(report.Measured), conf[len(conf)-1]*100)
+}

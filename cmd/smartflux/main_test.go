@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunNaivePolicies(t *testing.T) {
+	for _, policy := range []string{"sync", "seq3", "random", "oracle"} {
+		t.Run(policy, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := run([]string{
+				"-workload", "firerisk", "-policy", policy, "-apply", "20",
+			}, &buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "policy "+policy) {
+				t.Errorf("output missing policy header:\n%s", out)
+			}
+			if !strings.Contains(out, "executions:") {
+				t.Errorf("output missing executions line:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestRunSmartfluxPolicy(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-workload", "firerisk", "-policy", "smartflux",
+		"-train", "60", "-apply", "30",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "test phase:") {
+		t.Errorf("missing test-phase line:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "bogus"}, &buf); err == nil {
+		t.Error("unknown workload must fail")
+	}
+	if err := run([]string{"-policy", "bogus", "-apply", "1"}, &buf); err == nil {
+		t.Error("unknown policy must fail")
+	}
+	if err := run([]string{"-policy", "seqX", "-apply", "1"}, &buf); err == nil {
+		t.Error("malformed seq policy must fail")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for name, want := range map[string]string{
+		"sync":   "sync",
+		"random": "random",
+		"seq4":   "seq4",
+		"oracle": "oracle",
+	} {
+		p, err := parsePolicy(name, 1)
+		if err != nil {
+			t.Errorf("parsePolicy(%q): %v", name, err)
+			continue
+		}
+		if p.Name() != want {
+			t.Errorf("policy name = %q, want %q", p.Name(), want)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDumpsAllWorkloads(t *testing.T) {
+	tests := []struct {
+		workload string
+		header   string
+	}{
+		{workload: "firerisk", header: "wave,hour,temperature_c"},
+		{workload: "aqhi", header: "wave,hour,o3,pm25,no2"},
+		{workload: "lrb", header: "wave,mean_speed_mph,stopped_vehicles"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.workload, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := run([]string{"-workload", tt.workload, "-waves", "5"}, &buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+			if len(lines) != 6 { // header + 5 waves
+				t.Fatalf("got %d lines, want 6:\n%s", len(lines), buf.String())
+			}
+			if !strings.HasPrefix(lines[0], tt.header) {
+				t.Errorf("header = %q", lines[0])
+			}
+		})
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "bogus"}, &buf); err == nil {
+		t.Error("unknown workload must fail")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-workload", "aqhi", "-waves", "10", "-seed", "3"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-workload", "aqhi", "-waves", "10", "-seed", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed must produce identical traces")
+	}
+}

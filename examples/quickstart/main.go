@@ -1,0 +1,147 @@
+// Quickstart: a minimal three-step SmartFlux pipeline.
+//
+// A sensor feed writes temperatures, an aggregation step averages them, and
+// an alert step classifies the average. The aggregation and alert steps
+// tolerate a 10% output error, so once the model is trained SmartFlux skips
+// their execution whenever the input changed too little to matter.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"strconv"
+
+	"smartflux"
+)
+
+const (
+	tableRaw    = "raw"
+	tableAvg    = "avg"
+	tableAlert  = "alert"
+	sensorCount = 50
+	trainWaves  = 400
+	applyWaves  = 150
+)
+
+// build constructs one instance of the pipeline. The harness calls it twice
+// (live + synchronous reference), so the generator must be deterministic.
+func build() (*smartflux.Workflow, *smartflux.Store, error) {
+	store := smartflux.NewStore()
+	rng := rand.New(rand.NewSource(1))
+
+	wf := smartflux.NewWorkflow("quickstart")
+	steps := []*smartflux.Step{
+		{
+			ID:      "ingest",
+			Source:  true,
+			Outputs: []smartflux.Container{{Table: tableRaw}},
+			Proc: smartflux.ProcessorFunc(func(ctx *smartflux.Context) error {
+				t, err := ctx.Table(tableRaw)
+				if err != nil {
+					return err
+				}
+				batch := smartflux.NewBatch()
+				for i := 0; i < sensorCount; i++ {
+					// Diurnal cycle + a heat burst every ~70 waves.
+					v := 20 + 4*math.Sin(2*math.Pi*float64(ctx.Wave)/48)
+					if ctx.Wave%70 > 55 {
+						v += 8
+					}
+					batch.PutFloat("s"+strconv.Itoa(i), "temp", v+rng.NormFloat64())
+				}
+				return t.Apply(batch)
+			}),
+		},
+		{
+			ID:      "aggregate",
+			Inputs:  []smartflux.Container{{Table: tableRaw}},
+			Outputs: []smartflux.Container{{Table: tableAvg}},
+			QoD:     smartflux.QoD{MaxError: 0.1, Mode: smartflux.ModeAccumulate},
+			Proc: smartflux.ProcessorFunc(func(ctx *smartflux.Context) error {
+				raw, err := ctx.Table(tableRaw)
+				if err != nil {
+					return err
+				}
+				out, err := ctx.Table(tableAvg)
+				if err != nil {
+					return err
+				}
+				var sum float64
+				var n int
+				for _, c := range raw.Scan(smartflux.ScanOptions{}) {
+					if v, err := smartflux.DecodeFloat(c.Version.Value); err == nil {
+						sum += v
+						n++
+					}
+				}
+				if n == 0 {
+					return nil
+				}
+				return out.PutFloat("region", "avg", sum/float64(n))
+			}),
+		},
+		{
+			ID:      "alert",
+			Inputs:  []smartflux.Container{{Table: tableAvg}},
+			Outputs: []smartflux.Container{{Table: tableAlert}},
+			QoD:     smartflux.QoD{MaxError: 0.1, Mode: smartflux.ModeAccumulate},
+			Proc: smartflux.ProcessorFunc(func(ctx *smartflux.Context) error {
+				avg, err := ctx.Table(tableAvg)
+				if err != nil {
+					return err
+				}
+				out, err := ctx.Table(tableAlert)
+				if err != nil {
+					return err
+				}
+				v, _ := avg.GetFloat("region", "avg")
+				// Alert score scales linearly with the regional
+				// average above a 15 °C floor.
+				level := 5 + 2*(v-15)
+				return out.PutFloat("region", "level", level)
+			}),
+		},
+	}
+	for _, s := range steps {
+		if err := wf.AddStep(s); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := wf.Finalize(); err != nil {
+		return nil, nil, err
+	}
+	return wf, store, nil
+}
+
+func main() {
+	res, err := smartflux.RunPipeline(build, nil, smartflux.PipelineConfig{
+		TrainWaves: trainWaves,
+		ApplyWaves: applyWaves,
+		Session: smartflux.SessionConfig{
+			Seed:           7,
+			Thresholds:     []float64{0.15},
+			PositiveWeight: 12,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	macro := res.Test.Macro()
+	fmt.Printf("test phase (10-fold CV): accuracy %.2f, recall %.2f\n",
+		macro.Accuracy, macro.Recall)
+	fmt.Printf("application phase: %d/%d gated executions (%.0f%% saved)\n",
+		res.Apply.TotalLiveExecutions(), res.Apply.TotalSyncExecutions(),
+		res.Apply.SavingsRatio()*100)
+	for step, report := range res.Apply.Reports {
+		conf := report.Confidence()
+		fmt.Printf("step %s: %d bound violations in %d waves (confidence %.1f%%)\n",
+			step, report.ViolationCount(), applyWaves, conf[len(conf)-1]*100)
+	}
+}

@@ -1,0 +1,3 @@
+module smartflux
+
+go 1.24

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"smartflux/internal/ml"
+	"smartflux/internal/ml/multilabel"
+)
+
+// syntheticLog builds a multi-label training log where label l fires iff
+// impact l exceeds 5 (plus noise-free separation).
+func syntheticLog(n, labels int, seed int64) multilabel.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	var d multilabel.Dataset
+	for i := 0; i < n; i++ {
+		x := make([]float64, labels)
+		y := make([]int, labels)
+		for l := range x {
+			x[l] = rng.Float64() * 10
+			if x[l] > 5 {
+				y[l] = 1
+			}
+		}
+		d.Append(x, y)
+	}
+	return d
+}
+
+func TestKnowledgeBase(t *testing.T) {
+	kb := NewKnowledgeBase()
+	if kb.Len() != 0 {
+		t.Error("fresh KB must be empty")
+	}
+	kb.Append([]float64{1, 2}, []int{1, -1}) // -1 recorded as 0
+	kb.Append([]float64{3, 4}, []int{0, 1})
+	if kb.Len() != 2 {
+		t.Errorf("Len = %d", kb.Len())
+	}
+	snap := kb.Snapshot()
+	if snap.Y[0][1] != 0 {
+		t.Error("-1 labels must clamp to 0")
+	}
+	kb.Reset()
+	if kb.Len() != 0 {
+		t.Error("Reset must clear the KB")
+	}
+}
+
+func TestKnowledgeBaseJSONRoundTrip(t *testing.T) {
+	kb := NewKnowledgeBase()
+	kb.Append([]float64{1.5, 2.5}, []int{1, 0})
+	data, err := json.Marshal(kb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewKnowledgeBase()
+	if err := json.Unmarshal(data, restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 1 {
+		t.Fatalf("restored len = %d", restored.Len())
+	}
+	snap := restored.Snapshot()
+	if snap.X[0][0] != 1.5 || snap.Y[0][0] != 1 {
+		t.Errorf("restored data = %v %v", snap.X, snap.Y)
+	}
+	if err := json.Unmarshal([]byte("{bad"), restored); err == nil {
+		t.Error("bad JSON must fail")
+	}
+}
+
+func TestClassifierFactoryNames(t *testing.T) {
+	for _, name := range ClassifierNames() {
+		factory, err := ClassifierFactory(name, 1)
+		if err != nil {
+			t.Errorf("ClassifierFactory(%q): %v", name, err)
+			continue
+		}
+		if factory() == nil {
+			t.Errorf("factory %q returned nil", name)
+		}
+	}
+	if _, err := ClassifierFactory("", 1); err != nil {
+		t.Errorf("empty name must default to RF: %v", err)
+	}
+	if _, err := ClassifierFactory("bogus", 1); !errors.Is(err, ErrUnknownClassifier) {
+		t.Errorf("want ErrUnknownClassifier, got %v", err)
+	}
+}
+
+func TestPredictorOwnImpactLearnsPerLabel(t *testing.T) {
+	data := syntheticLog(300, 2, 7)
+	factory, _ := ClassifierFactory(ClassifierRandomForest, 1)
+	p, err := NewPredictor(factory, data, nil, FeatureOwnImpact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Labels() != 2 {
+		t.Errorf("Labels = %d", p.Labels())
+	}
+	run, err := p.Decide(0, []float64{9, 1})
+	if err != nil || !run {
+		t.Errorf("Decide(0, high impact) = %v, %v", run, err)
+	}
+	run, err = p.Decide(1, []float64{9, 1})
+	if err != nil || run {
+		t.Errorf("Decide(1, low impact) = %v, %v", run, err)
+	}
+	if _, err := p.Decide(9, []float64{9, 1}); err == nil {
+		t.Error("out-of-range label must fail")
+	}
+}
+
+func TestPredictorThresholdForms(t *testing.T) {
+	data := syntheticLog(100, 2, 9)
+	factory, _ := ClassifierFactory(ClassifierRandomForest, 1)
+	for _, thresholds := range [][]float64{nil, {0.3}, {0.3, 0.6}} {
+		if _, err := NewPredictor(factory, data, thresholds, FeatureOwnImpact); err != nil {
+			t.Errorf("thresholds %v: %v", thresholds, err)
+		}
+	}
+	if _, err := NewPredictor(factory, data, []float64{0.1, 0.2, 0.3}, FeatureOwnImpact); err == nil {
+		t.Error("mismatched threshold count must fail")
+	}
+	if _, err := NewPredictor(factory, multilabel.Dataset{}, nil, FeatureOwnImpact); !errors.Is(err, ErrNoExamples) {
+		t.Errorf("want ErrNoExamples, got %v", err)
+	}
+}
+
+func TestPredictorFullVectorMode(t *testing.T) {
+	data := syntheticLog(200, 2, 11)
+	factory, _ := ClassifierFactory(ClassifierRandomForest, 1)
+	p, err := NewPredictor(factory, data, nil, FeatureFullVector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := p.Scores([]float64{9, 9})
+	if err != nil || len(scores) != 2 {
+		t.Fatalf("Scores = %v, %v", scores, err)
+	}
+}
+
+func TestPredictorOwnImpactRequiresSquareData(t *testing.T) {
+	// 3 features but 2 labels cannot use own-impact mode.
+	var d multilabel.Dataset
+	d.Append([]float64{1, 2, 3}, []int{0, 1})
+	factory, _ := ClassifierFactory(ClassifierRandomForest, 1)
+	if _, err := NewPredictor(factory, d, nil, FeatureOwnImpact); err == nil {
+		t.Error("own-impact with features != labels must fail")
+	}
+}
+
+func TestFeatureModeString(t *testing.T) {
+	if FeatureOwnImpact.String() != "own-impact" || FeatureFullVector.String() != "full-vector" {
+		t.Error("feature mode strings")
+	}
+	if FeatureMode(9).String() == "" {
+		t.Error("unknown mode must render")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseTraining.String() != "training" ||
+		PhaseTesting.String() != "testing" ||
+		PhaseApplication.String() != "application" {
+		t.Error("phase strings")
+	}
+	if Phase(9).String() == "" {
+		t.Error("unknown phase must render")
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	sess := NewSession(Config{Seed: 1})
+	if sess.Phase() != PhaseTraining {
+		t.Error("fresh session must be training")
+	}
+	// Before training, Decide is synchronous (always true).
+	if !sess.Decide(0, 0, []float64{0}) {
+		t.Error("untrained session must execute everything")
+	}
+	if _, err := sess.Predictor(); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("want ErrNotTrained, got %v", err)
+	}
+
+	log := syntheticLog(200, 2, 13)
+	for i := range log.X {
+		sess.ObserveTrainingWave(log.X[i], log.Y[i])
+	}
+	if sess.KnowledgeBase().Len() != 200 {
+		t.Error("KB must hold observed waves")
+	}
+	report, err := sess.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Accepted {
+		t.Error("training on separable data must be accepted")
+	}
+	if len(report.PerLabel) != 2 {
+		t.Errorf("per-label reports: %d", len(report.PerLabel))
+	}
+	macro := report.Macro()
+	if macro.Accuracy < 0.9 {
+		t.Errorf("macro accuracy %.3f", macro.Accuracy)
+	}
+	if sess.Phase() != PhaseApplication {
+		t.Error("accepted session must move to application")
+	}
+	if sess.Name() != "smartflux" {
+		t.Error("session name")
+	}
+
+	// Decisions now follow the learned boundary.
+	if !sess.Decide(0, 0, []float64{9, 9}) {
+		t.Error("high impact should execute")
+	}
+	if sess.Decide(0, 0, []float64{1, 1}) {
+		t.Error("low impact should skip")
+	}
+	if got := sess.LastTestReport(); !got.Accepted {
+		t.Error("LastTestReport lost")
+	}
+	if _, err := sess.Predictor(); err != nil {
+		t.Errorf("Predictor after train: %v", err)
+	}
+}
+
+func TestSessionRejectsOnQualityMinimums(t *testing.T) {
+	// Labels are pure noise: accuracy ≈ 0.5 < 0.95 → not accepted.
+	rng := rand.New(rand.NewSource(17))
+	sess := NewSession(Config{Seed: 1, MinAccuracy: 0.95})
+	for i := 0; i < 100; i++ {
+		sess.ObserveTrainingWave([]float64{rng.Float64()}, []int{rng.Intn(2)})
+	}
+	report, err := sess.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Accepted {
+		t.Error("noise labels must not satisfy MinAccuracy 0.95")
+	}
+	if sess.Phase() != PhaseTraining {
+		t.Error("rejected session must stay in training")
+	}
+	// Decide stays synchronous.
+	if !sess.Decide(0, 0, []float64{0}) {
+		t.Error("rejected session must keep executing everything")
+	}
+}
+
+func TestSessionCustomFactoryAndClassifier(t *testing.T) {
+	log := syntheticLog(120, 1, 19)
+	for _, cfg := range []Config{
+		{Seed: 1, Classifier: ClassifierNaiveBayes},
+		{Seed: 1, Factory: func() ml.Classifier { return ml.NewKNN(ml.KNNConfig{}) }},
+		{Seed: 1, PositiveWeight: 4},
+	} {
+		sess := NewSession(cfg)
+		for i := range log.X {
+			sess.ObserveTrainingWave(log.X[i], log.Y[i])
+		}
+		if _, err := sess.Train(); err != nil {
+			t.Errorf("config %+v: %v", cfg, err)
+		}
+	}
+	bad := NewSession(Config{Classifier: "bogus"})
+	bad.ObserveTrainingWave([]float64{1}, []int{1})
+	if _, err := bad.Train(); !errors.Is(err, ErrUnknownClassifier) {
+		t.Errorf("want ErrUnknownClassifier, got %v", err)
+	}
+}
+
+func TestTestReportMacroEmpty(t *testing.T) {
+	if got := (TestReport{}).Macro(); got.Accuracy != 0 {
+		t.Error("empty macro")
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"sync"
+)
+
+// DriftDetector implements §3.1's on-demand retraining trigger: "these two
+// sequential phases, training and test, can be performed either regularly
+// from time to time or on-demand (useful if data patterns start to change
+// suddenly)". It watches, over a sliding window of application-phase waves,
+// how often the predictor's decisions disagree with what the observed data
+// says in hindsight, and signals when the disagreement rate leaves the band
+// the test phase promised.
+//
+// The hindsight label for a wave is available whenever a step executed: the
+// engine's shadow error trackers report whether the fresh output actually
+// deviated beyond maxε. A skipped step contributes a disagreement when its
+// accumulated impact later forces an execution whose realized error far
+// exceeds the bound.
+type DriftDetector struct {
+	mu sync.Mutex
+
+	window    []bool // true = prediction agreed with hindsight
+	capacity  int
+	threshold float64
+	minFill   int
+}
+
+// NewDriftDetector creates a detector over a sliding window of `window`
+// observations that signals drift when the disagreement rate exceeds
+// threshold (e.g. 0.3). The detector stays silent until the window is at
+// least half full.
+func NewDriftDetector(window int, threshold float64) *DriftDetector {
+	if window <= 0 {
+		window = 100
+	}
+	if threshold <= 0 || threshold > 1 {
+		threshold = 0.3
+	}
+	return &DriftDetector{
+		capacity:  window,
+		threshold: threshold,
+		minFill:   window / 2,
+	}
+}
+
+// Observe records one prediction outcome: agreed=true when the decision
+// matched the hindsight label.
+func (d *DriftDetector) Observe(agreed bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.window = append(d.window, agreed)
+	if len(d.window) > d.capacity {
+		d.window = d.window[len(d.window)-d.capacity:]
+	}
+}
+
+// DisagreementRate returns the current windowed disagreement rate.
+func (d *DriftDetector) DisagreementRate() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.window) == 0 {
+		return 0
+	}
+	var bad int
+	for _, ok := range d.window {
+		if !ok {
+			bad++
+		}
+	}
+	return float64(bad) / float64(len(d.window))
+}
+
+// Drifted reports whether the disagreement rate has crossed the threshold
+// (with at least half a window of evidence).
+func (d *DriftDetector) Drifted() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.window) < d.minFill {
+		return false
+	}
+	var bad int
+	for _, ok := range d.window {
+		if !ok {
+			bad++
+		}
+	}
+	return float64(bad)/float64(len(d.window)) > d.threshold
+}
+
+// Reset clears the window (call after retraining).
+func (d *DriftDetector) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.window = d.window[:0]
+}
+
+// Retrain folds fresh observations into the knowledge base and rebuilds the
+// predictor: the §3.1 on-demand retraining path. The session drops back to
+// the training phase if the refreshed model fails the test-phase criteria.
+func (s *Session) Retrain(impacts [][]float64, labels [][]int) (TestReport, error) {
+	for i := range impacts {
+		s.kb.Append(impacts[i], labels[i])
+	}
+	return s.Train()
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDriftDetectorSilentUntilHalfFull(t *testing.T) {
+	d := NewDriftDetector(20, 0.3)
+	for i := 0; i < 9; i++ {
+		d.Observe(false) // everything disagrees, but window not half full
+	}
+	if d.Drifted() {
+		t.Error("detector must stay silent below half a window of evidence")
+	}
+	d.Observe(false)
+	if !d.Drifted() {
+		t.Error("10 disagreements in a 20-window must signal drift")
+	}
+}
+
+func TestDriftDetectorThreshold(t *testing.T) {
+	d := NewDriftDetector(10, 0.3)
+	// 2 disagreements in 10 = 0.2 < 0.3: no drift.
+	for i := 0; i < 8; i++ {
+		d.Observe(true)
+	}
+	d.Observe(false)
+	d.Observe(false)
+	if d.Drifted() {
+		t.Errorf("rate %.2f must not signal at threshold 0.3", d.DisagreementRate())
+	}
+	// Two more pushes the windowed rate to 0.4.
+	d.Observe(false)
+	d.Observe(false)
+	if !d.Drifted() {
+		t.Errorf("rate %.2f must signal at threshold 0.3", d.DisagreementRate())
+	}
+}
+
+func TestDriftDetectorSlidingWindow(t *testing.T) {
+	d := NewDriftDetector(10, 0.3)
+	for i := 0; i < 10; i++ {
+		d.Observe(false)
+	}
+	if !d.Drifted() {
+		t.Fatal("all-disagree window must drift")
+	}
+	// A stretch of agreement slides the bad observations out.
+	for i := 0; i < 10; i++ {
+		d.Observe(true)
+	}
+	if d.Drifted() {
+		t.Error("window must forget old disagreements")
+	}
+	if d.DisagreementRate() != 0 {
+		t.Errorf("rate = %v", d.DisagreementRate())
+	}
+}
+
+func TestDriftDetectorReset(t *testing.T) {
+	d := NewDriftDetector(10, 0.3)
+	for i := 0; i < 10; i++ {
+		d.Observe(false)
+	}
+	d.Reset()
+	if d.Drifted() || d.DisagreementRate() != 0 {
+		t.Error("reset must clear the window")
+	}
+}
+
+func TestDriftDetectorDefaults(t *testing.T) {
+	d := NewDriftDetector(0, 0)
+	if d.capacity != 100 || d.threshold != 0.3 {
+		t.Errorf("defaults: %+v", d)
+	}
+	if d.DisagreementRate() != 0 {
+		t.Error("empty rate must be 0")
+	}
+}
+
+func TestSessionRetrainAdaptsToNewRegime(t *testing.T) {
+	// Train on a boundary at 5, then the world shifts to a boundary at 2.
+	sess := NewSession(Config{Seed: 1})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		x := rng.Float64() * 10
+		label := 0
+		if x > 5 {
+			label = 1
+		}
+		sess.ObserveTrainingWave([]float64{x}, []int{label})
+	}
+	if _, err := sess.Train(); err != nil {
+		t.Fatal(err)
+	}
+	// Under the old model, impact 3 is a clear "skip".
+	if sess.Decide(0, 0, []float64{3}) {
+		t.Fatal("old model should skip at impact 3")
+	}
+
+	// New regime: boundary at 2. Retrain with fresh observations.
+	var impacts [][]float64
+	var labels [][]int
+	for i := 0; i < 400; i++ {
+		x := rng.Float64() * 10
+		label := 0
+		if x > 2 {
+			label = 1
+		}
+		impacts = append(impacts, []float64{x})
+		labels = append(labels, []int{label})
+	}
+	if _, err := sess.Retrain(impacts, labels); err != nil {
+		t.Fatal(err)
+	}
+	if !sess.Decide(0, 0, []float64{3}) {
+		t.Error("retrained model should execute at impact 3 (new boundary 2)")
+	}
+	if sess.KnowledgeBase().Len() != 600 {
+		t.Errorf("KB length = %d, want 600", sess.KnowledgeBase().Len())
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"smartflux/internal/engine"
+	"smartflux/internal/workflow"
+)
+
+// PipelineConfig configures an end-to-end SmartFlux run: a synchronous
+// training phase, model construction with the test phase, and an adaptive
+// application phase — the full lifecycle of §4.1.
+type PipelineConfig struct {
+	// TrainWaves is the length of the synchronous training phase.
+	TrainWaves int
+	// ApplyWaves is the length of the adaptive application phase.
+	ApplyWaves int
+	// Session configures the learning layer.
+	Session Config
+}
+
+// PipelineResult aggregates an end-to-end run.
+type PipelineResult struct {
+	// Train covers the synchronous training waves.
+	Train *engine.Result
+	// Apply covers the adaptive application waves.
+	Apply *engine.Result
+	// Test is the test-phase report produced between the two.
+	Test TestReport
+	// Session is the session used, trained and ready for further waves.
+	Session *Session
+}
+
+// RunPipeline executes the full SmartFlux lifecycle over the workload
+// produced by build. reportSteps selects the steps whose output error is
+// measured (nil = the last gated step). During training the session decides
+// "execute" for every step, so the live instance runs synchronously; after
+// Train succeeds the same harness continues under the predictor.
+func RunPipeline(build engine.BuildFunc, reportSteps []workflow.StepID, cfg PipelineConfig) (*PipelineResult, error) {
+	if cfg.TrainWaves <= 0 {
+		return nil, fmt.Errorf("core: pipeline needs TrainWaves > 0, got %d", cfg.TrainWaves)
+	}
+	harness, err := engine.NewHarness(build, reportSteps)
+	if err != nil {
+		return nil, err
+	}
+	session := NewSession(cfg.Session)
+
+	trainRes, err := harness.Run(cfg.TrainWaves, session)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline training: %w", err)
+	}
+	for w := range trainRes.RefImpacts {
+		session.ObserveTrainingWave(trainRes.RefImpacts[w], trainRes.RefLabels[w])
+	}
+	report, err := session.Train()
+	if err != nil {
+		return nil, fmt.Errorf("pipeline train: %w", err)
+	}
+
+	var applyRes *engine.Result
+	if cfg.ApplyWaves > 0 {
+		applyRes, err = harness.Run(cfg.ApplyWaves, session)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline application: %w", err)
+		}
+	}
+	return &PipelineResult{
+		Train:   trainRes,
+		Apply:   applyRes,
+		Test:    report,
+		Session: session,
+	}, nil
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"smartflux/internal/engine"
+	"smartflux/internal/kvstore"
+	"smartflux/internal/metric"
+	"smartflux/internal/workflow"
+)
+
+// miniWorkload is a 2-step pipeline with a drifting signal for end-to-end
+// pipeline tests.
+func miniWorkload() engine.BuildFunc {
+	return func() (*workflow.Workflow, *kvstore.Store, error) {
+		store := kvstore.New()
+		wf := workflow.New("mini")
+		source := &workflow.Step{
+			ID:      "src",
+			Source:  true,
+			Outputs: []workflow.Container{{Table: "raw"}},
+			Proc: workflow.ProcessorFunc(func(ctx *workflow.Context) error {
+				t, err := ctx.Table("raw")
+				if err != nil {
+					return err
+				}
+				batch := kvstore.NewBatch()
+				for i := 0; i < 6; i++ {
+					v := 40 + 8*math.Sin(float64(ctx.Wave)/4+float64(i))
+					batch.PutFloat("r"+strconv.Itoa(i), "v", v)
+				}
+				return t.Apply(batch)
+			}),
+		}
+		agg := &workflow.Step{
+			ID:      "agg",
+			Inputs:  []workflow.Container{{Table: "raw"}},
+			Outputs: []workflow.Container{{Table: "out"}},
+			QoD: workflow.QoD{
+				MaxError:   0.05,
+				ImpactFunc: metric.FuncAbsoluteImpact,
+				ErrorFunc:  metric.FuncRelativeError,
+				Mode:       metric.ModeAccumulate,
+			},
+			Proc: workflow.ProcessorFunc(func(ctx *workflow.Context) error {
+				raw, err := ctx.Table("raw")
+				if err != nil {
+					return err
+				}
+				out, err := ctx.Table("out")
+				if err != nil {
+					return err
+				}
+				var sum float64
+				var n int
+				for _, c := range raw.Scan(kvstore.ScanOptions{}) {
+					if v, ok := c.FloatValue(); ok {
+						sum += v
+						n++
+					}
+				}
+				if n == 0 {
+					return nil
+				}
+				return out.PutFloat("all", "mean", sum/float64(n))
+			}),
+		}
+		for _, s := range []*workflow.Step{source, agg} {
+			if err := wf.AddStep(s); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := wf.Finalize(); err != nil {
+			return nil, nil, err
+		}
+		return wf, store, nil
+	}
+}
+
+func TestRunPipelineEndToEnd(t *testing.T) {
+	res, err := RunPipeline(miniWorkload(), nil, PipelineConfig{
+		TrainWaves: 120,
+		ApplyWaves: 80,
+		Session:    Config{Seed: 3, Thresholds: []float64{0.2}, PositiveWeight: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Train.Waves != 120 || res.Apply.Waves != 80 {
+		t.Errorf("wave counts: train %d apply %d", res.Train.Waves, res.Apply.Waves)
+	}
+	// Training phase must be fully synchronous.
+	if res.Train.TotalLiveExecutions() != res.Train.TotalSyncExecutions() {
+		t.Error("training phase must execute synchronously")
+	}
+	// Application phase must skip something on a smooth signal.
+	if res.Apply.TotalLiveExecutions() >= res.Apply.TotalSyncExecutions() {
+		t.Error("application phase saved nothing")
+	}
+	if res.Session.Phase() != PhaseApplication {
+		t.Errorf("session phase = %v", res.Session.Phase())
+	}
+	report := res.Apply.Reports["agg"]
+	if report == nil {
+		t.Fatal("missing report for the gated step")
+	}
+	conf := report.Confidence()
+	if conf[len(conf)-1] < 0.8 {
+		t.Errorf("pipeline confidence %.3f on an easy signal", conf[len(conf)-1])
+	}
+}
+
+func TestRunPipelineRequiresTraining(t *testing.T) {
+	if _, err := RunPipeline(miniWorkload(), nil, PipelineConfig{ApplyWaves: 10}); err == nil {
+		t.Error("TrainWaves=0 must fail")
+	}
+}
+
+func TestRunPipelineNoApplyPhase(t *testing.T) {
+	res, err := RunPipeline(miniWorkload(), nil, PipelineConfig{
+		TrainWaves: 60,
+		Session:    Config{Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Apply != nil {
+		t.Error("ApplyWaves=0 must skip the application phase")
+	}
+}
+
+func TestRunPipelineDeterminism(t *testing.T) {
+	run := func() *PipelineResult {
+		res, err := RunPipeline(miniWorkload(), nil, PipelineConfig{
+			TrainWaves: 80,
+			ApplyWaves: 40,
+			Session:    Config{Seed: 3},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Apply.TotalLiveExecutions() != b.Apply.TotalLiveExecutions() {
+		t.Error("pipeline must be deterministic for a fixed seed")
+	}
+	ra, rb := a.Apply.Reports["agg"], b.Apply.Reports["agg"]
+	for i := range ra.Measured {
+		if ra.Measured[i] != rb.Measured[i] {
+			t.Fatal("measured series differ between identical runs")
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"smartflux/internal/ml"
+	"smartflux/internal/ml/eval"
+	"smartflux/internal/ml/multilabel"
+)
+
+// Phase is the SmartFlux lifecycle phase (§4.1's operating modes, with the
+// test phase of §3.2 in between).
+type Phase int
+
+const (
+	// PhaseTraining collects (ι, label) tuples while the workflow runs
+	// synchronously.
+	PhaseTraining Phase = iota + 1
+	// PhaseTesting assesses the trained model with cross-validation.
+	PhaseTesting
+	// PhaseApplication runs the workflow adaptively under the predictor.
+	PhaseApplication
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseTraining:
+		return "training"
+	case PhaseTesting:
+		return "testing"
+	case PhaseApplication:
+		return "application"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Config configures a SmartFlux session.
+type Config struct {
+	// Classifier names the learning algorithm (default random-forest).
+	Classifier string
+	// Factory overrides Classifier with a custom constructor.
+	Factory func() ml.Classifier
+	// Thresholds are the per-label (or single shared) decision
+	// thresholds; values below 0.5 favour recall / bound compliance at
+	// the cost of saved executions (§5.2).
+	Thresholds []float64
+	// PositiveWeight oversamples execute-labelled waves when training the
+	// default Random Forest (ignored for other classifiers); values above
+	// 1 bias the predictor toward recall (§5.2's recall optimization).
+	PositiveWeight float64
+	// FeatureMode selects the features each per-label model sees
+	// (default FeatureOwnImpact).
+	FeatureMode FeatureMode
+	// TestFolds is the cross-validation fold count (default 10, §3.2).
+	TestFolds int
+	// MinAccuracy and MinRecall are the test-phase acceptance criteria;
+	// zero disables the corresponding check.
+	MinAccuracy float64
+	MinRecall   float64
+	// Seed drives every stochastic component.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.TestFolds <= 0 {
+		c.TestFolds = 10
+	}
+	if c.FeatureMode == 0 {
+		c.FeatureMode = FeatureOwnImpact
+	}
+	return c
+}
+
+// TestReport carries the per-label test-phase quality measurements (§3.2:
+// accuracy, precision, recall via 10-fold cross-validation).
+type TestReport struct {
+	PerLabel []eval.CVResult
+	// Accepted reports whether every label met the configured minimums.
+	Accepted bool
+}
+
+// Macro aggregates the per-label metrics by unweighted averaging.
+func (r TestReport) Macro() eval.CVResult {
+	if len(r.PerLabel) == 0 {
+		return eval.CVResult{}
+	}
+	var out eval.CVResult
+	for _, m := range r.PerLabel {
+		out.Accuracy += m.Accuracy
+		out.Precision += m.Precision
+		out.Recall += m.Recall
+		out.F1 += m.F1
+		out.AUC += m.AUC
+	}
+	n := float64(len(r.PerLabel))
+	out.Accuracy /= n
+	out.Precision /= n
+	out.Recall /= n
+	out.F1 /= n
+	out.AUC /= n
+	out.Folds = r.PerLabel[0].Folds
+	return out
+}
+
+// Session is the QoD Engine: it owns the knowledge base, coordinates the
+// training → test → application lifecycle and, once trained, implements
+// engine.Decider so the execution engine can consult it each wave.
+type Session struct {
+	cfg Config
+
+	mu        sync.RWMutex
+	kb        *KnowledgeBase
+	predictor *Predictor
+	phase     Phase
+	report    TestReport
+}
+
+// NewSession creates a session in the training phase.
+func NewSession(cfg Config) *Session {
+	return &Session{
+		cfg:   cfg.withDefaults(),
+		kb:    NewKnowledgeBase(),
+		phase: PhaseTraining,
+	}
+}
+
+// KnowledgeBase exposes the session's example log.
+func (s *Session) KnowledgeBase() *KnowledgeBase { return s.kb }
+
+// Phase returns the current lifecycle phase.
+func (s *Session) Phase() Phase {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.phase
+}
+
+// ObserveTrainingWave logs one synchronous wave's impact vector and
+// simulated labels into the knowledge base.
+func (s *Session) ObserveTrainingWave(impacts []float64, labels []int) {
+	s.kb.Append(impacts, labels)
+}
+
+// Train fits the predictor on the knowledge base and runs the test phase.
+// On acceptance the session moves to the application phase; otherwise it
+// stays in training so more waves can be collected (§3.2: "if results are
+// not satisfactory, a training phase takes place again").
+func (s *Session) Train() (TestReport, error) {
+	factory := s.cfg.Factory
+	if factory == nil {
+		if weight := s.cfg.PositiveWeight; weight > 0 &&
+			(s.cfg.Classifier == "" || s.cfg.Classifier == ClassifierRandomForest) {
+			seed := s.cfg.Seed
+			factory = func() ml.Classifier {
+				return ml.NewForest(ml.ForestConfig{Seed: seed, PositiveWeight: weight})
+			}
+		} else {
+			var err error
+			factory, err = ClassifierFactory(s.cfg.Classifier, s.cfg.Seed)
+			if err != nil {
+				return TestReport{}, err
+			}
+		}
+	}
+	data := s.kb.Snapshot()
+	predictor, err := NewPredictor(factory, data, s.cfg.Thresholds, s.cfg.FeatureMode)
+	if err != nil {
+		return TestReport{}, err
+	}
+
+	report, err := s.test(factory, data)
+	if err != nil {
+		return TestReport{}, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.predictor = predictor
+	s.report = report
+	if report.Accepted {
+		s.phase = PhaseApplication
+	} else {
+		s.phase = PhaseTraining
+	}
+	return report, nil
+}
+
+// test runs the §3.2 test phase: per-label stratified k-fold
+// cross-validation on the training log.
+func (s *Session) test(factory func() ml.Classifier, data multilabel.Dataset) (TestReport, error) {
+	report := TestReport{Accepted: true}
+	rng := rand.New(rand.NewSource(s.cfg.Seed + 1))
+	threshold := 0.5
+	if len(s.cfg.Thresholds) == 1 {
+		threshold = s.cfg.Thresholds[0]
+	}
+	for l := 0; l < data.Labels(); l++ {
+		binary, err := data.Label(l)
+		if err != nil {
+			return TestReport{}, err
+		}
+		if s.cfg.FeatureMode == FeatureOwnImpact {
+			projected := make([][]float64, len(binary.X))
+			for i, row := range binary.X {
+				if l >= len(row) {
+					return TestReport{}, fmt.Errorf("core: own-impact test needs one impact per label (label %d, %d impacts)", l, len(row))
+				}
+				projected[i] = []float64{row[l]}
+			}
+			binary.X = projected
+		}
+		th := threshold
+		if len(s.cfg.Thresholds) == data.Labels() && data.Labels() > 1 {
+			th = s.cfg.Thresholds[l]
+		}
+		folds := s.cfg.TestFolds
+		if binary.Len() < folds*2 {
+			// Tiny logs: fall back to the largest workable fold count.
+			folds = binary.Len() / 2
+		}
+		var cv eval.CVResult
+		if folds >= 2 {
+			cv, err = eval.CrossValidate(func() ml.Classifier { return factory() }, binary, folds, th, rng)
+			if err != nil {
+				return TestReport{}, fmt.Errorf("test label %d: %w", l, err)
+			}
+		} else {
+			// Too few examples to cross-validate; report chance level.
+			cv = eval.CVResult{Accuracy: 0, Precision: 0, Recall: 0, AUC: 0.5}
+		}
+		report.PerLabel = append(report.PerLabel, cv)
+		if s.cfg.MinAccuracy > 0 && cv.Accuracy < s.cfg.MinAccuracy {
+			report.Accepted = false
+		}
+		if s.cfg.MinRecall > 0 && cv.Recall < s.cfg.MinRecall {
+			report.Accepted = false
+		}
+	}
+	return report, nil
+}
+
+// LastTestReport returns the most recent test-phase report.
+func (s *Session) LastTestReport() TestReport {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.report
+}
+
+// Predictor returns the trained predictor, or ErrNotTrained.
+func (s *Session) Predictor() (*Predictor, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.predictor == nil {
+		return nil, ErrNotTrained
+	}
+	return s.predictor, nil
+}
+
+// Name implements engine.Decider.
+func (s *Session) Name() string { return "smartflux" }
+
+// Decide implements engine.Decider: before training completes every step
+// executes (synchronous behaviour); afterwards the predictor gates
+// execution. Prediction failures fail safe by executing the step.
+func (s *Session) Decide(_ int, stepIdx int, impacts []float64) bool {
+	s.mu.RLock()
+	predictor := s.predictor
+	phase := s.phase
+	s.mu.RUnlock()
+	if predictor == nil || phase != PhaseApplication {
+		return true
+	}
+	run, err := predictor.Decide(stepIdx, impacts)
+	if err != nil {
+		return true
+	}
+	return run
+}

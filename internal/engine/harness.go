@@ -1,0 +1,343 @@
+package engine
+
+import (
+	"fmt"
+
+	"smartflux/internal/kvstore"
+	"smartflux/internal/metric"
+	"smartflux/internal/stats"
+	"smartflux/internal/workflow"
+)
+
+// BuildFunc constructs one fresh, identical copy of a workload: the
+// finalized workflow wired to its own store. Harnesses call it twice (live +
+// reference); workload generators must be deterministic so both copies see
+// identical waves.
+type BuildFunc func() (*workflow.Workflow, *kvstore.Store, error)
+
+// StepReport carries per-wave error measurements for one reported step.
+//
+// Measured and Predicted follow the paper's §2.2 semantics: the output error
+// of a step is the *local* penalty of postponing its execution — the cost of
+// the changes missed in its output container — not the compounded deviation
+// of the whole pipeline. Both are therefore derived from the synchronous
+// reference outputs over the live execution schedule. EndToEnd additionally
+// records the raw divergence of the live output from the synchronous
+// reference, which includes upstream staleness compounding.
+type StepReport struct {
+	// MaxError is the step's bound maxε.
+	MaxError float64
+	// Measured is the point-in-time deviation of the fresh (synchronous)
+	// output from the output at the step's last live execution (§5.2
+	// "measured error").
+	Measured []float64
+	// Predicted accumulates the per-wave simulated errors across skipped
+	// waves, resetting on execution — the error SmartFlux accounts for
+	// (§5.2 "predicted error").
+	Predicted []float64
+	// EndToEnd is the live-vs-reference output deviation including
+	// cascaded upstream staleness (a stricter, whole-pipeline view).
+	EndToEnd []float64
+	// Violations flags waves where Measured exceeded MaxError.
+	Violations []bool
+}
+
+// Deviation returns the per-wave Predicted - Measured series (Figure 9's
+// "prediction deviation").
+func (r *StepReport) Deviation() []float64 {
+	out := make([]float64, len(r.Measured))
+	for i := range out {
+		out[i] = r.Predicted[i] - r.Measured[i]
+	}
+	return out
+}
+
+// Confidence returns the normalized cumulative fraction of waves whose
+// measured error respected the bound (Figure 10).
+func (r *StepReport) Confidence() []float64 {
+	ok := make([]float64, len(r.Violations))
+	for i, v := range r.Violations {
+		if !v {
+			ok[i] = 1
+		}
+	}
+	return stats.NormalizedCumulative(ok)
+}
+
+// ViolationCount returns how many waves violated the bound.
+func (r *StepReport) ViolationCount() int {
+	var n int
+	for _, v := range r.Violations {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// Result aggregates a harness run.
+type Result struct {
+	// Policy is the live decider's name.
+	Policy string
+	// Waves is the number of waves run.
+	Waves int
+	// GatedSteps lists the gated steps in topological order.
+	GatedSteps []workflow.StepID
+	// LiveExecuted is the per-wave execution matrix of the live instance
+	// (wave × gated step).
+	LiveExecuted [][]bool
+	// RefLabels is the per-wave simulated-optimal decision matrix from
+	// the reference instance (wave × gated step; the paper's "optimal").
+	RefLabels [][]int
+	// RefImpacts is the per-wave impact matrix observed by the reference
+	// instance — the training features logged by the Monitoring component.
+	RefImpacts [][]float64
+	// RefSimErrors is the per-wave simulated-error matrix from the
+	// reference instance (the ε of Figure 7's correlation pairs).
+	RefSimErrors [][]float64
+	// LiveImpacts is the per-wave impact matrix observed live.
+	LiveImpacts [][]float64
+	// Reports maps reported steps to their error series.
+	Reports map[workflow.StepID]*StepReport
+}
+
+// LiveExecutionsPerWave counts gated executions per wave in the live run.
+func (r *Result) LiveExecutionsPerWave() []int {
+	out := make([]int, len(r.LiveExecuted))
+	for w, row := range r.LiveExecuted {
+		for _, ex := range row {
+			if ex {
+				out[w]++
+			}
+		}
+	}
+	return out
+}
+
+// TotalLiveExecutions sums gated executions across all waves.
+func (r *Result) TotalLiveExecutions() int {
+	var n int
+	for _, c := range r.LiveExecutionsPerWave() {
+		n += c
+	}
+	return n
+}
+
+// TotalSyncExecutions is the execution count the SDF model would incur:
+// every gated step at every wave.
+func (r *Result) TotalSyncExecutions() int {
+	return r.Waves * len(r.GatedSteps)
+}
+
+// TotalOptimalExecutions counts the simulated-optimal executions (Figure
+// 12b/d "optimal").
+func (r *Result) TotalOptimalExecutions() int {
+	var n int
+	for _, row := range r.RefLabels {
+		for _, label := range row {
+			if label == 1 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// NormalizedExecutions returns the per-wave cumulative live executions
+// normalized by the cumulative synchronous executions (Figure 12a/c).
+func (r *Result) NormalizedExecutions() []float64 {
+	perWave := r.LiveExecutionsPerWave()
+	out := make([]float64, len(perWave))
+	var live, sync float64
+	for w, c := range perWave {
+		live += float64(c)
+		sync += float64(len(r.GatedSteps))
+		if sync > 0 {
+			out[w] = live / sync
+		}
+	}
+	return out
+}
+
+// SavingsRatio returns 1 - live/sync executions: the fraction of executions
+// avoided relative to the SDF model.
+func (r *Result) SavingsRatio() float64 {
+	sync := r.TotalSyncExecutions()
+	if sync == 0 {
+		return 0
+	}
+	return 1 - float64(r.TotalLiveExecutions())/float64(sync)
+}
+
+// Harness runs a live instance under an arbitrary policy next to a
+// synchronous reference instance of the same workload, measuring true output
+// deviations and resource usage (§5.2-5.3).
+type Harness struct {
+	live *Instance
+	ref  *Instance
+
+	reportSteps []workflow.StepID
+	measures    map[workflow.StepID]*measureState
+}
+
+// measureState tracks the snapshots needed to derive one step's error
+// series on the live information basis.
+type measureState struct {
+	freshPrev metric.State // hypothetical fresh output at the previous wave
+	accum     float64      // accumulated per-wave simulated error
+}
+
+// NewHarness builds the live and reference instances via build. reportSteps
+// selects the steps whose output error is measured against the reference;
+// nil selects the workflow's gated output-most steps (the paper reports the
+// last gated step of each workflow).
+func NewHarness(build BuildFunc, reportSteps []workflow.StepID) (*Harness, error) {
+	liveWf, liveStore, err := build()
+	if err != nil {
+		return nil, fmt.Errorf("harness live build: %w", err)
+	}
+	refWf, refStore, err := build()
+	if err != nil {
+		return nil, fmt.Errorf("harness ref build: %w", err)
+	}
+	live, err := NewInstance(liveWf, liveStore, InstanceConfig{TrainingMode: false})
+	if err != nil {
+		return nil, fmt.Errorf("harness live instance: %w", err)
+	}
+	ref, err := NewInstance(refWf, refStore, InstanceConfig{TrainingMode: true})
+	if err != nil {
+		return nil, fmt.Errorf("harness ref instance: %w", err)
+	}
+
+	if len(reportSteps) == 0 {
+		reportSteps, err = defaultReportSteps(liveWf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range reportSteps {
+		if live.GatedIndex(id) < 0 {
+			return nil, fmt.Errorf("harness: report step %q is not gated", id)
+		}
+	}
+	return &Harness{
+		live:        live,
+		ref:         ref,
+		reportSteps: reportSteps,
+		measures:    make(map[workflow.StepID]*measureState, len(reportSteps)),
+	}, nil
+}
+
+// defaultReportSteps picks the last gated step in topological order: the
+// gated step closest to the workflow output.
+func defaultReportSteps(wf *workflow.Workflow) ([]workflow.StepID, error) {
+	gated, err := wf.GatedSteps()
+	if err != nil {
+		return nil, err
+	}
+	if len(gated) == 0 {
+		return nil, fmt.Errorf("harness: workflow %q has no gated steps", wf.Name())
+	}
+	return []workflow.StepID{gated[len(gated)-1]}, nil
+}
+
+// Live returns the policy-driven instance.
+func (h *Harness) Live() *Instance { return h.live }
+
+// Ref returns the synchronous reference instance.
+func (h *Harness) Ref() *Instance { return h.ref }
+
+// ReportSteps returns the steps whose errors are measured.
+func (h *Harness) ReportSteps() []workflow.StepID {
+	out := make([]workflow.StepID, len(h.reportSteps))
+	copy(out, h.reportSteps)
+	return out
+}
+
+// Run executes `waves` waves under decider and returns the aggregated
+// result. When decider is *Oracle, its labels are refreshed from the
+// reference instance before each live wave.
+func (h *Harness) Run(waves int, decider Decider) (*Result, error) {
+	res := &Result{
+		Policy:     decider.Name(),
+		GatedSteps: h.live.GatedSteps(),
+		Reports:    make(map[workflow.StepID]*StepReport, len(h.reportSteps)),
+	}
+	for _, id := range h.reportSteps {
+		step, err := h.live.Workflow().Step(id)
+		if err != nil {
+			return nil, err
+		}
+		res.Reports[id] = &StepReport{MaxError: step.QoD.MaxError}
+	}
+
+	oracle, _ := decider.(*Oracle)
+	for w := 0; w < waves; w++ {
+		refRes, err := h.ref.RunWave(Sync{})
+		if err != nil {
+			return nil, fmt.Errorf("harness ref wave %d: %w", w, err)
+		}
+		if oracle != nil {
+			oracle.Labels = refRes.Labels
+		}
+		liveRes, err := h.live.RunWave(decider)
+		if err != nil {
+			return nil, fmt.Errorf("harness live wave %d: %w", w, err)
+		}
+
+		res.RefLabels = append(res.RefLabels, refRes.Labels)
+		res.RefImpacts = append(res.RefImpacts, refRes.Impacts)
+		res.RefSimErrors = append(res.RefSimErrors, refRes.SimErrors)
+		res.LiveExecuted = append(res.LiveExecuted, liveRes.Executed)
+		res.LiveImpacts = append(res.LiveImpacts, liveRes.Impacts)
+
+		if err := h.measure(res, liveRes); err != nil {
+			return nil, fmt.Errorf("harness measure wave %d: %w", w, err)
+		}
+		res.Waves++
+	}
+	return res, nil
+}
+
+// measure appends this wave's error measurements for every reported step.
+// Measured is computed on the live information basis (§2.2: the cost of the
+// changes missed in the step's data container): the deviation between the
+// output the step would produce right now on its live inputs and the stale
+// output it is actually serving. Upstream staleness is accounted to the
+// upstream steps' own bounds, not double-counted here; the EndToEnd series
+// retains the whole-pipeline divergence against the synchronous reference.
+func (h *Harness) measure(res *Result, liveRes WaveResult) error {
+	for _, id := range h.reportSteps {
+		report := res.Reports[id]
+		factory := h.live.ErrorFactory(id)
+		refState := h.ref.OutputState(id)
+		liveState := h.live.OutputState(id)
+
+		fresh, err := h.live.HypotheticalOutput(id)
+		if err != nil {
+			return err
+		}
+
+		st := h.measures[id]
+		if st == nil {
+			st = &measureState{freshPrev: fresh}
+			h.measures[id] = st
+		}
+
+		idx := h.live.GatedIndex(id)
+		executed := idx >= 0 && liveRes.Executed[idx]
+		if executed {
+			st.accum = 0
+		} else {
+			st.accum += metric.Evaluate(factory, fresh, st.freshPrev)
+		}
+		st.freshPrev = fresh
+
+		measured := metric.Evaluate(factory, fresh, liveState)
+		report.Measured = append(report.Measured, measured)
+		report.Predicted = append(report.Predicted, st.accum)
+		report.EndToEnd = append(report.EndToEnd, metric.Evaluate(factory, refState, liveState))
+		report.Violations = append(report.Violations, measured > report.MaxError)
+	}
+	return nil
+}

@@ -1,0 +1,399 @@
+package engine
+
+import (
+	"fmt"
+
+	"smartflux/internal/kvstore"
+	"smartflux/internal/metric"
+	"smartflux/internal/workflow"
+)
+
+// InstanceConfig configures an engine instance.
+type InstanceConfig struct {
+	// TrainingMode selects the baseline-commit discipline for input-impact
+	// trackers. In training mode (used by synchronous reference runs) the
+	// impact baseline follows the *simulated* execution schedule — it
+	// resets when the simulated error crosses maxε — so logged ι values
+	// accumulate exactly as the classifier will later see them. Outside
+	// training mode the baseline follows actual executions.
+	TrainingMode bool
+}
+
+// stepState holds the per-step runtime bookkeeping of the Monitoring
+// component: impact trackers over input containers and shadow error trackers
+// over output containers.
+type stepState struct {
+	step *workflow.Step
+
+	impactTrackers []*metric.Tracker
+	impactCombine  metric.Combiner
+	errorTrackers  []*metric.Tracker
+	errorFactory   metric.Factory
+
+	executedEver bool
+	lastExecWave int
+	execCount    int
+}
+
+// WaveResult reports what happened during one wave of an instance.
+type WaveResult struct {
+	// Wave is the 0-based wave index.
+	Wave int
+	// Impacts is the per-gated-step input-impact vector observed this
+	// wave (topological order over gated steps).
+	Impacts []float64
+	// Executed flags which gated steps executed this wave.
+	Executed []bool
+	// Labels holds the simulated optimal decisions (1 = simulated error
+	// exceeded maxε). Only meaningful for synchronously driven instances;
+	// entries are -1 when the step did not execute and no fresh label
+	// could be simulated.
+	Labels []int
+	// SimErrors holds the per-gated-step simulated (shadow) output error
+	// observed this wave, before any baseline reset — the ε of the (ι, ε)
+	// correlation pairs of Figure 7. Entries are NaN-free zeros when a
+	// step did not execute.
+	SimErrors []float64
+	// GatedExecutions counts gated steps executed this wave.
+	GatedExecutions int
+	// TotalExecutions counts all steps executed this wave.
+	TotalExecutions int
+}
+
+// Instance binds a finalized workflow to a store and executes it wave by
+// wave under a Decider.
+type Instance struct {
+	wf    *workflow.Workflow
+	store *kvstore.Store
+	cfg   InstanceConfig
+
+	order    []workflow.StepID
+	gated    []workflow.StepID
+	gatedIdx map[workflow.StepID]int
+	states   map[workflow.StepID]*stepState
+
+	impacts []float64 // last-known impacts, by gated index
+	wave    int
+}
+
+// NewInstance creates an instance over wf and store. The workflow must be
+// finalized.
+func NewInstance(wf *workflow.Workflow, store *kvstore.Store, cfg InstanceConfig) (*Instance, error) {
+	order, err := wf.Order()
+	if err != nil {
+		return nil, err
+	}
+	gated, err := wf.GatedSteps()
+	if err != nil {
+		return nil, err
+	}
+	in := &Instance{
+		wf:       wf,
+		store:    store,
+		cfg:      cfg,
+		order:    order,
+		gated:    gated,
+		gatedIdx: make(map[workflow.StepID]int, len(gated)),
+		states:   make(map[workflow.StepID]*stepState, len(order)),
+		impacts:  make([]float64, len(gated)),
+	}
+	for i, id := range gated {
+		in.gatedIdx[id] = i
+	}
+	for _, id := range order {
+		step, err := wf.Step(id)
+		if err != nil {
+			return nil, err
+		}
+		st := &stepState{step: step, lastExecWave: -1}
+		if step.Gated() {
+			impactFactory, err := metric.Resolve(step.QoD.ImpactFunc)
+			if err != nil {
+				return nil, fmt.Errorf("step %q: %w", id, err)
+			}
+			errorFactory, err := metric.Resolve(step.QoD.ErrorFunc)
+			if err != nil {
+				return nil, fmt.Errorf("step %q: %w", id, err)
+			}
+			combiner, err := metric.ResolveCombiner(step.QoD.Combiner)
+			if err != nil {
+				return nil, fmt.Errorf("step %q: %w", id, err)
+			}
+			st.impactCombine = combiner
+			st.errorFactory = errorFactory
+			for range step.Inputs {
+				st.impactTrackers = append(st.impactTrackers, metric.NewTracker(impactFactory, step.QoD.Mode))
+			}
+			for range step.Outputs {
+				st.errorTrackers = append(st.errorTrackers, metric.NewTracker(errorFactory, step.QoD.Mode))
+			}
+		}
+		in.states[id] = st
+	}
+	return in, nil
+}
+
+// Workflow returns the underlying workflow.
+func (in *Instance) Workflow() *workflow.Workflow { return in.wf }
+
+// Store returns the instance's store.
+func (in *Instance) Store() *kvstore.Store { return in.store }
+
+// GatedSteps returns the gated step IDs in topological order.
+func (in *Instance) GatedSteps() []workflow.StepID {
+	out := make([]workflow.StepID, len(in.gated))
+	copy(out, in.gated)
+	return out
+}
+
+// GatedIndex returns the gated-step index of id, or -1.
+func (in *Instance) GatedIndex(id workflow.StepID) int {
+	if i, ok := in.gatedIdx[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// Wave returns the number of waves executed so far.
+func (in *Instance) Wave() int { return in.wave }
+
+// ExecCount returns how many times step id has executed.
+func (in *Instance) ExecCount(id workflow.StepID) int {
+	st, ok := in.states[id]
+	if !ok {
+		return 0
+	}
+	return st.execCount
+}
+
+// OutputState snapshots the numeric state of all output containers of id.
+func (in *Instance) OutputState(id workflow.StepID) metric.State {
+	st, ok := in.states[id]
+	if !ok {
+		return metric.State{}
+	}
+	merged := metric.State{}
+	for _, out := range st.step.Outputs {
+		for k, v := range out.Snapshot(in.store) {
+			merged[out.Table+":"+k] = v
+		}
+	}
+	return merged
+}
+
+// ErrorFactory returns the error-metric factory of gated step id, or nil.
+func (in *Instance) ErrorFactory(id workflow.StepID) metric.Factory {
+	st, ok := in.states[id]
+	if !ok {
+		return nil
+	}
+	return st.errorFactory
+}
+
+// inputStates snapshots each input container of a step.
+func (in *Instance) inputStates(step *workflow.Step) []metric.State {
+	states := make([]metric.State, len(step.Inputs))
+	for i, c := range step.Inputs {
+		states[i] = c.Snapshot(in.store)
+	}
+	return states
+}
+
+// outputStates snapshots each output container of a step.
+func (in *Instance) outputStates(step *workflow.Step) []metric.State {
+	states := make([]metric.State, len(step.Outputs))
+	for i, c := range step.Outputs {
+		states[i] = c.Snapshot(in.store)
+	}
+	return states
+}
+
+// RunWave executes one wave under the given decider and returns what
+// happened. Steps run in topological order; source steps always run;
+// zero-tolerance steps run whenever their predecessors have produced output
+// at least once; gated steps consult the decider with the freshly observed
+// input impacts.
+func (in *Instance) RunWave(d Decider) (WaveResult, error) {
+	wave := in.wave
+	res := WaveResult{
+		Wave:      wave,
+		Impacts:   make([]float64, len(in.gated)),
+		Executed:  make([]bool, len(in.gated)),
+		Labels:    make([]int, len(in.gated)),
+		SimErrors: make([]float64, len(in.gated)),
+	}
+	for i := range res.Labels {
+		res.Labels[i] = -1
+	}
+
+	ctx := &workflow.Context{Wave: wave, Store: in.store}
+	for _, id := range in.order {
+		st := in.states[id]
+		step := st.step
+		switch {
+		case step.Source:
+			if err := in.execute(ctx, st, wave); err != nil {
+				return res, err
+			}
+			res.TotalExecutions++
+		case !step.Gated():
+			if !in.predecessorsReady(id) {
+				continue
+			}
+			if err := in.execute(ctx, st, wave); err != nil {
+				return res, err
+			}
+			res.TotalExecutions++
+		default:
+			idx := in.gatedIdx[id]
+			// Observe the (possibly unchanged) input containers and
+			// refresh the impact vector before deciding.
+			inputStates := in.inputStates(step)
+			values := make([]float64, len(inputStates))
+			for i, state := range inputStates {
+				values[i] = st.impactTrackers[i].Observe(state)
+			}
+			impact := st.impactCombine(values)
+			in.impacts[idx] = impact
+			res.Impacts[idx] = impact
+
+			run := in.predecessorsReady(id) && d.Decide(wave, idx, in.impacts)
+			if !run {
+				continue
+			}
+			if err := in.execute(ctx, st, wave); err != nil {
+				return res, err
+			}
+			res.TotalExecutions++
+			res.GatedExecutions++
+			res.Executed[idx] = true
+
+			// Simulate the optimal label: does the fresh output
+			// deviate from the shadow baseline beyond maxε?
+			outputStates := in.outputStates(step)
+			worst := 0.0
+			for i, state := range outputStates {
+				if e := st.errorTrackers[i].Observe(state); e > worst {
+					worst = e
+				}
+			}
+			res.SimErrors[idx] = worst
+			label := 0
+			if worst > step.QoD.MaxError {
+				label = 1
+				for i, state := range outputStates {
+					st.errorTrackers[i].Commit(state)
+				}
+			}
+			res.Labels[idx] = label
+
+			// Baseline-commit discipline (see InstanceConfig).
+			if in.cfg.TrainingMode {
+				if label == 1 {
+					for i, state := range inputStates {
+						st.impactTrackers[i].Commit(state)
+					}
+				}
+			} else {
+				for i, state := range inputStates {
+					st.impactTrackers[i].Commit(state)
+				}
+			}
+		}
+	}
+	in.wave++
+	return res, nil
+}
+
+// execute runs a step's processor and updates its bookkeeping.
+func (in *Instance) execute(ctx *workflow.Context, st *stepState, wave int) error {
+	if err := st.step.Proc.Process(ctx); err != nil {
+		return fmt.Errorf("step %q wave %d: %w", st.step.ID, wave, err)
+	}
+	st.executedEver = true
+	st.lastExecWave = wave
+	st.execCount++
+	return nil
+}
+
+// HypotheticalOutput runs step id's processor against the current store
+// state, captures the resulting output-container state, and rolls every
+// output table back to its prior contents. It answers "what would this
+// step's output be if it executed right now?" — the quantity behind the
+// §2.2 output error (the cost of the input changes the step has not yet
+// processed). Processors of non-source steps must not depend on the wave
+// number for this to be exact.
+func (in *Instance) HypotheticalOutput(id workflow.StepID) (metric.State, error) {
+	st, ok := in.states[id]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown step %q", id)
+	}
+	// Snapshot the raw contents of every output table.
+	type cellKey struct{ row, col string }
+	saved := make(map[string]map[cellKey][]byte, len(st.step.Outputs))
+	tables := make(map[string]*kvstore.Table, len(st.step.Outputs))
+	for _, out := range st.step.Outputs {
+		if _, done := saved[out.Table]; done {
+			continue
+		}
+		t, err := in.store.EnsureTable(out.Table, kvstore.TableOptions{})
+		if err != nil {
+			return nil, err
+		}
+		tables[out.Table] = t
+		snap := make(map[cellKey][]byte)
+		for _, c := range t.Scan(kvstore.ScanOptions{}) {
+			snap[cellKey{c.Row, c.Column}] = c.Version.Value
+		}
+		saved[out.Table] = snap
+	}
+
+	wave := in.wave - 1
+	if wave < 0 {
+		wave = 0
+	}
+	ctx := &workflow.Context{Wave: wave, Store: in.store}
+	if err := st.step.Proc.Process(ctx); err != nil {
+		return nil, fmt.Errorf("hypothetical %q: %w", id, err)
+	}
+	fresh := in.OutputState(id)
+
+	// Roll back: restore saved cells, delete cells the run introduced.
+	for name, t := range tables {
+		snap := saved[name]
+		batch := kvstore.NewBatch()
+		current := t.Scan(kvstore.ScanOptions{})
+		seen := make(map[cellKey]struct{}, len(current))
+		for _, c := range current {
+			key := cellKey{c.Row, c.Column}
+			seen[key] = struct{}{}
+			old, had := snap[key]
+			switch {
+			case !had:
+				batch.Delete(c.Row, c.Column)
+			case string(old) != string(c.Version.Value):
+				batch.Put(c.Row, c.Column, old)
+			}
+		}
+		for key, old := range snap {
+			if _, still := seen[key]; !still {
+				batch.Put(key.row, key.col, old)
+			}
+		}
+		if err := t.Apply(batch); err != nil {
+			return nil, fmt.Errorf("hypothetical rollback %q: %w", id, err)
+		}
+	}
+	return fresh, nil
+}
+
+// predecessorsReady reports whether all upstream steps have executed at
+// least once (the triggering precondition of §2).
+func (in *Instance) predecessorsReady(id workflow.StepID) bool {
+	for _, pred := range in.wf.Predecessors(id) {
+		if !in.states[pred].executedEver {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,187 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5). Each experiment is a typed runner producing the same
+// rows/series the paper reports, with a text renderer; cmd/experiments and
+// the repository-root benchmarks drive them.
+//
+// Experiment index (see DESIGN.md §4):
+//
+//	Fig3       - diurnal sensor series of the motivational example
+//	ROC        - §3.2 classifier selection (ROC areas of six algorithms)
+//	Fig7       - input-impact/output-error correlation + Pearson r
+//	Fig8       - accuracy/precision/recall vs training-set size
+//	Fig9       - measured vs predicted error per wave (and deviations)
+//	Fig10      - confidence in respecting error bounds
+//	Fig11      - SmartFlux vs naive triggering policies
+//	Fig12      - executions under QoD vs the synchronous model
+//	Overhead   - §5.3 middleware overhead microbenchmarks
+package experiments
+
+import (
+	"fmt"
+
+	"smartflux/internal/aqhi"
+	"smartflux/internal/core"
+	"smartflux/internal/engine"
+	"smartflux/internal/lrb"
+	"smartflux/internal/workflow"
+)
+
+// Workload selects one of the two §5.1 test scenarios.
+type Workload string
+
+// The two evaluation workloads.
+const (
+	LRB  Workload = "lrb"
+	AQHI Workload = "aqhi"
+)
+
+// Bounds are the error bounds the paper sweeps (5, 10, 20%).
+var Bounds = []float64{0.05, 0.10, 0.20}
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Seed drives all stochastic components.
+	Seed int64
+	// Scale multiplies wave counts; 1 reproduces the paper's lengths
+	// (500+500 LRB, 336+384 AQHI), smaller values give quick runs.
+	Scale float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	return c
+}
+
+// scaled applies the scale factor with a floor.
+func (c Config) scaled(waves int) int {
+	out := int(float64(waves) * c.Scale)
+	if out < 40 {
+		out = 40
+	}
+	return out
+}
+
+// trainWaves returns the training-phase length per workload.
+func (c Config) trainWaves(w Workload) int {
+	if w == LRB {
+		return c.scaled(500)
+	}
+	return c.scaled(336)
+}
+
+// applyWaves returns the application-phase length per workload (the paper's
+// test horizons: 500 waves LRB, 384 waves AQHI).
+func (c Config) applyWaves(w Workload) int {
+	if w == LRB {
+		return c.scaled(500)
+	}
+	return c.scaled(384)
+}
+
+// buildFor returns the workload build function at a bound.
+func (c Config) buildFor(w Workload, bound float64) (engine.BuildFunc, error) {
+	switch w {
+	case LRB:
+		return lrb.Build(lrb.Config{Seed: c.Seed, MaxError: bound}), nil
+	case AQHI:
+		return aqhi.Build(aqhi.Config{Seed: c.Seed, MaxError: bound}), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown workload %q", w)
+	}
+}
+
+// session returns the SmartFlux session configuration used throughout the
+// evaluation: Random Forest, recall-optimized (§5.2).
+func (c Config) session() core.Config {
+	return core.Config{
+		Seed:           c.Seed + 7,
+		Thresholds:     []float64{0.15},
+		PositiveWeight: 14,
+	}
+}
+
+// reportStep names the step whose output error the paper reports: the last
+// gated step of each workflow (LRB 5a, AQHI 5).
+func reportStep(w Workload) workflow.StepID {
+	if w == LRB {
+		return lrb.StepClassify
+	}
+	return aqhi.StepIndex
+}
+
+// Runner caches pipeline runs shared by several figures (9, 10, 12 all
+// derive from the same (workload, bound) run).
+type Runner struct {
+	cfg   Config
+	cache map[string]*core.PipelineResult
+}
+
+// NewRunner creates a runner.
+func NewRunner(cfg Config) *Runner {
+	return &Runner{cfg: cfg.withDefaults(), cache: make(map[string]*core.PipelineResult)}
+}
+
+// Config returns the runner's effective configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+// Pipeline runs (or returns the cached) full SmartFlux lifecycle for a
+// workload at a bound.
+func (r *Runner) Pipeline(w Workload, bound float64) (*core.PipelineResult, error) {
+	key := fmt.Sprintf("%s/%.3f", w, bound)
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	build, err := r.cfg.buildFor(w, bound)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunPipeline(build, []workflow.StepID{reportStep(w)}, core.PipelineConfig{
+		TrainWaves: r.cfg.trainWaves(w),
+		ApplyWaves: r.cfg.applyWaves(w),
+		Session:    r.cfg.session(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments %s bound %.2f: %w", w, bound, err)
+	}
+	r.cache[key] = res
+	return res, nil
+}
+
+// SyncLog is a contiguous synchronous-execution log: per-wave impact
+// vectors, simulated-optimal labels and simulated errors for every gated
+// step — the raw material of the ROC, Fig7 and Fig8 experiments.
+type SyncLog struct {
+	Steps     []workflow.StepID
+	Impacts   [][]float64
+	Labels    [][]int
+	SimErrors [][]float64
+}
+
+// Waves returns the log length.
+func (l *SyncLog) Waves() int { return len(l.Impacts) }
+
+// Log returns the synchronous log of a workload at a bound, concatenating
+// the cached pipeline's training and application phases (the harness
+// reference instance runs synchronously throughout, so the combined log is
+// one contiguous sync run).
+func (r *Runner) Log(w Workload, bound float64) (*SyncLog, error) {
+	res, err := r.Pipeline(w, bound)
+	if err != nil {
+		return nil, err
+	}
+	log := &SyncLog{Steps: res.Train.GatedSteps}
+	log.Impacts = append(log.Impacts, res.Train.RefImpacts...)
+	log.Labels = append(log.Labels, res.Train.RefLabels...)
+	log.SimErrors = append(log.SimErrors, res.Train.RefSimErrors...)
+	if res.Apply != nil {
+		log.Impacts = append(log.Impacts, res.Apply.RefImpacts...)
+		log.Labels = append(log.Labels, res.Apply.RefLabels...)
+		log.SimErrors = append(log.SimErrors, res.Apply.RefSimErrors...)
+	}
+	return log, nil
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"smartflux/internal/engine"
+	"smartflux/internal/stats"
+	"smartflux/internal/workflow"
+)
+
+// PolicyCurve is one Figure 11 confidence curve.
+type PolicyCurve struct {
+	Workload   Workload
+	Policy     string
+	Confidence []float64
+}
+
+// Fig11Result regenerates Figure 11: SmartFlux vs naive triggering policies
+// (random, seq2, seq3, seq5) at a 5% error bound.
+type Fig11Result struct {
+	Bound  float64
+	Curves []PolicyCurve
+}
+
+// Fig11 runs each naive policy through a fresh harness over the application
+// horizon and reuses the cached pipeline run for SmartFlux.
+func Fig11(r *Runner) (*Fig11Result, error) {
+	const bound = 0.05
+	result := &Fig11Result{Bound: bound}
+
+	for _, w := range []Workload{LRB, AQHI} {
+		// SmartFlux: reuse the pipeline's application phase.
+		res, err := r.Pipeline(w, bound)
+		if err != nil {
+			return nil, err
+		}
+		report := res.Apply.Reports[reportStep(w)]
+		result.Curves = append(result.Curves, PolicyCurve{
+			Workload:   w,
+			Policy:     "smartflux",
+			Confidence: confidenceOf(report.Measured, bound),
+		})
+
+		// Naive policies: fresh harnesses over the same horizon.
+		waves := r.cfg.applyWaves(w)
+		policies := []engine.Decider{
+			engine.NewRandom(0.5, r.cfg.Seed+11),
+			engine.NewSeq(2),
+			engine.NewSeq(3),
+			engine.NewSeq(5),
+		}
+		for _, policy := range policies {
+			curve, err := r.policyConfidence(w, bound, waves, policy)
+			if err != nil {
+				return nil, fmt.Errorf("fig11 %s %s: %w", w, policy.Name(), err)
+			}
+			result.Curves = append(result.Curves, PolicyCurve{
+				Workload:   w,
+				Policy:     policy.Name(),
+				Confidence: curve,
+			})
+		}
+	}
+	return result, nil
+}
+
+// policyConfidence runs one policy from scratch and returns the confidence
+// series of the report step.
+func (r *Runner) policyConfidence(w Workload, bound float64, waves int, policy engine.Decider) ([]float64, error) {
+	build, err := r.cfg.buildFor(w, bound)
+	if err != nil {
+		return nil, err
+	}
+	harness, err := engine.NewHarness(build, []workflow.StepID{reportStep(w)})
+	if err != nil {
+		return nil, err
+	}
+	res, err := harness.Run(waves, policy)
+	if err != nil {
+		return nil, err
+	}
+	report := res.Reports[reportStep(w)]
+	return confidenceOf(report.Measured, bound), nil
+}
+
+// confidenceOf converts a measured-error series into the normalized
+// cumulative compliance curve.
+func confidenceOf(measured []float64, bound float64) []float64 {
+	ok := make([]float64, len(measured))
+	for i, m := range measured {
+		if m <= bound {
+			ok[i] = 1
+		}
+	}
+	return stats.NormalizedCumulative(ok)
+}
+
+// Render writes the final confidence of each policy.
+func (r *Fig11Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 11: policy comparison at a %.0f%% bound\n", r.Bound*100)
+	fmt.Fprintf(w, "%-6s %-12s %12s\n", "load", "policy", "final conf")
+	for _, c := range r.Curves {
+		fmt.Fprintf(w, "%-6s %-12s %12.4f\n",
+			c.Workload, c.Policy, c.Confidence[len(c.Confidence)-1])
+	}
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"smartflux/internal/firerisk"
+)
+
+// Fig3Result is the diurnal sensor evolution of Figure 3: temperature,
+// precipitation and wind hour by hour for one simulated day.
+type Fig3Result struct {
+	Hours         []float64
+	Temperature   []float64
+	Precipitation []float64
+	Wind          []float64
+}
+
+// Fig3 regenerates Figure 3 from the fire-risk generator, averaging the
+// sensor grid per wave over one day.
+func Fig3(cfg Config) Fig3Result {
+	cfg = cfg.withDefaults()
+	gen := firerisk.NewGenerator(firerisk.Config{Seed: cfg.Seed})
+	grid := 10
+
+	var out Fig3Result
+	for wave := 0; wave < firerisk.WavesPerDay; wave++ {
+		var t, p, w float64
+		for x := 0; x < grid; x++ {
+			for y := 0; y < grid; y++ {
+				t += gen.Temperature(wave, x, y)
+				p += gen.Precipitation(wave, x, y)
+				w += gen.Wind(wave, x, y)
+			}
+		}
+		n := float64(grid * grid)
+		out.Hours = append(out.Hours, float64(wave)/2)
+		out.Temperature = append(out.Temperature, t/n)
+		out.Precipitation = append(out.Precipitation, p/n)
+		out.Wind = append(out.Wind, w/n)
+	}
+	return out
+}
+
+// Render writes the series as an aligned table.
+func (r Fig3Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 3: temperature, precipitation and wind over one day")
+	fmt.Fprintf(w, "%6s %12s %15s %10s\n", "hour", "temp (°C)", "precip (mm)", "wind (km/h)")
+	for i := range r.Hours {
+		fmt.Fprintf(w, "%6.1f %12.2f %15.3f %10.2f\n",
+			r.Hours[i], r.Temperature[i], r.Precipitation[i], r.Wind[i])
+	}
+}

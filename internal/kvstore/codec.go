@@ -1,0 +1,98 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// ErrBadFloat is returned when decoding a value that is not an encoded
+// float64.
+var ErrBadFloat = errors.New("kvstore: value is not an encoded float64")
+
+// floatWidth is the encoded size of a float64 value.
+const floatWidth = 8
+
+// EncodeFloat encodes a float64 as 8 big-endian bytes (IEEE 754 bits).
+func EncodeFloat(v float64) []byte {
+	buf := make([]byte, floatWidth)
+	binary.BigEndian.PutUint64(buf, math.Float64bits(v))
+	return buf
+}
+
+// DecodeFloat decodes a value written by EncodeFloat.
+func DecodeFloat(b []byte) (float64, error) {
+	if len(b) != floatWidth {
+		return 0, ErrBadFloat
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b)), nil
+}
+
+// PutFloat writes an encoded float64 at (row, column).
+func (t *Table) PutFloat(row, column string, v float64) error {
+	return t.Put(row, column, EncodeFloat(v))
+}
+
+// GetFloat reads the float64 at (row, column). ok is false when the cell is
+// missing or not float-encoded.
+func (t *Table) GetFloat(row, column string) (v float64, ok bool) {
+	raw, ok := t.Get(row, column)
+	if !ok {
+		return 0, false
+	}
+	v, err := DecodeFloat(raw)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// FloatValue decodes the cell's value as a float64, returning ok=false when
+// it is not float-encoded.
+func (c Cell) FloatValue() (float64, bool) {
+	v, err := DecodeFloat(c.Version.Value)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// ScanFloats scans matching cells and decodes them as float64s keyed by the
+// canonical element key "row/column". Non-float cells are skipped. Unlike
+// Scan it avoids copying cell values, so it is the preferred bulk numeric
+// read.
+func (t *Table) ScanFloats(opts ScanOptions) map[string]float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]float64, len(t.rows))
+	for row, cols := range t.rows {
+		if opts.StartRow != "" && row < opts.StartRow {
+			continue
+		}
+		if opts.EndRow != "" && row >= opts.EndRow {
+			continue
+		}
+		if opts.RowPrefix != "" && !hasPrefix(row, opts.RowPrefix) {
+			continue
+		}
+		for col, versions := range cols {
+			if opts.ColumnPrefix != "" && !hasPrefix(col, opts.ColumnPrefix) {
+				continue
+			}
+			if len(versions) == 0 {
+				continue
+			}
+			v, err := DecodeFloat(versions[len(versions)-1].Value)
+			if err != nil {
+				continue
+			}
+			out[row+"/"+col] = v
+		}
+	}
+	return out
+}
+
+// hasPrefix avoids importing strings into this file.
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}

@@ -1,0 +1,324 @@
+// Package kvnet exposes a kvstore.Store over TCP so workflow steps running in
+// separate processes can share data containers, mirroring the paper's setup
+// where steps interact with a remote HBase cluster through (intercepted)
+// client libraries.
+//
+// The wire protocol is a simple request/response stream of gob-encoded
+// frames over one TCP connection per client. Every client request carries an
+// Op tag; the server answers each request exactly once, in order.
+package kvnet
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"smartflux/internal/kvstore"
+)
+
+// op identifies the request type.
+type op int
+
+const (
+	opCreateTable op = iota + 1
+	opPut
+	opGet
+	opDelete
+	opScan
+	opApply
+)
+
+// request is the client → server frame.
+type request struct {
+	Op          op
+	Table       string
+	Row         string
+	Column      string
+	Value       []byte
+	MaxVersions int
+	Scan        kvstore.ScanOptions
+	Ops         []kvstore.Op
+}
+
+// response is the server → client frame.
+type response struct {
+	Err   string
+	Value []byte
+	Found bool
+	Cells []kvstore.Cell
+}
+
+// Server serves a Store over TCP.
+type Server struct {
+	store *kvstore.Store
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer creates a server for the given store.
+func NewServer(store *kvstore.Store) *Server {
+	return &Server{
+		store: store,
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address. Serving happens on background goroutines; call
+// Close to stop them.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("kvnet listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return "", errors.New("kvnet: server closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Client hung up mid-frame; nothing to answer.
+				return
+			}
+			return
+		}
+		resp := s.handle(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req request) response {
+	switch req.Op {
+	case opCreateTable:
+		_, err := s.store.EnsureTable(req.Table, kvstore.TableOptions{MaxVersions: req.MaxVersions})
+		return errResponse(err)
+	case opPut:
+		t, err := s.store.Table(req.Table)
+		if err != nil {
+			return errResponse(err)
+		}
+		return errResponse(t.Put(req.Row, req.Column, req.Value))
+	case opGet:
+		t, err := s.store.Table(req.Table)
+		if err != nil {
+			return errResponse(err)
+		}
+		v, found := t.Get(req.Row, req.Column)
+		return response{Value: v, Found: found}
+	case opDelete:
+		t, err := s.store.Table(req.Table)
+		if err != nil {
+			return errResponse(err)
+		}
+		return errResponse(t.Delete(req.Row, req.Column))
+	case opScan:
+		t, err := s.store.Table(req.Table)
+		if err != nil {
+			return errResponse(err)
+		}
+		return response{Cells: t.Scan(req.Scan)}
+	case opApply:
+		t, err := s.store.Table(req.Table)
+		if err != nil {
+			return errResponse(err)
+		}
+		b := kvstore.NewBatch()
+		for _, o := range req.Ops {
+			if o.Delete {
+				b.Delete(o.Row, o.Column)
+			} else {
+				b.Put(o.Row, o.Column, o.Value)
+			}
+		}
+		return errResponse(t.Apply(b))
+	default:
+		return response{Err: fmt.Sprintf("kvnet: unknown op %d", req.Op)}
+	}
+}
+
+func errResponse(err error) response {
+	if err != nil {
+		return response{Err: err.Error()}
+	}
+	return response{}
+}
+
+// Close stops the listener, closes live connections and waits for all
+// serving goroutines to exit. It is safe to call multiple times.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	ln := s.listener
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is a synchronous TCP client for a kvnet server. A Client is safe
+// for concurrent use; requests are serialized over one connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a kvnet server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("kvnet dial: %w", err)
+	}
+	return &Client{
+		conn: conn,
+		enc:  gob.NewEncoder(conn),
+		dec:  gob.NewDecoder(conn),
+	}, nil
+}
+
+// Close closes the client connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *Client) roundTrip(req request) (response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return response{}, fmt.Errorf("kvnet send: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		return response{}, fmt.Errorf("kvnet recv: %w", err)
+	}
+	if resp.Err != "" {
+		return resp, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// CreateTable ensures a table exists on the server.
+func (c *Client) CreateTable(name string, maxVersions int) error {
+	_, err := c.roundTrip(request{Op: opCreateTable, Table: name, MaxVersions: maxVersions})
+	return err
+}
+
+// Put writes a value.
+func (c *Client) Put(table, row, column string, value []byte) error {
+	_, err := c.roundTrip(request{Op: opPut, Table: table, Row: row, Column: column, Value: value})
+	return err
+}
+
+// PutFloat writes an encoded float64.
+func (c *Client) PutFloat(table, row, column string, v float64) error {
+	return c.Put(table, row, column, kvstore.EncodeFloat(v))
+}
+
+// Get reads the latest value of a cell.
+func (c *Client) Get(table, row, column string) ([]byte, bool, error) {
+	resp, err := c.roundTrip(request{Op: opGet, Table: table, Row: row, Column: column})
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.Value, resp.Found, nil
+}
+
+// GetFloat reads a float64-encoded cell.
+func (c *Client) GetFloat(table, row, column string) (float64, bool, error) {
+	raw, found, err := c.Get(table, row, column)
+	if err != nil || !found {
+		return 0, found, err
+	}
+	v, err := kvstore.DecodeFloat(raw)
+	if err != nil {
+		return 0, false, err
+	}
+	return v, true, nil
+}
+
+// Delete removes a cell.
+func (c *Client) Delete(table, row, column string) error {
+	_, err := c.roundTrip(request{Op: opDelete, Table: table, Row: row, Column: column})
+	return err
+}
+
+// Scan returns matching cells.
+func (c *Client) Scan(table string, opts kvstore.ScanOptions) ([]kvstore.Cell, error) {
+	resp, err := c.roundTrip(request{Op: opScan, Table: table, Scan: opts})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Cells, nil
+}
+
+// Apply applies a batch atomically on the server.
+func (c *Client) Apply(table string, ops []kvstore.Op) error {
+	_, err := c.roundTrip(request{Op: opApply, Table: table, Ops: ops})
+	return err
+}

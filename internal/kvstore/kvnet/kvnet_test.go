@@ -1,0 +1,196 @@
+package kvnet
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"smartflux/internal/kvstore"
+)
+
+// startServer spins up a server on an ephemeral port and registers cleanup.
+func startServer(t *testing.T) (*kvstore.Store, string) {
+	t.Helper()
+	store := kvstore.New()
+	srv := NewServer(store)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	})
+	return store, addr
+}
+
+func dialClient(t *testing.T, addr string) *Client {
+	t.Helper()
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return client
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	_, addr := startServer(t)
+	client := dialClient(t, addr)
+
+	if err := client.CreateTable("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Put("t", "r", "c", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := client.Get("t", "r", "c")
+	if err != nil || !found || string(got) != "hello" {
+		t.Fatalf("Get = %q, %v, %v", got, found, err)
+	}
+	if _, found, err := client.Get("t", "r", "missing"); err != nil || found {
+		t.Errorf("missing cell: found=%v err=%v", found, err)
+	}
+	if err := client.Delete("t", "r", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := client.Get("t", "r", "c"); found {
+		t.Error("cell survived delete")
+	}
+}
+
+func TestClientFloatHelpers(t *testing.T) {
+	_, addr := startServer(t)
+	client := dialClient(t, addr)
+	if err := client.CreateTable("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.PutFloat("t", "r", "c", 3.25); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := client.GetFloat("t", "r", "c")
+	if err != nil || !found || v != 3.25 {
+		t.Fatalf("GetFloat = %v, %v, %v", v, found, err)
+	}
+}
+
+func TestClientScanAndBatch(t *testing.T) {
+	_, addr := startServer(t)
+	client := dialClient(t, addr)
+	if err := client.CreateTable("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	ops := []kvstore.Op{
+		{Row: "a", Column: "c", Value: kvstore.EncodeFloat(1)},
+		{Row: "b", Column: "c", Value: kvstore.EncodeFloat(2)},
+		{Row: "c", Column: "c", Value: kvstore.EncodeFloat(3)},
+	}
+	if err := client.Apply("t", ops); err != nil {
+		t.Fatal(err)
+	}
+	cells, err := client.Scan("t", kvstore.ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 || cells[0].Row != "a" || cells[2].Row != "c" {
+		t.Fatalf("scan = %+v", cells)
+	}
+	// Delete through a batch.
+	if err := client.Apply("t", []kvstore.Op{{Row: "a", Column: "c", Delete: true}}); err != nil {
+		t.Fatal(err)
+	}
+	cells, _ = client.Scan("t", kvstore.ScanOptions{})
+	if len(cells) != 2 {
+		t.Errorf("after batch delete: %d cells", len(cells))
+	}
+}
+
+func TestServerErrorsPropagate(t *testing.T) {
+	_, addr := startServer(t)
+	client := dialClient(t, addr)
+	err := client.Put("nosuch", "r", "c", nil)
+	if err == nil || !strings.Contains(err.Error(), "table not found") {
+		t.Errorf("want table-not-found error, got %v", err)
+	}
+	// The connection stays usable after a server-side error.
+	if err := client.CreateTable("t", 0); err != nil {
+		t.Errorf("connection unusable after error: %v", err)
+	}
+}
+
+func TestServerSharedState(t *testing.T) {
+	store, addr := startServer(t)
+	client := dialClient(t, addr)
+	if err := client.CreateTable("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.PutFloat("t", "r", "c", 7); err != nil {
+		t.Fatal(err)
+	}
+	// Mutations are visible directly in the backing store.
+	table, err := store.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := table.GetFloat("r", "c")
+	if !ok || v != 7 {
+		t.Errorf("backing store value = %v, %v", v, ok)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, addr := startServer(t)
+	boot := dialClient(t, addr)
+	if err := boot.CreateTable("t", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			for i := 0; i < 50; i++ {
+				row := fmt.Sprintf("g%d-r%d", g, i)
+				if err := client.PutFloat("t", row, "c", float64(i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	cells, err := boot.Scan("t", kvstore.ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 200 {
+		t.Errorf("scan found %d cells, want 200", len(cells))
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv := NewServer(kvstore.New())
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}

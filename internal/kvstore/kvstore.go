@@ -1,0 +1,501 @@
+// Package kvstore implements the columnar, versioned key-value store that
+// SmartFlux workflow steps communicate through. It is a stand-in for HBase
+// (the store used in the paper): a sparse, multi-dimensional sorted map
+// indexed by row, column and timestamp, where mapped values are uninterpreted
+// byte arrays.
+//
+// Two features carry the SmartFlux integration:
+//
+//   - Observers: callbacks fired on every mutation, mirroring the paper's
+//     interception of the HBase client libraries (§4.2). The Monitoring
+//     component subscribes to these to compute input impact and output error.
+//   - Versioning: each cell keeps its most recent versions, so the current
+//     and previous states of an element can be retrieved together — the
+//     paper's piggy-backed column qualifiers used to fetch previous
+//     computation state with ~0% overhead.
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Default configuration values.
+const (
+	// DefaultMaxVersions is the number of cell versions retained per
+	// (row, column) when a table does not override it. Three matches the
+	// HBase default.
+	DefaultMaxVersions = 3
+)
+
+// Errors returned by store operations.
+var (
+	// ErrTableExists is returned by CreateTable for a duplicate name.
+	ErrTableExists = errors.New("kvstore: table already exists")
+	// ErrTableNotFound is returned when addressing a missing table.
+	ErrTableNotFound = errors.New("kvstore: table not found")
+	// ErrEmptyKey is returned when a row or column key is empty.
+	ErrEmptyKey = errors.New("kvstore: empty row or column key")
+)
+
+// MutationKind distinguishes the kinds of mutations observers can see.
+type MutationKind int
+
+// Mutation kinds.
+const (
+	MutationPut MutationKind = iota + 1
+	MutationDelete
+)
+
+// String implements fmt.Stringer.
+func (k MutationKind) String() string {
+	switch k {
+	case MutationPut:
+		return "put"
+	case MutationDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("MutationKind(%d)", int(k))
+	}
+}
+
+// Mutation describes a single applied change, delivered to observers.
+// Old is nil when the cell did not previously exist; New is nil for deletes.
+type Mutation struct {
+	Table     string
+	Row       string
+	Column    string
+	Old       []byte
+	New       []byte
+	Timestamp uint64
+	Kind      MutationKind
+}
+
+// Observer receives mutations applied to a table. Implementations must not
+// block for long and must not mutate the originating table from within the
+// callback (they may read from it).
+type Observer interface {
+	OnMutation(m Mutation)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(m Mutation)
+
+// OnMutation implements Observer.
+func (f ObserverFunc) OnMutation(m Mutation) { f(m) }
+
+var _ Observer = ObserverFunc(nil)
+
+// Version is one timestamped value of a cell.
+type Version struct {
+	Timestamp uint64
+	Value     []byte
+}
+
+// Cell is a fully-qualified cell as returned by scans.
+type Cell struct {
+	Row     string
+	Column  string
+	Version Version
+}
+
+// Key returns the canonical element key "row/column" used by the metric
+// layer to identify elements within a data container.
+func (c Cell) Key() string { return c.Row + "/" + c.Column }
+
+// Store is a collection of named tables sharing a logical clock. The zero
+// value is not usable; create stores with New.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	clock  uint64
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{tables: make(map[string]*Table)}
+}
+
+// nextTimestamp returns a monotonically increasing logical timestamp.
+func (s *Store) nextTimestamp() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock++
+	return s.clock
+}
+
+// TableOptions configures table creation.
+type TableOptions struct {
+	// MaxVersions bounds retained versions per cell; 0 means
+	// DefaultMaxVersions.
+	MaxVersions int
+}
+
+// CreateTable creates a new table. It returns ErrTableExists if the name is
+// taken.
+func (s *Store) CreateTable(name string, opts TableOptions) (*Table, error) {
+	if name == "" {
+		return nil, ErrEmptyKey
+	}
+	maxVersions := opts.MaxVersions
+	if maxVersions <= 0 {
+		maxVersions = DefaultMaxVersions
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrTableExists, name)
+	}
+	t := &Table{
+		name:        name,
+		store:       s,
+		maxVersions: maxVersions,
+		rows:        make(map[string]map[string][]Version),
+	}
+	s.tables[name] = t
+	return t, nil
+}
+
+// EnsureTable returns the named table, creating it with opts if absent.
+func (s *Store) EnsureTable(name string, opts TableOptions) (*Table, error) {
+	if t, err := s.Table(name); err == nil {
+		return t, nil
+	}
+	t, err := s.CreateTable(name, opts)
+	if err != nil && errors.Is(err, ErrTableExists) {
+		return s.Table(name)
+	}
+	return t, err
+}
+
+// Table returns the named table or ErrTableNotFound.
+func (s *Store) Table(name string) (*Table, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrTableNotFound, name)
+	}
+	return t, nil
+}
+
+// DropTable removes the named table. Dropping a missing table returns
+// ErrTableNotFound.
+func (s *Store) DropTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrTableNotFound, name)
+	}
+	delete(s.tables, name)
+	return nil
+}
+
+// TableNames returns the sorted names of all tables.
+func (s *Store) TableNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for name := range s.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Table is a sparse sorted map from (row, column) to versioned values.
+type Table struct {
+	name        string
+	store       *Store
+	maxVersions int
+
+	mu        sync.RWMutex
+	rows      map[string]map[string][]Version // versions newest-last
+	observers []Observer
+
+	// rowKeys caches the sorted row keys; nil means stale. Row sets
+	// stabilize quickly in wave-structured workloads, so scans avoid
+	// re-sorting every call.
+	rowKeys []string
+	// colKeys caches per-row sorted column keys; absent entries are stale.
+	colKeys map[string][]string
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Subscribe registers an observer for all subsequent mutations.
+func (t *Table) Subscribe(o Observer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.observers = append(t.observers, o)
+}
+
+// notify dispatches mutations to observers outside the table lock.
+func (t *Table) notify(ms []Mutation) {
+	t.mu.RLock()
+	obs := make([]Observer, len(t.observers))
+	copy(obs, t.observers)
+	t.mu.RUnlock()
+	for _, o := range obs {
+		for _, m := range ms {
+			o.OnMutation(m)
+		}
+	}
+}
+
+// Put writes value at (row, column) with a fresh timestamp and notifies
+// observers.
+func (t *Table) Put(row, column string, value []byte) error {
+	if row == "" || column == "" {
+		return ErrEmptyKey
+	}
+	ts := t.store.nextTimestamp()
+	t.mu.Lock()
+	m := t.putLocked(row, column, value, ts)
+	t.mu.Unlock()
+	t.notify([]Mutation{m})
+	return nil
+}
+
+// putLocked applies a put under t.mu and returns the mutation record.
+func (t *Table) putLocked(row, column string, value []byte, ts uint64) Mutation {
+	cols, ok := t.rows[row]
+	if !ok {
+		cols = make(map[string][]Version)
+		t.rows[row] = cols
+		t.rowKeys = nil
+	}
+	if _, ok := cols[column]; !ok {
+		delete(t.colKeys, row)
+	}
+	versions := cols[column]
+	var old []byte
+	if len(versions) > 0 {
+		old = versions[len(versions)-1].Value
+	}
+	stored := make([]byte, len(value))
+	copy(stored, value)
+	versions = append(versions, Version{Timestamp: ts, Value: stored})
+	if len(versions) > t.maxVersions {
+		versions = versions[len(versions)-t.maxVersions:]
+	}
+	cols[column] = versions
+	return Mutation{
+		Table:     t.name,
+		Row:       row,
+		Column:    column,
+		Old:       old,
+		New:       stored,
+		Timestamp: ts,
+		Kind:      MutationPut,
+	}
+}
+
+// Get returns the latest value at (row, column). The second return is false
+// when the cell does not exist.
+func (t *Table) Get(row, column string) ([]byte, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	versions := t.rows[row][column]
+	if len(versions) == 0 {
+		return nil, false
+	}
+	return versions[len(versions)-1].Value, true
+}
+
+// GetWithPrevious returns the latest and the immediately preceding version of
+// a cell. prevOK is false when fewer than two versions exist. This is the
+// single-round-trip current+previous read the paper relies on for metric
+// state with negligible overhead.
+func (t *Table) GetWithPrevious(row, column string) (cur, prev []byte, curOK, prevOK bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	versions := t.rows[row][column]
+	if len(versions) == 0 {
+		return nil, nil, false, false
+	}
+	cur = versions[len(versions)-1].Value
+	if len(versions) >= 2 {
+		return cur, versions[len(versions)-2].Value, true, true
+	}
+	return cur, nil, true, false
+}
+
+// GetVersions returns up to max of the most recent versions of a cell,
+// newest first. max <= 0 returns all retained versions.
+func (t *Table) GetVersions(row, column string, max int) []Version {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	versions := t.rows[row][column]
+	if len(versions) == 0 {
+		return nil
+	}
+	n := len(versions)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]Version, 0, n)
+	for i := len(versions) - 1; i >= len(versions)-n; i-- {
+		out = append(out, versions[i])
+	}
+	return out
+}
+
+// Delete removes a cell entirely and notifies observers. Deleting a missing
+// cell is a no-op.
+func (t *Table) Delete(row, column string) error {
+	if row == "" || column == "" {
+		return ErrEmptyKey
+	}
+	ts := t.store.nextTimestamp()
+	t.mu.Lock()
+	cols, ok := t.rows[row]
+	if !ok {
+		t.mu.Unlock()
+		return nil
+	}
+	versions, ok := cols[column]
+	if !ok {
+		t.mu.Unlock()
+		return nil
+	}
+	old := versions[len(versions)-1].Value
+	delete(cols, column)
+	delete(t.colKeys, row)
+	if len(cols) == 0 {
+		delete(t.rows, row)
+		t.rowKeys = nil
+	}
+	t.mu.Unlock()
+	t.notify([]Mutation{{
+		Table:     t.name,
+		Row:       row,
+		Column:    column,
+		Old:       old,
+		Timestamp: ts,
+		Kind:      MutationDelete,
+	}})
+	return nil
+}
+
+// ScanOptions selects cells for Scan. Zero values mean "no constraint".
+type ScanOptions struct {
+	// StartRow is the inclusive lower row bound.
+	StartRow string
+	// EndRow is the exclusive upper row bound ("" = unbounded).
+	EndRow string
+	// RowPrefix restricts to rows with this prefix.
+	RowPrefix string
+	// ColumnPrefix restricts to columns with this prefix.
+	ColumnPrefix string
+	// Limit bounds the number of cells returned (0 = unlimited).
+	Limit int
+}
+
+// sortedRowKeysLocked returns (rebuilding if needed) the cached sorted row
+// keys. Callers must hold t.mu for writing.
+func (t *Table) sortedRowKeysLocked() []string {
+	if t.rowKeys == nil {
+		t.rowKeys = make([]string, 0, len(t.rows))
+		for row := range t.rows {
+			t.rowKeys = append(t.rowKeys, row)
+		}
+		sort.Strings(t.rowKeys)
+	}
+	return t.rowKeys
+}
+
+// sortedColKeysLocked returns (rebuilding if needed) the cached sorted
+// column keys of a row. Callers must hold t.mu for writing.
+func (t *Table) sortedColKeysLocked(row string) []string {
+	if keys, ok := t.colKeys[row]; ok {
+		return keys
+	}
+	if t.colKeys == nil {
+		t.colKeys = make(map[string][]string)
+	}
+	cols := t.rows[row]
+	keys := make([]string, 0, len(cols))
+	for col := range cols {
+		keys = append(keys, col)
+	}
+	sort.Strings(keys)
+	t.colKeys[row] = keys
+	return keys
+}
+
+// Scan returns the latest version of every matching cell, ordered by row then
+// column (both lexicographic). The returned slices are copies.
+func (t *Table) Scan(opts ScanOptions) []Cell {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	var rowKeys []string
+	for _, row := range t.sortedRowKeysLocked() {
+		if opts.StartRow != "" && row < opts.StartRow {
+			continue
+		}
+		if opts.EndRow != "" && row >= opts.EndRow {
+			continue
+		}
+		if opts.RowPrefix != "" && !strings.HasPrefix(row, opts.RowPrefix) {
+			continue
+		}
+		rowKeys = append(rowKeys, row)
+	}
+
+	var cells []Cell
+	for _, row := range rowKeys {
+		cols := t.rows[row]
+		var colKeys []string
+		if opts.ColumnPrefix == "" {
+			colKeys = t.sortedColKeysLocked(row)
+		} else {
+			for _, col := range t.sortedColKeysLocked(row) {
+				if strings.HasPrefix(col, opts.ColumnPrefix) {
+					colKeys = append(colKeys, col)
+				}
+			}
+		}
+		for _, col := range colKeys {
+			versions := cols[col]
+			v := versions[len(versions)-1]
+			value := make([]byte, len(v.Value))
+			copy(value, v.Value)
+			cells = append(cells, Cell{
+				Row:    row,
+				Column: col,
+				Version: Version{
+					Timestamp: v.Timestamp,
+					Value:     value,
+				},
+			})
+			if opts.Limit > 0 && len(cells) >= opts.Limit {
+				return cells
+			}
+		}
+	}
+	return cells
+}
+
+// RowCount returns the number of rows currently present.
+func (t *Table) RowCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// CellCount returns the number of live cells.
+func (t *Table) CellCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var n int
+	for _, cols := range t.rows {
+		n += len(cols)
+	}
+	return n
+}

@@ -1,0 +1,748 @@
+// Package lrb implements the Linear Road Benchmark workload of paper §5.1
+// (Figure 5): a variable tolling system for a fictional urban expressway
+// network. Vehicles emit position reports every 30 seconds (one wave); the
+// workflow derives per-segment statistics (average speed, vehicle counts,
+// accidents), computes congestion/toll levels and classifies congestion
+// areas, while a synchronous side chain answers historical travel-time
+// queries.
+//
+// The paper feeds LRB from MIT-SIMLab traces, which are not redistributable;
+// this package substitutes a deterministic microscopic traffic simulator
+// with the same signal structure: slowly drifting per-segment aggregates
+// punctuated by rush-hour congestion waves and accident events (see
+// DESIGN.md §3).
+package lrb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+
+	"smartflux/internal/engine"
+	"smartflux/internal/kvstore"
+	"smartflux/internal/metric"
+	"smartflux/internal/workflow"
+)
+
+// Table names used by the workflow's data containers.
+const (
+	TableReports    = "lrb_reports"
+	TableQueries    = "lrb_queries"
+	TablePositions  = "lrb_positions"
+	TableSpeeds     = "lrb_speeds"
+	TableCounts     = "lrb_counts"
+	TableAccidents  = "lrb_accidents"
+	TableCongestion = "lrb_congestion"
+	TableClasses    = "lrb_classes"
+	TableQueryProc  = "lrb_queryproc"
+	TableEstimates  = "lrb_estimates"
+)
+
+// Step IDs (Figure 5).
+const (
+	StepFeeder     workflow.StepID = "1-feeder"
+	StepPositions  workflow.StepID = "2a-positions"
+	StepQueries    workflow.StepID = "2b-queries"
+	StepAvgSpeed   workflow.StepID = "3a-avgspeed"
+	StepCarCount   workflow.StepID = "3b-count"
+	StepAccidents  workflow.StepID = "3c-accidents"
+	StepCongestion workflow.StepID = "4-congestion"
+	StepClassify   workflow.StepID = "5a-classify"
+	StepTravelTime workflow.StepID = "5b-traveltime"
+)
+
+// Config parameterizes the workload.
+type Config struct {
+	// Expressways is the number of expressways (default 3).
+	Expressways int
+	// Segments is the number of segments per expressway (default 10).
+	Segments int
+	// Vehicles is the total vehicle count (default 1200).
+	Vehicles int
+	// QueriesPerWave is the number of historical queries issued per wave
+	// (default 15).
+	QueriesPerWave int
+	// MaxError is maxε applied to every gated step (default 0.10).
+	MaxError float64
+	// Seed drives the traffic simulation.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Expressways <= 0 {
+		c.Expressways = 3
+	}
+	if c.Segments <= 0 {
+		c.Segments = 10
+	}
+	if c.Vehicles <= 0 {
+		c.Vehicles = 1200
+	}
+	if c.QueriesPerWave <= 0 {
+		c.QueriesPerWave = 15
+	}
+	if c.MaxError <= 0 {
+		c.MaxError = 0.10
+	}
+	return c
+}
+
+// vehicle is one simulated car on a circular expressway.
+type vehicle struct {
+	xway    int
+	pos     float64 // miles, wraps at Segments
+	speed   float64 // mph
+	stopped int     // waves remaining stopped (accident participant)
+}
+
+// accident is one scheduled incident.
+type accident struct {
+	start, duration int
+	xway, segment   int
+}
+
+// Simulator advances a deterministic traffic microsimulation one wave
+// (30 simulated seconds) at a time.
+type Simulator struct {
+	cfg       Config
+	rng       *rand.Rand
+	accRng    *rand.Rand
+	vehicles  []vehicle
+	accidents []accident
+	wave      int
+}
+
+// NewSimulator creates a simulator with deterministic initial placement.
+func NewSimulator(cfg Config) *Simulator {
+	cfg = cfg.withDefaults()
+	s := &Simulator{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		accRng: rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+	s.vehicles = make([]vehicle, cfg.Vehicles)
+	for i := range s.vehicles {
+		s.vehicles[i] = vehicle{
+			xway:  i % cfg.Expressways,
+			pos:   s.rng.Float64() * float64(cfg.Segments),
+			speed: 45 + s.rng.Float64()*20,
+		}
+	}
+	return s
+}
+
+// ensureAccidents extends the deterministic accident schedule past wave.
+func (s *Simulator) ensureAccidents(wave int) {
+	for {
+		next := 60
+		if n := len(s.accidents); n > 0 {
+			last := s.accidents[n-1]
+			next = last.start + last.duration + 20 + s.accRng.Intn(80)
+		}
+		if len(s.accidents) > 0 && next > wave {
+			return
+		}
+		s.accidents = append(s.accidents, accident{
+			start:    next,
+			duration: 12 + s.accRng.Intn(28),
+			xway:     s.accRng.Intn(s.cfg.Expressways),
+			segment:  s.accRng.Intn(s.cfg.Segments),
+		})
+	}
+}
+
+// activeAccident reports whether (xway, segment) has an active accident.
+func (s *Simulator) activeAccident(wave, xway, segment int) bool {
+	s.ensureAccidents(wave)
+	for _, a := range s.accidents {
+		if wave >= a.start && wave < a.start+a.duration &&
+			a.xway == xway && a.segment == segment {
+			return true
+		}
+	}
+	return false
+}
+
+// rushFactor is the time-of-day congestion multiplier in [0, 1]: 0 at free
+// flow, approaching 1 at rush peaks. One rush cycle spans 240 waves (2 h).
+func rushFactor(wave int) float64 {
+	v := math.Sin(2 * math.Pi * float64(wave) / 240)
+	if v < 0 {
+		return 0
+	}
+	return v * v
+}
+
+// freeSpeed is the free-flow speed profile per segment.
+func freeSpeed(segment int) float64 {
+	return 55 + 10*math.Sin(float64(segment))
+}
+
+// Advance moves the simulation forward one wave and returns the wave index
+// just simulated.
+func (s *Simulator) Advance() int {
+	wave := s.wave
+	s.ensureAccidents(wave)
+	for i := range s.vehicles {
+		v := &s.vehicles[i]
+		segment := int(v.pos) % s.cfg.Segments
+
+		target := freeSpeed(segment)
+		target *= 1 - 0.45*rushFactor(wave)
+		if s.activeAccident(wave, v.xway, segment) {
+			target *= 0.15
+			// A few vehicles stop entirely at the accident site.
+			if v.stopped == 0 && s.rng.Float64() < 0.05 {
+				v.stopped = 4 + s.rng.Intn(8)
+			}
+		} else {
+			prev := (segment + s.cfg.Segments - 1) % s.cfg.Segments
+			if s.activeAccident(wave, v.xway, prev) {
+				target *= 0.5
+			}
+		}
+
+		if v.stopped > 0 {
+			v.stopped--
+			v.speed = 0
+		} else {
+			v.speed += 0.35*(target-v.speed) + s.rng.NormFloat64()*2
+			if v.speed < 0 {
+				v.speed = 0
+			}
+		}
+		// 30 s at v mph advances v/120 miles; one segment is one mile.
+		v.pos += v.speed / 120
+		for v.pos >= float64(s.cfg.Segments) {
+			v.pos -= float64(s.cfg.Segments)
+		}
+	}
+	s.wave++
+	return wave
+}
+
+// Report is one vehicle position report.
+type Report struct {
+	Vehicle int
+	Xway    int
+	Segment int
+	Pos     float64
+	Speed   float64
+}
+
+// Reports returns the current position reports of all vehicles.
+func (s *Simulator) Reports() []Report {
+	out := make([]Report, len(s.vehicles))
+	for i, v := range s.vehicles {
+		out[i] = Report{
+			Vehicle: i,
+			Xway:    v.xway,
+			Segment: int(v.pos) % s.cfg.Segments,
+			Pos:     v.pos,
+			Speed:   v.speed,
+		}
+	}
+	return out
+}
+
+// Query is one historical travel-time query.
+type Query struct {
+	ID      int
+	Xway    int
+	FromSeg int
+	ToSeg   int
+}
+
+// Queries returns this wave's historical query requests.
+func (s *Simulator) Queries(wave int) []Query {
+	out := make([]Query, s.cfg.QueriesPerWave)
+	for i := range out {
+		v := s.rng.Intn(len(s.vehicles))
+		out[i] = Query{
+			ID:      i,
+			Xway:    s.vehicles[v].xway,
+			FromSeg: int(s.vehicles[v].pos) % s.cfg.Segments,
+			ToSeg:   s.rng.Intn(s.cfg.Segments),
+		}
+	}
+	return out
+}
+
+// segRow renders the row key of (xway, segment).
+func segRow(xway, segment int) string {
+	return "x" + strconv.Itoa(xway) + ":s" + strconv.Itoa(segment)
+}
+
+// vehRow renders the row key of a vehicle.
+func vehRow(id int) string { return "v" + strconv.Itoa(id) }
+
+// Build returns an engine.BuildFunc producing fresh, identical instances of
+// the LRB workload.
+func Build(cfg Config) engine.BuildFunc {
+	cfg = cfg.withDefaults()
+	return func() (*workflow.Workflow, *kvstore.Store, error) {
+		store := kvstore.New()
+		sim := NewSimulator(cfg)
+		wf, err := buildWorkflow(cfg, sim)
+		if err != nil {
+			return nil, nil, err
+		}
+		return wf, store, nil
+	}
+}
+
+// gatedQoD builds the standard QoD annotation for gated LRB steps. LRB uses
+// the absolute impact function (the paper's Figure 7 LRB impacts are
+// unnormalized magnitudes) with relative output error, in accumulate mode.
+func gatedQoD(cfg Config) workflow.QoD {
+	return workflow.QoD{
+		MaxError:   cfg.MaxError,
+		ImpactFunc: metric.FuncAbsoluteImpact,
+		ErrorFunc:  metric.FuncRelativeError,
+		Mode:       metric.ModeAccumulate,
+	}
+}
+
+// buildWorkflow wires the Figure 5 steps.
+func buildWorkflow(cfg Config, sim *Simulator) (*workflow.Workflow, error) {
+	wf := workflow.New("lrb")
+	container := func(table string) workflow.Container {
+		return workflow.Container{Table: table}
+	}
+
+	steps := []*workflow.Step{
+		{
+			// Step 1 receives, separates and stores position reports
+			// and queries from vehicle transponders.
+			ID:      StepFeeder,
+			Name:    "feeder/forwarder",
+			Source:  true,
+			Outputs: []workflow.Container{container(TableReports), container(TableQueries)},
+			Proc:    feederProc(sim),
+		},
+		{
+			// Step 2a updates vehicle positions across the
+			// expressway system.
+			ID:      StepPositions,
+			Name:    "update vehicle positions",
+			Inputs:  []workflow.Container{container(TableReports)},
+			Outputs: []workflow.Container{container(TablePositions)},
+			QoD:     gatedQoD(cfg),
+			Proc:    positionsProc(),
+		},
+		{
+			// Step 2b processes and prioritizes queries; executed
+			// synchronously (real-time replies).
+			ID:      StepQueries,
+			Name:    "process queries",
+			Inputs:  []workflow.Container{container(TableQueries)},
+			Outputs: []workflow.Container{container(TableQueryProc)},
+			Proc:    queriesProc(),
+		},
+		{
+			// Step 3a: average vehicle speed per segment.
+			ID:      StepAvgSpeed,
+			Name:    "average speed",
+			Inputs:  []workflow.Container{{Table: TablePositions, ColumnPrefix: "speed"}},
+			Outputs: []workflow.Container{container(TableSpeeds)},
+			QoD:     gatedQoD(cfg),
+			Proc:    avgSpeedProc(cfg),
+		},
+		{
+			// Step 3b: number of cars per segment.
+			ID:      StepCarCount,
+			Name:    "car counts",
+			Inputs:  []workflow.Container{{Table: TablePositions, ColumnPrefix: "seg"}},
+			Outputs: []workflow.Container{container(TableCounts)},
+			QoD:     gatedQoD(cfg),
+			Proc:    carCountProc(cfg),
+		},
+		{
+			// Step 3c: accident detection (stopped vehicles).
+			ID:      StepAccidents,
+			Name:    "accident detection",
+			Inputs:  []workflow.Container{{Table: TablePositions, ColumnPrefix: "speed"}},
+			Outputs: []workflow.Container{container(TableAccidents)},
+			QoD:     gatedQoD(cfg),
+			Proc:    accidentsProc(cfg),
+		},
+		{
+			// Step 4: congestion (toll) level per segment.
+			ID:   StepCongestion,
+			Name: "congestion",
+			Inputs: []workflow.Container{
+				container(TableSpeeds),
+				container(TableCounts),
+				container(TableAccidents),
+			},
+			Outputs: []workflow.Container{container(TableCongestion)},
+			QoD:     gatedQoD(cfg),
+			Proc:    congestionProc(cfg),
+		},
+		{
+			// Step 5a: classify congestion areas (workflow output).
+			ID:      StepClassify,
+			Name:    "classify congestion areas",
+			Inputs:  []workflow.Container{container(TableCongestion)},
+			Outputs: []workflow.Container{container(TableClasses)},
+			QoD:     gatedQoD(cfg),
+			Proc:    classifyProc(cfg),
+		},
+		{
+			// Step 5b: travel time estimation; executed
+			// synchronously (real-time replies).
+			ID:   StepTravelTime,
+			Name: "travel time estimation",
+			Inputs: []workflow.Container{
+				container(TableQueryProc),
+				container(TableCongestion),
+			},
+			Outputs: []workflow.Container{container(TableEstimates)},
+			Proc:    travelTimeProc(cfg),
+		},
+	}
+	for _, s := range steps {
+		if err := wf.AddStep(s); err != nil {
+			return nil, fmt.Errorf("lrb: %w", err)
+		}
+	}
+	if err := wf.Finalize(); err != nil {
+		return nil, fmt.Errorf("lrb: %w", err)
+	}
+	return wf, nil
+}
+
+// feederProc advances the simulation and writes reports and queries.
+func feederProc(sim *Simulator) workflow.Processor {
+	return workflow.ProcessorFunc(func(ctx *workflow.Context) error {
+		wave := sim.Advance()
+		reports, err := ctx.Table(TableReports)
+		if err != nil {
+			return err
+		}
+		batch := kvstore.NewBatch()
+		for _, r := range sim.Reports() {
+			row := vehRow(r.Vehicle)
+			batch.PutFloat(row, "xway", float64(r.Xway))
+			batch.PutFloat(row, "pos", r.Pos)
+			batch.PutFloat(row, "speed", r.Speed)
+		}
+		if err := reports.Apply(batch); err != nil {
+			return err
+		}
+
+		queries, err := ctx.Table(TableQueries)
+		if err != nil {
+			return err
+		}
+		qb := kvstore.NewBatch()
+		for _, q := range sim.Queries(wave) {
+			row := "q" + strconv.Itoa(q.ID)
+			qb.PutFloat(row, "xway", float64(q.Xway))
+			qb.PutFloat(row, "from", float64(q.FromSeg))
+			qb.PutFloat(row, "to", float64(q.ToSeg))
+		}
+		return queries.Apply(qb)
+	})
+}
+
+// positionsProc smooths and republishes per-vehicle state.
+func positionsProc() workflow.Processor {
+	return workflow.ProcessorFunc(func(ctx *workflow.Context) error {
+		reports, err := ctx.Table(TableReports)
+		if err != nil {
+			return err
+		}
+		out, err := ctx.Table(TablePositions)
+		if err != nil {
+			return err
+		}
+		batch := kvstore.NewBatch()
+		for _, c := range reports.Scan(kvstore.ScanOptions{ColumnPrefix: "pos"}) {
+			pos, ok := c.FloatValue()
+			if !ok {
+				continue
+			}
+			row := c.Row
+			speed, _ := reports.GetFloat(row, "speed")
+			xway, _ := reports.GetFloat(row, "xway")
+			// Exponentially smoothed speed stabilizes the aggregate
+			// statistics downstream, like LRB's 5-minute windows.
+			smoothed := speed
+			if prev, ok := out.GetFloat(row, "speed"); ok {
+				smoothed = 0.5*prev + 0.5*speed
+			}
+			batch.PutFloat(row, "xway", xway)
+			batch.PutFloat(row, "seg", math.Floor(pos))
+			batch.PutFloat(row, "speed", smoothed)
+		}
+		return out.Apply(batch)
+	})
+}
+
+// queriesProc parses and prioritizes query requests.
+func queriesProc() workflow.Processor {
+	return workflow.ProcessorFunc(func(ctx *workflow.Context) error {
+		queries, err := ctx.Table(TableQueries)
+		if err != nil {
+			return err
+		}
+		out, err := ctx.Table(TableQueryProc)
+		if err != nil {
+			return err
+		}
+		batch := kvstore.NewBatch()
+		for _, c := range queries.Scan(kvstore.ScanOptions{ColumnPrefix: "from"}) {
+			from, ok := c.FloatValue()
+			if !ok {
+				continue
+			}
+			to, _ := queries.GetFloat(c.Row, "to")
+			xway, _ := queries.GetFloat(c.Row, "xway")
+			span := to - from
+			if span < 0 {
+				span = -span
+			}
+			batch.PutFloat(c.Row, "xway", xway)
+			batch.PutFloat(c.Row, "from", from)
+			batch.PutFloat(c.Row, "to", to)
+			batch.PutFloat(c.Row, "span", span)
+		}
+		return out.Apply(batch)
+	})
+}
+
+// perSegment folds the positions table into per-(xway, segment) aggregates.
+func perSegment(positions *kvstore.Table, cfg Config, fold func(xway, seg int, speed float64)) {
+	for _, c := range positions.Scan(kvstore.ScanOptions{ColumnPrefix: "seg"}) {
+		seg, ok := c.FloatValue()
+		if !ok {
+			continue
+		}
+		xway, _ := positions.GetFloat(c.Row, "xway")
+		speed, _ := positions.GetFloat(c.Row, "speed")
+		s := int(seg)
+		if s < 0 {
+			s = 0
+		}
+		fold(int(xway), s%cfg.Segments, speed)
+	}
+}
+
+// avgSpeedProc computes the mean vehicle speed per segment.
+func avgSpeedProc(cfg Config) workflow.Processor {
+	return workflow.ProcessorFunc(func(ctx *workflow.Context) error {
+		positions, err := ctx.Table(TablePositions)
+		if err != nil {
+			return err
+		}
+		out, err := ctx.Table(TableSpeeds)
+		if err != nil {
+			return err
+		}
+		sums := make(map[string]float64)
+		counts := make(map[string]int)
+		perSegment(positions, cfg, func(xway, seg int, speed float64) {
+			row := segRow(xway, seg)
+			sums[row] += speed
+			counts[row]++
+		})
+		batch := kvstore.NewBatch()
+		for x := 0; x < cfg.Expressways; x++ {
+			for s := 0; s < cfg.Segments; s++ {
+				row := segRow(x, s)
+				if n := counts[row]; n > 0 {
+					batch.PutFloat(row, "avg", sums[row]/float64(n))
+				} else {
+					batch.PutFloat(row, "avg", freeSpeed(s))
+				}
+			}
+		}
+		return out.Apply(batch)
+	})
+}
+
+// carCountProc counts vehicles per segment.
+func carCountProc(cfg Config) workflow.Processor {
+	return workflow.ProcessorFunc(func(ctx *workflow.Context) error {
+		positions, err := ctx.Table(TablePositions)
+		if err != nil {
+			return err
+		}
+		out, err := ctx.Table(TableCounts)
+		if err != nil {
+			return err
+		}
+		counts := make(map[string]int)
+		perSegment(positions, cfg, func(xway, seg int, _ float64) {
+			counts[segRow(xway, seg)]++
+		})
+		batch := kvstore.NewBatch()
+		for x := 0; x < cfg.Expressways; x++ {
+			for s := 0; s < cfg.Segments; s++ {
+				row := segRow(x, s)
+				// Exponential smoothing stands in for LRB's
+				// per-minute windows: instantaneous per-30s counts
+				// churn as vehicles cross segment boundaries.
+				count := float64(counts[row])
+				if prev, ok := out.GetFloat(row, "count"); ok {
+					count = 0.9*prev + 0.1*count
+				}
+				batch.PutFloat(row, "count", count)
+			}
+		}
+		return out.Apply(batch)
+	})
+}
+
+// accidentsProc detects accidents from stopped vehicles. The stored value is
+// 1 + the number of stopped vehicles so calm segments hold a stable nonzero
+// baseline (relative errors stay finite).
+func accidentsProc(cfg Config) workflow.Processor {
+	return workflow.ProcessorFunc(func(ctx *workflow.Context) error {
+		positions, err := ctx.Table(TablePositions)
+		if err != nil {
+			return err
+		}
+		out, err := ctx.Table(TableAccidents)
+		if err != nil {
+			return err
+		}
+		stopped := make(map[string]int)
+		perSegment(positions, cfg, func(xway, seg int, speed float64) {
+			if speed < 1 {
+				stopped[segRow(xway, seg)]++
+			}
+		})
+		batch := kvstore.NewBatch()
+		for x := 0; x < cfg.Expressways; x++ {
+			for s := 0; s < cfg.Segments; s++ {
+				row := segRow(x, s)
+				batch.PutFloat(row, "stopped", 1+float64(stopped[row]))
+			}
+		}
+		return out.Apply(batch)
+	})
+}
+
+// congestionProc computes the congestion (toll) level per segment from
+// average speed, vehicle count and nearby accidents.
+func congestionProc(cfg Config) workflow.Processor {
+	capacity := float64(cfg.Vehicles) / float64(cfg.Expressways*cfg.Segments)
+	return workflow.ProcessorFunc(func(ctx *workflow.Context) error {
+		speeds, err := ctx.Table(TableSpeeds)
+		if err != nil {
+			return err
+		}
+		counts, err := ctx.Table(TableCounts)
+		if err != nil {
+			return err
+		}
+		accidents, err := ctx.Table(TableAccidents)
+		if err != nil {
+			return err
+		}
+		out, err := ctx.Table(TableCongestion)
+		if err != nil {
+			return err
+		}
+		batch := kvstore.NewBatch()
+		for x := 0; x < cfg.Expressways; x++ {
+			for s := 0; s < cfg.Segments; s++ {
+				row := segRow(x, s)
+				avg, _ := speeds.GetFloat(row, "avg")
+				count, _ := counts.GetFloat(row, "count")
+				stopped, _ := accidents.GetFloat(row, "stopped")
+				if avg < 5 {
+					avg = 5
+				}
+				density := count / capacity
+				slowdown := freeSpeed(s) / avg
+				level := 10 * density * slowdown
+				if stopped > 1 {
+					level *= 1 + 0.5*(stopped-1)
+				}
+				batch.PutFloat(row, "level", level)
+			}
+		}
+		return out.Apply(batch)
+	})
+}
+
+// classifyProc classifies congestion into low/medium/high areas and emits
+// the per-expressway summary that constitutes the workflow output.
+func classifyProc(cfg Config) workflow.Processor {
+	return workflow.ProcessorFunc(func(ctx *workflow.Context) error {
+		congestion, err := ctx.Table(TableCongestion)
+		if err != nil {
+			return err
+		}
+		out, err := ctx.Table(TableClasses)
+		if err != nil {
+			return err
+		}
+		batch := kvstore.NewBatch()
+		for x := 0; x < cfg.Expressways; x++ {
+			var high, sum float64
+			for s := 0; s < cfg.Segments; s++ {
+				level, _ := congestion.GetFloat(segRow(x, s), "level")
+				sum += level
+				// Saturating membership in the "high congestion"
+				// class keeps the output slowly varying (§1).
+				high += level * level / (level*level + 400)
+			}
+			row := "x" + strconv.Itoa(x)
+			batch.PutFloat(row, "high", 5+high)
+			batch.PutFloat(row, "avg", 10+sum/float64(cfg.Segments))
+		}
+		return out.Apply(batch)
+	})
+}
+
+// travelTimeProc estimates travel time and cost for each processed query
+// using current congestion levels.
+func travelTimeProc(cfg Config) workflow.Processor {
+	return workflow.ProcessorFunc(func(ctx *workflow.Context) error {
+		queryProc, err := ctx.Table(TableQueryProc)
+		if err != nil {
+			return err
+		}
+		congestion, err := ctx.Table(TableCongestion)
+		if err != nil {
+			return err
+		}
+		out, err := ctx.Table(TableEstimates)
+		if err != nil {
+			return err
+		}
+		batch := kvstore.NewBatch()
+		for _, c := range queryProc.Scan(kvstore.ScanOptions{ColumnPrefix: "from"}) {
+			from, ok := c.FloatValue()
+			if !ok {
+				continue
+			}
+			to, _ := queryProc.GetFloat(c.Row, "to")
+			xway, _ := queryProc.GetFloat(c.Row, "xway")
+			var minutes, cost float64
+			step := 1
+			if to < from {
+				step = -1
+			}
+			for s := int(from); s != int(to); s += step {
+				seg := ((s % cfg.Segments) + cfg.Segments) % cfg.Segments
+				level, _ := congestion.GetFloat(segRow(int(xway), seg), "level")
+				// One mile at a congestion-dependent speed.
+				speed := freeSpeed(seg) / (1 + level/10)
+				if speed < 5 {
+					speed = 5
+				}
+				minutes += 60 / speed
+				cost += level / 10
+			}
+			batch.PutFloat(c.Row, "minutes", minutes)
+			batch.PutFloat(c.Row, "cost", cost)
+		}
+		return out.Apply(batch)
+	})
+}

@@ -1,0 +1,168 @@
+package lrb
+
+import (
+	"testing"
+
+	"smartflux/internal/engine"
+)
+
+func TestSimulatorDeterministic(t *testing.T) {
+	a := NewSimulator(Config{Seed: 5})
+	b := NewSimulator(Config{Seed: 5})
+	for w := 0; w < 20; w++ {
+		a.Advance()
+		b.Advance()
+	}
+	ra, rb := a.Reports(), b.Reports()
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("report %d diverged: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+}
+
+func TestSimulatorInvariants(t *testing.T) {
+	cfg := Config{Seed: 7}.withDefaults()
+	sim := NewSimulator(cfg)
+	for w := 0; w < 100; w++ {
+		sim.Advance()
+		for _, r := range sim.Reports() {
+			if r.Speed < 0 {
+				t.Fatalf("negative speed %v", r.Speed)
+			}
+			if r.Pos < 0 || r.Pos >= float64(cfg.Segments) {
+				t.Fatalf("position %v outside [0,%d)", r.Pos, cfg.Segments)
+			}
+			if r.Segment < 0 || r.Segment >= cfg.Segments {
+				t.Fatalf("segment %d out of range", r.Segment)
+			}
+			if r.Xway < 0 || r.Xway >= cfg.Expressways {
+				t.Fatalf("xway %d out of range", r.Xway)
+			}
+		}
+	}
+}
+
+func TestAccidentsScheduledAndStopVehicles(t *testing.T) {
+	sim := NewSimulator(Config{Seed: 3})
+	sim.ensureAccidents(600)
+	if len(sim.accidents) < 3 {
+		t.Fatalf("only %d accidents over 600 waves", len(sim.accidents))
+	}
+	// Run through the first accident and check some vehicles stop.
+	first := sim.accidents[0]
+	var sawStopped bool
+	for w := 0; w <= first.start+first.duration && !sawStopped; w++ {
+		sim.Advance()
+		for _, r := range sim.Reports() {
+			if r.Speed == 0 {
+				sawStopped = true
+				break
+			}
+		}
+	}
+	if !sawStopped {
+		t.Error("no vehicle stopped during an accident")
+	}
+}
+
+func TestRushFactorCycle(t *testing.T) {
+	if rushFactor(0) != 0 {
+		t.Errorf("rushFactor(0) = %v", rushFactor(0))
+	}
+	peak := rushFactor(60) // quarter cycle
+	if peak < 0.9 {
+		t.Errorf("rush peak %v", peak)
+	}
+	if rushFactor(180) != 0 {
+		t.Error("negative half-cycle must clamp to 0")
+	}
+}
+
+func TestQueriesDeterministic(t *testing.T) {
+	a := NewSimulator(Config{Seed: 5})
+	b := NewSimulator(Config{Seed: 5})
+	a.Advance()
+	b.Advance()
+	qa, qb := a.Queries(0), b.Queries(0)
+	for i := range qa {
+		if qa[i] != qb[i] {
+			t.Fatal("queries diverged")
+		}
+	}
+	if want := (Config{}).withDefaults().QueriesPerWave; len(qa) != want {
+		t.Errorf("query count %d, want %d", len(qa), want)
+	}
+}
+
+func TestBuildWorkflowStructure(t *testing.T) {
+	wf, _, err := Build(Config{Seed: 1})()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf.Len() != 9 {
+		t.Errorf("Len = %d, want 9 steps (Figure 5)", wf.Len())
+	}
+	gated, err := wf.GatedSteps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gated) != 6 {
+		t.Errorf("gated = %v", gated)
+	}
+	// Step 4 joins 3a, 3b, 3c.
+	preds := wf.Predecessors(StepCongestion)
+	if len(preds) != 3 {
+		t.Errorf("congestion predecessors = %v", preds)
+	}
+	// 5b reads queries and congestion; it is synchronous (not gated).
+	travel, err := wf.Step(StepTravelTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if travel.Gated() {
+		t.Error("travel time must not be gated (real-time replies)")
+	}
+}
+
+func TestWorkflowEndToEnd(t *testing.T) {
+	wf, store, err := Build(Config{Seed: 1, Vehicles: 300})()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := engine.NewInstance(wf, store, engine.InstanceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 3; w++ {
+		if _, err := inst.RunWave(engine.Sync{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{
+		TableReports, TableQueries, TablePositions, TableSpeeds,
+		TableCounts, TableAccidents, TableCongestion, TableClasses,
+		TableQueryProc, TableEstimates,
+	} {
+		tbl, err := store.Table(name)
+		if err != nil {
+			t.Fatalf("table %s missing: %v", name, err)
+		}
+		if tbl.CellCount() == 0 {
+			t.Errorf("table %s empty after 3 sync waves", name)
+		}
+	}
+	classes, _ := store.Table(TableClasses)
+	high, ok := classes.GetFloat("x0", "high")
+	if !ok || high < 5 {
+		t.Errorf("classify output = %v, %v", high, ok)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Expressways != 3 || cfg.Segments != 10 || cfg.Vehicles != 1200 ||
+		cfg.QueriesPerWave != 15 || cfg.MaxError != 0.10 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}

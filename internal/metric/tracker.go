@@ -1,0 +1,230 @@
+package metric
+
+import (
+	"fmt"
+	"sort"
+
+	"smartflux/internal/stats"
+)
+
+// Mode selects how a tracker's baseline evolves between step executions,
+// per §2.1 of the paper.
+type Mode int
+
+const (
+	// ModeCancellation compares the current container state against the
+	// state captured at the step's latest execution, so opposite updates
+	// cancel out: returning to the old value yields zero impact
+	// regardless of intermediate waves.
+	ModeCancellation Mode = iota + 1
+	// ModeAccumulate compares each wave against the immediately previous
+	// wave and accumulates the per-wave metric values since the last
+	// execution, so churn keeps adding impact even if values return.
+	ModeAccumulate
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeCancellation:
+		return "cancellation"
+	case ModeAccumulate:
+		return "accumulate"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode resolves a mode name used in workflow specs.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "cancellation", "":
+		return ModeCancellation, nil
+	case "accumulate":
+		return ModeAccumulate, nil
+	default:
+		return 0, fmt.Errorf("metric: unknown mode %q", s)
+	}
+}
+
+// State is a point-in-time snapshot of a data container: element key
+// ("row/column") to numeric value.
+type State = map[string]float64
+
+// Tracker computes a metric for one data container across waves, holding the
+// baseline snapshot the metric compares against. It is the per-(step, input)
+// bookkeeping of the paper's Monitoring component.
+type Tracker struct {
+	factory Factory
+	mode    Mode
+
+	execBaseline State // state at the wave of the latest execution
+	waveBaseline State // state at the previous wave (accumulate mode)
+	accumulated  float64
+	current      float64
+	hasBaseline  bool
+}
+
+// NewTracker creates a tracker using factory to build metric instances.
+func NewTracker(factory Factory, mode Mode) *Tracker {
+	return &Tracker{factory: factory, mode: mode}
+}
+
+// evaluate runs one metric computation of state vs. baseline. Elements are
+// visited in sorted key order so floating-point accumulation is
+// deterministic across runs (Go map iteration order is randomized).
+func (t *Tracker) evaluate(state, baseline State) float64 {
+	m := t.factory()
+	var baselineSum float64
+	for _, key := range sortedKeys(baseline) {
+		baselineSum += baseline[key]
+	}
+	// Elements present now: modified if absent from or different in the
+	// baseline. New elements compare against zero (paper §2.1).
+	for _, key := range sortedKeys(state) {
+		cur := state[key]
+		prev, ok := baseline[key]
+		if !ok {
+			prev = 0
+		}
+		if cur != prev || !ok {
+			m.Update(cur, prev)
+		}
+	}
+	// Deleted elements compare their old value against zero.
+	for _, key := range sortedKeys(baseline) {
+		if _, ok := state[key]; !ok {
+			m.Update(0, baseline[key])
+		}
+	}
+	total := len(state)
+	if lb := len(baseline); lb > total {
+		total = lb
+	}
+	return m.Compute(Context{
+		Modified:    modifiedCount(state, baseline),
+		Total:       total,
+		BaselineSum: baselineSum,
+	})
+}
+
+// sortedKeys returns the state's keys in lexicographic order.
+func sortedKeys(s State) []string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// modifiedCount returns m: elements differing between state and baseline.
+func modifiedCount(state, baseline State) int {
+	var m int
+	for key, cur := range state {
+		prev, ok := baseline[key]
+		if !ok || cur != prev {
+			m++
+		}
+	}
+	for key := range baseline {
+		if _, ok := state[key]; !ok {
+			m++
+		}
+	}
+	return m
+}
+
+// Observe folds the container state for a new wave into the tracker and
+// returns the metric value accumulated since the last Commit. The first
+// observation establishes the baseline and yields zero.
+//
+// The tracker takes ownership of state: callers must pass a fresh snapshot
+// and not mutate it afterwards. Trackers never mutate retained states.
+func (t *Tracker) Observe(state State) float64 {
+	if !t.hasBaseline {
+		t.execBaseline = state
+		t.waveBaseline = state
+		t.hasBaseline = true
+		t.current = 0
+		return 0
+	}
+	switch t.mode {
+	case ModeAccumulate:
+		t.accumulated += t.evaluate(state, t.waveBaseline)
+		t.waveBaseline = state
+		t.current = t.accumulated
+	default: // ModeCancellation
+		t.current = t.evaluate(state, t.execBaseline)
+	}
+	return t.current
+}
+
+// Current returns the most recently observed metric value.
+func (t *Tracker) Current() float64 { return t.current }
+
+// Commit records that the associated step executed at the current wave:
+// the baseline moves to state and accumulation restarts. Like Observe,
+// Commit takes ownership of state.
+func (t *Tracker) Commit(state State) {
+	t.execBaseline = state
+	t.waveBaseline = state
+	t.accumulated = 0
+	t.current = 0
+	t.hasBaseline = true
+}
+
+// Reset clears all tracker state, as if freshly constructed.
+func (t *Tracker) Reset() {
+	t.execBaseline = nil
+	t.waveBaseline = nil
+	t.accumulated = 0
+	t.current = 0
+	t.hasBaseline = false
+}
+
+// Evaluate runs a one-shot metric computation of current against baseline,
+// outside any tracker. The engine uses it to measure the live-vs-synchronous
+// output deviation (the paper's "measured error").
+func Evaluate(factory Factory, current, baseline State) float64 {
+	t := Tracker{factory: factory, mode: ModeCancellation}
+	return t.evaluate(current, baseline)
+}
+
+// Combiner merges the per-predecessor impacts of a step with several inputs
+// into one value (§2.1: geometric mean by default).
+type Combiner func(values []float64) float64
+
+// CombineGeometricMean is the paper's default combiner.
+func CombineGeometricMean(values []float64) float64 {
+	return stats.GeometricMean(values)
+}
+
+// CombineMean averages the impacts.
+func CombineMean(values []float64) float64 {
+	return stats.Mean(values)
+}
+
+// CombineMax takes the largest impact, a conservative choice that triggers
+// as soon as any input changes significantly.
+func CombineMax(values []float64) float64 {
+	m, err := stats.Max(values)
+	if err != nil {
+		return 0
+	}
+	return m
+}
+
+// ResolveCombiner maps a spec name to a Combiner.
+func ResolveCombiner(name string) (Combiner, error) {
+	switch name {
+	case "", "geometric-mean":
+		return CombineGeometricMean, nil
+	case "mean":
+		return CombineMean, nil
+	case "max":
+		return CombineMax, nil
+	default:
+		return nil, fmt.Errorf("metric: unknown combiner %q", name)
+	}
+}

@@ -1,0 +1,137 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"smartflux/internal/ml"
+)
+
+// Fold is one train/test split of a k-fold partition, holding example
+// indices into the original dataset.
+type Fold struct {
+	Train []int
+	Test  []int
+}
+
+// StratifiedKFold partitions n examples into k folds preserving the class
+// ratio of y in every fold. rng shuffles within each class for unbiased
+// folds; a nil rng keeps the original order (deterministic).
+func StratifiedKFold(y []int, k int, rng *rand.Rand) ([]Fold, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("eval: k must be >= 2, got %d", k)
+	}
+	if len(y) < k {
+		return nil, fmt.Errorf("eval: %d examples cannot fill %d folds", len(y), k)
+	}
+	var pos, neg []int
+	for i, label := range y {
+		if label == 1 {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	if rng != nil {
+		rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+		rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+	}
+
+	testSets := make([][]int, k)
+	deal := func(idx []int) {
+		for i, example := range idx {
+			f := i % k
+			testSets[f] = append(testSets[f], example)
+		}
+	}
+	deal(pos)
+	deal(neg)
+
+	folds := make([]Fold, k)
+	inTest := make([]int, len(y)) // fold number + 1, 0 = unassigned
+	for f, test := range testSets {
+		for _, i := range test {
+			inTest[i] = f + 1
+		}
+	}
+	for f := range folds {
+		folds[f].Test = testSets[f]
+		for i := range y {
+			if inTest[i] != f+1 {
+				folds[f].Train = append(folds[f].Train, i)
+			}
+		}
+	}
+	return folds, nil
+}
+
+// CVResult aggregates cross-validated quality metrics.
+type CVResult struct {
+	Accuracy  float64
+	Precision float64
+	Recall    float64
+	F1        float64
+	AUC       float64
+	Folds     int
+}
+
+// CrossValidate runs k-fold cross-validation of the classifier produced by
+// factory over d, pooling predictions across folds before computing metrics
+// (so small folds do not destabilize precision/recall). threshold converts
+// scores to class predictions.
+func CrossValidate(factory func() ml.Classifier, d ml.Dataset, k int, threshold float64, rng *rand.Rand) (CVResult, error) {
+	if err := d.Validate(); err != nil {
+		return CVResult{}, err
+	}
+	folds, err := StratifiedKFold(d.Y, k, rng)
+	if err != nil {
+		return CVResult{}, err
+	}
+
+	var (
+		preds  []int
+		truths []int
+		scores []float64
+	)
+	for fi, fold := range folds {
+		if len(fold.Train) == 0 || len(fold.Test) == 0 {
+			continue
+		}
+		clf := factory()
+		if err := clf.Fit(d.Subset(fold.Train)); err != nil {
+			return CVResult{}, fmt.Errorf("cv fold %d fit: %w", fi, err)
+		}
+		for _, i := range fold.Test {
+			score, err := clf.Score(d.X[i])
+			if err != nil {
+				return CVResult{}, fmt.Errorf("cv fold %d score: %w", fi, err)
+			}
+			pred := 0
+			if score >= threshold {
+				pred = 1
+			}
+			preds = append(preds, pred)
+			truths = append(truths, d.Y[i])
+			scores = append(scores, score)
+		}
+	}
+	if len(preds) == 0 {
+		return CVResult{}, ErrEmpty
+	}
+	confusion, err := Confuse(preds, truths)
+	if err != nil {
+		return CVResult{}, err
+	}
+	auc, err := AUC(scores, truths)
+	if err != nil {
+		return CVResult{}, err
+	}
+	return CVResult{
+		Accuracy:  confusion.Accuracy(),
+		Precision: confusion.Precision(),
+		Recall:    confusion.Recall(),
+		F1:        confusion.F1(),
+		AUC:       auc,
+		Folds:     k,
+	}, nil
+}

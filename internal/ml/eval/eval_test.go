@@ -1,0 +1,244 @@
+package eval
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"smartflux/internal/ml"
+)
+
+func TestConfuse(t *testing.T) {
+	pred := []int{1, 1, 0, 0, 1}
+	truth := []int{1, 0, 0, 1, 1}
+	c, err := Confuse(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TP != 2 || c.FP != 1 || c.TN != 1 || c.FN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Total() != 5 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if got := c.Accuracy(); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	if got := c.Precision(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Precision = %v", got)
+	}
+	if got := c.Recall(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Recall = %v", got)
+	}
+	if got := c.F1(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("F1 = %v", got)
+	}
+}
+
+func TestConfuseEdgeCases(t *testing.T) {
+	if _, err := Confuse([]int{1}, []int{1, 0}); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("want ErrLengthMismatch, got %v", err)
+	}
+	var empty Confusion
+	if empty.Accuracy() != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+	if empty.Precision() != 1 || empty.Recall() != 1 {
+		t.Error("no predictions/positives: precision and recall default to 1")
+	}
+	if empty.F1() != 1 {
+		t.Error("empty F1 with P=R=1 should be 1")
+	}
+	allWrong := Confusion{FP: 3, FN: 2}
+	if allWrong.F1() != 0 {
+		t.Errorf("F1 of all-wrong = %v", allWrong.F1())
+	}
+}
+
+func TestAUCPerfectClassifier(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	truth := []int{1, 1, 0, 0}
+	auc, err := AUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-1) > 1e-12 {
+		t.Errorf("AUC = %v, want 1", auc)
+	}
+}
+
+func TestAUCReversedClassifier(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	truth := []int{1, 1, 0, 0}
+	auc, err := AUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc) > 1e-12 {
+		t.Errorf("AUC = %v, want 0", auc)
+	}
+}
+
+func TestAUCChanceLevel(t *testing.T) {
+	// Constant scores: ROC is the diagonal.
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	truth := []int{1, 0, 1, 0}
+	auc, err := AUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 1e-12 {
+		t.Errorf("AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestAUCSingleClass(t *testing.T) {
+	auc, err := AUC([]float64{0.3, 0.7}, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 0.5 {
+		t.Errorf("single-class AUC = %v, want 0.5 (chance convention)", auc)
+	}
+}
+
+func TestAUCErrors(t *testing.T) {
+	if _, err := AUC([]float64{1}, []int{1, 0}); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("want ErrLengthMismatch, got %v", err)
+	}
+	if _, err := AUC(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+}
+
+// TestAUCBounded: AUC is always within [0, 1].
+func TestAUCBounded(t *testing.T) {
+	f := func(raw []float64, labels []bool) bool {
+		n := len(raw)
+		if len(labels) < n {
+			n = len(labels)
+		}
+		if n == 0 {
+			return true
+		}
+		scores := make([]float64, n)
+		truth := make([]int, n)
+		for i := 0; i < n; i++ {
+			if math.IsNaN(raw[i]) || math.IsInf(raw[i], 0) {
+				return true
+			}
+			scores[i] = raw[i]
+			if labels[i] {
+				truth[i] = 1
+			}
+		}
+		auc, err := AUC(scores, truth)
+		return err == nil && auc >= -1e-9 && auc <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestROCMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	scores := make([]float64, 50)
+	truth := make([]int, 50)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		truth[i] = rng.Intn(2)
+	}
+	points, err := ROC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].FPR < points[i-1].FPR || points[i].TPR < points[i-1].TPR {
+			t.Fatalf("ROC not monotone at %d: %+v -> %+v", i, points[i-1], points[i])
+		}
+	}
+	last := points[len(points)-1]
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Errorf("ROC must end at (1,1), got (%v,%v)", last.FPR, last.TPR)
+	}
+}
+
+func TestStratifiedKFoldPartition(t *testing.T) {
+	y := make([]int, 30)
+	for i := 20; i < 30; i++ {
+		y[i] = 1
+	}
+	folds, err := StratifiedKFold(y, 5, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("%d folds", len(folds))
+	}
+	seen := make(map[int]int)
+	for _, fold := range folds {
+		if len(fold.Train)+len(fold.Test) != len(y) {
+			t.Error("train+test must cover the dataset")
+		}
+		for _, i := range fold.Test {
+			seen[i]++
+		}
+		// Stratification: each test fold holds 1/5 of each class.
+		var pos int
+		for _, i := range fold.Test {
+			pos += y[i]
+		}
+		if pos != 2 {
+			t.Errorf("fold has %d positives, want 2", pos)
+		}
+	}
+	for i := range y {
+		if seen[i] != 1 {
+			t.Fatalf("example %d appears in %d test folds", i, seen[i])
+		}
+	}
+}
+
+func TestStratifiedKFoldErrors(t *testing.T) {
+	if _, err := StratifiedKFold([]int{1, 0}, 1, nil); err == nil {
+		t.Error("k=1 must fail")
+	}
+	if _, err := StratifiedKFold([]int{1}, 2, nil); err == nil {
+		t.Error("more folds than examples must fail")
+	}
+}
+
+func TestCrossValidateSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 120
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		v := rng.Float64() * 10
+		x[i] = []float64{v}
+		if v > 5 {
+			y[i] = 1
+		}
+	}
+	d := ml.Dataset{X: x, Y: y}
+	factory := func() ml.Classifier { return ml.NewTree(ml.TreeConfig{Seed: 1}) }
+	res, err := CrossValidate(factory, d, 10, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.9 || res.AUC < 0.9 {
+		t.Errorf("CV on separable data: %+v", res)
+	}
+	if res.Folds != 10 {
+		t.Errorf("Folds = %d", res.Folds)
+	}
+}
+
+func TestCrossValidateInvalidDataset(t *testing.T) {
+	factory := func() ml.Classifier { return ml.NewTree(ml.TreeConfig{}) }
+	if _, err := CrossValidate(factory, ml.Dataset{}, 5, 0.5, nil); err == nil {
+		t.Error("empty dataset must fail")
+	}
+}

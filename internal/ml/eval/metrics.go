@@ -1,0 +1,171 @@
+// Package eval provides model-quality measurement for the ml package:
+// confusion-matrix metrics (accuracy, precision, recall — the test-phase
+// criteria of paper §3.2), ROC curves with AUC (the §3.2 classifier-selection
+// metric), and stratified k-fold cross-validation (the 10-fold CV of the
+// test phase).
+package eval
+
+import (
+	"errors"
+	"sort"
+)
+
+// ErrLengthMismatch is returned when prediction and truth lengths differ.
+var ErrLengthMismatch = errors.New("eval: prediction/truth length mismatch")
+
+// ErrEmpty is returned when an evaluation needs at least one example.
+var ErrEmpty = errors.New("eval: no examples")
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP int // predicted 1, truth 1
+	FP int // predicted 1, truth 0
+	TN int // predicted 0, truth 0
+	FN int // predicted 0, truth 1
+}
+
+// Confuse tallies predictions against truths.
+func Confuse(pred, truth []int) (Confusion, error) {
+	if len(pred) != len(truth) {
+		return Confusion{}, ErrLengthMismatch
+	}
+	var c Confusion
+	for i := range pred {
+		switch {
+		case pred[i] == 1 && truth[i] == 1:
+			c.TP++
+		case pred[i] == 1 && truth[i] == 0:
+			c.FP++
+		case pred[i] == 0 && truth[i] == 0:
+			c.TN++
+		default:
+			c.FN++
+		}
+	}
+	return c, nil
+}
+
+// Total returns the number of tallied examples.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Accuracy is the fraction of correct predictions.
+func (c Confusion) Accuracy() float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(total)
+}
+
+// Precision is TP / (TP + FP): of the examples classified positive, the
+// fraction that truly are. 1 when nothing was predicted positive (no false
+// alarms possible).
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall is TP / (TP + FN): of the truly positive examples, the fraction
+// found. 1 when there are no positive examples.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// ROCPoint is one operating point of a ROC curve.
+type ROCPoint struct {
+	FPR float64
+	TPR float64
+	// Threshold is the score threshold producing this point.
+	Threshold float64
+}
+
+// ROC computes the ROC curve for scores against binary truths, ordered from
+// the most conservative threshold to the most permissive.
+func ROC(scores []float64, truth []int) ([]ROCPoint, error) {
+	if len(scores) != len(truth) {
+		return nil, ErrLengthMismatch
+	}
+	if len(scores) == 0 {
+		return nil, ErrEmpty
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	var pos, neg int
+	for _, t := range truth {
+		if t == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+
+	points := []ROCPoint{{FPR: 0, TPR: 0, Threshold: scores[idx[0]] + 1}}
+	var tp, fp int
+	for i := 0; i < len(idx); {
+		// Process ties together so the curve is well defined.
+		j := i
+		for j < len(idx) && scores[idx[j]] == scores[idx[i]] {
+			if truth[idx[j]] == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		var tpr, fpr float64
+		if pos > 0 {
+			tpr = float64(tp) / float64(pos)
+		}
+		if neg > 0 {
+			fpr = float64(fp) / float64(neg)
+		}
+		points = append(points, ROCPoint{FPR: fpr, TPR: tpr, Threshold: scores[idx[i]]})
+		i = j
+	}
+	return points, nil
+}
+
+// AUC computes the area under the ROC curve by trapezoidal integration.
+// With a single class present it returns 0.5 (chance level), matching the
+// paper's convention that 0.5 is comparable to random guessing.
+func AUC(scores []float64, truth []int) (float64, error) {
+	points, err := ROC(scores, truth)
+	if err != nil {
+		return 0, err
+	}
+	var pos, neg bool
+	for _, t := range truth {
+		if t == 1 {
+			pos = true
+		} else {
+			neg = true
+		}
+	}
+	if !pos || !neg {
+		return 0.5, nil
+	}
+	var area float64
+	for i := 1; i < len(points); i++ {
+		dx := points[i].FPR - points[i-1].FPR
+		area += dx * (points[i].TPR + points[i-1].TPR) / 2
+	}
+	return area, nil
+}

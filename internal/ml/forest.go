@@ -1,0 +1,199 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ForestConfig configures a random forest. The zero value gives the
+// "default parameterization" the paper relies on (§3.2): 100 trees,
+// unbounded depth, √(features) candidate features per split.
+type ForestConfig struct {
+	// Trees is the number of trees (default 100). This is one of the two
+	// knobs §3.2 names for tuning RF behaviour.
+	Trees int
+	// MaxDepth bounds per-tree depth; 0 means unbounded (the second §3.2
+	// knob).
+	MaxDepth int
+	// MinLeaf is the per-tree minimum leaf size (default 1).
+	MinLeaf int
+	// Criterion selects the impurity measure (default Gini).
+	Criterion SplitCriterion
+	// PositiveWeight oversamples class-1 examples in each bootstrap by
+	// this factor (default 1 = unweighted). Values above 1 bias the
+	// forest toward recall on the positive class, the knob SmartFlux
+	// turns when bound compliance matters more than saved executions.
+	PositiveWeight float64
+	// Seed drives bootstrap sampling and feature subsampling.
+	Seed int64
+}
+
+func (c ForestConfig) withDefaults() ForestConfig {
+	if c.Trees <= 0 {
+		c.Trees = 100
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 1
+	}
+	if c.Criterion == 0 {
+		c.Criterion = Gini
+	}
+	if c.PositiveWeight <= 0 {
+		c.PositiveWeight = 1
+	}
+	return c
+}
+
+// Forest is a Random Forest classifier (Breiman 2001): bagged decision trees
+// with per-split feature subsampling, scored by averaging per-tree
+// probabilities. It is SmartFlux's default predictor.
+type Forest struct {
+	cfg      ForestConfig
+	trees    []*Tree
+	features int
+	oobScore float64
+	hasOOB   bool
+}
+
+var (
+	_ Classifier = (*Forest)(nil)
+	_ Named      = (*Forest)(nil)
+)
+
+// NewForest creates an unfitted random forest.
+func NewForest(cfg ForestConfig) *Forest {
+	return &Forest{cfg: cfg.withDefaults()}
+}
+
+// Name implements Named.
+func (f *Forest) Name() string { return "random-forest" }
+
+// Fit trains the forest on d and computes the out-of-bag accuracy estimate.
+func (f *Forest) Fit(d Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	f.features = d.Features()
+	f.trees = make([]*Tree, 0, f.cfg.Trees)
+
+	maxFeatures := int(math.Sqrt(float64(f.features)))
+	if maxFeatures < 1 {
+		maxFeatures = 1
+	}
+
+	rng := rand.New(rand.NewSource(f.cfg.Seed))
+
+	// Weighted bootstrap pools: positives and negatives sampled with
+	// probability proportional to PositiveWeight.
+	var pos, neg []int
+	for j, y := range d.Y {
+		if y == 1 {
+			pos = append(pos, j)
+		} else {
+			neg = append(neg, j)
+		}
+	}
+	posMass := f.cfg.PositiveWeight * float64(len(pos))
+	totalMass := posMass + float64(len(neg))
+
+	// Track out-of-bag votes: per example, summed probability and count.
+	oobSum := make([]float64, d.Len())
+	oobN := make([]int, d.Len())
+
+	for i := 0; i < f.cfg.Trees; i++ {
+		inBag := make([]bool, d.Len())
+		idx := make([]int, d.Len())
+		for j := range idx {
+			var k int
+			switch {
+			case len(pos) == 0:
+				k = neg[rng.Intn(len(neg))]
+			case len(neg) == 0:
+				k = pos[rng.Intn(len(pos))]
+			case rng.Float64()*totalMass < posMass:
+				k = pos[rng.Intn(len(pos))]
+			default:
+				k = neg[rng.Intn(len(neg))]
+			}
+			idx[j] = k
+			inBag[k] = true
+		}
+		sample := d.Subset(idx)
+		tree := NewTree(TreeConfig{
+			MaxDepth:    f.cfg.MaxDepth,
+			MinLeaf:     f.cfg.MinLeaf,
+			Criterion:   f.cfg.Criterion,
+			MaxFeatures: maxFeatures,
+			Seed:        rng.Int63(),
+		})
+		if err := tree.Fit(sample); err != nil {
+			return fmt.Errorf("forest tree %d: %w", i, err)
+		}
+		f.trees = append(f.trees, tree)
+
+		for j := 0; j < d.Len(); j++ {
+			if inBag[j] {
+				continue
+			}
+			p, err := tree.Score(d.X[j])
+			if err != nil {
+				return fmt.Errorf("forest oob score: %w", err)
+			}
+			oobSum[j] += p
+			oobN[j]++
+		}
+	}
+
+	// Out-of-bag accuracy at the neutral 0.5 threshold.
+	var correct, counted int
+	for j := 0; j < d.Len(); j++ {
+		if oobN[j] == 0 {
+			continue
+		}
+		counted++
+		pred := 0
+		if oobSum[j]/float64(oobN[j]) >= 0.5 {
+			pred = 1
+		}
+		if pred == d.Y[j] {
+			correct++
+		}
+	}
+	if counted > 0 {
+		f.oobScore = float64(correct) / float64(counted)
+		f.hasOOB = true
+	} else {
+		f.oobScore = 0
+		f.hasOOB = false
+	}
+	return nil
+}
+
+// Score implements Classifier: the mean of per-tree leaf probabilities.
+func (f *Forest) Score(x []float64) (float64, error) {
+	if len(f.trees) == 0 {
+		return 0, ErrNotFitted
+	}
+	if len(x) != f.features {
+		return 0, fmt.Errorf("%w: got %d features, want %d", ErrDimensionMismatch, len(x), f.features)
+	}
+	var sum float64
+	for _, tree := range f.trees {
+		p, err := tree.Score(x)
+		if err != nil {
+			return 0, err
+		}
+		sum += p
+	}
+	return sum / float64(len(f.trees)), nil
+}
+
+// OOBAccuracy returns the out-of-bag accuracy estimate computed during Fit.
+// ok is false when no example was ever out of bag (tiny datasets).
+func (f *Forest) OOBAccuracy() (score float64, ok bool) {
+	return f.oobScore, f.hasOOB
+}
+
+// TreeCount returns the number of fitted trees.
+func (f *Forest) TreeCount() int { return len(f.trees) }

@@ -1,0 +1,92 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KNNConfig configures the k-nearest-neighbours classifier.
+type KNNConfig struct {
+	// K is the neighbourhood size (default 5).
+	K int
+}
+
+func (c KNNConfig) withDefaults() KNNConfig {
+	if c.K <= 0 {
+		c.K = 5
+	}
+	return c
+}
+
+// KNN is a k-nearest-neighbours classifier over standardized features with
+// Euclidean distance. It memorizes the training set; Score returns the
+// fraction of positive labels among the K nearest neighbours.
+type KNN struct {
+	cfg    KNNConfig
+	x      [][]float64
+	y      []int
+	scale  scaler
+	fitted bool
+}
+
+var (
+	_ Classifier = (*KNN)(nil)
+	_ Named      = (*KNN)(nil)
+)
+
+// NewKNN creates an unfitted k-NN classifier.
+func NewKNN(cfg KNNConfig) *KNN {
+	return &KNN{cfg: cfg.withDefaults()}
+}
+
+// Name implements Named.
+func (k *KNN) Name() string { return "knn" }
+
+// Fit memorizes (standardized) d.
+func (k *KNN) Fit(d Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	k.scale = fitScaler(d.X)
+	k.x = k.scale.transformAll(d.X)
+	k.y = make([]int, len(d.Y))
+	copy(k.y, d.Y)
+	k.fitted = true
+	return nil
+}
+
+// Score implements Classifier.
+func (k *KNN) Score(x []float64) (float64, error) {
+	if !k.fitted {
+		return 0, ErrNotFitted
+	}
+	if len(x) != len(k.x[0]) {
+		return 0, fmt.Errorf("%w: got %d features, want %d", ErrDimensionMismatch, len(x), len(k.x[0]))
+	}
+	xs := k.scale.transform(x)
+	type neighbour struct {
+		dist float64
+		y    int
+	}
+	neighbours := make([]neighbour, len(k.x))
+	for i, row := range k.x {
+		var d float64
+		for j, v := range row {
+			diff := v - xs[j]
+			d += diff * diff
+		}
+		neighbours[i] = neighbour{dist: math.Sqrt(d), y: k.y[i]}
+	}
+	sort.Slice(neighbours, func(a, b int) bool { return neighbours[a].dist < neighbours[b].dist })
+
+	kk := k.cfg.K
+	if kk > len(neighbours) {
+		kk = len(neighbours)
+	}
+	var pos int
+	for _, n := range neighbours[:kk] {
+		pos += n.y
+	}
+	return float64(pos) / float64(kk), nil
+}

@@ -1,0 +1,113 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// LogisticConfig configures logistic regression.
+type LogisticConfig struct {
+	// Epochs is the number of SGD passes over the data (default 200).
+	Epochs int
+	// LearningRate is the SGD step size (default 0.1).
+	LearningRate float64
+	// L2 is the ridge-regularization strength (default 1e-4).
+	L2 float64
+	// Seed drives per-epoch example shuffling.
+	Seed int64
+}
+
+func (c LogisticConfig) withDefaults() LogisticConfig {
+	if c.Epochs <= 0 {
+		c.Epochs = 200
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.L2 < 0 {
+		c.L2 = 0
+	} else if c.L2 == 0 {
+		c.L2 = 1e-4
+	}
+	return c
+}
+
+// Logistic is an L2-regularized logistic-regression classifier trained with
+// stochastic gradient descent on standardized features.
+type Logistic struct {
+	cfg      LogisticConfig
+	weights  []float64
+	bias     float64
+	scale    scaler
+	features int
+	fitted   bool
+}
+
+var (
+	_ Classifier = (*Logistic)(nil)
+	_ Named      = (*Logistic)(nil)
+)
+
+// NewLogistic creates an unfitted logistic-regression classifier.
+func NewLogistic(cfg LogisticConfig) *Logistic {
+	return &Logistic{cfg: cfg.withDefaults()}
+}
+
+// Name implements Named.
+func (l *Logistic) Name() string { return "logistic" }
+
+// Fit trains the model on d.
+func (l *Logistic) Fit(d Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	l.features = d.Features()
+	l.scale = fitScaler(d.X)
+	x := l.scale.transformAll(d.X)
+
+	l.weights = make([]float64, l.features)
+	l.bias = 0
+
+	rng := rand.New(rand.NewSource(l.cfg.Seed))
+	order := make([]int, d.Len())
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < l.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		// Inverse-scaling learning-rate schedule.
+		lr := l.cfg.LearningRate / (1 + float64(epoch)*0.01)
+		for _, i := range order {
+			var z float64
+			for j, w := range l.weights {
+				z += w * x[i][j]
+			}
+			z += l.bias
+			p := sigmoid(z)
+			grad := p - float64(d.Y[i])
+			for j := range l.weights {
+				l.weights[j] -= lr * (grad*x[i][j] + l.cfg.L2*l.weights[j])
+			}
+			l.bias -= lr * grad
+		}
+	}
+	l.fitted = true
+	return nil
+}
+
+// Score implements Classifier: the logistic probability of class 1.
+func (l *Logistic) Score(x []float64) (float64, error) {
+	if !l.fitted {
+		return 0, ErrNotFitted
+	}
+	if len(x) != l.features {
+		return 0, fmt.Errorf("%w: got %d features, want %d", ErrDimensionMismatch, len(x), l.features)
+	}
+	xs := l.scale.transform(x)
+	var z float64
+	for j, w := range l.weights {
+		z += w * xs[j]
+	}
+	z += l.bias
+	return sigmoid(z), nil
+}

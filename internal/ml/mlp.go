@@ -1,0 +1,143 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MLPConfig configures the feed-forward neural network.
+type MLPConfig struct {
+	// Hidden is the hidden-layer width (default 16).
+	Hidden int
+	// Epochs is the number of SGD passes (default 300).
+	Epochs int
+	// LearningRate is the SGD step size (default 0.05).
+	LearningRate float64
+	// Seed drives weight initialization and shuffling.
+	Seed int64
+}
+
+func (c MLPConfig) withDefaults() MLPConfig {
+	if c.Hidden <= 0 {
+		c.Hidden = 16
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 300
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.05
+	}
+	return c
+}
+
+// MLP is a single-hidden-layer feed-forward neural network with sigmoid
+// activations trained by backpropagation (SGD, log loss). It stands in for
+// the "Neuronal Network" entry of the paper's §3.2 comparison.
+type MLP struct {
+	cfg      MLPConfig
+	w1       [][]float64 // hidden x features
+	b1       []float64
+	w2       []float64 // hidden
+	b2       float64
+	scale    scaler
+	features int
+	fitted   bool
+}
+
+var (
+	_ Classifier = (*MLP)(nil)
+	_ Named      = (*MLP)(nil)
+)
+
+// NewMLP creates an unfitted network.
+func NewMLP(cfg MLPConfig) *MLP {
+	return &MLP{cfg: cfg.withDefaults()}
+}
+
+// Name implements Named.
+func (m *MLP) Name() string { return "mlp" }
+
+// Fit trains the network on d.
+func (m *MLP) Fit(d Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	m.features = d.Features()
+	m.scale = fitScaler(d.X)
+	x := m.scale.transformAll(d.X)
+
+	rng := rand.New(rand.NewSource(m.cfg.Seed))
+	h := m.cfg.Hidden
+	m.w1 = make([][]float64, h)
+	m.b1 = make([]float64, h)
+	for i := range m.w1 {
+		m.w1[i] = make([]float64, m.features)
+		for j := range m.w1[i] {
+			m.w1[i][j] = (rng.Float64() - 0.5) * 0.5
+		}
+	}
+	m.w2 = make([]float64, h)
+	for i := range m.w2 {
+		m.w2[i] = (rng.Float64() - 0.5) * 0.5
+	}
+	m.b2 = 0
+
+	order := make([]int, d.Len())
+	for i := range order {
+		order[i] = i
+	}
+	hidden := make([]float64, h)
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		lr := m.cfg.LearningRate / (1 + float64(epoch)*0.005)
+		for _, i := range order {
+			// Forward pass.
+			for k := 0; k < h; k++ {
+				var z float64
+				for j, v := range x[i] {
+					z += m.w1[k][j] * v
+				}
+				hidden[k] = sigmoid(z + m.b1[k])
+			}
+			var out float64
+			for k := 0; k < h; k++ {
+				out += m.w2[k] * hidden[k]
+			}
+			p := sigmoid(out + m.b2)
+
+			// Backward pass (log loss gradient).
+			deltaOut := p - float64(d.Y[i])
+			for k := 0; k < h; k++ {
+				deltaHidden := deltaOut * m.w2[k] * hidden[k] * (1 - hidden[k])
+				m.w2[k] -= lr * deltaOut * hidden[k]
+				for j, v := range x[i] {
+					m.w1[k][j] -= lr * deltaHidden * v
+				}
+				m.b1[k] -= lr * deltaHidden
+			}
+			m.b2 -= lr * deltaOut
+		}
+	}
+	m.fitted = true
+	return nil
+}
+
+// Score implements Classifier.
+func (m *MLP) Score(x []float64) (float64, error) {
+	if !m.fitted {
+		return 0, ErrNotFitted
+	}
+	if len(x) != m.features {
+		return 0, fmt.Errorf("%w: got %d features, want %d", ErrDimensionMismatch, len(x), m.features)
+	}
+	xs := m.scale.transform(x)
+	var out float64
+	for k := range m.w1 {
+		var z float64
+		for j, v := range xs {
+			z += m.w1[k][j] * v
+		}
+		out += m.w2[k] * sigmoid(z+m.b1[k])
+	}
+	return sigmoid(out + m.b2), nil
+}

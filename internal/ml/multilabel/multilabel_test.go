@@ -1,0 +1,210 @@
+package multilabel
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"smartflux/internal/ml"
+)
+
+// twoLabelDataset builds a dataset where label 0 fires iff x0 > 5 and label
+// 1 fires iff x1 > 5.
+func twoLabelDataset(n int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	var d Dataset
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		y := []int{0, 0}
+		if a > 5 {
+			y[0] = 1
+		}
+		if b > 5 {
+			y[1] = 1
+		}
+		d.Append([]float64{a, b}, y)
+	}
+	return d
+}
+
+func TestDatasetValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		d       Dataset
+		wantErr error
+	}{
+		{name: "empty", d: Dataset{}, wantErr: ErrShape},
+		{name: "mismatch", d: Dataset{X: [][]float64{{1}}, Y: [][]int{{1}, {0}}}, wantErr: ErrShape},
+		{name: "no labels", d: Dataset{X: [][]float64{{1}}, Y: [][]int{{}}}, wantErr: ErrNoLabels},
+		{name: "ragged labels", d: Dataset{X: [][]float64{{1}, {2}}, Y: [][]int{{1}, {1, 0}}}, wantErr: ErrShape},
+		{name: "ok", d: Dataset{X: [][]float64{{1}, {2}}, Y: [][]int{{1}, {0}}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.d.Validate()
+			if tt.wantErr == nil && err != nil {
+				t.Errorf("unexpected error %v", err)
+			}
+			if tt.wantErr != nil && !errors.Is(err, tt.wantErr) {
+				t.Errorf("got %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestDatasetAppendCopies(t *testing.T) {
+	var d Dataset
+	x := []float64{1, 2}
+	y := []int{1, 0}
+	d.Append(x, y)
+	x[0] = 99
+	y[0] = 0
+	if d.X[0][0] != 1 || d.Y[0][0] != 1 {
+		t.Error("Append must copy its arguments")
+	}
+}
+
+func TestDatasetLabelExtraction(t *testing.T) {
+	d := twoLabelDataset(10, 1)
+	binary, err := d.Label(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binary.Len() != 10 {
+		t.Errorf("binary len = %d", binary.Len())
+	}
+	for i := range binary.Y {
+		if binary.Y[i] != d.Y[i][1] {
+			t.Fatal("label column mismatch")
+		}
+	}
+	if _, err := d.Label(5); err == nil {
+		t.Error("out-of-range label must fail")
+	}
+}
+
+func TestDatasetHeadTail(t *testing.T) {
+	d := twoLabelDataset(10, 2)
+	if d.Head(3).Len() != 3 || d.Tail(3).Len() != 7 {
+		t.Error("Head/Tail lengths")
+	}
+	if d.Head(99).Len() != 10 || d.Tail(99).Len() != 0 {
+		t.Error("Head/Tail must clamp")
+	}
+	if d.Labels() != 2 {
+		t.Errorf("Labels = %d", d.Labels())
+	}
+	if (Dataset{}).Labels() != 0 {
+		t.Error("empty dataset labels")
+	}
+}
+
+func TestBinaryRelevanceFitPredict(t *testing.T) {
+	d := twoLabelDataset(300, 3)
+	br := NewBinaryRelevance(func() ml.Classifier {
+		return ml.NewTree(ml.TreeConfig{Seed: 1})
+	})
+	if err := br.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if br.Labels() != 2 {
+		t.Errorf("Labels = %d", br.Labels())
+	}
+
+	pred, err := br.Predict([]float64{8, 2}, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred[0] != 1 || pred[1] != 0 {
+		t.Errorf("Predict(8,2) = %v, want [1 0]", pred)
+	}
+	pred, _ = br.Predict([]float64{2, 8}, []float64{0.5})
+	if pred[0] != 0 || pred[1] != 1 {
+		t.Errorf("Predict(2,8) = %v, want [0 1]", pred)
+	}
+}
+
+func TestBinaryRelevancePerLabelThresholds(t *testing.T) {
+	d := twoLabelDataset(100, 4)
+	br := NewBinaryRelevance(func() ml.Classifier {
+		return ml.NewTree(ml.TreeConfig{Seed: 1})
+	})
+	if err := br.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	// Threshold 0 forces label on; threshold > 1 forces it off.
+	pred, err := br.Predict([]float64{5, 5}, []float64{0, 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred[0] != 1 || pred[1] != 0 {
+		t.Errorf("per-label thresholds ignored: %v", pred)
+	}
+	if _, err := br.Predict([]float64{5, 5}, []float64{0.1, 0.2, 0.3}); err == nil {
+		t.Error("wrong threshold count must fail")
+	}
+}
+
+func TestBinaryRelevanceNotFitted(t *testing.T) {
+	br := NewBinaryRelevance(func() ml.Classifier { return ml.NewNaiveBayes() })
+	if _, err := br.Scores([]float64{1}); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("want ErrNotFitted, got %v", err)
+	}
+}
+
+func TestBinaryRelevanceFeatureColumns(t *testing.T) {
+	// Label 0 depends on feature 1 and vice versa; restricting each model
+	// to the WRONG column must destroy accuracy, restricting to the right
+	// column must preserve it.
+	d := twoLabelDataset(300, 5)
+	right := NewBinaryRelevance(func() ml.Classifier { return ml.NewTree(ml.TreeConfig{Seed: 1}) })
+	right.SetFeatureColumns([][]int{{0}, {1}})
+	if err := right.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	wrong := NewBinaryRelevance(func() ml.Classifier { return ml.NewTree(ml.TreeConfig{Seed: 1}) })
+	wrong.SetFeatureColumns([][]int{{1}, {0}})
+	if err := wrong.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+
+	// Evaluate on held-out data: a tree can memorize noise on its own
+	// training set, so only generalization reveals the feature columns.
+	test := twoLabelDataset(200, 55)
+	accuracy := func(br *BinaryRelevance) float64 {
+		var correct, total int
+		for i, x := range test.X {
+			pred, err := br.Predict(x, []float64{0.5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for l := range pred {
+				if pred[l] == test.Y[i][l] {
+					correct++
+				}
+				total++
+			}
+		}
+		return float64(correct) / float64(total)
+	}
+	if accRight := accuracy(right); accRight < 0.95 {
+		t.Errorf("right columns accuracy %.3f", accRight)
+	}
+	if accWrong := accuracy(wrong); accWrong > 0.7 {
+		t.Errorf("wrong columns accuracy %.3f — feature restriction not applied?", accWrong)
+	}
+}
+
+func TestBinaryRelevanceFeatureColumnValidation(t *testing.T) {
+	d := twoLabelDataset(20, 6)
+	br := NewBinaryRelevance(func() ml.Classifier { return ml.NewNaiveBayes() })
+	br.SetFeatureColumns([][]int{{0}}) // one set for two labels
+	if err := br.Fit(d); !errors.Is(err, ErrShape) {
+		t.Errorf("want ErrShape, got %v", err)
+	}
+	br2 := NewBinaryRelevance(func() ml.Classifier { return ml.NewNaiveBayes() })
+	br2.SetFeatureColumns([][]int{{0}, {9}}) // out-of-range column
+	if err := br2.Fit(d); !errors.Is(err, ErrShape) {
+		t.Errorf("want ErrShape for bad column, got %v", err)
+	}
+}

@@ -1,0 +1,120 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// NaiveBayes is a Gaussian naive Bayes classifier: per-class, per-feature
+// normal likelihoods with class priors. It stands in for the "Bayes Network"
+// entry of the paper's §3.2 classifier comparison.
+type NaiveBayes struct {
+	features int
+	prior    [2]float64   // log priors
+	mean     [2][]float64 // per class, per feature
+	variance [2][]float64 // per class, per feature (floored)
+	seen     [2]bool      // whether the class appeared in training
+	fitted   bool
+}
+
+var (
+	_ Classifier = (*NaiveBayes)(nil)
+	_ Named      = (*NaiveBayes)(nil)
+)
+
+// NewNaiveBayes creates an unfitted Gaussian naive Bayes classifier.
+func NewNaiveBayes() *NaiveBayes { return &NaiveBayes{} }
+
+// Name implements Named.
+func (n *NaiveBayes) Name() string { return "naive-bayes" }
+
+// varianceFloor keeps likelihoods finite for constant features.
+const varianceFloor = 1e-9
+
+// Fit estimates class priors and per-feature Gaussian parameters.
+func (n *NaiveBayes) Fit(d Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	n.features = d.Features()
+
+	var count [2]int
+	for class := 0; class < 2; class++ {
+		n.mean[class] = make([]float64, n.features)
+		n.variance[class] = make([]float64, n.features)
+	}
+	for i, row := range d.X {
+		c := d.Y[i]
+		count[c]++
+		for j, v := range row {
+			n.mean[c][j] += v
+		}
+	}
+	total := float64(d.Len())
+	for class := 0; class < 2; class++ {
+		n.seen[class] = count[class] > 0
+		// Laplace-smoothed log prior.
+		n.prior[class] = math.Log((float64(count[class]) + 1) / (total + 2))
+		if count[class] == 0 {
+			continue
+		}
+		for j := range n.mean[class] {
+			n.mean[class][j] /= float64(count[class])
+		}
+	}
+	for i, row := range d.X {
+		c := d.Y[i]
+		for j, v := range row {
+			diff := v - n.mean[c][j]
+			n.variance[c][j] += diff * diff
+		}
+	}
+	for class := 0; class < 2; class++ {
+		if count[class] == 0 {
+			continue
+		}
+		for j := range n.variance[class] {
+			n.variance[class][j] /= float64(count[class])
+			if n.variance[class][j] < varianceFloor {
+				n.variance[class][j] = varianceFloor
+			}
+		}
+	}
+	n.fitted = true
+	return nil
+}
+
+// logLikelihood returns the class-conditional log likelihood of x.
+func (n *NaiveBayes) logLikelihood(class int, x []float64) float64 {
+	if !n.seen[class] {
+		return math.Inf(-1)
+	}
+	ll := n.prior[class]
+	for j, v := range x {
+		mu := n.mean[class][j]
+		va := n.variance[class][j]
+		d := v - mu
+		ll += -0.5*math.Log(2*math.Pi*va) - d*d/(2*va)
+	}
+	return ll
+}
+
+// Score implements Classifier: the posterior probability of class 1.
+func (n *NaiveBayes) Score(x []float64) (float64, error) {
+	if !n.fitted {
+		return 0, ErrNotFitted
+	}
+	if len(x) != n.features {
+		return 0, fmt.Errorf("%w: got %d features, want %d", ErrDimensionMismatch, len(x), n.features)
+	}
+	ll0 := n.logLikelihood(0, x)
+	ll1 := n.logLikelihood(1, x)
+	switch {
+	case math.IsInf(ll1, -1):
+		return 0, nil
+	case math.IsInf(ll0, -1):
+		return 1, nil
+	}
+	// Posterior via the log-sum-exp trick.
+	return sigmoid(ll1 - ll0), nil
+}

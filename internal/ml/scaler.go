@@ -1,0 +1,67 @@
+package ml
+
+import "math"
+
+// scaler standardizes features to zero mean and unit variance. Gradient-based
+// models (logistic regression, SVM, MLP) embed one because raw input-impact
+// values span many orders of magnitude across workloads (e.g. ~1e2 for AQHI
+// zones vs ~1e9 for LRB classification).
+type scaler struct {
+	mean []float64
+	std  []float64
+}
+
+// fitScaler computes per-feature mean and standard deviation.
+func fitScaler(x [][]float64) scaler {
+	if len(x) == 0 {
+		return scaler{}
+	}
+	width := len(x[0])
+	mean := make([]float64, width)
+	std := make([]float64, width)
+	for _, row := range x {
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	n := float64(len(x))
+	for j := range mean {
+		mean[j] /= n
+	}
+	for _, row := range x {
+		for j, v := range row {
+			d := v - mean[j]
+			std[j] += d * d
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / n)
+		if std[j] == 0 {
+			std[j] = 1 // constant feature: pass through centered
+		}
+	}
+	return scaler{mean: mean, std: std}
+}
+
+// transform standardizes one feature vector into a new slice.
+func (s scaler) transform(x []float64) []float64 {
+	if len(s.mean) == 0 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out
+	}
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.mean[j]) / s.std[j]
+	}
+	return out
+}
+
+// transformAll standardizes a matrix.
+func (s scaler) transformAll(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		out[i] = s.transform(row)
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SVMConfig configures the linear support vector machine.
+type SVMConfig struct {
+	// Epochs is the number of Pegasos passes over the data (default 200).
+	Epochs int
+	// Lambda is the regularization strength (default 1e-3).
+	Lambda float64
+	// Seed drives example sampling.
+	Seed int64
+}
+
+func (c SVMConfig) withDefaults() SVMConfig {
+	if c.Epochs <= 0 {
+		c.Epochs = 200
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 1e-3
+	}
+	return c
+}
+
+// SVM is a linear support vector machine trained with the Pegasos
+// stochastic sub-gradient algorithm on standardized features. Scores are
+// margins squashed through a sigmoid, so they are monotone confidences
+// suitable for thresholding and ROC analysis.
+type SVM struct {
+	cfg      SVMConfig
+	weights  []float64
+	bias     float64
+	scale    scaler
+	features int
+	fitted   bool
+}
+
+var (
+	_ Classifier = (*SVM)(nil)
+	_ Named      = (*SVM)(nil)
+)
+
+// NewSVM creates an unfitted linear SVM.
+func NewSVM(cfg SVMConfig) *SVM {
+	return &SVM{cfg: cfg.withDefaults()}
+}
+
+// Name implements Named.
+func (s *SVM) Name() string { return "svm" }
+
+// Fit trains the SVM on d.
+func (s *SVM) Fit(d Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	s.features = d.Features()
+	s.scale = fitScaler(d.X)
+	x := s.scale.transformAll(d.X)
+
+	s.weights = make([]float64, s.features)
+	s.bias = 0
+
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	n := d.Len()
+	t := 0
+	for epoch := 0; epoch < s.cfg.Epochs; epoch++ {
+		for step := 0; step < n; step++ {
+			t++
+			i := rng.Intn(n)
+			y := float64(2*d.Y[i] - 1) // map {0,1} -> {-1,+1}
+			eta := 1 / (s.cfg.Lambda * float64(t))
+
+			var margin float64
+			for j, w := range s.weights {
+				margin += w * x[i][j]
+			}
+			margin += s.bias
+			margin *= y
+
+			for j := range s.weights {
+				s.weights[j] *= 1 - eta*s.cfg.Lambda
+			}
+			if margin < 1 {
+				for j := range s.weights {
+					s.weights[j] += eta * y * x[i][j]
+				}
+				s.bias += eta * y
+			}
+		}
+	}
+	s.fitted = true
+	return nil
+}
+
+// Score implements Classifier: sigmoid of the signed margin.
+func (s *SVM) Score(x []float64) (float64, error) {
+	if !s.fitted {
+		return 0, ErrNotFitted
+	}
+	if len(x) != s.features {
+		return 0, fmt.Errorf("%w: got %d features, want %d", ErrDimensionMismatch, len(x), s.features)
+	}
+	xs := s.scale.transform(x)
+	var margin float64
+	for j, w := range s.weights {
+		margin += w * xs[j]
+	}
+	margin += s.bias
+	return sigmoid(margin), nil
+}

@@ -1,0 +1,297 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// SplitCriterion selects the impurity measure used to grow trees.
+type SplitCriterion int
+
+const (
+	// Gini impurity (CART default).
+	Gini SplitCriterion = iota + 1
+	// Entropy (information gain, as in C4.5/J48 — the paper's "J48 tree").
+	Entropy
+)
+
+// String implements fmt.Stringer.
+func (c SplitCriterion) String() string {
+	switch c {
+	case Gini:
+		return "gini"
+	case Entropy:
+		return "entropy"
+	default:
+		return fmt.Sprintf("SplitCriterion(%d)", int(c))
+	}
+}
+
+// TreeConfig configures decision-tree induction.
+type TreeConfig struct {
+	// MaxDepth bounds tree depth; 0 means unbounded.
+	MaxDepth int
+	// MinLeaf is the minimum number of examples per leaf (default 1).
+	MinLeaf int
+	// Criterion selects the impurity measure (default Gini).
+	Criterion SplitCriterion
+	// MaxFeatures limits the number of features considered per split;
+	// 0 considers all. Random forests set this to √(features).
+	MaxFeatures int
+	// Seed drives feature subsampling when MaxFeatures > 0.
+	Seed int64
+}
+
+// withDefaults fills zero fields.
+func (c TreeConfig) withDefaults() TreeConfig {
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 1
+	}
+	if c.Criterion == 0 {
+		c.Criterion = Gini
+	}
+	return c
+}
+
+// treeNode is one node of a fitted tree. Leaves have feature == -1.
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      int // index into nodes
+	right     int
+	prob      float64 // P(class 1) at this node (used at leaves)
+}
+
+// Tree is a CART-style binary decision tree classifier.
+type Tree struct {
+	cfg      TreeConfig
+	nodes    []treeNode
+	features int
+	rng      *rand.Rand
+}
+
+var (
+	_ Classifier = (*Tree)(nil)
+	_ Named      = (*Tree)(nil)
+)
+
+// NewTree creates an unfitted decision tree.
+func NewTree(cfg TreeConfig) *Tree {
+	cfg = cfg.withDefaults()
+	return &Tree{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Name implements Named.
+func (t *Tree) Name() string {
+	if t.cfg.Criterion == Entropy {
+		return "decision-tree(entropy)"
+	}
+	return "decision-tree(gini)"
+}
+
+// Fit grows the tree on d.
+func (t *Tree) Fit(d Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	t.features = d.Features()
+	t.nodes = t.nodes[:0]
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	t.grow(d, idx, 0)
+	return nil
+}
+
+// grow builds the subtree over idx and returns its node index.
+func (t *Tree) grow(d Dataset, idx []int, depth int) int {
+	prob := positiveFraction(d, idx)
+	// Laplace-smoothed leaf estimate: (pos+1)/(n+2). Smoothing makes the
+	// scores of small pure leaves less extreme, which markedly improves
+	// the ranking quality (AUC) of bagged trees.
+	var pos float64
+	for _, i := range idx {
+		pos += float64(d.Y[i])
+	}
+	smoothed := (pos + 1) / (float64(len(idx)) + 2)
+	nodeIdx := len(t.nodes)
+	t.nodes = append(t.nodes, treeNode{feature: -1, prob: smoothed})
+
+	if prob == 0 || prob == 1 {
+		return nodeIdx
+	}
+	if t.cfg.MaxDepth > 0 && depth >= t.cfg.MaxDepth {
+		return nodeIdx
+	}
+	if len(idx) < 2*t.cfg.MinLeaf {
+		return nodeIdx
+	}
+
+	feature, threshold, ok := t.bestSplit(d, idx)
+	if !ok {
+		return nodeIdx
+	}
+
+	var left, right []int
+	for _, i := range idx {
+		if d.X[i][feature] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < t.cfg.MinLeaf || len(right) < t.cfg.MinLeaf {
+		return nodeIdx
+	}
+
+	leftIdx := t.grow(d, left, depth+1)
+	rightIdx := t.grow(d, right, depth+1)
+	t.nodes[nodeIdx].feature = feature
+	t.nodes[nodeIdx].threshold = threshold
+	t.nodes[nodeIdx].left = leftIdx
+	t.nodes[nodeIdx].right = rightIdx
+	return nodeIdx
+}
+
+// candidateFeatures returns the features examined at one split.
+func (t *Tree) candidateFeatures() []int {
+	all := make([]int, t.features)
+	for i := range all {
+		all[i] = i
+	}
+	if t.cfg.MaxFeatures <= 0 || t.cfg.MaxFeatures >= t.features {
+		return all
+	}
+	t.rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return all[:t.cfg.MaxFeatures]
+}
+
+// bestSplit finds the impurity-minimizing (feature, threshold) pair.
+func (t *Tree) bestSplit(d Dataset, idx []int) (feature int, threshold float64, ok bool) {
+	bestScore := math.Inf(1)
+	type valueLabel struct {
+		v float64
+		y int
+	}
+	pairs := make([]valueLabel, 0, len(idx))
+
+	for _, f := range t.candidateFeatures() {
+		pairs = pairs[:0]
+		for _, i := range idx {
+			pairs = append(pairs, valueLabel{v: d.X[i][f], y: d.Y[i]})
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
+
+		totalPos := 0
+		for _, p := range pairs {
+			totalPos += p.y
+		}
+		n := len(pairs)
+		leftPos, leftN := 0, 0
+		for i := 0; i < n-1; i++ {
+			leftPos += pairs[i].y
+			leftN++
+			if pairs[i].v == pairs[i+1].v {
+				continue // cannot split between equal values
+			}
+			rightPos := totalPos - leftPos
+			rightN := n - leftN
+			score := weightedImpurity(t.cfg.Criterion, leftPos, leftN, rightPos, rightN)
+			if score < bestScore {
+				bestScore = score
+				feature = f
+				threshold = (pairs[i].v + pairs[i+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}
+
+// weightedImpurity computes the size-weighted impurity of a candidate split.
+func weightedImpurity(criterion SplitCriterion, leftPos, leftN, rightPos, rightN int) float64 {
+	total := float64(leftN + rightN)
+	return float64(leftN)/total*impurity(criterion, leftPos, leftN) +
+		float64(rightN)/total*impurity(criterion, rightPos, rightN)
+}
+
+// impurity computes Gini or entropy of a node with pos positives out of n.
+func impurity(criterion SplitCriterion, pos, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	switch criterion {
+	case Entropy:
+		return binaryEntropy(p)
+	default:
+		return 2 * p * (1 - p)
+	}
+}
+
+// binaryEntropy returns H(p) in bits.
+func binaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// positiveFraction returns the fraction of class-1 examples among idx.
+func positiveFraction(d Dataset, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	var pos int
+	for _, i := range idx {
+		pos += d.Y[i]
+	}
+	return float64(pos) / float64(len(idx))
+}
+
+// Score implements Classifier: the positive-class fraction at the leaf x
+// falls into.
+func (t *Tree) Score(x []float64) (float64, error) {
+	if len(t.nodes) == 0 {
+		return 0, ErrNotFitted
+	}
+	if len(x) != t.features {
+		return 0, fmt.Errorf("%w: got %d features, want %d", ErrDimensionMismatch, len(x), t.features)
+	}
+	node := t.nodes[0]
+	for node.feature >= 0 {
+		if x[node.feature] <= node.threshold {
+			node = t.nodes[node.left]
+		} else {
+			node = t.nodes[node.right]
+		}
+	}
+	return node.prob, nil
+}
+
+// Depth returns the fitted tree's depth (0 for a stump/leaf-only tree).
+func (t *Tree) Depth() int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	return t.depthAt(0)
+}
+
+func (t *Tree) depthAt(i int) int {
+	n := t.nodes[i]
+	if n.feature < 0 {
+		return 0
+	}
+	left := t.depthAt(n.left)
+	right := t.depthAt(n.right)
+	if left > right {
+		return left + 1
+	}
+	return right + 1
+}
+
+// NodeCount returns the number of nodes in the fitted tree.
+func (t *Tree) NodeCount() int { return len(t.nodes) }

@@ -1,0 +1,138 @@
+package workflow
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"smartflux/internal/metric"
+)
+
+// Spec is the serializable description of a workflow. It plays the role of
+// the paper's extended Oozie XML schema (§4.2), carrying the per-step data
+// containers and error bounds; JSON replaces XML.
+type Spec struct {
+	Name  string     `json:"name"`
+	Steps []StepSpec `json:"steps"`
+}
+
+// StepSpec describes one step of a workflow spec. Processor names are
+// resolved against a Registry at build time.
+type StepSpec struct {
+	ID        string   `json:"id"`
+	Name      string   `json:"name,omitempty"`
+	Processor string   `json:"processor"`
+	Inputs    []string `json:"inputs,omitempty"`
+	Outputs   []string `json:"outputs"`
+	After     []string `json:"after,omitempty"`
+	Source    bool     `json:"source,omitempty"`
+	// MaxError is maxε in [0,1]; 0 means the step tolerates no error.
+	MaxError   float64 `json:"maxError,omitempty"`
+	ImpactFunc string  `json:"impactFunc,omitempty"`
+	ErrorFunc  string  `json:"errorFunc,omitempty"`
+	Mode       string  `json:"mode,omitempty"`
+	Combiner   string  `json:"combiner,omitempty"`
+}
+
+// Registry maps processor names to implementations for spec building.
+type Registry map[string]Processor
+
+// ParseSpec decodes a JSON workflow spec.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("workflow spec: %w", err)
+	}
+	return s, nil
+}
+
+// Encode renders the spec as indented JSON.
+func (s Spec) Encode() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Build constructs and finalizes a workflow from the spec, resolving
+// processors from reg.
+func (s Spec) Build(reg Registry) (*Workflow, error) {
+	w := New(s.Name)
+	for _, ss := range s.Steps {
+		proc, ok := reg[ss.Processor]
+		if !ok {
+			return nil, fmt.Errorf("workflow spec: step %q: unknown processor %q", ss.ID, ss.Processor)
+		}
+		mode, err := metric.ParseMode(ss.Mode)
+		if err != nil {
+			return nil, fmt.Errorf("workflow spec: step %q: %w", ss.ID, err)
+		}
+		step := &Step{
+			ID:     StepID(ss.ID),
+			Name:   ss.Name,
+			Source: ss.Source,
+			QoD: QoD{
+				MaxError:   ss.MaxError,
+				ImpactFunc: ss.ImpactFunc,
+				ErrorFunc:  ss.ErrorFunc,
+				Mode:       mode,
+				Combiner:   ss.Combiner,
+			},
+			Proc: proc,
+		}
+		for _, in := range ss.Inputs {
+			c, err := ParseContainer(in)
+			if err != nil {
+				return nil, fmt.Errorf("workflow spec: step %q input: %w", ss.ID, err)
+			}
+			step.Inputs = append(step.Inputs, c)
+		}
+		for _, out := range ss.Outputs {
+			c, err := ParseContainer(out)
+			if err != nil {
+				return nil, fmt.Errorf("workflow spec: step %q output: %w", ss.ID, err)
+			}
+			step.Outputs = append(step.Outputs, c)
+		}
+		for _, after := range ss.After {
+			step.After = append(step.After, StepID(after))
+		}
+		if err := w.AddStep(step); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Finalize(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// ToSpec serializes a finalized workflow back into a Spec. Processor names
+// must be supplied since functions cannot be serialized.
+func (w *Workflow) ToSpec(processorNames map[StepID]string) (Spec, error) {
+	if !w.finalized {
+		return Spec{}, ErrNotFinalized
+	}
+	spec := Spec{Name: w.name}
+	for _, id := range w.order {
+		s := w.steps[id]
+		ss := StepSpec{
+			ID:         string(s.ID),
+			Name:       s.Name,
+			Processor:  processorNames[id],
+			Source:     s.Source,
+			MaxError:   s.QoD.MaxError,
+			ImpactFunc: s.QoD.ImpactFunc,
+			ErrorFunc:  s.QoD.ErrorFunc,
+			Mode:       s.QoD.Mode.String(),
+			Combiner:   s.QoD.Combiner,
+		}
+		for _, in := range s.Inputs {
+			ss.Inputs = append(ss.Inputs, in.String())
+		}
+		for _, out := range s.Outputs {
+			ss.Outputs = append(ss.Outputs, out.String())
+		}
+		for _, after := range s.After {
+			ss.After = append(ss.After, string(after))
+		}
+		spec.Steps = append(spec.Steps, ss)
+	}
+	return spec, nil
+}

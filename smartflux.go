@@ -1,0 +1,257 @@
+// Package smartflux is a middleware framework for adaptive execution of
+// continuous, data-intensive workflows, reproducing "Adaptive Execution of
+// Continuous and Data-intensive Workflows with Machine Learning" (Esteves,
+// Galhardas, Veiga — Middleware '18).
+//
+// Workflows are DAGs of processing steps that communicate through data
+// containers in a columnar key-value store. Instead of re-executing every
+// step on every wave of input (the Synchronous Data-Flow model), SmartFlux
+// learns — with a multi-label Random Forest — how each step's input impact
+// (ι) relates to the output error (ε) incurred by skipping it, and triggers
+// a step only when its user-specified error bound (maxε) would otherwise be
+// exceeded. The result is substantial resource savings at a bounded,
+// probabilistically guaranteed output deviation.
+//
+// # Quick start
+//
+// Build a workflow, declare Quality-of-Data bounds on the steps that may be
+// skipped, and run the training → application lifecycle:
+//
+//	wf := smartflux.NewWorkflow("pipeline")
+//	wf.AddStep(&smartflux.Step{
+//		ID:      "ingest",
+//		Source:  true,
+//		Outputs: []smartflux.Container{{Table: "raw"}},
+//		Proc:    smartflux.ProcessorFunc(ingest),
+//	})
+//	wf.AddStep(&smartflux.Step{
+//		ID:      "aggregate",
+//		Inputs:  []smartflux.Container{{Table: "raw"}},
+//		Outputs: []smartflux.Container{{Table: "agg"}},
+//		QoD:     smartflux.QoD{MaxError: 0.1},
+//		Proc:    smartflux.ProcessorFunc(aggregate),
+//	})
+//	wf.Finalize()
+//
+// See the examples/ directory for complete programs and internal/experiments
+// for the paper's full evaluation.
+package smartflux
+
+import (
+	"smartflux/internal/core"
+	"smartflux/internal/engine"
+	"smartflux/internal/kvstore"
+	"smartflux/internal/metric"
+	"smartflux/internal/ml"
+	"smartflux/internal/workflow"
+)
+
+// Storage layer: the versioned columnar key-value store steps communicate
+// through (an embedded HBase stand-in).
+type (
+	// Store is a collection of named tables with a shared logical clock.
+	Store = kvstore.Store
+	// Table is a sparse sorted map of (row, column) to versioned values.
+	Table = kvstore.Table
+	// Batch is an atomically applied set of mutations.
+	Batch = kvstore.Batch
+	// Mutation is a single change delivered to observers.
+	Mutation = kvstore.Mutation
+	// Observer receives mutations applied to a table.
+	Observer = kvstore.Observer
+	// Cell is a fully qualified cell returned by scans.
+	Cell = kvstore.Cell
+	// ScanOptions selects cells for Table.Scan.
+	ScanOptions = kvstore.ScanOptions
+	// TableOptions configures table creation.
+	TableOptions = kvstore.TableOptions
+)
+
+// Workflow model (paper §2).
+type (
+	// Workflow is a DAG of processing steps.
+	Workflow = workflow.Workflow
+	// Step is one processing step with its QoD annotation.
+	Step = workflow.Step
+	// StepID identifies a step.
+	StepID = workflow.StepID
+	// Container references a data container (table + column prefix).
+	Container = workflow.Container
+	// QoD is a step's Quality-of-Data configuration.
+	QoD = workflow.QoD
+	// Context is passed to step processors.
+	Context = workflow.Context
+	// Processor is a step's computation.
+	Processor = workflow.Processor
+	// ProcessorFunc adapts a function to Processor.
+	ProcessorFunc = workflow.ProcessorFunc
+	// Spec is the serializable workflow description.
+	Spec = workflow.Spec
+	// Registry maps processor names for spec building.
+	Registry = workflow.Registry
+)
+
+// Execution engine.
+type (
+	// BuildFunc constructs one fresh instance of a workload.
+	BuildFunc = engine.BuildFunc
+	// Decider is a triggering policy consulted per wave and step.
+	Decider = engine.Decider
+	// Harness pairs a live and a synchronous reference instance.
+	Harness = engine.Harness
+	// Instance executes one workflow wave by wave.
+	Instance = engine.Instance
+	// Result aggregates a harness run.
+	Result = engine.Result
+	// StepReport carries per-wave error measurements.
+	StepReport = engine.StepReport
+)
+
+// Learning layer (paper §3).
+type (
+	// Session is the QoD engine: knowledge base + predictor + lifecycle.
+	Session = core.Session
+	// SessionConfig configures a session.
+	SessionConfig = core.Config
+	// TestReport carries test-phase quality metrics.
+	TestReport = core.TestReport
+	// KnowledgeBase stores training tuples.
+	KnowledgeBase = core.KnowledgeBase
+	// Predictor is the trained multi-label model.
+	Predictor = core.Predictor
+	// PipelineConfig configures an end-to-end lifecycle run.
+	PipelineConfig = core.PipelineConfig
+	// PipelineResult aggregates an end-to-end run.
+	PipelineResult = core.PipelineResult
+	// Classifier is a binary classifier usable as a session factory.
+	Classifier = ml.Classifier
+)
+
+// Metrics (paper §2.1-2.2, §4.2).
+type (
+	// Metric is the user-extensible impact/error metric API.
+	Metric = metric.Metric
+	// MetricContext carries container aggregates to Metric.Compute.
+	MetricContext = metric.Context
+	// MetricFactory creates fresh Metric instances.
+	MetricFactory = metric.Factory
+	// Mode selects baseline semantics (accumulate vs cancellation).
+	Mode = metric.Mode
+	// State is a snapshot of a container's numeric contents.
+	State = metric.State
+	// MetricTracker holds a metric's baseline across waves (the
+	// Monitoring component's per-container bookkeeping).
+	MetricTracker = metric.Tracker
+)
+
+// NewMetricTracker creates a tracker that applies a (possibly custom §4.2)
+// metric across waves under the given baseline mode.
+func NewMetricTracker(factory MetricFactory, mode Mode) *MetricTracker {
+	return metric.NewTracker(factory, mode)
+}
+
+// ParseMetricDSL compiles a metric expression (the high-level DSL the paper
+// proposes in §4.2) into a metric factory, e.g.
+// "sqrt(sum(sqdelta)/m)" or "sum(absdelta)*m/(baselinesum*n)".
+// Expressions are also accepted anywhere a built-in metric name is, with
+// the "dsl:" prefix (QoD.ImpactFunc, QoD.ErrorFunc, workflow specs).
+func ParseMetricDSL(expr string) (MetricFactory, error) {
+	return metric.ParseDSL(expr)
+}
+
+// DriftDetector watches application-phase prediction quality and signals
+// when the model should be retrained (§3.1's on-demand retraining).
+type DriftDetector = core.DriftDetector
+
+// NewDriftDetector creates a drift detector over a sliding window that
+// signals when the disagreement rate exceeds threshold.
+func NewDriftDetector(window int, threshold float64) *DriftDetector {
+	return core.NewDriftDetector(window, threshold)
+}
+
+// Baseline modes.
+const (
+	// ModeCancellation compares against the state at the last execution.
+	ModeCancellation = metric.ModeCancellation
+	// ModeAccumulate accumulates per-wave deltas since the last execution.
+	ModeAccumulate = metric.ModeAccumulate
+)
+
+// Built-in metric function names, usable in QoD and workflow specs.
+const (
+	FuncAbsoluteImpact = metric.FuncAbsoluteImpact
+	FuncRelativeImpact = metric.FuncRelativeImpact
+	FuncRelativeError  = metric.FuncRelativeError
+	FuncRMSE           = metric.FuncRMSE
+)
+
+// Classifier names for SessionConfig.Classifier.
+const (
+	ClassifierRandomForest = core.ClassifierRandomForest
+	ClassifierSVM          = core.ClassifierSVM
+	ClassifierLogistic     = core.ClassifierLogistic
+	ClassifierNaiveBayes   = core.ClassifierNaiveBayes
+	ClassifierDecisionTree = core.ClassifierDecisionTree
+	ClassifierMLP          = core.ClassifierMLP
+	ClassifierKNN          = core.ClassifierKNN
+)
+
+// NewStore creates an empty data store.
+func NewStore() *Store { return kvstore.New() }
+
+// NewWorkflow creates an empty workflow.
+func NewWorkflow(name string) *Workflow { return workflow.New(name) }
+
+// NewSession creates a SmartFlux session in the training phase.
+func NewSession(cfg SessionConfig) *Session { return core.NewSession(cfg) }
+
+// NewHarness builds live and reference instances of a workload. reportSteps
+// selects the steps whose output error is measured (nil = the last gated
+// step).
+func NewHarness(build BuildFunc, reportSteps []StepID) (*Harness, error) {
+	return engine.NewHarness(build, reportSteps)
+}
+
+// NewInstance binds a finalized workflow to a store for wave-by-wave
+// execution.
+func NewInstance(wf *Workflow, store *Store) (*Instance, error) {
+	return engine.NewInstance(wf, store, engine.InstanceConfig{})
+}
+
+// RunPipeline executes the full SmartFlux lifecycle: synchronous training,
+// model construction with the test phase, then adaptive application.
+func RunPipeline(build BuildFunc, reportSteps []StepID, cfg PipelineConfig) (*PipelineResult, error) {
+	return core.RunPipeline(build, reportSteps, cfg)
+}
+
+// Triggering policies.
+
+// SyncPolicy returns the Synchronous Data-Flow policy (every step, every
+// wave).
+func SyncPolicy() Decider { return engine.Sync{} }
+
+// RandomPolicy returns the uniformly random policy of Figure 11.
+func RandomPolicy(p float64, seed int64) Decider { return engine.NewRandom(p, seed) }
+
+// SeqPolicy returns the execute-every-N-waves policy of Figure 11.
+func SeqPolicy(n int) Decider { return engine.NewSeq(n) }
+
+// OraclePolicy returns the simulated-optimal policy: when run through a
+// Harness, its decisions replay the reference instance's per-wave labels
+// (Figure 12's "optimal").
+func OraclePolicy() Decider { return &engine.Oracle{} }
+
+// ParseSpec decodes a JSON workflow spec.
+func ParseSpec(data []byte) (Spec, error) { return workflow.ParseSpec(data) }
+
+// ParseContainer parses a "table" or "table/columnPrefix" reference.
+func ParseContainer(s string) (Container, error) { return workflow.ParseContainer(s) }
+
+// EncodeFloat encodes a float64 cell value.
+func EncodeFloat(v float64) []byte { return kvstore.EncodeFloat(v) }
+
+// DecodeFloat decodes a float64 cell value.
+func DecodeFloat(b []byte) (float64, error) { return kvstore.DecodeFloat(b) }
+
+// NewBatch creates an empty mutation batch.
+func NewBatch() *Batch { return kvstore.NewBatch() }

@@ -1,0 +1,79 @@
+// Package workloads exposes the paper's evaluation workloads (§5.1) and the
+// motivational fire-risk scenario as ready-to-run workflow builders. Each
+// builder returns a smartflux.BuildFunc producing fresh, identical instances
+// of the workload — generators are deterministic per seed, so a harness can
+// run live and reference copies in lockstep.
+package workloads
+
+import (
+	"smartflux/internal/aqhi"
+	"smartflux/internal/firerisk"
+	"smartflux/internal/lrb"
+
+	"smartflux"
+)
+
+// Configuration types of the three workloads.
+type (
+	// LinearRoadConfig parameterizes the Linear Road tolling benchmark.
+	LinearRoadConfig = lrb.Config
+	// AirQualityConfig parameterizes the AQHI sensor-network workload.
+	AirQualityConfig = aqhi.Config
+	// FireRiskConfig parameterizes the fire-risk assessment workload.
+	FireRiskConfig = firerisk.Config
+)
+
+// Step identifiers of the Linear Road workflow (paper Figure 5).
+const (
+	LinearRoadFeeder     = lrb.StepFeeder
+	LinearRoadPositions  = lrb.StepPositions
+	LinearRoadQueries    = lrb.StepQueries
+	LinearRoadAvgSpeed   = lrb.StepAvgSpeed
+	LinearRoadCarCount   = lrb.StepCarCount
+	LinearRoadAccidents  = lrb.StepAccidents
+	LinearRoadCongestion = lrb.StepCongestion
+	LinearRoadClassify   = lrb.StepClassify
+	LinearRoadTravelTime = lrb.StepTravelTime
+)
+
+// Step identifiers of the air-quality workflow (paper Figure 6).
+const (
+	AirQualityIngest        = aqhi.StepIngest
+	AirQualityConcentration = aqhi.StepConcentration
+	AirQualityZones         = aqhi.StepZones
+	AirQualityInterp        = aqhi.StepInterp
+	AirQualityHotspots      = aqhi.StepHotspots
+	AirQualityIndex         = aqhi.StepIndex
+)
+
+// Step identifiers of the fire-risk workflow (paper Figure 2).
+const (
+	FireRiskMapUpdate = firerisk.StepMapUpdate
+	FireRiskAreas     = firerisk.StepAreas
+	FireRiskThermal   = firerisk.StepThermal
+	FireRiskAreaRisk  = firerisk.StepAreaRisk
+	FireRiskOverall   = firerisk.StepOverall
+	FireRiskSatellite = firerisk.StepSatellite
+	FireRiskDispatch  = firerisk.StepDispatch
+)
+
+// LinearRoad returns a builder for the Linear Road tolling workload.
+func LinearRoad(cfg LinearRoadConfig) smartflux.BuildFunc {
+	return lrb.Build(cfg)
+}
+
+// AirQuality returns a builder for the AQHI workload.
+func AirQuality(cfg AirQualityConfig) smartflux.BuildFunc {
+	return aqhi.Build(cfg)
+}
+
+// FireRisk returns a builder for the fire-risk workload.
+func FireRisk(cfg FireRiskConfig) smartflux.BuildFunc {
+	return firerisk.Build(cfg)
+}
+
+// AirQualityRiskClass maps an AQHI index value to its health-risk class
+// (low, moderate, high, very high).
+func AirQualityRiskClass(index float64) string {
+	return aqhi.RiskClass(index)
+}
