@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race vet check bench
+
+all: check
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## test: run the full test suite
+test:
+	$(GO) test ./...
+
+## race: run the test suite under the race detector
+race:
+	$(GO) test -race ./...
+
+## vet: static analysis
+vet:
+	$(GO) vet ./...
+
+## check: the pre-PR gate — build, vet, tests, race
+check: build vet test race
+
+## bench: overhead microbenchmarks (§5.3 + instrumentation overhead)
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkOverhead' -benchtime 1000x .

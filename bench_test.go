@@ -19,6 +19,7 @@ import (
 	"smartflux/internal/kvstore"
 	"smartflux/internal/metric"
 	"smartflux/internal/ml"
+	"smartflux/internal/obs"
 	"smartflux/internal/ml/multilabel"
 	"smartflux/workloads"
 )
@@ -243,6 +244,49 @@ func BenchmarkOverheadAQHIWave(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.RunWave(engine.Sync{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOverheadAQHIWaveObserved is BenchmarkOverheadAQHIWave with a
+// metrics registry attached — the delta against the plain benchmark is the
+// instrumentation overhead (acceptance bound: < 5%).
+func BenchmarkOverheadAQHIWaveObserved(b *testing.B) {
+	build := workloads.AirQuality(workloads.AirQualityConfig{Seed: 42})
+	wf, store, err := build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := engine.NewInstance(wf, store, engine.InstanceConfig{TrainingMode: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst.Instrument(obs.New(obs.NewRegistry()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.RunWave(engine.Sync{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOverheadAQHIWaveTraced adds full decision tracing into an
+// in-memory ring on top of the metrics registry.
+func BenchmarkOverheadAQHIWaveTraced(b *testing.B) {
+	build := workloads.AirQuality(workloads.AirQualityConfig{Seed: 42})
+	wf, store, err := build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := engine.NewInstance(wf, store, engine.InstanceConfig{TrainingMode: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst.Instrument(obs.New(obs.NewRegistry(), obs.NewRingSink(1024)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := inst.RunWave(engine.Sync{}); err != nil {

@@ -36,8 +36,40 @@ func run(args []string, out io.Writer) error {
 	train := fs.Int("train", 336, "training waves (smartflux policy only)")
 	apply := fs.Int("apply", 384, "application waves")
 	seed := fs.Int64("seed", 42, "deterministic seed")
+	obsAddr := fs.String("obs-addr", "", "serve /metrics, /trace/tail and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
+	traceOut := fs.String("trace-out", "", "append decision-trace events as JSON lines to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var (
+		registry *smartflux.MetricsRegistry
+		observer *smartflux.RunObserver
+		jsonl    *smartflux.JSONLTraceSink
+	)
+	if *obsAddr != "" || *traceOut != "" {
+		registry = smartflux.NewMetricsRegistry()
+		var sinks []smartflux.TraceSink
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return fmt.Errorf("trace-out: %w", err)
+			}
+			defer f.Close()
+			jsonl = smartflux.NewJSONLTraceSink(f)
+			sinks = append(sinks, jsonl)
+		}
+		if *obsAddr != "" {
+			ring := smartflux.NewTraceRing(4096)
+			sinks = append(sinks, ring)
+			srv, err := smartflux.StartDebugServer(*obsAddr, registry, ring)
+			if err != nil {
+				return fmt.Errorf("obs-addr: %w", err)
+			}
+			defer srv.Close()
+			fmt.Fprintf(out, "observability on http://%s (/metrics, /trace/tail, /debug/pprof)\n", srv.Addr())
+		}
+		observer = smartflux.NewRunObserver(registry, sinks...)
 	}
 
 	var build smartflux.BuildFunc
@@ -65,6 +97,7 @@ func run(args []string, out io.Writer) error {
 				Thresholds:     []float64{0.15},
 				PositiveWeight: 14,
 			},
+			Obs: observer,
 		})
 		if err != nil {
 			return err
@@ -74,7 +107,8 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  test phase: accuracy %.3f precision %.3f recall %.3f auc %.3f\n",
 			macro.Accuracy, macro.Precision, macro.Recall, macro.AUC)
 		printResult(out, res.Apply, report)
-		return nil
+		printDecisionSummary(out, registry)
+		return traceErr(jsonl)
 	}
 
 	decider, err := parsePolicy(*policy, *seed)
@@ -85,12 +119,41 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if observer != nil {
+		harness.Instrument(observer)
+	}
 	res, err := harness.Run(*apply, decider)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "%s @ %.0f%% bound, policy %s\n", *workload, *bound*100, decider.Name())
 	printResult(out, res, report)
+	printDecisionSummary(out, registry)
+	return traceErr(jsonl)
+}
+
+// printDecisionSummary reports exec/skip counts and the p95 decision latency
+// collected by the observer, if one was attached.
+func printDecisionSummary(out io.Writer, reg *smartflux.MetricsRegistry) {
+	if reg == nil {
+		return
+	}
+	snap := reg.Snapshot()
+	execs := snap.Counters[`smartflux_engine_decisions_total{verdict="exec"}`]
+	skips := snap.Counters[`smartflux_engine_decisions_total{verdict="skip"}`]
+	lat := snap.Histograms["smartflux_engine_decision_latency_seconds"]
+	fmt.Fprintf(out, "  decisions: %d exec, %d skip; p95 decision latency %.1fµs\n",
+		execs, skips, lat.P95*1e6)
+}
+
+// traceErr surfaces a deferred trace-sink write error, if any.
+func traceErr(jsonl *smartflux.JSONLTraceSink) error {
+	if jsonl == nil {
+		return nil
+	}
+	if err := jsonl.Err(); err != nil {
+		return fmt.Errorf("trace-out: %w", err)
+	}
 	return nil
 }
 

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -69,5 +72,74 @@ func TestParsePolicy(t *testing.T) {
 		if p.Name() != want {
 			t.Errorf("policy name = %q, want %q", p.Name(), want)
 		}
+	}
+}
+
+func TestRunWithObservability(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-workload", "firerisk", "-policy", "seq3", "-apply", "15",
+		"-obs-addr", "127.0.0.1:0", "-trace-out", trace,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "observability on http://") {
+		t.Errorf("missing debug-server line:\n%s", out)
+	}
+	if !strings.Contains(out, "decisions:") || !strings.Contains(out, "p95 decision latency") {
+		t.Errorf("missing decision summary:\n%s", out)
+	}
+
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	// firerisk has gated steps; every (wave, gated step) pair traces one event.
+	if len(lines) == 0 || len(lines)%15 != 0 {
+		t.Fatalf("trace has %d lines, want a positive multiple of 15 waves", len(lines))
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("trace line not JSON: %v", err)
+	}
+	for _, key := range []string{"type", "wave", "step", "policy", "iota", "verdict", "max_eps"} {
+		if _, ok := ev[key]; !ok {
+			t.Errorf("trace event missing %q: %s", key, lines[0])
+		}
+	}
+}
+
+func TestRunSmartfluxPolicyTraced(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-workload", "firerisk", "-policy", "smartflux",
+		"-train", "60", "-apply", "20", "-trace-out", trace,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var predicted bool
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var ev struct {
+			PredictedLabel int `json:"predicted_label"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.PredictedLabel == 0 || ev.PredictedLabel == 1 {
+			predicted = true
+		}
+	}
+	if !predicted {
+		t.Error("smartflux run should trace predictor labels in application phase")
 	}
 }

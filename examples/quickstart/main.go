@@ -8,13 +8,19 @@
 // Run with:
 //
 //	go run ./examples/quickstart
+//
+// Pass -trace-out decisions.jsonl to log every triggering decision (one JSON
+// line per wave and gated step), and -obs-addr 127.0.0.1:8080 to watch live
+// metrics on /metrics while it runs.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math"
 	"math/rand"
+	"os"
 	"strconv"
 
 	"smartflux"
@@ -120,6 +126,38 @@ func build() (*smartflux.Workflow, *smartflux.Store, error) {
 }
 
 func main() {
+	obsAddr := flag.String("obs-addr", "", "serve /metrics and /trace/tail on this address")
+	traceOut := flag.String("trace-out", "", "write decision-trace JSON lines to this file")
+	flag.Parse()
+
+	var (
+		registry *smartflux.MetricsRegistry
+		observer *smartflux.RunObserver
+	)
+	if *obsAddr != "" || *traceOut != "" {
+		registry = smartflux.NewMetricsRegistry()
+		var sinks []smartflux.TraceSink
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			sinks = append(sinks, smartflux.NewJSONLTraceSink(f))
+		}
+		if *obsAddr != "" {
+			ring := smartflux.NewTraceRing(2048)
+			sinks = append(sinks, ring)
+			srv, err := smartflux.StartDebugServer(*obsAddr, registry, ring)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer srv.Close()
+			fmt.Printf("observability on http://%s\n", srv.Addr())
+		}
+		observer = smartflux.NewRunObserver(registry, sinks...)
+	}
+
 	res, err := smartflux.RunPipeline(build, nil, smartflux.PipelineConfig{
 		TrainWaves: trainWaves,
 		ApplyWaves: applyWaves,
@@ -128,6 +166,7 @@ func main() {
 			Thresholds:     []float64{0.15},
 			PositiveWeight: 12,
 		},
+		Obs: observer,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -143,5 +182,12 @@ func main() {
 		conf := report.Confidence()
 		fmt.Printf("step %s: %d bound violations in %d waves (confidence %.1f%%)\n",
 			step, report.ViolationCount(), applyWaves, conf[len(conf)-1]*100)
+	}
+	if registry != nil {
+		snap := registry.Snapshot()
+		fmt.Printf("decisions: %d exec, %d skip; p95 decision latency %.1fµs\n",
+			snap.Counters[`smartflux_engine_decisions_total{verdict="exec"}`],
+			snap.Counters[`smartflux_engine_decisions_total{verdict="skip"}`],
+			snap.Histograms["smartflux_engine_decision_latency_seconds"].P95*1e6)
 	}
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"sync"
+
+	"smartflux/internal/obs"
 )
 
 // DriftDetector implements §3.1's on-demand retraining trigger: "these two
@@ -21,9 +23,21 @@ type DriftDetector struct {
 	mu sync.Mutex
 
 	window    []bool // true = prediction agreed with hindsight
+	bad       int    // disagreements currently in the window
 	capacity  int
 	threshold float64
 	minFill   int
+	drifted   bool // last reported drift state, for edge-triggered signals
+
+	obs *driftObs
+}
+
+// driftObs holds the pre-resolved instruments of an attached observer.
+type driftObs struct {
+	agreed    *obs.Counter
+	disagreed *obs.Counter
+	signals   *obs.Counter
+	rate      *obs.Gauge
 }
 
 // NewDriftDetector creates a detector over a sliding window of `window`
@@ -44,31 +58,62 @@ func NewDriftDetector(window int, threshold float64) *DriftDetector {
 	}
 }
 
+// Instrument attaches an observer: agreement/disagreement counters, a
+// windowed disagreement-rate gauge, and a counter of drift signals (counted
+// once per crossing, not per Drifted call). Passing nil detaches.
+func (d *DriftDetector) Instrument(o *obs.Observer) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if o == nil {
+		d.obs = nil
+		return
+	}
+	d.obs = &driftObs{
+		agreed:    o.Counter(`smartflux_drift_observations_total{outcome="agreed"}`),
+		disagreed: o.Counter(`smartflux_drift_observations_total{outcome="disagreed"}`),
+		signals:   o.Counter("smartflux_drift_signals_total"),
+		rate:      o.Gauge("smartflux_drift_disagreement_rate"),
+	}
+}
+
 // Observe records one prediction outcome: agreed=true when the decision
 // matched the hindsight label.
 func (d *DriftDetector) Observe(agreed bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.window = append(d.window, agreed)
-	if len(d.window) > d.capacity {
-		d.window = d.window[len(d.window)-d.capacity:]
+	if !agreed {
+		d.bad++
 	}
+	if len(d.window) > d.capacity {
+		if !d.window[0] {
+			d.bad--
+		}
+		d.window = d.window[1:]
+	}
+	if do := d.obs; do != nil {
+		if agreed {
+			do.agreed.Inc()
+		} else {
+			do.disagreed.Inc()
+		}
+		do.rate.Set(d.rateLocked())
+	}
+}
+
+// rateLocked returns the windowed disagreement rate; callers hold d.mu.
+func (d *DriftDetector) rateLocked() float64 {
+	if len(d.window) == 0 {
+		return 0
+	}
+	return float64(d.bad) / float64(len(d.window))
 }
 
 // DisagreementRate returns the current windowed disagreement rate.
 func (d *DriftDetector) DisagreementRate() float64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if len(d.window) == 0 {
-		return 0
-	}
-	var bad int
-	for _, ok := range d.window {
-		if !ok {
-			bad++
-		}
-	}
-	return float64(bad) / float64(len(d.window))
+	return d.rateLocked()
 }
 
 // Drifted reports whether the disagreement rate has crossed the threshold
@@ -76,16 +121,14 @@ func (d *DriftDetector) DisagreementRate() float64 {
 func (d *DriftDetector) Drifted() bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if len(d.window) < d.minFill {
-		return false
-	}
-	var bad int
-	for _, ok := range d.window {
-		if !ok {
-			bad++
+	drifted := len(d.window) >= d.minFill && d.rateLocked() > d.threshold
+	if drifted && !d.drifted {
+		if do := d.obs; do != nil {
+			do.signals.Inc()
 		}
 	}
-	return float64(bad)/float64(len(d.window)) > d.threshold
+	d.drifted = drifted
+	return drifted
 }
 
 // Reset clears the window (call after retraining).
@@ -93,6 +136,11 @@ func (d *DriftDetector) Reset() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.window = d.window[:0]
+	d.bad = 0
+	d.drifted = false
+	if do := d.obs; do != nil {
+		do.rate.Set(0)
+	}
 }
 
 // Retrain folds fresh observations into the knowledge base and rebuilds the
@@ -101,6 +149,12 @@ func (d *DriftDetector) Reset() {
 func (s *Session) Retrain(impacts [][]float64, labels [][]int) (TestReport, error) {
 	for i := range impacts {
 		s.kb.Append(impacts[i], labels[i])
+	}
+	s.mu.RLock()
+	so := s.obs
+	s.mu.RUnlock()
+	if so != nil {
+		so.retrains.Inc()
 	}
 	return s.Train()
 }

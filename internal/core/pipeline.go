@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"smartflux/internal/engine"
+	"smartflux/internal/obs"
 	"smartflux/internal/workflow"
 )
 
@@ -17,6 +18,9 @@ type PipelineConfig struct {
 	ApplyWaves int
 	// Session configures the learning layer.
 	Session Config
+	// Obs, when non-nil, instruments the harness (engine metrics +
+	// decision trace) and the session (lifecycle metrics).
+	Obs *obs.Observer
 }
 
 // PipelineResult aggregates an end-to-end run.
@@ -45,6 +49,10 @@ func RunPipeline(build engine.BuildFunc, reportSteps []workflow.StepID, cfg Pipe
 		return nil, err
 	}
 	session := NewSession(cfg.Session)
+	if cfg.Obs != nil {
+		harness.Instrument(cfg.Obs)
+		session.Instrument(cfg.Obs)
+	}
 
 	trainRes, err := harness.Run(cfg.TrainWaves, session)
 	if err != nil {

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"smartflux/internal/ml"
 	"smartflux/internal/ml/eval"
 	"smartflux/internal/ml/multilabel"
+	"smartflux/internal/obs"
 )
 
 // Phase is the SmartFlux lifecycle phase (§4.1's operating modes, with the
@@ -117,6 +119,50 @@ type Session struct {
 	predictor *Predictor
 	phase     Phase
 	report    TestReport
+	obs       *sessionObs
+}
+
+// sessionObs holds the pre-resolved instruments of an attached observer so
+// the per-wave Decide path pays no registry lookups.
+type sessionObs struct {
+	o           *obs.Observer
+	predictions *obs.Counter
+	failsafe    *obs.Counter
+	trains      *obs.Counter
+	retrains    *obs.Counter
+	accepted    *obs.Counter
+	rejected    *obs.Counter
+	phaseGauge  *obs.Gauge
+	trainDur    *obs.Histogram
+	accuracy    *obs.Gauge
+	recall      *obs.Gauge
+}
+
+// Instrument attaches an observer to the session: lifecycle phase gauge and
+// transition counters, train/retrain counters and durations, test-phase
+// quality gauges, and per-wave prediction/fail-safe counters. Passing nil
+// detaches; with no observer every hook is a no-op.
+func (s *Session) Instrument(o *obs.Observer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if o == nil {
+		s.obs = nil
+		return
+	}
+	s.obs = &sessionObs{
+		o:           o,
+		predictions: o.Counter("smartflux_session_predictions_total"),
+		failsafe:    o.Counter("smartflux_session_failsafe_executions_total"),
+		trains:      o.Counter("smartflux_session_trains_total"),
+		retrains:    o.Counter("smartflux_session_retrains_total"),
+		accepted:    o.Counter(`smartflux_session_test_outcomes_total{outcome="accepted"}`),
+		rejected:    o.Counter(`smartflux_session_test_outcomes_total{outcome="rejected"}`),
+		phaseGauge:  o.Gauge("smartflux_session_phase"),
+		trainDur:    o.Histogram("smartflux_session_train_duration_seconds"),
+		accuracy:    o.Gauge("smartflux_session_test_accuracy"),
+		recall:      o.Gauge("smartflux_session_test_recall"),
+	}
+	s.obs.phaseGauge.Set(float64(s.phase))
 }
 
 // NewSession creates a session in the training phase.
@@ -149,6 +195,7 @@ func (s *Session) ObserveTrainingWave(impacts []float64, labels []int) {
 // stays in training so more waves can be collected (§3.2: "if results are
 // not satisfactory, a training phase takes place again").
 func (s *Session) Train() (TestReport, error) {
+	start := time.Now()
 	factory := s.cfg.Factory
 	if factory == nil {
 		if weight := s.cfg.PositiveWeight; weight > 0 &&
@@ -184,6 +231,20 @@ func (s *Session) Train() (TestReport, error) {
 		s.phase = PhaseApplication
 	} else {
 		s.phase = PhaseTraining
+	}
+	if so := s.obs; so != nil {
+		so.trains.Inc()
+		so.trainDur.Observe(time.Since(start).Seconds())
+		so.phaseGauge.Set(float64(s.phase))
+		so.o.Counter(fmt.Sprintf("smartflux_session_phase_transitions_total{phase=%q}", s.phase)).Inc()
+		if report.Accepted {
+			so.accepted.Inc()
+		} else {
+			so.rejected.Inc()
+		}
+		macro := report.Macro()
+		so.accuracy.Set(macro.Accuracy)
+		so.recall.Set(macro.Recall)
 	}
 	return report, nil
 }
@@ -269,12 +330,19 @@ func (s *Session) Decide(_ int, stepIdx int, impacts []float64) bool {
 	s.mu.RLock()
 	predictor := s.predictor
 	phase := s.phase
+	so := s.obs
 	s.mu.RUnlock()
 	if predictor == nil || phase != PhaseApplication {
 		return true
 	}
+	if so != nil {
+		so.predictions.Inc()
+	}
 	run, err := predictor.Decide(stepIdx, impacts)
 	if err != nil {
+		if so != nil {
+			so.failsafe.Inc()
+		}
 		return true
 	}
 	return run

@@ -444,3 +444,45 @@ func TestNormalizedExecutionsBounded(t *testing.T) {
 		}
 	}
 }
+
+func TestStepReportEmptySeries(t *testing.T) {
+	r := &StepReport{MaxError: 0.1}
+	if dev := r.Deviation(); len(dev) != 0 {
+		t.Fatalf("Deviation on empty series = %v, want empty", dev)
+	}
+	if conf := r.Confidence(); len(conf) != 0 {
+		t.Fatalf("Confidence on empty series = %v, want empty", conf)
+	}
+	if n := r.ViolationCount(); n != 0 {
+		t.Fatalf("ViolationCount on empty series = %d, want 0", n)
+	}
+}
+
+func TestStepReportSingleWave(t *testing.T) {
+	r := &StepReport{
+		MaxError:   0.1,
+		Measured:   []float64{0.05},
+		Predicted:  []float64{0.08},
+		Violations: []bool{false},
+	}
+	dev := r.Deviation()
+	if len(dev) != 1 || dev[0] != 0.08-0.05 {
+		t.Fatalf("Deviation = %v, want [0.03]", dev)
+	}
+	conf := r.Confidence()
+	if len(conf) != 1 || conf[0] != 1 {
+		t.Fatalf("Confidence = %v, want [1]", conf)
+	}
+	if n := r.ViolationCount(); n != 0 {
+		t.Fatalf("ViolationCount = %d, want 0", n)
+	}
+
+	r.Violations[0] = true
+	conf = r.Confidence()
+	if len(conf) != 1 || conf[0] != 0 {
+		t.Fatalf("Confidence after violation = %v, want [0]", conf)
+	}
+	if n := r.ViolationCount(); n != 1 {
+		t.Fatalf("ViolationCount = %d, want 1", n)
+	}
+}

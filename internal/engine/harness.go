@@ -5,6 +5,7 @@ import (
 
 	"smartflux/internal/kvstore"
 	"smartflux/internal/metric"
+	"smartflux/internal/obs"
 	"smartflux/internal/stats"
 	"smartflux/internal/workflow"
 )
@@ -178,6 +179,8 @@ type Harness struct {
 
 	reportSteps []workflow.StepID
 	measures    map[workflow.StepID]*measureState
+
+	obs *obs.Observer
 }
 
 // measureState tracks the snapshots needed to derive one step's error
@@ -241,6 +244,22 @@ func defaultReportSteps(wf *workflow.Workflow) ([]workflow.StepID, error) {
 	return []workflow.StepID{gated[len(gated)-1]}, nil
 }
 
+// Instrument attaches an observer to the harness, its live instance and the
+// live instance's store. The live instance records the engine metrics;
+// decision-event emission is deferred to the harness, which enriches each
+// event with the reference instance's optimal label and — for report steps —
+// the measured/predicted §5.2 error series before emitting. The reference
+// instance stays uninstrumented so metrics describe the adaptive run only.
+// Passing nil detaches.
+func (h *Harness) Instrument(o *obs.Observer) {
+	h.obs = o
+	h.live.Instrument(o)
+	h.live.Store().Instrument(o)
+	if h.live.obs != nil {
+		h.live.obs.deferEmit = true
+	}
+}
+
 // Live returns the policy-driven instance.
 func (h *Harness) Live() *Instance { return h.live }
 
@@ -295,8 +314,44 @@ func (h *Harness) Run(waves int, decider Decider) (*Result, error) {
 			return nil, fmt.Errorf("harness measure wave %d: %w", w, err)
 		}
 		res.Waves++
+		h.emitDecisions(res, liveRes, refRes)
 	}
 	return res, nil
+}
+
+// emitDecisions enriches the live wave's decision events with the reference
+// instance's optimal labels and the measured/predicted errors of report
+// steps, then emits them to the observer's trace sinks.
+func (h *Harness) emitDecisions(res *Result, liveRes, refRes WaveResult) {
+	if h.obs == nil || len(liveRes.Decisions) == 0 {
+		return
+	}
+	for i := range liveRes.Decisions {
+		ev := &liveRes.Decisions[i]
+		if ev.StepIndex >= 0 && ev.StepIndex < len(refRes.Labels) {
+			ev.OptimalLabel = refRes.Labels[ev.StepIndex]
+		}
+	}
+	for _, id := range h.reportSteps {
+		report := res.Reports[id]
+		n := len(report.Measured)
+		if n == 0 {
+			continue
+		}
+		for i := range liveRes.Decisions {
+			ev := &liveRes.Decisions[i]
+			if ev.Step != string(id) {
+				continue
+			}
+			ev.MeasuredEps = report.Measured[n-1]
+			ev.PredictedEps = report.Predicted[n-1]
+			ev.Violation = report.Violations[n-1]
+			ev.EpsKnown = true
+		}
+	}
+	for _, ev := range liveRes.Decisions {
+		h.obs.EmitDecision(ev)
+	}
 }
 
 // measure appends this wave's error measurements for every reported step.

@@ -2,9 +2,11 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"smartflux/internal/kvstore"
 	"smartflux/internal/metric"
+	"smartflux/internal/obs"
 	"smartflux/internal/workflow"
 )
 
@@ -58,6 +60,11 @@ type WaveResult struct {
 	GatedExecutions int
 	// TotalExecutions counts all steps executed this wave.
 	TotalExecutions int
+	// Decisions holds one trace event per gated step. It is populated
+	// only when an observer with a trace sink is attached (see
+	// Instance.Instrument); a Harness enriches and emits these after
+	// measuring, a standalone Instance emits them at the end of RunWave.
+	Decisions []obs.DecisionEvent
 }
 
 // Instance binds a finalized workflow to a store and executes it wave by
@@ -74,6 +81,41 @@ type Instance struct {
 
 	impacts []float64 // last-known impacts, by gated index
 	wave    int
+
+	obs *instanceObs // nil when no observer is attached
+}
+
+// instanceObs carries the pre-resolved instruments of an attached observer,
+// so the wave loop pays no registry lookups. deferEmit is set by a Harness,
+// which enriches the wave's decision events with measured errors and the
+// reference instance's optimal labels before emitting them itself.
+type instanceObs struct {
+	o         *obs.Observer
+	waves     *obs.Counter
+	execs     *obs.Counter
+	skips     *obs.Counter
+	waveDur   *obs.Histogram
+	decideDur *obs.Histogram
+	deferEmit bool
+}
+
+// Instrument attaches an observer to the instance: per-wave duration and
+// per-decision latency histograms, gated exec/skip counters, and — when the
+// observer has a trace sink — one decision event per (wave, gated step).
+// Passing nil detaches; with no observer attached every hook is a no-op.
+func (in *Instance) Instrument(o *obs.Observer) {
+	if o == nil {
+		in.obs = nil
+		return
+	}
+	in.obs = &instanceObs{
+		o:         o,
+		waves:     o.Counter("smartflux_engine_waves_total"),
+		execs:     o.Counter(`smartflux_engine_decisions_total{verdict="exec"}`),
+		skips:     o.Counter(`smartflux_engine_decisions_total{verdict="skip"}`),
+		waveDur:   o.Histogram("smartflux_engine_wave_duration_seconds"),
+		decideDur: o.Histogram("smartflux_engine_decision_latency_seconds"),
+	}
 }
 
 // NewInstance creates an instance over wf and store. The workflow must be
@@ -226,6 +268,13 @@ func (in *Instance) RunWave(d Decider) (WaveResult, error) {
 		res.Labels[i] = -1
 	}
 
+	ob := in.obs
+	tracing := ob != nil && ob.o.Tracing()
+	var waveStart time.Time
+	if ob != nil {
+		waveStart = time.Now()
+	}
+
 	ctx := &workflow.Context{Wave: wave, Store: in.store}
 	for _, id := range in.order {
 		st := in.states[id]
@@ -257,7 +306,53 @@ func (in *Instance) RunWave(d Decider) (WaveResult, error) {
 			in.impacts[idx] = impact
 			res.Impacts[idx] = impact
 
-			run := in.predecessorsReady(id) && d.Decide(wave, idx, in.impacts)
+			ready := in.predecessorsReady(id)
+			var verdict bool
+			var decNanos int64
+			if ready {
+				if ob != nil {
+					t0 := time.Now()
+					verdict = d.Decide(wave, idx, in.impacts)
+					decNanos = time.Since(t0).Nanoseconds()
+					ob.decideDur.Observe(float64(decNanos) / 1e9)
+				} else {
+					verdict = d.Decide(wave, idx, in.impacts)
+				}
+			}
+			run := ready && verdict
+			if ob != nil {
+				if run {
+					ob.execs.Inc()
+				} else {
+					ob.skips.Inc()
+				}
+			}
+			var ev *obs.DecisionEvent
+			if tracing {
+				predicted := -1
+				if ready {
+					predicted = 0
+					if verdict {
+						predicted = 1
+					}
+				}
+				res.Decisions = append(res.Decisions, obs.DecisionEvent{
+					Type:           "decision",
+					Wave:           wave,
+					Step:           string(id),
+					StepIndex:      idx,
+					Policy:         d.Name(),
+					Impact:         impact,
+					Impacts:        append([]float64(nil), in.impacts...),
+					Ready:          ready,
+					PredictedLabel: predicted,
+					Verdict:        verdict,
+					OptimalLabel:   -1,
+					MaxEps:         step.QoD.MaxError,
+					DecisionNanos:  decNanos,
+				})
+				ev = &res.Decisions[len(res.Decisions)-1]
+			}
 			if !run {
 				continue
 			}
@@ -267,6 +362,9 @@ func (in *Instance) RunWave(d Decider) (WaveResult, error) {
 			res.TotalExecutions++
 			res.GatedExecutions++
 			res.Executed[idx] = true
+			if ev != nil {
+				ev.Executed = true
+			}
 
 			// Simulate the optimal label: does the fresh output
 			// deviate from the shadow baseline beyond maxε?
@@ -286,6 +384,10 @@ func (in *Instance) RunWave(d Decider) (WaveResult, error) {
 				}
 			}
 			res.Labels[idx] = label
+			if ev != nil {
+				ev.SimEps = worst
+				ev.OptimalLabel = label
+			}
 
 			// Baseline-commit discipline (see InstanceConfig).
 			if in.cfg.TrainingMode {
@@ -298,6 +400,15 @@ func (in *Instance) RunWave(d Decider) (WaveResult, error) {
 				for i, state := range inputStates {
 					st.impactTrackers[i].Commit(state)
 				}
+			}
+		}
+	}
+	if ob != nil {
+		ob.waves.Inc()
+		ob.waveDur.Observe(time.Since(waveStart).Seconds())
+		if !ob.deferEmit {
+			for _, ev := range res.Decisions {
+				ob.o.EmitDecision(ev)
 			}
 		}
 	}

@@ -84,6 +84,16 @@ func (t *Table) Apply(b *Batch) error {
 		muts = append(muts, t.putLocked(op.Row, op.Column, op.Value, ts))
 	}
 	t.mu.Unlock()
+	if ins := t.store.ins.Load(); ins != nil {
+		var dels uint64
+		for _, m := range muts {
+			if m.Kind == MutationDelete {
+				dels++
+			}
+		}
+		ins.mutations.Add(uint64(len(muts)) - dels)
+		ins.deletes.Add(dels)
+	}
 	t.notify(muts)
 	return nil
 }

@@ -15,8 +15,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"smartflux/internal/kvstore"
+	"smartflux/internal/obs"
 )
 
 // op identifies the request type.
@@ -29,7 +31,29 @@ const (
 	opDelete
 	opScan
 	opApply
+
+	opCount = int(opApply) + 1
 )
+
+// opName names each request type for metric labels.
+func opName(o op) string {
+	switch o {
+	case opCreateTable:
+		return "create_table"
+	case opPut:
+		return "put"
+	case opGet:
+		return "get"
+	case opDelete:
+		return "delete"
+	case opScan:
+		return "scan"
+	case opApply:
+		return "apply"
+	default:
+		return "unknown"
+	}
+}
 
 // request is the client → server frame.
 type request struct {
@@ -55,11 +79,26 @@ type response struct {
 type Server struct {
 	store *kvstore.Store
 
-	mu       sync.Mutex
-	listener net.Listener
-	conns    map[net.Conn]struct{}
-	wg       sync.WaitGroup
-	closed   bool
+	mu         sync.Mutex
+	listener   net.Listener
+	conns      map[net.Conn]struct{}
+	wg         sync.WaitGroup
+	closed     bool
+	firstErr   error // first async serving error (decode/encode/accept)
+	errHandler func(error)
+
+	obs *serverObs
+}
+
+// serverObs carries the server's pre-resolved instruments.
+type serverObs struct {
+	o          *obs.Observer
+	requests   [opCount]*obs.Counter
+	reqDur     *obs.Histogram
+	decodeErrs *obs.Counter
+	encodeErrs *obs.Counter
+	acceptErrs *obs.Counter
+	conns      *obs.Counter
 }
 
 // NewServer creates a server for the given store.
@@ -68,6 +107,76 @@ func NewServer(store *kvstore.Store) *Server {
 		store: store,
 		conns: make(map[net.Conn]struct{}),
 	}
+}
+
+// Instrument attaches an observer to the server: per-op request counters, a
+// request-latency histogram, connection counts, and decode/encode/accept
+// error counters (plus a per-connection error counter labeled by remote
+// address). Call before Listen; passing nil detaches.
+func (s *Server) Instrument(o *obs.Observer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if o == nil {
+		s.obs = nil
+		return
+	}
+	so := &serverObs{
+		o:          o,
+		reqDur:     o.Histogram("smartflux_kvnet_request_duration_seconds"),
+		decodeErrs: o.Counter(`smartflux_kvnet_errors_total{kind="decode"}`),
+		encodeErrs: o.Counter(`smartflux_kvnet_errors_total{kind="encode"}`),
+		acceptErrs: o.Counter(`smartflux_kvnet_errors_total{kind="accept"}`),
+		conns:      o.Counter("smartflux_kvnet_connections_total"),
+	}
+	for i := 1; i < opCount; i++ {
+		so.requests[i] = o.Counter(fmt.Sprintf("smartflux_kvnet_requests_total{op=%q}", opName(op(i))))
+	}
+	s.obs = so
+}
+
+// SetErrorHandler registers a callback invoked (from the serving goroutines)
+// with every asynchronous error the server hits: request decode failures,
+// response encode failures and listener accept failures. Clean client
+// disconnects (EOF, closed connections) are not errors. Call before Listen.
+func (s *Server) SetErrorHandler(fn func(error)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.errHandler = fn
+}
+
+// Err returns the first asynchronous serving error observed, or nil. It
+// complements SetErrorHandler for callers that only need a post-hoc check
+// (e.g. after Close).
+func (s *Server) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.firstErr
+}
+
+// reportErr records an async error: first-error retention, the registered
+// handler, the aggregate kind counter and a per-connection counter when a
+// remote address is known.
+func (s *Server) reportErr(kind *obs.Counter, remote string, err error) {
+	kind.Inc()
+	if so := s.obs; so != nil && remote != "" {
+		so.o.Counter(fmt.Sprintf("smartflux_kvnet_conn_errors_total{remote=%q}", remote)).Inc()
+	}
+	s.mu.Lock()
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+	handler := s.errHandler
+	s.mu.Unlock()
+	if handler != nil {
+		handler(err)
+	}
+}
+
+// isClosed reports whether Close has begun.
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
@@ -97,7 +206,17 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			return // listener closed
+			if errors.Is(err, net.ErrClosed) || s.isClosed() {
+				return // listener closed by Close
+			}
+			// A failing listener is a real fault: surface it instead of
+			// silently stopping the accept loop.
+			var acceptErrs *obs.Counter
+			if so := s.obs; so != nil {
+				acceptErrs = so.acceptErrs
+			}
+			s.reportErr(acceptErrs, "", fmt.Errorf("kvnet accept: %w", err))
+			return
 		}
 		s.mu.Lock()
 		if s.closed {
@@ -107,11 +226,14 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		if so := s.obs; so != nil {
+			so.conns.Inc()
+		}
 
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.serveConn(conn)
+			_ = s.serveConn(conn)
 			s.mu.Lock()
 			delete(s.conns, conn)
 			s.mu.Unlock()
@@ -119,22 +241,58 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-func (s *Server) serveConn(conn net.Conn) {
+// serveConn answers one client connection until it closes. A clean
+// disconnect (EOF between frames, or the server shutting the connection
+// down) returns nil; decode and encode failures are reported through the
+// error counters and handler, and returned.
+func (s *Server) serveConn(conn net.Conn) error {
 	defer conn.Close()
+	remote := conn.RemoteAddr().String()
+	so := s.obs
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
 		var req request
 		if err := dec.Decode(&req); err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				// Client hung up mid-frame; nothing to answer.
-				return
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || s.isClosed() {
+				return nil // clean disconnect or server shutdown
 			}
-			return
+			// Truncated frame or garbage on the wire: a fault worth
+			// surfacing, not a normal hang-up.
+			var decodeErrs *obs.Counter
+			if so != nil {
+				decodeErrs = so.decodeErrs
+			}
+			err = fmt.Errorf("kvnet decode from %s: %w", remote, err)
+			s.reportErr(decodeErrs, remote, err)
+			return err
+		}
+
+		var start time.Time
+		if so != nil {
+			start = time.Now()
 		}
 		resp := s.handle(req)
+		if so != nil {
+			so.reqDur.Observe(time.Since(start).Seconds())
+			i := int(req.Op)
+			if i <= 0 || i >= opCount {
+				i = 0
+			}
+			so.requests[i].Inc() // index 0 (unknown op) is a nil no-op
+		}
+
 		if err := enc.Encode(resp); err != nil {
-			return
+			if errors.Is(err, net.ErrClosed) || s.isClosed() {
+				return nil
+			}
+			var encodeErrs *obs.Counter
+			if so != nil {
+				encodeErrs = so.encodeErrs
+			}
+			err = fmt.Errorf("kvnet encode to %s: %w", remote, err)
+			s.reportErr(encodeErrs, remote, err)
+			return err
 		}
 	}
 }

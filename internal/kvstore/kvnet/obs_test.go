@@ -1,0 +1,188 @@
+package kvnet
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"smartflux/internal/kvstore"
+	"smartflux/internal/obs"
+)
+
+// startInstrumentedServer spins up a server with an observer and an error
+// handler feeding errCh.
+func startInstrumentedServer(t *testing.T) (*Server, string, *obs.Registry, chan error) {
+	t.Helper()
+	srv := NewServer(kvstore.New())
+	reg := obs.NewRegistry()
+	srv.Instrument(obs.New(reg))
+	errCh := make(chan error, 16)
+	srv.SetErrorHandler(func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr, reg, errCh
+}
+
+func TestServerInstrumented(t *testing.T) {
+	_, addr, reg, _ := startInstrumentedServer(t)
+	client := dialClient(t, addr)
+
+	if err := client.CreateTable("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := client.PutFloat("t", "r", "c", float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := client.Get("t", "r", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Scan("t", kvstore.ScanOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters[`smartflux_kvnet_requests_total{op="put"}`]; got != 5 {
+		t.Errorf("put requests = %d, want 5", got)
+	}
+	if got := snap.Counters[`smartflux_kvnet_requests_total{op="get"}`]; got != 1 {
+		t.Errorf("get requests = %d, want 1", got)
+	}
+	if got := snap.Counters["smartflux_kvnet_connections_total"]; got != 1 {
+		t.Errorf("connections = %d, want 1", got)
+	}
+	if h := snap.Histograms["smartflux_kvnet_request_duration_seconds"]; h.Count != 8 {
+		t.Errorf("request duration samples = %d, want 8", h.Count)
+	}
+}
+
+// TestServerSurfacesDecodeErrors sends garbage bytes: the server must count
+// the decode failure, invoke the error handler, and retain the error for
+// Err() — instead of silently dropping the connection.
+func TestServerSurfacesDecodeErrors(t *testing.T) {
+	srv, addr, reg, errCh := startInstrumentedServer(t)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("this is not a gob frame")); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	select {
+	case err := <-errCh:
+		if !strings.Contains(err.Error(), "kvnet decode") {
+			t.Errorf("handler got %v, want a decode error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("error handler never invoked")
+	}
+	if err := srv.Err(); err == nil {
+		t.Error("Err() should retain the first serving error")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[`smartflux_kvnet_errors_total{kind="decode"}`]; got != 1 {
+		t.Errorf("decode errors = %d, want 1", got)
+	}
+	var sawConnCounter bool
+	for name := range snap.Counters {
+		if strings.HasPrefix(name, "smartflux_kvnet_conn_errors_total{remote=") {
+			sawConnCounter = true
+		}
+	}
+	if !sawConnCounter {
+		t.Error("missing per-connection error counter")
+	}
+}
+
+// TestServerCleanDisconnectNotAnError: EOF between frames is a normal
+// hang-up, not a fault.
+func TestServerCleanDisconnectNotAnError(t *testing.T) {
+	srv, addr, reg, errCh := startInstrumentedServer(t)
+
+	client := dialClient(t, addr)
+	if err := client.CreateTable("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+
+	// Give the serving goroutine a moment to observe the EOF.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		srv.mu.Lock()
+		n := len(srv.conns)
+		srv.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	select {
+	case err := <-errCh:
+		t.Fatalf("clean disconnect reported as error: %v", err)
+	default:
+	}
+	if err := srv.Err(); err != nil {
+		t.Fatalf("Err() = %v after clean disconnect", err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[`smartflux_kvnet_errors_total{kind="decode"}`]; got != 0 {
+		t.Errorf("decode errors = %d after clean disconnect", got)
+	}
+}
+
+// TestServerUninstrumentedErrorsStillSurface: the handler and Err() work
+// without an observer attached.
+func TestServerUninstrumentedErrorsStillSurface(t *testing.T) {
+	srv := NewServer(kvstore.New())
+	var mu sync.Mutex
+	var handled []error
+	srv.SetErrorHandler(func(err error) {
+		mu.Lock()
+		handled = append(handled, err)
+		mu.Unlock()
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte{0xff, 0xfe, 0xfd}); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.Err() != nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.Err() == nil {
+		t.Fatal("Err() never set without an observer")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(handled) == 0 {
+		t.Error("handler not invoked without an observer")
+	}
+}

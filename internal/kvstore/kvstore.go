@@ -21,6 +21,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+
+	"smartflux/internal/obs"
 )
 
 // Default configuration values.
@@ -112,6 +115,37 @@ type Store struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
 	clock  uint64
+
+	// ins holds pre-resolved observability counters; nil when detached.
+	// An atomic pointer keeps the hot read/write paths lock-free and lets
+	// Instrument race safely with in-flight operations.
+	ins atomic.Pointer[storeInstruments]
+}
+
+// storeInstruments carries the store-level traffic counters.
+type storeInstruments struct {
+	mutations *obs.Counter
+	deletes   *obs.Counter
+	gets      *obs.Counter
+	scans     *obs.Counter
+	scanCells *obs.Counter
+}
+
+// Instrument attaches an observer recording store traffic: mutation, delete,
+// get and scan counters (plus cells returned by scans). Passing nil
+// detaches; with no observer every hook is a single nil-pointer check.
+func (s *Store) Instrument(o *obs.Observer) {
+	if o == nil || o.Metrics() == nil {
+		s.ins.Store(nil)
+		return
+	}
+	s.ins.Store(&storeInstruments{
+		mutations: o.Counter(`smartflux_kvstore_ops_total{op="mutate"}`),
+		deletes:   o.Counter(`smartflux_kvstore_ops_total{op="delete"}`),
+		gets:      o.Counter(`smartflux_kvstore_ops_total{op="get"}`),
+		scans:     o.Counter(`smartflux_kvstore_ops_total{op="scan"}`),
+		scanCells: o.Counter("smartflux_kvstore_scan_cells_total"),
+	})
 }
 
 // New creates an empty store.
@@ -257,6 +291,9 @@ func (t *Table) Put(row, column string, value []byte) error {
 	t.mu.Lock()
 	m := t.putLocked(row, column, value, ts)
 	t.mu.Unlock()
+	if ins := t.store.ins.Load(); ins != nil {
+		ins.mutations.Inc()
+	}
 	t.notify([]Mutation{m})
 	return nil
 }
@@ -298,6 +335,9 @@ func (t *Table) putLocked(row, column string, value []byte, ts uint64) Mutation 
 // Get returns the latest value at (row, column). The second return is false
 // when the cell does not exist.
 func (t *Table) Get(row, column string) ([]byte, bool) {
+	if ins := t.store.ins.Load(); ins != nil {
+		ins.gets.Inc()
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	versions := t.rows[row][column]
@@ -312,6 +352,9 @@ func (t *Table) Get(row, column string) ([]byte, bool) {
 // single-round-trip current+previous read the paper relies on for metric
 // state with negligible overhead.
 func (t *Table) GetWithPrevious(row, column string) (cur, prev []byte, curOK, prevOK bool) {
+	if ins := t.store.ins.Load(); ins != nil {
+		ins.gets.Inc()
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	versions := t.rows[row][column]
@@ -371,6 +414,9 @@ func (t *Table) Delete(row, column string) error {
 		t.rowKeys = nil
 	}
 	t.mu.Unlock()
+	if ins := t.store.ins.Load(); ins != nil {
+		ins.deletes.Inc()
+	}
 	t.notify([]Mutation{{
 		Table:     t.name,
 		Row:       row,
@@ -431,6 +477,16 @@ func (t *Table) sortedColKeysLocked(row string) []string {
 // Scan returns the latest version of every matching cell, ordered by row then
 // column (both lexicographic). The returned slices are copies.
 func (t *Table) Scan(opts ScanOptions) []Cell {
+	cells := t.scan(opts)
+	if ins := t.store.ins.Load(); ins != nil {
+		ins.scans.Inc()
+		ins.scanCells.Add(uint64(len(cells)))
+	}
+	return cells
+}
+
+// scan implements Scan under the table lock.
+func (t *Table) scan(opts ScanOptions) []Cell {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 

@@ -1,0 +1,67 @@
+// Package obs is SmartFlux's observability layer: a lock-cheap metrics
+// registry (counters, gauges, streaming histograms with a Prometheus-style
+// text exposition and an expvar bridge), a structured decision tracer that
+// records one event per (wave, gated step), and an optional debug HTTP
+// server exposing /metrics, /trace/tail and net/http/pprof.
+//
+// The whole package is nil-safe by design: every method on a nil *Registry,
+// *Counter, *Gauge, *Histogram, *Tracer or *Observer is a no-op, so
+// instrumented code paths (engine, session, store, network layer) carry no
+// conditional wiring — they call the hooks unconditionally and pay only a
+// nil check when observability is not attached.
+package obs
+
+// Observer bundles the two observability capabilities instrumented
+// components accept: a metrics registry and a decision tracer. A nil
+// *Observer (or one with nil parts) turns every hook into a no-op.
+type Observer struct {
+	reg    *Registry
+	tracer *Tracer
+}
+
+// New creates an observer over reg (may be nil) emitting decision events to
+// the given sinks (none disables tracing).
+func New(reg *Registry, sinks ...Sink) *Observer {
+	o := &Observer{reg: reg}
+	if len(sinks) > 0 {
+		o.tracer = NewTracer(sinks...)
+	}
+	return o
+}
+
+// Metrics returns the observer's registry, or nil.
+func (o *Observer) Metrics() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Counter resolves a counter from the observer's registry (nil-safe).
+func (o *Observer) Counter(name string) *Counter {
+	return o.Metrics().Counter(name)
+}
+
+// Gauge resolves a gauge from the observer's registry (nil-safe).
+func (o *Observer) Gauge(name string) *Gauge {
+	return o.Metrics().Gauge(name)
+}
+
+// Histogram resolves a histogram from the observer's registry (nil-safe).
+func (o *Observer) Histogram(name string, bounds ...float64) *Histogram {
+	return o.Metrics().Histogram(name, bounds...)
+}
+
+// Tracing reports whether decision events have anywhere to go. Hot paths
+// use it to skip building events entirely when no sink is attached.
+func (o *Observer) Tracing() bool {
+	return o != nil && o.tracer != nil
+}
+
+// EmitDecision forwards one decision event to every attached sink.
+func (o *Observer) EmitDecision(ev DecisionEvent) {
+	if o == nil {
+		return
+	}
+	o.tracer.Emit(ev)
+}

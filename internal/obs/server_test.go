@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(`decisions_total{verdict="exec"}`).Add(2)
+	ring := NewRingSink(16)
+	ring.Emit(DecisionEvent{Wave: 3, Step: "agg"})
+
+	srv, err := StartDebugServer("127.0.0.1:0", reg, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, `decisions_total{verdict="exec"} 2`) {
+		t.Errorf("/metrics: code=%d body=%q", code, body)
+	}
+	code, body := get("/trace/tail?n=10")
+	if code != http.StatusOK {
+		t.Fatalf("/trace/tail code=%d", code)
+	}
+	var events []DecisionEvent
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("/trace/tail bad JSON: %v", err)
+	}
+	if len(events) != 1 || events[0].Wave != 3 || events[0].Step != "agg" {
+		t.Errorf("/trace/tail events = %+v", events)
+	}
+	if code, _ := get("/trace/tail?n=bogus"); code != http.StatusBadRequest {
+		t.Errorf("bad n must 400, got %d", code)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz code=%d", code)
+	}
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ code=%d", code)
+	}
+	if code, _ := get("/debug/vars"); code != http.StatusOK {
+		t.Errorf("/debug/vars code=%d", code)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var nilSrv *DebugServer
+	if err := nilSrv.Close(); err != nil || nilSrv.Addr() != "" {
+		t.Fatal("nil server must be inert")
+	}
+}
+
+func TestDebugServerNilBackends(t *testing.T) {
+	srv, err := StartDebugServer("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/trace/tail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if strings.TrimSpace(string(body)) != "[]" {
+		t.Errorf("nil ring must serve [], got %q", body)
+	}
+}

@@ -38,11 +38,14 @@
 package smartflux
 
 import (
+	"io"
+
 	"smartflux/internal/core"
 	"smartflux/internal/engine"
 	"smartflux/internal/kvstore"
 	"smartflux/internal/metric"
 	"smartflux/internal/ml"
+	"smartflux/internal/obs"
 	"smartflux/internal/workflow"
 )
 
@@ -195,6 +198,62 @@ const (
 	ClassifierMLP          = core.ClassifierMLP
 	ClassifierKNN          = core.ClassifierKNN
 )
+
+// Observability (metrics registry + decision tracing + debug server).
+//
+// A RunObserver bundles a metrics registry with trace sinks; attach it with
+// the Instrument method present on Harness, Instance, Session, Store and the
+// kvnet Server, or via PipelineConfig.Obs. All hooks are no-ops when nothing
+// is attached.
+type (
+	// MetricsRegistry is a lock-cheap registry of counters, gauges and
+	// streaming histograms with Prometheus text exposition.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry's contents.
+	MetricsSnapshot = obs.Snapshot
+	// HistogramSnapshot summarizes one histogram (count, sum, quantiles).
+	HistogramSnapshot = obs.HistogramSnapshot
+	// RunObserver bundles a metrics registry and a decision tracer.
+	RunObserver = obs.Observer
+	// DecisionEvent is one traced triggering decision: the ι features, the
+	// predicted label, the decider verdict, whether the step ran, and the
+	// measured/predicted ε when known.
+	DecisionEvent = obs.DecisionEvent
+	// TraceSink receives decision events.
+	TraceSink = obs.Sink
+	// TraceRing is a fixed-capacity in-memory trace sink.
+	TraceRing = obs.RingSink
+	// JSONLTraceSink appends decision events as JSON lines.
+	JSONLTraceSink = obs.JSONLSink
+	// DebugServer serves /metrics, /trace/tail and pprof over HTTP.
+	DebugServer = obs.DebugServer
+)
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewRunObserver bundles a registry and trace sinks into an observer. Either
+// part may be omitted: a nil registry records no metrics, zero sinks disable
+// tracing.
+func NewRunObserver(reg *MetricsRegistry, sinks ...TraceSink) *RunObserver {
+	return obs.New(reg, sinks...)
+}
+
+// NewTraceRing creates an in-memory trace sink keeping the last capacity
+// events.
+func NewTraceRing(capacity int) *TraceRing { return obs.NewRingSink(capacity) }
+
+// NewJSONLTraceSink creates a trace sink that writes one JSON object per
+// event to w.
+func NewJSONLTraceSink(w io.Writer) *JSONLTraceSink { return obs.NewJSONLSink(w) }
+
+// StartDebugServer serves /metrics (Prometheus text), /trace/tail (recent
+// decision events from ring, which may be nil), /healthz and /debug/pprof on
+// addr. Pass "127.0.0.1:0" for an ephemeral port; the bound address is
+// available via Addr().
+func StartDebugServer(addr string, reg *MetricsRegistry, ring *TraceRing) (*DebugServer, error) {
+	return obs.StartDebugServer(addr, reg, ring)
+}
 
 // NewStore creates an empty data store.
 func NewStore() *Store { return kvstore.New() }
