@@ -23,6 +23,10 @@ vet:
 ## check: the pre-PR gate — build, vet, tests, race
 check: build vet test race
 
-## bench: overhead microbenchmarks (§5.3 + instrumentation overhead)
+## bench: overhead microbenchmarks (§5.3 + instrumentation overhead) plus
+## the serial-vs-parallel comparison, recorded to BENCH_PR2.json
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkOverhead' -benchtime 1000x .
+	$(GO) test -run xxx -bench 'BenchmarkRunWave|BenchmarkForestFit' -benchtime 10x .
+	$(GO) run ./cmd/parbench -out BENCH_PR2.json
+	@cat BENCH_PR2.json

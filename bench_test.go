@@ -19,8 +19,8 @@ import (
 	"smartflux/internal/kvstore"
 	"smartflux/internal/metric"
 	"smartflux/internal/ml"
-	"smartflux/internal/obs"
 	"smartflux/internal/ml/multilabel"
+	"smartflux/internal/obs"
 	"smartflux/workloads"
 )
 
@@ -331,3 +331,122 @@ func BenchmarkPublicPipeline(b *testing.B) {
 		}
 	}
 }
+
+// benchFanout builds a one-source, width-way fan-out workflow whose gated
+// steps each burn real CPU, the shape the parallel wave scheduler exists
+// for. Exported through smartflux_test for cmd/parbench via duplication;
+// kept here so RunWave serial/parallel benchmarks compare like for like.
+func benchFanout(width, work int) smartflux.BuildFunc {
+	return func() (*smartflux.Workflow, *smartflux.Store, error) {
+		store := smartflux.NewStore()
+		wf := smartflux.NewWorkflow("fanout")
+		src := &smartflux.Step{
+			ID:      "src",
+			Source:  true,
+			Outputs: []smartflux.Container{{Table: "raw"}},
+			Proc: smartflux.ProcessorFunc(func(ctx *smartflux.Context) error {
+				t, err := ctx.Table("raw")
+				if err != nil {
+					return err
+				}
+				batch := smartflux.NewBatch()
+				for i := 0; i < width; i++ {
+					batch.PutFloat("k"+strconv.Itoa(i), "v", float64(ctx.Wave+i))
+				}
+				return t.Apply(batch)
+			}),
+		}
+		if err := wf.AddStep(src); err != nil {
+			return nil, nil, err
+		}
+		for i := 0; i < width; i++ {
+			key := "k" + strconv.Itoa(i)
+			out := "out" + strconv.Itoa(i)
+			step := &smartflux.Step{
+				ID:      smartflux.StepID("work" + strconv.Itoa(i)),
+				Inputs:  []smartflux.Container{{Table: "raw", ColumnPrefix: key}},
+				Outputs: []smartflux.Container{{Table: out}},
+				QoD:     smartflux.QoD{MaxError: 0.05, Mode: smartflux.ModeAccumulate},
+				Proc: smartflux.ProcessorFunc(func(ctx *smartflux.Context) error {
+					raw, err := ctx.Table("raw")
+					if err != nil {
+						return err
+					}
+					dst, err := ctx.Table(out)
+					if err != nil {
+						return err
+					}
+					v, _ := raw.GetFloat(key, "v")
+					acc := v
+					for n := 0; n < work; n++ {
+						acc = acc*1.0000001 + float64(n%7)
+					}
+					return dst.PutFloat("all", "x", acc)
+				}),
+			}
+			if err := wf.AddStep(step); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := wf.Finalize(); err != nil {
+			return nil, nil, err
+		}
+		return wf, store, nil
+	}
+}
+
+// benchRunWave measures one wave of the fan-out workflow at a parallelism.
+func benchRunWave(b *testing.B, par int) {
+	wf, store, err := benchFanout(8, 200_000)()
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := engine.NewInstance(wf, store, engine.InstanceConfig{Parallelism: par})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.RunWave(engine.Sync{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunWaveSerial and BenchmarkRunWaveParallel compare the sequential
+// wave loop against the worker-pool scheduler on an 8-way fan-out. The
+// parallel variant pins 4 workers so the scheduler path is exercised (and
+// its overhead visible) regardless of GOMAXPROCS; on a multi-core box it
+// approaches width× faster, and both produce bit-identical results (see
+// TestHarnessParallelismDeterminism).
+func BenchmarkRunWaveSerial(b *testing.B)   { benchRunWave(b, 1) }
+func BenchmarkRunWaveParallel(b *testing.B) { benchRunWave(b, 4) }
+
+// benchForestFit measures fitting a 100-tree forest at a parallelism.
+func benchForestFit(b *testing.B, par int) {
+	rng := rand.New(rand.NewSource(11))
+	n := 400
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		a, c := rng.Float64(), rng.Float64()
+		x[i] = []float64{a, c}
+		if (a > 0.5) != (c > 0.5) {
+			y[i] = 1
+		}
+	}
+	d := ml.Dataset{X: x, Y: y}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := ml.NewForest(ml.ForestConfig{Trees: 100, Seed: 7, Parallelism: par})
+		if err := f.Fit(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForestFitSerial and BenchmarkForestFitParallel compare
+// sequential against concurrent tree fitting (4 workers) for the paper's
+// 100-tree Random Forest; the fitted forests are bit-identical either way.
+func BenchmarkForestFitSerial(b *testing.B)   { benchForestFit(b, 1) }
+func BenchmarkForestFitParallel(b *testing.B) { benchForestFit(b, 4) }

@@ -13,7 +13,9 @@
 //	experiments -fig all       # everything
 //
 // -scale shrinks wave counts for quick runs (e.g. -scale 0.2); -seed makes
-// alternative deterministic universes.
+// alternative deterministic universes; -j fans out independent (workload,
+// bound) pipeline runs across that many goroutines without changing any
+// figure's output.
 package main
 
 import (
@@ -37,11 +39,12 @@ func run(args []string, out *os.File) error {
 	fig := fs.String("fig", "all", "experiment to run: 3, roc, 7, 8, 9, 10, 11, 12, overhead, all")
 	seed := fs.Int64("seed", 42, "deterministic seed")
 	scale := fs.Float64("scale", 1, "wave-count scale factor (1 = paper-length runs)")
+	jobs := fs.Int("j", 0, "concurrent (workload, bound) pipeline runs: 0 = GOMAXPROCS, 1 = one at a time (output is identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	runner := experiments.NewRunner(experiments.Config{Seed: *seed, Scale: *scale})
+	runner := experiments.NewRunner(experiments.Config{Seed: *seed, Scale: *scale, Jobs: *jobs})
 	selected := strings.Split(*fig, ",")
 	all := *fig == "all"
 
@@ -55,6 +58,10 @@ func run(args []string, out *os.File) error {
 			}
 		}
 		return false
+	}
+
+	if err := runner.Prewarm(prewarmTargets(want)); err != nil {
+		return err
 	}
 
 	ran := false
@@ -141,4 +148,33 @@ func run(args []string, out *os.File) error {
 		return fmt.Errorf("unknown experiment %q", *fig)
 	}
 	return nil
+}
+
+// prewarmTargets lists every (workload, bound) pipeline the selected figures
+// will request, so Runner.Prewarm can fan them out under -j before the
+// figures render sequentially. Duplicate targets are harmless: the runner's
+// cache collapses them onto one run.
+func prewarmTargets(want func(string) bool) []experiments.Target {
+	bounds := map[float64]bool{}
+	if want("roc") || want("7") {
+		bounds[0.20] = true
+	}
+	if want("11") {
+		bounds[0.05] = true
+	}
+	if want("8") || want("9") || want("10") || want("12") {
+		for _, b := range experiments.Bounds {
+			bounds[b] = true
+		}
+	}
+	var targets []experiments.Target
+	for _, b := range experiments.Bounds {
+		if !bounds[b] {
+			continue
+		}
+		for _, w := range []experiments.Workload{experiments.LRB, experiments.AQHI} {
+			targets = append(targets, experiments.Target{Workload: w, Bound: b})
+		}
+	}
+	return targets
 }

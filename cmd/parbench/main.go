@@ -1,0 +1,247 @@
+// Command parbench measures the serial-vs-parallel speedup of the two
+// hottest paths the worker pools cover — one engine wave over a CPU-heavy
+// fan-out workflow, and fitting the paper's 100-tree Random Forest — and
+// writes the results as JSON (default BENCH_PR2.json):
+//
+//	parbench                  # write BENCH_PR2.json in the working dir
+//	parbench -out - -iters 5  # print JSON to stdout, 5 iterations each
+//
+// Speedups are honest for the machine at hand: with GOMAXPROCS < 2 the
+// parallel variants still run their concurrent code paths (4 workers) but
+// cannot be faster than serial; the recorded gomaxprocs field says which
+// regime produced the numbers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"smartflux"
+	"smartflux/internal/engine"
+	"smartflux/internal/ml"
+)
+
+// report is the BENCH_PR2.json schema.
+type report struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	GoVersion  string  `json:"go_version"`
+	Note       string  `json:"note"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+// entry compares one workload's serial and parallel timings.
+type entry struct {
+	Name         string  `json:"name"`
+	SerialNsOp   int64   `json:"serial_ns_op"`
+	ParallelNsOp int64   `json:"parallel_ns_op"`
+	Speedup      float64 `json:"speedup"`
+	Workers      int     `json:"workers"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "parbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("parbench", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_PR2.json", "output file (- = stdout)")
+	iters := fs.Int("iters", 10, "benchmark iterations per measurement")
+	workers := fs.Int("workers", 4, "worker-pool size of the parallel variants")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// testing.Benchmark obeys the test.benchtime flag; register the testing
+	// flags and pin an exact iteration count so serial and parallel variants
+	// do identical work.
+	testing.Init()
+	if err := flag.Set("test.benchtime", fmt.Sprintf("%dx", *iters)); err != nil {
+		return err
+	}
+
+	rep := report{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Note: "serial and parallel variants produce bit-identical results; " +
+			"speedup > 1 requires GOMAXPROCS > 1 (>= 1.5x expected at GOMAXPROCS >= 4)",
+	}
+
+	waveEntry, err := benchWave(*workers)
+	if err != nil {
+		return err
+	}
+	rep.Benchmarks = append(rep.Benchmarks, waveEntry)
+	rep.Benchmarks = append(rep.Benchmarks, benchForest(*workers))
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+// measure runs fn under testing.Benchmark (iteration count fixed by the
+// test.benchtime flag set in run) and returns ns/op.
+func measure(fn func(b *testing.B)) int64 {
+	return testing.Benchmark(fn).NsPerOp()
+}
+
+// speedup guards against division by zero on degenerate timings.
+func speedup(serial, parallel int64) float64 {
+	if parallel <= 0 {
+		return 0
+	}
+	return float64(serial) / float64(parallel)
+}
+
+// benchWave measures one engine wave over an 8-way CPU-heavy fan-out.
+func benchWave(workers int) (entry, error) {
+	const width, work = 8, 200_000
+	runOnce := func(par int) (int64, error) {
+		wf, store, err := fanoutWorkload(width, work)()
+		if err != nil {
+			return 0, err
+		}
+		inst, err := engine.NewInstance(wf, store, engine.InstanceConfig{Parallelism: par})
+		if err != nil {
+			return 0, err
+		}
+		var benchErr error
+		ns := measure(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := inst.RunWave(engine.Sync{}); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+		return ns, benchErr
+	}
+	serial, err := runOnce(1)
+	if err != nil {
+		return entry{}, err
+	}
+	parallel, err := runOnce(workers)
+	if err != nil {
+		return entry{}, err
+	}
+	return entry{
+		Name:         fmt.Sprintf("RunWave/fanout-%d", width),
+		SerialNsOp:   serial,
+		ParallelNsOp: parallel,
+		Speedup:      speedup(serial, parallel),
+		Workers:      workers,
+	}, nil
+}
+
+// benchForest measures fitting the paper's 100-tree forest.
+func benchForest(workers int) entry {
+	rng := rand.New(rand.NewSource(11))
+	n := 400
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		a, c := rng.Float64(), rng.Float64()
+		x[i] = []float64{a, c}
+		if (a > 0.5) != (c > 0.5) {
+			y[i] = 1
+		}
+	}
+	d := ml.Dataset{X: x, Y: y}
+	runOnce := func(par int) int64 {
+		return measure(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f := ml.NewForest(ml.ForestConfig{Trees: 100, Seed: 7, Parallelism: par})
+				if err := f.Fit(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	serial := runOnce(1)
+	parallel := runOnce(workers)
+	return entry{
+		Name:         "ForestFit/100-trees",
+		SerialNsOp:   serial,
+		ParallelNsOp: parallel,
+		Speedup:      speedup(serial, parallel),
+		Workers:      workers,
+	}
+}
+
+// fanoutWorkload builds the one-source, width-way fan-out benchmark
+// workflow: each gated step burns CPU proportional to work before writing
+// its output (the shape the parallel wave scheduler exists for).
+func fanoutWorkload(width, work int) smartflux.BuildFunc {
+	return func() (*smartflux.Workflow, *smartflux.Store, error) {
+		store := smartflux.NewStore()
+		wf := smartflux.NewWorkflow("fanout")
+		src := &smartflux.Step{
+			ID:      "src",
+			Source:  true,
+			Outputs: []smartflux.Container{{Table: "raw"}},
+			Proc: smartflux.ProcessorFunc(func(ctx *smartflux.Context) error {
+				t, err := ctx.Table("raw")
+				if err != nil {
+					return err
+				}
+				batch := smartflux.NewBatch()
+				for i := 0; i < width; i++ {
+					batch.PutFloat("k"+strconv.Itoa(i), "v", float64(ctx.Wave+i))
+				}
+				return t.Apply(batch)
+			}),
+		}
+		if err := wf.AddStep(src); err != nil {
+			return nil, nil, err
+		}
+		for i := 0; i < width; i++ {
+			key := "k" + strconv.Itoa(i)
+			out := "out" + strconv.Itoa(i)
+			step := &smartflux.Step{
+				ID:      smartflux.StepID("work" + strconv.Itoa(i)),
+				Inputs:  []smartflux.Container{{Table: "raw", ColumnPrefix: key}},
+				Outputs: []smartflux.Container{{Table: out}},
+				QoD:     smartflux.QoD{MaxError: 0.05, Mode: smartflux.ModeAccumulate},
+				Proc: smartflux.ProcessorFunc(func(ctx *smartflux.Context) error {
+					raw, err := ctx.Table("raw")
+					if err != nil {
+						return err
+					}
+					dst, err := ctx.Table(out)
+					if err != nil {
+						return err
+					}
+					v, _ := raw.GetFloat(key, "v")
+					acc := v
+					for n := 0; n < work; n++ {
+						acc = acc*1.0000001 + float64(n%7)
+					}
+					return dst.PutFloat("all", "x", acc)
+				}),
+			}
+			if err := wf.AddStep(step); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := wf.Finalize(); err != nil {
+			return nil, nil, err
+		}
+		return wf, store, nil
+	}
+}

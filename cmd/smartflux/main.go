@@ -36,6 +36,7 @@ func run(args []string, out io.Writer) error {
 	train := fs.Int("train", 336, "training waves (smartflux policy only)")
 	apply := fs.Int("apply", 384, "application waves")
 	seed := fs.Int64("seed", 42, "deterministic seed")
+	parallelism := fs.Int("parallelism", 0, "per-wave worker bound: 0 = GOMAXPROCS, 1 = sequential (results are identical either way)")
 	obsAddr := fs.String("obs-addr", "", "serve /metrics, /trace/tail and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
 	traceOut := fs.String("trace-out", "", "append decision-trace events as JSON lines to this file")
 	if err := fs.Parse(args); err != nil {
@@ -97,7 +98,8 @@ func run(args []string, out io.Writer) error {
 				Thresholds:     []float64{0.15},
 				PositiveWeight: 14,
 			},
-			Obs: observer,
+			Obs:         observer,
+			Parallelism: *parallelism,
 		})
 		if err != nil {
 			return err
@@ -115,7 +117,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	harness, err := smartflux.NewHarness(build, []smartflux.StepID{report})
+	harness, err := smartflux.NewHarnessWithConfig(build, []smartflux.StepID{report}, smartflux.HarnessConfig{Parallelism: *parallelism})
 	if err != nil {
 		return err
 	}

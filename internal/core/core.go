@@ -190,7 +190,18 @@ type Predictor struct {
 // all labels, or one value per label. Thresholds below 0.5 bias the decision
 // toward executing — the paper's recall optimization (§5.2). featureMode 0
 // defaults to FeatureOwnImpact.
+//
+// The per-label models train concurrently (one goroutine per label, bounded
+// by runtime.GOMAXPROCS(0)), so factory must be safe for concurrent calls;
+// every factory in this module is. The fitted predictor is identical to a
+// sequential fit.
 func NewPredictor(factory func() ml.Classifier, data multilabel.Dataset, thresholds []float64, featureMode FeatureMode) (*Predictor, error) {
+	return newPredictor(factory, data, thresholds, featureMode, 0)
+}
+
+// newPredictor is NewPredictor with an explicit label-fit parallelism bound
+// (0 = GOMAXPROCS, 1 = sequential).
+func newPredictor(factory func() ml.Classifier, data multilabel.Dataset, thresholds []float64, featureMode FeatureMode, parallelism int) (*Predictor, error) {
 	if data.Len() == 0 {
 		return nil, ErrNoExamples
 	}
@@ -207,6 +218,9 @@ func NewPredictor(factory func() ml.Classifier, data multilabel.Dataset, thresho
 		}
 	}
 	br := multilabel.NewBinaryRelevance(factory)
+	if parallelism != 1 {
+		br.SetParallelism(parallelism)
+	}
 	if featureMode == FeatureOwnImpact {
 		cols := make([][]int, labels)
 		for l := range cols {

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// trainSession observes a synthetic log and trains at a parallelism setting.
+func trainSession(t *testing.T, par int) (*Session, TestReport) {
+	t.Helper()
+	sess := NewSession(Config{Seed: 5, Parallelism: par})
+	log := syntheticLog(200, 3, 13)
+	for i := range log.X {
+		sess.ObserveTrainingWave(log.X[i], log.Y[i])
+	}
+	report, err := sess.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess, report
+}
+
+// TestSessionTrainParallelIdentical trains the same knowledge base
+// sequentially and with concurrent per-label fitting plus concurrent
+// cross-validation folds, and requires a bit-identical test report and
+// identical decisions: fold splits are drawn sequentially per label before
+// any scoring, fold scores pool in fold order, and per-label models carry
+// their own deterministic seeds.
+func TestSessionTrainParallelIdentical(t *testing.T) {
+	serialSess, serial := trainSession(t, 1)
+	parallelSess, parallel := trainSession(t, 4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("test reports diverged:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	// The learned decision boundary must agree everywhere we probe it.
+	probes := syntheticLog(50, 3, 29)
+	for w, x := range probes.X {
+		for idx := range x {
+			if serialSess.Decide(w, idx, x) != parallelSess.Decide(w, idx, x) {
+				t.Fatalf("decision diverged at wave %d step %d", w, idx)
+			}
+		}
+	}
+}

@@ -21,6 +21,11 @@ type PipelineConfig struct {
 	// Obs, when non-nil, instruments the harness (engine metrics +
 	// decision trace) and the session (lifecycle metrics).
 	Obs *obs.Observer
+	// Parallelism bounds concurrent work in the engine instances and — when
+	// Session.Parallelism is unset — the session's training. 0 selects
+	// runtime.GOMAXPROCS(0), 1 runs sequentially; results are bit-identical
+	// across settings.
+	Parallelism int
 }
 
 // PipelineResult aggregates an end-to-end run.
@@ -44,11 +49,15 @@ func RunPipeline(build engine.BuildFunc, reportSteps []workflow.StepID, cfg Pipe
 	if cfg.TrainWaves <= 0 {
 		return nil, fmt.Errorf("core: pipeline needs TrainWaves > 0, got %d", cfg.TrainWaves)
 	}
-	harness, err := engine.NewHarness(build, reportSteps)
+	harness, err := engine.NewHarnessWithConfig(build, reportSteps, engine.HarnessConfig{Parallelism: cfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}
-	session := NewSession(cfg.Session)
+	sessionCfg := cfg.Session
+	if sessionCfg.Parallelism == 0 {
+		sessionCfg.Parallelism = cfg.Parallelism
+	}
+	session := NewSession(sessionCfg)
 	if cfg.Obs != nil {
 		harness.Instrument(cfg.Obs)
 		session.Instrument(cfg.Obs)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"time"
 
@@ -65,6 +66,22 @@ type Config struct {
 	MinRecall   float64
 	// Seed drives every stochastic component.
 	Seed int64
+	// Parallelism bounds concurrent work in Train: per-label model fits
+	// and test-phase (label, fold) cross-validation tasks. 0 selects
+	// runtime.GOMAXPROCS(0), 1 trains sequentially. Reports and fitted
+	// predictors are bit-identical for every setting: fold partitions are
+	// drawn sequentially from the session RNG in label order before any
+	// task runs, and per-fold predictions are pooled in (label, fold)
+	// order afterwards.
+	Parallelism int
+}
+
+// workers resolves the effective training concurrency.
+func (c Config) workers() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (c Config) withDefaults() Config {
@@ -213,7 +230,7 @@ func (s *Session) Train() (TestReport, error) {
 		}
 	}
 	data := s.kb.Snapshot()
-	predictor, err := NewPredictor(factory, data, s.cfg.Thresholds, s.cfg.FeatureMode)
+	predictor, err := newPredictor(factory, data, s.cfg.Thresholds, s.cfg.FeatureMode, s.cfg.Parallelism)
 	if err != nil {
 		return TestReport{}, err
 	}
@@ -250,7 +267,12 @@ func (s *Session) Train() (TestReport, error) {
 }
 
 // test runs the §3.2 test phase: per-label stratified k-fold
-// cross-validation on the training log.
+// cross-validation on the training log. The (label, fold) fit/score tasks
+// run concurrently when Config.Parallelism allows, yet the report is
+// bit-identical to a sequential run: every fold partition is drawn from the
+// shared session RNG in label order up front (preserving the historical draw
+// sequence exactly), and per-fold predictions are pooled in (label, fold)
+// order afterwards.
 func (s *Session) test(factory func() ml.Classifier, data multilabel.Dataset) (TestReport, error) {
 	report := TestReport{Accepted: true}
 	rng := rand.New(rand.NewSource(s.cfg.Seed + 1))
@@ -258,6 +280,17 @@ func (s *Session) test(factory func() ml.Classifier, data multilabel.Dataset) (T
 	if len(s.cfg.Thresholds) == 1 {
 		threshold = s.cfg.Thresholds[0]
 	}
+
+	// Phase 1 — sequential: project each label's dataset and draw its fold
+	// partition from the shared RNG.
+	type labelPlan struct {
+		binary ml.Dataset
+		th     float64
+		folds  []eval.Fold
+		k      int // fold count reported in CVResult.Folds
+		chance bool
+	}
+	plans := make([]labelPlan, data.Labels())
 	for l := 0; l < data.Labels(); l++ {
 		binary, err := data.Label(l)
 		if err != nil {
@@ -282,15 +315,72 @@ func (s *Session) test(factory func() ml.Classifier, data multilabel.Dataset) (T
 			// Tiny logs: fall back to the largest workable fold count.
 			folds = binary.Len() / 2
 		}
-		var cv eval.CVResult
+		plans[l] = labelPlan{binary: binary, th: th, k: folds, chance: folds < 2}
 		if folds >= 2 {
-			cv, err = eval.CrossValidate(func() ml.Classifier { return factory() }, binary, folds, th, rng)
+			if err := binary.Validate(); err != nil {
+				return TestReport{}, fmt.Errorf("test label %d: %w", l, err)
+			}
+			plans[l].folds, err = eval.StratifiedKFold(binary.Y, folds, rng)
 			if err != nil {
 				return TestReport{}, fmt.Errorf("test label %d: %w", l, err)
 			}
-		} else {
+		}
+	}
+
+	// Phase 2 — parallel: fit and score every (label, fold) task into its
+	// indexed slot.
+	type task struct{ l, fi int }
+	var tasks []task
+	scored := make([][]eval.FoldScores, len(plans))
+	errs := make([][]error, len(plans))
+	for l := range plans {
+		scored[l] = make([]eval.FoldScores, len(plans[l].folds))
+		errs[l] = make([]error, len(plans[l].folds))
+		for fi := range plans[l].folds {
+			tasks = append(tasks, task{l, fi})
+		}
+	}
+	run := func(t task) {
+		plan := &plans[t.l]
+		scored[t.l][t.fi], errs[t.l][t.fi] = eval.ScoreFold(factory, plan.binary, plan.folds[t.fi], t.fi, plan.th)
+	}
+	if workers := s.cfg.workers(); workers <= 1 || len(tasks) <= 1 {
+		for _, t := range tasks {
+			run(t)
+		}
+	} else {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for _, t := range tasks {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(t task) {
+				defer wg.Done()
+				run(t)
+				<-sem
+			}(t)
+		}
+		wg.Wait()
+	}
+
+	// Phase 3 — sequential: pool per-fold predictions and derive metrics in
+	// label order; the first error in (label, fold) order wins.
+	for l := range plans {
+		var cv eval.CVResult
+		if plans[l].chance {
 			// Too few examples to cross-validate; report chance level.
 			cv = eval.CVResult{Accuracy: 0, Precision: 0, Recall: 0, AUC: 0.5}
+		} else {
+			for _, err := range errs[l] {
+				if err != nil {
+					return TestReport{}, fmt.Errorf("test label %d: %w", l, err)
+				}
+			}
+			var err error
+			cv, err = eval.CrossValidateFolds(scored[l], plans[l].k)
+			if err != nil {
+				return TestReport{}, fmt.Errorf("test label %d: %w", l, err)
+			}
 		}
 		report.PerLabel = append(report.PerLabel, cv)
 		if s.cfg.MinAccuracy > 0 && cv.Accuracy < s.cfg.MinAccuracy {

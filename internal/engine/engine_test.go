@@ -54,9 +54,17 @@ func testWorkload(maxErr float64) BuildFunc {
 					if err != nil {
 						return err
 					}
+					// Sum over the sorted scan, not the ScanFloats map:
+					// processors must be deterministic functions of their
+					// inputs (map iteration order would perturb the float
+					// accumulation from run to run).
 					var sum float64
 					var n int
-					for _, v := range raw.ScanFloats(kvstore.ScanOptions{}) {
+					for _, c := range raw.Scan(kvstore.ScanOptions{}) {
+						v, ok := c.FloatValue()
+						if !ok {
+							continue
+						}
 						sum += v
 						n++
 					}

@@ -190,11 +190,24 @@ type measureState struct {
 	accum     float64      // accumulated per-wave simulated error
 }
 
+// HarnessConfig configures harness construction.
+type HarnessConfig struct {
+	// Parallelism is forwarded to both instances' InstanceConfig: 0 selects
+	// runtime.GOMAXPROCS(0), 1 the sequential engine. Results are
+	// bit-identical across settings.
+	Parallelism int
+}
+
 // NewHarness builds the live and reference instances via build. reportSteps
 // selects the steps whose output error is measured against the reference;
 // nil selects the workflow's gated output-most steps (the paper reports the
 // last gated step of each workflow).
 func NewHarness(build BuildFunc, reportSteps []workflow.StepID) (*Harness, error) {
+	return NewHarnessWithConfig(build, reportSteps, HarnessConfig{})
+}
+
+// NewHarnessWithConfig is NewHarness with an explicit configuration.
+func NewHarnessWithConfig(build BuildFunc, reportSteps []workflow.StepID, cfg HarnessConfig) (*Harness, error) {
 	liveWf, liveStore, err := build()
 	if err != nil {
 		return nil, fmt.Errorf("harness live build: %w", err)
@@ -203,11 +216,11 @@ func NewHarness(build BuildFunc, reportSteps []workflow.StepID) (*Harness, error
 	if err != nil {
 		return nil, fmt.Errorf("harness ref build: %w", err)
 	}
-	live, err := NewInstance(liveWf, liveStore, InstanceConfig{TrainingMode: false})
+	live, err := NewInstance(liveWf, liveStore, InstanceConfig{TrainingMode: false, Parallelism: cfg.Parallelism})
 	if err != nil {
 		return nil, fmt.Errorf("harness live instance: %w", err)
 	}
-	ref, err := NewInstance(refWf, refStore, InstanceConfig{TrainingMode: true})
+	ref, err := NewInstance(refWf, refStore, InstanceConfig{TrainingMode: true, Parallelism: cfg.Parallelism})
 	if err != nil {
 		return nil, fmt.Errorf("harness ref instance: %w", err)
 	}

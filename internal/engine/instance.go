@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 	"time"
 
 	"smartflux/internal/kvstore"
@@ -19,6 +21,21 @@ type InstanceConfig struct {
 	// accumulate exactly as the classifier will later see them. Outside
 	// training mode the baseline follows actual executions.
 	TrainingMode bool
+	// Parallelism bounds how many steps of one wave may run concurrently.
+	// 0 selects runtime.GOMAXPROCS(0); 1 reproduces the strictly
+	// sequential engine. Any value yields bit-identical WaveResults:
+	// triggering decisions are always taken in topological order by a
+	// single coordinator, and per-step results land in pre-indexed slots
+	// (see DESIGN.md "Parallel execution").
+	Parallelism int
+}
+
+// parallelism resolves the effective worker bound.
+func (c InstanceConfig) parallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // stepState holds the per-step runtime bookkeeping of the Monitoring
@@ -73,11 +90,18 @@ type Instance struct {
 	wf    *workflow.Workflow
 	store *kvstore.Store
 	cfg   InstanceConfig
+	par   int // effective parallelism (cfg.parallelism())
 
 	order    []workflow.StepID
 	gated    []workflow.StepID
 	gatedIdx map[workflow.StepID]int
 	states   map[workflow.StepID]*stepState
+	// waitIdx[i] lists order indices whose this-wave processing must
+	// finish before order[i] may start under parallel execution: the
+	// step's DAG predecessors plus any earlier step writing an
+	// overlapping output container (write-write ordering keeps version
+	// history deterministic when producers share a table).
+	waitIdx [][]int
 
 	impacts []float64 // last-known impacts, by gated index
 	wave    int
@@ -100,9 +124,10 @@ type instanceObs struct {
 }
 
 // Instrument attaches an observer to the instance: per-wave duration and
-// per-decision latency histograms, gated exec/skip counters, and — when the
-// observer has a trace sink — one decision event per (wave, gated step).
-// Passing nil detaches; with no observer attached every hook is a no-op.
+// per-decision latency histograms, gated exec/skip counters, a parallelism
+// gauge, and — when the observer has a trace sink — one decision event per
+// (wave, gated step). Passing nil detaches; with no observer attached every
+// hook is a no-op.
 func (in *Instance) Instrument(o *obs.Observer) {
 	if o == nil {
 		in.obs = nil
@@ -116,6 +141,7 @@ func (in *Instance) Instrument(o *obs.Observer) {
 		waveDur:   o.Histogram("smartflux_engine_wave_duration_seconds"),
 		decideDur: o.Histogram("smartflux_engine_decision_latency_seconds"),
 	}
+	o.Gauge("smartflux_engine_parallelism").Set(float64(in.par))
 }
 
 // NewInstance creates an instance over wf and store. The workflow must be
@@ -133,6 +159,7 @@ func NewInstance(wf *workflow.Workflow, store *kvstore.Store, cfg InstanceConfig
 		wf:       wf,
 		store:    store,
 		cfg:      cfg,
+		par:      cfg.parallelism(),
 		order:    order,
 		gated:    gated,
 		gatedIdx: make(map[workflow.StepID]int, len(gated)),
@@ -172,7 +199,47 @@ func NewInstance(wf *workflow.Workflow, store *kvstore.Store, cfg InstanceConfig
 		}
 		in.states[id] = st
 	}
+	in.waitIdx = waitIndices(wf, order, in.states)
 	return in, nil
+}
+
+// waitIndices precomputes the per-step wait sets of the parallel scheduler.
+func waitIndices(wf *workflow.Workflow, order []workflow.StepID, states map[workflow.StepID]*stepState) [][]int {
+	orderIdx := make(map[workflow.StepID]int, len(order))
+	for i, id := range order {
+		orderIdx[id] = i
+	}
+	waits := make([][]int, len(order))
+	for i, id := range order {
+		deps := make(map[int]struct{})
+		for _, pred := range wf.Predecessors(id) {
+			deps[orderIdx[pred]] = struct{}{}
+		}
+		for j := 0; j < i; j++ {
+			if outputsOverlap(states[order[j]].step, states[id].step) {
+				deps[j] = struct{}{}
+			}
+		}
+		list := make([]int, 0, len(deps))
+		for j := range deps {
+			list = append(list, j)
+		}
+		sort.Ints(list)
+		waits[i] = list
+	}
+	return waits
+}
+
+// outputsOverlap reports whether two steps write overlapping containers.
+func outputsOverlap(a, b *workflow.Step) bool {
+	for _, ao := range a.Outputs {
+		for _, bo := range b.Outputs {
+			if ao.Overlaps(bo) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Workflow returns the underlying workflow.
@@ -180,6 +247,9 @@ func (in *Instance) Workflow() *workflow.Workflow { return in.wf }
 
 // Store returns the instance's store.
 func (in *Instance) Store() *kvstore.Store { return in.store }
+
+// Parallelism returns the effective per-wave worker bound.
+func (in *Instance) Parallelism() int { return in.par }
 
 // GatedSteps returns the gated step IDs in topological order.
 func (in *Instance) GatedSteps() []workflow.StepID {
@@ -232,13 +302,20 @@ func (in *Instance) ErrorFactory(id workflow.StepID) metric.Factory {
 	return st.errorFactory
 }
 
-// inputStates snapshots each input container of a step.
-func (in *Instance) inputStates(step *workflow.Step) []metric.State {
-	states := make([]metric.State, len(step.Inputs))
-	for i, c := range step.Inputs {
-		states[i] = c.Snapshot(in.store)
+// observeImpact snapshots a gated step's input containers (through the
+// per-wave cache, so containers shared across steps are scanned once) and
+// folds them into the step's impact trackers, returning the combined impact.
+// The returned states are shared, read-only snapshots; trackers never mutate
+// retained states, so sharing is safe.
+func (in *Instance) observeImpact(st *stepState, cache *waveCache) (float64, []metric.State) {
+	inputStates := make([]metric.State, len(st.step.Inputs))
+	values := make([]float64, len(inputStates))
+	for i, c := range st.step.Inputs {
+		state := cache.snapshot(c)
+		inputStates[i] = state
+		values[i] = st.impactTrackers[i].Observe(state)
 	}
-	return states
+	return st.impactCombine(values), inputStates
 }
 
 // outputStates snapshots each output container of a step.
@@ -250,32 +327,95 @@ func (in *Instance) outputStates(step *workflow.Step) []metric.State {
 	return states
 }
 
-// RunWave executes one wave under the given decider and returns what
-// happened. Steps run in topological order; source steps always run;
-// zero-tolerance steps run whenever their predecessors have produced output
-// at least once; gated steps consult the decider with the freshly observed
-// input impacts.
-func (in *Instance) RunWave(d Decider) (WaveResult, error) {
-	wave := in.wave
+// simulateAndCommit performs a gated step's post-execution bookkeeping: it
+// simulates the optimal label against the shadow error baseline, records the
+// simulated error and label into the result's pre-indexed slots, and applies
+// the baseline-commit discipline to the impact trackers (see InstanceConfig).
+// It touches only the step's own trackers and result slots, so concurrent
+// calls for distinct steps are safe.
+func (in *Instance) simulateAndCommit(st *stepState, inputStates []metric.State, res *WaveResult, idx int, ev *obs.DecisionEvent) {
+	outputStates := in.outputStates(st.step)
+	worst := 0.0
+	for i, state := range outputStates {
+		if e := st.errorTrackers[i].Observe(state); e > worst {
+			worst = e
+		}
+	}
+	res.SimErrors[idx] = worst
+	label := 0
+	if worst > st.step.QoD.MaxError {
+		label = 1
+		for i, state := range outputStates {
+			st.errorTrackers[i].Commit(state)
+		}
+	}
+	res.Labels[idx] = label
+	if ev != nil {
+		ev.SimEps = worst
+		ev.OptimalLabel = label
+	}
+
+	if in.cfg.TrainingMode {
+		if label == 1 {
+			for i, state := range inputStates {
+				st.impactTrackers[i].Commit(state)
+			}
+		}
+	} else {
+		for i, state := range inputStates {
+			st.impactTrackers[i].Commit(state)
+		}
+	}
+}
+
+// newWaveResult allocates one wave's result with unset labels.
+func newWaveResult(wave, gated int) WaveResult {
 	res := WaveResult{
 		Wave:      wave,
-		Impacts:   make([]float64, len(in.gated)),
-		Executed:  make([]bool, len(in.gated)),
-		Labels:    make([]int, len(in.gated)),
-		SimErrors: make([]float64, len(in.gated)),
+		Impacts:   make([]float64, gated),
+		Executed:  make([]bool, gated),
+		Labels:    make([]int, gated),
+		SimErrors: make([]float64, gated),
 	}
 	for i := range res.Labels {
 		res.Labels[i] = -1
 	}
+	return res
+}
+
+// RunWave executes one wave under the given decider and returns what
+// happened. Source steps always run; zero-tolerance steps run whenever their
+// predecessors have produced output at least once; gated steps consult the
+// decider with the freshly observed input impacts. Decisions are always
+// taken in topological order by a single goroutine, so results are
+// bit-identical for every Parallelism setting; with Parallelism > 1 the
+// snapshot/execute/simulate work of independent steps overlaps on a bounded
+// worker pool.
+func (in *Instance) RunWave(d Decider) (WaveResult, error) {
+	if in.par > 1 {
+		return in.runWaveParallel(d)
+	}
+	return in.runWaveSequential(d)
+}
+
+// runWaveSequential is the strictly sequential wave loop: steps are
+// processed one by one in topological order.
+func (in *Instance) runWaveSequential(d Decider) (WaveResult, error) {
+	wave := in.wave
+	res := newWaveResult(wave, len(in.gated))
 
 	ob := in.obs
 	tracing := ob != nil && ob.o.Tracing()
+	if tracing {
+		res.Decisions = make([]obs.DecisionEvent, 0, len(in.gated))
+	}
 	var waveStart time.Time
 	if ob != nil {
 		waveStart = time.Now()
 	}
 
 	ctx := &workflow.Context{Wave: wave, Store: in.store}
+	cache := newWaveCache(in.store)
 	for _, id := range in.order {
 		st := in.states[id]
 		step := st.step
@@ -284,6 +424,7 @@ func (in *Instance) RunWave(d Decider) (WaveResult, error) {
 			if err := in.execute(ctx, st, wave); err != nil {
 				return res, err
 			}
+			cache.invalidate(step.Outputs)
 			res.TotalExecutions++
 		case !step.Gated():
 			if !in.predecessorsReady(id) {
@@ -292,117 +433,105 @@ func (in *Instance) RunWave(d Decider) (WaveResult, error) {
 			if err := in.execute(ctx, st, wave); err != nil {
 				return res, err
 			}
+			cache.invalidate(step.Outputs)
 			res.TotalExecutions++
 		default:
 			idx := in.gatedIdx[id]
 			// Observe the (possibly unchanged) input containers and
 			// refresh the impact vector before deciding.
-			inputStates := in.inputStates(step)
-			values := make([]float64, len(inputStates))
-			for i, state := range inputStates {
-				values[i] = st.impactTrackers[i].Observe(state)
-			}
-			impact := st.impactCombine(values)
+			impact, inputStates := in.observeImpact(st, cache)
 			in.impacts[idx] = impact
 			res.Impacts[idx] = impact
 
 			ready := in.predecessorsReady(id)
-			var verdict bool
-			var decNanos int64
-			if ready {
-				if ob != nil {
-					t0 := time.Now()
-					verdict = d.Decide(wave, idx, in.impacts)
-					decNanos = time.Since(t0).Nanoseconds()
-					ob.decideDur.Observe(float64(decNanos) / 1e9)
-				} else {
-					verdict = d.Decide(wave, idx, in.impacts)
-				}
-			}
+			verdict, decNanos := in.decide(d, ob, wave, idx, ready)
 			run := ready && verdict
-			if ob != nil {
-				if run {
-					ob.execs.Inc()
-				} else {
-					ob.skips.Inc()
-				}
-			}
-			var ev *obs.DecisionEvent
-			if tracing {
-				predicted := -1
-				if ready {
-					predicted = 0
-					if verdict {
-						predicted = 1
-					}
-				}
-				res.Decisions = append(res.Decisions, obs.DecisionEvent{
-					Type:           "decision",
-					Wave:           wave,
-					Step:           string(id),
-					StepIndex:      idx,
-					Policy:         d.Name(),
-					Impact:         impact,
-					Impacts:        append([]float64(nil), in.impacts...),
-					Ready:          ready,
-					PredictedLabel: predicted,
-					Verdict:        verdict,
-					OptimalLabel:   -1,
-					MaxEps:         step.QoD.MaxError,
-					DecisionNanos:  decNanos,
-				})
-				ev = &res.Decisions[len(res.Decisions)-1]
-			}
+			ev := in.traceDecision(&res, d, step, idx, impact, ready, verdict, decNanos, tracing)
 			if !run {
 				continue
 			}
 			if err := in.execute(ctx, st, wave); err != nil {
 				return res, err
 			}
+			cache.invalidate(step.Outputs)
 			res.TotalExecutions++
 			res.GatedExecutions++
 			res.Executed[idx] = true
 			if ev != nil {
 				ev.Executed = true
 			}
-
-			// Simulate the optimal label: does the fresh output
-			// deviate from the shadow baseline beyond maxε?
-			outputStates := in.outputStates(step)
-			worst := 0.0
-			for i, state := range outputStates {
-				if e := st.errorTrackers[i].Observe(state); e > worst {
-					worst = e
-				}
-			}
-			res.SimErrors[idx] = worst
-			label := 0
-			if worst > step.QoD.MaxError {
-				label = 1
-				for i, state := range outputStates {
-					st.errorTrackers[i].Commit(state)
-				}
-			}
-			res.Labels[idx] = label
-			if ev != nil {
-				ev.SimEps = worst
-				ev.OptimalLabel = label
-			}
-
-			// Baseline-commit discipline (see InstanceConfig).
-			if in.cfg.TrainingMode {
-				if label == 1 {
-					for i, state := range inputStates {
-						st.impactTrackers[i].Commit(state)
-					}
-				}
-			} else {
-				for i, state := range inputStates {
-					st.impactTrackers[i].Commit(state)
-				}
-			}
+			in.simulateAndCommit(st, inputStates, &res, idx, ev)
 		}
 	}
+	in.finishWave(&res, ob, waveStart)
+	return res, nil
+}
+
+// decide consults the decider for one ready gated step, timing the call when
+// an observer is attached. Unready steps are never presented to the decider.
+func (in *Instance) decide(d Decider, ob *instanceObs, wave, idx int, ready bool) (verdict bool, decNanos int64) {
+	if !ready {
+		return false, 0
+	}
+	if ob != nil {
+		t0 := time.Now()
+		verdict = d.Decide(wave, idx, in.impacts)
+		decNanos = time.Since(t0).Nanoseconds()
+		ob.decideDur.Observe(float64(decNanos) / 1e9)
+	} else {
+		verdict = d.Decide(wave, idx, in.impacts)
+	}
+	if ob != nil {
+		if verdict {
+			ob.execs.Inc()
+		} else {
+			ob.skips.Inc()
+		}
+	}
+	return verdict, decNanos
+}
+
+// traceDecision appends one decision event to the wave result and returns a
+// pointer to it, or nil when tracing is off. res.Decisions is pre-allocated
+// to the gated-step count, so appends never reallocate and the returned
+// pointer stays valid while later events are added.
+func (in *Instance) traceDecision(res *WaveResult, d Decider, step *workflow.Step, idx int, impact float64, ready, verdict bool, decNanos int64, tracing bool) *obs.DecisionEvent {
+	if in.obs != nil && !ready {
+		// Unready steps count as skips even though the decider never ran.
+		in.obs.skips.Inc()
+	}
+	if !tracing {
+		return nil
+	}
+	predicted := -1
+	if ready {
+		predicted = 0
+		if verdict {
+			predicted = 1
+		}
+	}
+	res.Decisions = append(res.Decisions, obs.DecisionEvent{
+		Type:           "decision",
+		Wave:           res.Wave,
+		Step:           string(step.ID),
+		StepIndex:      idx,
+		Policy:         d.Name(),
+		Impact:         impact,
+		Impacts:        append([]float64(nil), in.impacts...),
+		Ready:          ready,
+		PredictedLabel: predicted,
+		Verdict:        verdict,
+		OptimalLabel:   -1,
+		MaxEps:         step.QoD.MaxError,
+		DecisionNanos:  decNanos,
+	})
+	return &res.Decisions[len(res.Decisions)-1]
+}
+
+// finishWave records wave-level instruments, emits buffered decision events
+// (unless a Harness defers emission to enrich them first) and advances the
+// wave counter.
+func (in *Instance) finishWave(res *WaveResult, ob *instanceObs, waveStart time.Time) {
 	if ob != nil {
 		ob.waves.Inc()
 		ob.waveDur.Observe(time.Since(waveStart).Seconds())
@@ -413,7 +542,6 @@ func (in *Instance) RunWave(d Decider) (WaveResult, error) {
 		}
 	}
 	in.wave++
-	return res, nil
 }
 
 // execute runs a step's processor and updates its bookkeeping.

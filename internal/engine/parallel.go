@@ -1,0 +1,248 @@
+package engine
+
+// Parallel wave execution. RunWave with Parallelism > 1 runs each step of a
+// wave in its own goroutine on a semaphore-bounded worker pool, while a
+// single coordinator (the calling goroutine) takes every triggering decision
+// strictly in topological order. The result is bit-identical to the
+// sequential engine:
+//
+//   - Decision order. Full-vector deciders (the learned Predictor consumes
+//     the whole impact vector) observe in.impacts evolving exactly as in the
+//     sequential walk, because only the coordinator updates it, one gated
+//     step at a time, in topological order.
+//   - Data order. A step's goroutine starts its work only after the done
+//     channels of its wait set have closed: its DAG predecessors (every
+//     producer of an overlapping input container is a predecessor by
+//     construction, see workflow.Finalize) plus any earlier-in-order step
+//     writing an overlapping output container, which keeps per-cell version
+//     history deterministic under write-write sharing.
+//   - Result order. Per-step outputs land in pre-indexed WaveResult slots;
+//     trace events are appended only by the coordinator into a slice
+//     pre-allocated to the gated-step count (appends never reallocate, so
+//     event pointers held by workers stay valid) and emitted after the wave
+//     barrier.
+//
+// Deadlock freedom is by induction over the topological order: a step's wait
+// set references only earlier order positions, and the coordinator answers
+// gated steps in that same order, so whenever the coordinator blocks on step
+// i every j < i can run to completion. The semaphore is held only around
+// actual work (snapshot, execute, simulate) — never while blocking on a
+// channel — so pool slots always free up.
+//
+// Divergence on error: the sequential engine aborts mid-wave on the first
+// processor error, while the parallel engine lets the wave drain and returns
+// the first error in topological order. Store timestamps across *different*
+// tables may also interleave differently; per-cell version order is
+// preserved.
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"smartflux/internal/kvstore"
+	"smartflux/internal/metric"
+	"smartflux/internal/obs"
+	"smartflux/internal/workflow"
+)
+
+// waveCache shares container snapshots across the trackers of one wave.
+// Multiple gated steps reading the same container reference get one scan and
+// one shared read-only metric.State (trackers never mutate retained states).
+// Entries are invalidated by output table after every execution; a reader
+// can still never observe a half-fresh entry because every writer
+// overlapping its container is one of its predecessors and therefore
+// finishes — and invalidates — before the reader's snapshot.
+type waveCache struct {
+	store  *kvstore.Store
+	mu     sync.Mutex
+	states map[string]metric.State // keyed by Container.String()
+}
+
+func newWaveCache(store *kvstore.Store) *waveCache {
+	return &waveCache{store: store, states: make(map[string]metric.State)}
+}
+
+// snapshot returns the container's state, scanning at most once per wave for
+// each distinct container reference.
+func (c *waveCache) snapshot(ct workflow.Container) metric.State {
+	key := ct.String()
+	c.mu.Lock()
+	if s, ok := c.states[key]; ok {
+		c.mu.Unlock()
+		return s
+	}
+	c.mu.Unlock()
+	// Scan outside the lock so independent snapshots overlap; two workers
+	// racing on the same untouched container produce identical states.
+	s := ct.Snapshot(c.store)
+	c.mu.Lock()
+	c.states[key] = s
+	c.mu.Unlock()
+	return s
+}
+
+// invalidate drops every cached entry on the written tables.
+func (c *waveCache) invalidate(outputs []workflow.Container) {
+	if len(outputs) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key := range c.states {
+		table, _, _ := strings.Cut(key, "/")
+		for _, out := range outputs {
+			if out.Table == table {
+				delete(c.states, key)
+				break
+			}
+		}
+	}
+}
+
+// gatedObservation is a worker's report to the coordinator: the freshly
+// observed combined input impact and the triggering precondition.
+type gatedObservation struct {
+	impact float64
+	ready  bool
+}
+
+// gatedVerdict is the coordinator's answer: whether to execute, and the
+// step's trace event (nil when tracing is off) for the worker to enrich.
+type gatedVerdict struct {
+	run bool
+	ev  *obs.DecisionEvent
+}
+
+// stepOutcome collects what a worker did, aggregated after the wave barrier
+// in topological order so counters match the sequential engine.
+type stepOutcome struct {
+	executed bool
+	gated    bool
+	err      error
+}
+
+// runWaveParallel is the Parallelism > 1 wave loop. See the package comment
+// at the top of this file for the scheduling scheme and its guarantees.
+func (in *Instance) runWaveParallel(d Decider) (WaveResult, error) {
+	wave := in.wave
+	res := newWaveResult(wave, len(in.gated))
+
+	ob := in.obs
+	tracing := ob != nil && ob.o.Tracing()
+	if tracing {
+		// Capacity covers every gated step: coordinator appends never
+		// reallocate, so event pointers handed to workers stay valid.
+		res.Decisions = make([]obs.DecisionEvent, 0, len(in.gated))
+	}
+	var waveStart time.Time
+	if ob != nil {
+		waveStart = time.Now()
+	}
+
+	ctx := &workflow.Context{Wave: wave, Store: in.store}
+	cache := newWaveCache(in.store)
+
+	n := len(in.order)
+	done := make([]chan struct{}, n)
+	obsCh := make([]chan gatedObservation, n)
+	verCh := make([]chan gatedVerdict, n)
+	for i, id := range in.order {
+		done[i] = make(chan struct{})
+		if in.states[id].step.Gated() {
+			obsCh[i] = make(chan gatedObservation, 1)
+			verCh[i] = make(chan gatedVerdict, 1)
+		}
+	}
+	outcomes := make([]stepOutcome, n)
+	sem := make(chan struct{}, in.par)
+
+	var wg sync.WaitGroup
+	for i := range in.order {
+		st := in.states[in.order[i]]
+		wg.Add(1)
+		go func(i int, st *stepState) {
+			defer wg.Done()
+			defer close(done[i])
+			for _, j := range in.waitIdx[i] {
+				<-done[j]
+			}
+			step := st.step
+			switch {
+			case step.Source, !step.Gated():
+				if !step.Source && !in.predecessorsReady(step.ID) {
+					return
+				}
+				sem <- struct{}{}
+				err := in.execute(ctx, st, wave)
+				if err == nil {
+					cache.invalidate(step.Outputs)
+				}
+				<-sem
+				outcomes[i] = stepOutcome{executed: err == nil, err: err}
+			default:
+				ready := in.predecessorsReady(step.ID)
+				sem <- struct{}{}
+				impact, inputStates := in.observeImpact(st, cache)
+				<-sem
+				obsCh[i] <- gatedObservation{impact: impact, ready: ready}
+				v := <-verCh[i]
+				if !v.run {
+					return
+				}
+				sem <- struct{}{}
+				if err := in.execute(ctx, st, wave); err != nil {
+					<-sem
+					outcomes[i] = stepOutcome{gated: true, err: err}
+					return
+				}
+				cache.invalidate(step.Outputs)
+				idx := in.gatedIdx[step.ID]
+				res.Executed[idx] = true
+				if v.ev != nil {
+					v.ev.Executed = true
+				}
+				in.simulateAndCommit(st, inputStates, &res, idx, v.ev)
+				<-sem
+				outcomes[i] = stepOutcome{executed: true, gated: true}
+			}
+		}(i, st)
+	}
+
+	// Coordinator: take every triggering decision in topological order.
+	// Workers at earlier positions have already received their verdicts,
+	// so blocking on obsCh[i] cannot deadlock.
+	for i, id := range in.order {
+		st := in.states[id]
+		if !st.step.Gated() {
+			continue
+		}
+		idx := in.gatedIdx[id]
+		o := <-obsCh[i]
+		in.impacts[idx] = o.impact
+		res.Impacts[idx] = o.impact
+		verdict, decNanos := in.decide(d, ob, wave, idx, o.ready)
+		ev := in.traceDecision(&res, d, st.step, idx, o.impact, o.ready, verdict, decNanos, tracing)
+		verCh[i] <- gatedVerdict{run: o.ready && verdict, ev: ev}
+	}
+	wg.Wait()
+
+	var firstErr error
+	for i := range outcomes {
+		oc := &outcomes[i]
+		if oc.err != nil && firstErr == nil {
+			firstErr = oc.err
+		}
+		if oc.executed {
+			res.TotalExecutions++
+			if oc.gated {
+				res.GatedExecutions++
+			}
+		}
+	}
+	if firstErr != nil {
+		return res, firstErr
+	}
+	in.finishWave(&res, ob, waveStart)
+	return res, nil
+}

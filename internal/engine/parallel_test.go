@@ -1,0 +1,356 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"smartflux/internal/kvstore"
+	"smartflux/internal/metric"
+	"smartflux/internal/obs"
+	"smartflux/internal/workflow"
+)
+
+// newWorkloadInstance builds one instance of a workload at a parallelism.
+func newWorkloadInstance(t *testing.T, build BuildFunc, training bool, par int) *Instance {
+	t.Helper()
+	wf, store, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewInstance(wf, store, InstanceConfig{TrainingMode: training, Parallelism: par})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// TestParallelWaveBitIdentical drives a sequential and a parallel instance of
+// the same workload through the same policy and requires every WaveResult —
+// impacts, labels, simulated errors, execution flags and counters — plus the
+// final store contents to match exactly. This is the contract the parallel
+// scheduler is built around: Parallelism only changes wall-clock.
+func TestParallelWaveBitIdentical(t *testing.T) {
+	policies := map[string]func() Decider{
+		"sync":   func() Decider { return Sync{} },
+		"seq3":   func() Decider { return NewSeq(3) },
+		"random": func() Decider { return NewRandom(0.5, 17) },
+		"never": func() Decider {
+			return DeciderFunc{PolicyName: "never", Fn: func(_, _ int, _ []float64) bool { return false }}
+		},
+	}
+	for name, policy := range policies {
+		for _, training := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/training=%v", name, training), func(t *testing.T) {
+				seq := newWorkloadInstance(t, testWorkload(0.05), training, 1)
+				par := newWorkloadInstance(t, testWorkload(0.05), training, 4)
+				if seq.Parallelism() != 1 || par.Parallelism() != 4 {
+					t.Fatalf("parallelism plumbing: %d/%d", seq.Parallelism(), par.Parallelism())
+				}
+				ds, dp := policy(), policy()
+				for w := 0; w < 40; w++ {
+					rs, err := seq.RunWave(ds)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rp, err := par.RunWave(dp)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(rs, rp) {
+						t.Fatalf("wave %d diverged:\nseq: %+v\npar: %+v", w, rs, rp)
+					}
+				}
+				for _, id := range seq.GatedSteps() {
+					if seq.ExecCount(id) != par.ExecCount(id) {
+						t.Errorf("%s exec count %d vs %d", id, seq.ExecCount(id), par.ExecCount(id))
+					}
+					if !reflect.DeepEqual(seq.OutputState(id), par.OutputState(id)) {
+						t.Errorf("%s output state diverged", id)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelTracedEventsMatch compares the decision-trace streams of a
+// sequential and a parallel run: identical apart from wall-clock timings.
+func TestParallelTracedEventsMatch(t *testing.T) {
+	run := func(par int) []obs.DecisionEvent {
+		inst := newWorkloadInstance(t, testWorkload(0.05), false, par)
+		ring := obs.NewRingSink(1024)
+		inst.Instrument(obs.New(obs.NewRegistry(), ring))
+		for w := 0; w < 20; w++ {
+			if _, err := inst.RunWave(NewSeq(2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		events := ring.Tail(0)
+		for i := range events {
+			events[i].DecisionNanos = 0
+		}
+		return events
+	}
+	seq, par := run(1), run(4)
+	if len(seq) == 0 {
+		t.Fatal("no events traced")
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("trace streams diverged: %d vs %d events", len(seq), len(par))
+	}
+}
+
+// wideWorkload is a race-stress workflow: one source fans out to width
+// independent gated averages over disjoint column prefixes of one shared
+// table, and two join steps read overlapping subsets of those outputs, so a
+// wave holds many concurrently runnable steps plus cross-level edges.
+func wideWorkload(width int, maxErr float64) BuildFunc {
+	return func() (*workflow.Workflow, *kvstore.Store, error) {
+		store := kvstore.New()
+		wf := workflow.New("wide")
+		qod := workflow.QoD{
+			MaxError:   maxErr,
+			ImpactFunc: metric.FuncAbsoluteImpact,
+			ErrorFunc:  metric.FuncRelativeError,
+			Mode:       metric.ModeAccumulate,
+		}
+		src := &workflow.Step{
+			ID:      "src",
+			Source:  true,
+			Outputs: []workflow.Container{{Table: "raw"}},
+			Proc: workflow.ProcessorFunc(func(ctx *workflow.Context) error {
+				tab, err := ctx.Table("raw")
+				if err != nil {
+					return err
+				}
+				batch := kvstore.NewBatch()
+				for i := 0; i < width; i++ {
+					key := "k" + strconv.Itoa(i)
+					batch.PutFloat(key, "v", float64(ctx.Wave*7+i*13%29))
+				}
+				return tab.Apply(batch)
+			}),
+		}
+		if err := wf.AddStep(src); err != nil {
+			return nil, nil, err
+		}
+		for i := 0; i < width; i++ {
+			key := "k" + strconv.Itoa(i)
+			out := "m" + strconv.Itoa(i)
+			step := &workflow.Step{
+				ID:      workflow.StepID("mid" + strconv.Itoa(i)),
+				Inputs:  []workflow.Container{{Table: "raw", ColumnPrefix: key}},
+				Outputs: []workflow.Container{{Table: out}},
+				QoD:     qod,
+				Proc: workflow.ProcessorFunc(func(ctx *workflow.Context) error {
+					raw, err := ctx.Table("raw")
+					if err != nil {
+						return err
+					}
+					dst, err := ctx.Table(out)
+					if err != nil {
+						return err
+					}
+					v, ok := raw.GetFloat(key, "v")
+					if !ok {
+						return nil
+					}
+					return dst.PutFloat("all", "x", 2*v+1)
+				}),
+			}
+			if err := wf.AddStep(step); err != nil {
+				return nil, nil, err
+			}
+		}
+		for j := 0; j < 2; j++ {
+			lo, hi := j*width/2, (j+1)*width/2
+			var ins []workflow.Container
+			for i := lo; i < hi; i++ {
+				ins = append(ins, workflow.Container{Table: "m" + strconv.Itoa(i)})
+			}
+			out := "join" + strconv.Itoa(j)
+			step := &workflow.Step{
+				ID:      workflow.StepID(out),
+				Inputs:  ins,
+				Outputs: []workflow.Container{{Table: out}},
+				QoD:     qod,
+				Proc: workflow.ProcessorFunc(func(ctx *workflow.Context) error {
+					var sum float64
+					for i := lo; i < hi; i++ {
+						tab, err := ctx.Table("m" + strconv.Itoa(i))
+						if err != nil {
+							return err
+						}
+						if v, ok := tab.GetFloat("all", "x"); ok {
+							sum += v
+						}
+					}
+					dst, err := ctx.Table(out)
+					if err != nil {
+						return err
+					}
+					return dst.PutFloat("all", "sum", sum)
+				}),
+			}
+			if err := wf.AddStep(step); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := wf.Finalize(); err != nil {
+			return nil, nil, err
+		}
+		return wf, store, nil
+	}
+}
+
+// TestParallelWideWaveStress exercises the parallel scheduler on a wide
+// workflow with shared tables under the race detector, and checks it still
+// matches the sequential run exactly. Parallelism is set well above the
+// runnable width so the semaphore, the per-step done channels and the gated
+// coordinator handshake all see real contention.
+func TestParallelWideWaveStress(t *testing.T) {
+	build := wideWorkload(12, 0.08)
+	for _, policy := range []func() Decider{
+		func() Decider { return Sync{} },
+		func() Decider { return NewRandom(0.6, 5) },
+	} {
+		seq := newWorkloadInstance(t, build, false, 1)
+		par := newWorkloadInstance(t, build, false, 8)
+		ds, dp := policy(), policy()
+		for w := 0; w < 15; w++ {
+			rs, err := seq.RunWave(ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rp, err := par.RunWave(dp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(rs, rp) {
+				t.Fatalf("policy %s wave %d diverged", ds.Name(), w)
+			}
+		}
+	}
+}
+
+// TestParallelWaveError checks the parallel scheduler surfaces a failing
+// step's error and, with several failures in flight, reports the first in
+// topological order — matching the step a sequential run would blame.
+func TestParallelWaveError(t *testing.T) {
+	boom := errors.New("boom")
+	build := func() (*workflow.Workflow, *kvstore.Store, error) {
+		store := kvstore.New()
+		wf := workflow.New("err")
+		if err := wf.AddStep(&workflow.Step{
+			ID:      "src",
+			Source:  true,
+			Outputs: []workflow.Container{{Table: "raw"}},
+			Proc: workflow.ProcessorFunc(func(ctx *workflow.Context) error {
+				tab, err := ctx.Table("raw")
+				if err != nil {
+					return err
+				}
+				return tab.PutFloat("k", "v", float64(ctx.Wave))
+			}),
+		}); err != nil {
+			return nil, nil, err
+		}
+		for i := 0; i < 3; i++ {
+			i := i
+			if err := wf.AddStep(&workflow.Step{
+				ID:      workflow.StepID("fail" + strconv.Itoa(i)),
+				Inputs:  []workflow.Container{{Table: "raw"}},
+				Outputs: []workflow.Container{{Table: "out" + strconv.Itoa(i)}},
+				Proc: workflow.ProcessorFunc(func(ctx *workflow.Context) error {
+					return fmt.Errorf("fail%d: %w", i, boom)
+				}),
+			}); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := wf.Finalize(); err != nil {
+			return nil, nil, err
+		}
+		return wf, store, nil
+	}
+	inst := newWorkloadInstance(t, build, false, 4)
+	_, err := inst.RunWave(Sync{})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error chain broken: %v", err)
+	}
+	// fail0 is first in topological order among the failing siblings.
+	if want := `step "fail0"`; !strings.Contains(err.Error(), want) {
+		t.Fatalf("err = %q, want it to blame %q", err.Error(), want)
+	}
+}
+
+// TestWaveCacheSnapshotSharing checks the per-wave snapshot cache returns one
+// shared state per container and drops only the invalidated table's entries.
+func TestWaveCacheSnapshotSharing(t *testing.T) {
+	store := kvstore.New()
+	a, err := store.EnsureTable("a", kvstore.TableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PutFloat("k", "v", 1); err != nil {
+		t.Fatal(err)
+	}
+	b, err := store.EnsureTable("b", kvstore.TableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PutFloat("k", "v", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	cache := newWaveCache(store)
+	s1 := cache.snapshot(workflow.Container{Table: "a"})
+	s2 := cache.snapshot(workflow.Container{Table: "a"})
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("repeated snapshots must agree")
+	}
+	if len(cache.states) != 1 {
+		t.Fatalf("cache holds %d entries, want 1", len(cache.states))
+	}
+	cache.snapshot(workflow.Container{Table: "b"})
+
+	// Writing to "a" and invalidating must evict only "a" snapshots.
+	if err := a.PutFloat("k", "v", 10); err != nil {
+		t.Fatal(err)
+	}
+	cache.invalidate([]workflow.Container{{Table: "a"}})
+	if len(cache.states) != 1 {
+		t.Fatalf("after invalidate cache holds %d entries, want 1 (b)", len(cache.states))
+	}
+	s3 := cache.snapshot(workflow.Container{Table: "a"})
+	if reflect.DeepEqual(s1, s3) {
+		t.Fatal("post-invalidate snapshot must see the new write")
+	}
+}
+
+// TestHarnessParallelMatchesSequential runs the full harness (live + shadow
+// reference instance, measurement, reports) at both parallelism settings.
+func TestHarnessParallelMatchesSequential(t *testing.T) {
+	run := func(par int) *Result {
+		h, err := NewHarnessWithConfig(testWorkload(0.05), nil, HarnessConfig{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := h.Run(30, NewSeq(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, par := run(1), run(4)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("harness results diverged between Parallelism 1 and 4")
+	}
+}

@@ -18,6 +18,8 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"smartflux/internal/aqhi"
 	"smartflux/internal/core"
@@ -45,6 +47,21 @@ type Config struct {
 	// Scale multiplies wave counts; 1 reproduces the paper's lengths
 	// (500+500 LRB, 336+384 AQHI), smaller values give quick runs.
 	Scale float64
+	// Jobs bounds how many (workload, bound) pipelines run concurrently
+	// (the cmd/experiments -j flag): 0 selects runtime.GOMAXPROCS(0),
+	// 1 runs them one at a time. Each pipeline's own internal parallelism
+	// is unaffected (engine and session stay sequential within a fan-out
+	// so concurrent pipelines don't oversubscribe the machine), and every
+	// figure's output is identical for every setting.
+	Jobs int
+}
+
+// jobs resolves the effective pipeline fan-out.
+func (c Config) jobs() int {
+	if c.Jobs > 0 {
+		return c.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (c Config) withDefaults() Config {
@@ -115,15 +132,25 @@ func reportStep(w Workload) workflow.StepID {
 }
 
 // Runner caches pipeline runs shared by several figures (9, 10, 12 all
-// derive from the same (workload, bound) run).
+// derive from the same (workload, bound) run). It is safe for concurrent
+// use: concurrent Pipeline calls for the same key share one run.
 type Runner struct {
 	cfg   Config
-	cache map[string]*core.PipelineResult
+	mu    sync.Mutex
+	cache map[string]*pipelineEntry
+}
+
+// pipelineEntry is one cache slot; once ensures a key's pipeline runs
+// exactly once even when requested concurrently.
+type pipelineEntry struct {
+	once sync.Once
+	res  *core.PipelineResult
+	err  error
 }
 
 // NewRunner creates a runner.
 func NewRunner(cfg Config) *Runner {
-	return &Runner{cfg: cfg.withDefaults(), cache: make(map[string]*core.PipelineResult)}
+	return &Runner{cfg: cfg.withDefaults(), cache: make(map[string]*pipelineEntry)}
 }
 
 // Config returns the runner's effective configuration.
@@ -133,23 +160,80 @@ func (r *Runner) Config() Config { return r.cfg }
 // workload at a bound.
 func (r *Runner) Pipeline(w Workload, bound float64) (*core.PipelineResult, error) {
 	key := fmt.Sprintf("%s/%.3f", w, bound)
-	if res, ok := r.cache[key]; ok {
-		return res, nil
+	r.mu.Lock()
+	entry, ok := r.cache[key]
+	if !ok {
+		entry = &pipelineEntry{}
+		r.cache[key] = entry
 	}
+	r.mu.Unlock()
+	entry.once.Do(func() {
+		entry.res, entry.err = r.runPipeline(w, bound)
+	})
+	return entry.res, entry.err
+}
+
+// runPipeline executes one uncached pipeline. When pipelines fan out
+// (Jobs > 1) each runs sequentially inside so the fan-out, not the inner
+// engine, uses the machine; a lone pipeline gets full inner parallelism.
+func (r *Runner) runPipeline(w Workload, bound float64) (*core.PipelineResult, error) {
 	build, err := r.cfg.buildFor(w, bound)
 	if err != nil {
 		return nil, err
 	}
+	parallelism := 0
+	if r.cfg.jobs() > 1 {
+		parallelism = 1
+	}
 	res, err := core.RunPipeline(build, []workflow.StepID{reportStep(w)}, core.PipelineConfig{
-		TrainWaves: r.cfg.trainWaves(w),
-		ApplyWaves: r.cfg.applyWaves(w),
-		Session:    r.cfg.session(),
+		TrainWaves:  r.cfg.trainWaves(w),
+		ApplyWaves:  r.cfg.applyWaves(w),
+		Session:     r.cfg.session(),
+		Parallelism: parallelism,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments %s bound %.2f: %w", w, bound, err)
 	}
-	r.cache[key] = res
 	return res, nil
+}
+
+// Target identifies one cached pipeline run.
+type Target struct {
+	Workload Workload
+	Bound    float64
+}
+
+// Prewarm runs the pipelines for every target concurrently, bounded by
+// Config.Jobs, so subsequent figure calls hit the cache. It returns the
+// first error in target order. Figures computed from prewarmed runs are
+// identical to computing them cold — the fan-out only changes wall-clock.
+func (r *Runner) Prewarm(targets []Target) error {
+	if len(targets) == 0 {
+		return nil
+	}
+	jobs := r.cfg.jobs()
+	if jobs > len(targets) {
+		jobs = len(targets)
+	}
+	errs := make([]error, len(targets))
+	sem := make(chan struct{}, jobs)
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, t Target) {
+			defer wg.Done()
+			_, errs[i] = r.Pipeline(t.Workload, t.Bound)
+			<-sem
+		}(i, t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // SyncLog is a contiguous synchronous-execution log: per-wave impact

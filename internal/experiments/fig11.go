@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"smartflux/internal/engine"
 	"smartflux/internal/stats"
@@ -42,7 +43,10 @@ func Fig11(r *Runner) (*Fig11Result, error) {
 			Confidence: confidenceOf(report.Measured, bound),
 		})
 
-		// Naive policies: fresh harnesses over the same horizon.
+		// Naive policies: fresh harnesses over the same horizon. Each
+		// policy run is independent (its own workload copy and store),
+		// so they fan out under Config.Jobs; the curves land in indexed
+		// slots so output order matches the sequential run.
 		waves := r.cfg.applyWaves(w)
 		policies := []engine.Decider{
 			engine.NewRandom(0.5, r.cfg.Seed+11),
@@ -50,17 +54,35 @@ func Fig11(r *Runner) (*Fig11Result, error) {
 			engine.NewSeq(3),
 			engine.NewSeq(5),
 		}
-		for _, policy := range policies {
-			curve, err := r.policyConfidence(w, bound, waves, policy)
-			if err != nil {
-				return nil, fmt.Errorf("fig11 %s %s: %w", w, policy.Name(), err)
-			}
-			result.Curves = append(result.Curves, PolicyCurve{
-				Workload:   w,
-				Policy:     policy.Name(),
-				Confidence: curve,
-			})
+		curves := make([]PolicyCurve, len(policies))
+		errs := make([]error, len(policies))
+		jobs := r.cfg.jobs()
+		if jobs > len(policies) {
+			jobs = len(policies)
 		}
+		sem := make(chan struct{}, jobs)
+		var wg sync.WaitGroup
+		for i, policy := range policies {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, policy engine.Decider) {
+				defer wg.Done()
+				curve, err := r.policyConfidence(w, bound, waves, policy)
+				if err != nil {
+					errs[i] = fmt.Errorf("fig11 %s %s: %w", w, policy.Name(), err)
+				} else {
+					curves[i] = PolicyCurve{Workload: w, Policy: policy.Name(), Confidence: curve}
+				}
+				<-sem
+			}(i, policy)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		result.Curves = append(result.Curves, curves...)
 	}
 	return result, nil
 }
@@ -72,7 +94,11 @@ func (r *Runner) policyConfidence(w Workload, bound float64, waves int, policy e
 	if err != nil {
 		return nil, err
 	}
-	harness, err := engine.NewHarness(build, []workflow.StepID{reportStep(w)})
+	parallelism := 0
+	if r.cfg.jobs() > 1 {
+		parallelism = 1 // the fan-out, not the inner engine, uses the machine
+	}
+	harness, err := engine.NewHarnessWithConfig(build, []workflow.StepID{reportStep(w)}, engine.HarnessConfig{Parallelism: parallelism})
 	if err != nil {
 		return nil, err
 	}

@@ -376,26 +376,64 @@ func (s *Server) Close() error {
 	return err
 }
 
+// ClientConfig configures a client connection. The zero value matches the
+// historical behaviour: no deadlines anywhere.
+type ClientConfig struct {
+	// DialTimeout bounds connection establishment; zero waits forever.
+	DialTimeout time.Duration
+	// ReadTimeout bounds each response read; zero waits forever. A hung or
+	// stalled server surfaces as a kvnet recv timeout error instead of
+	// blocking the calling workflow step indefinitely.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each request write; zero waits forever.
+	WriteTimeout time.Duration
+	// Obs, when non-nil, counts I/O timeouts on
+	// smartflux_kvnet_client_timeouts_total{kind="read"|"write"}.
+	Obs *obs.Observer
+}
+
 // Client is a synchronous TCP client for a kvnet server. A Client is safe
 // for concurrent use; requests are serialized over one connection.
 type Client struct {
+	cfg ClientConfig
+
 	mu   sync.Mutex
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
+
+	readTimeouts  *obs.Counter // nil when no observer is configured
+	writeTimeouts *obs.Counter
 }
 
-// Dial connects to a kvnet server.
+// Dial connects to a kvnet server with no I/O deadlines.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialConfig(addr, ClientConfig{})
+}
+
+// DialConfig connects to a kvnet server with the given configuration.
+func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
+	var conn net.Conn
+	var err error
+	if cfg.DialTimeout > 0 {
+		conn, err = net.DialTimeout("tcp", addr, cfg.DialTimeout)
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("kvnet dial: %w", err)
 	}
-	return &Client{
+	c := &Client{
+		cfg:  cfg,
 		conn: conn,
 		enc:  gob.NewEncoder(conn),
 		dec:  gob.NewDecoder(conn),
-	}, nil
+	}
+	if cfg.Obs != nil {
+		c.readTimeouts = cfg.Obs.Counter(`smartflux_kvnet_client_timeouts_total{kind="read"}`)
+		c.writeTimeouts = cfg.Obs.Counter(`smartflux_kvnet_client_timeouts_total{kind="write"}`)
+	}
+	return c, nil
 }
 
 // Close closes the client connection.
@@ -405,14 +443,33 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
+// countTimeout bumps the matching timeout counter when err is a net timeout.
+func countTimeout(err error, counter *obs.Counter) {
+	if counter == nil {
+		return
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		counter.Inc()
+	}
+}
+
 func (c *Client) roundTrip(req request) (response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.cfg.WriteTimeout > 0 {
+		_ = c.conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+	}
 	if err := c.enc.Encode(req); err != nil {
+		countTimeout(err, c.writeTimeouts)
 		return response{}, fmt.Errorf("kvnet send: %w", err)
+	}
+	if c.cfg.ReadTimeout > 0 {
+		_ = c.conn.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout))
 	}
 	var resp response
 	if err := c.dec.Decode(&resp); err != nil {
+		countTimeout(err, c.readTimeouts)
 		return response{}, fmt.Errorf("kvnet recv: %w", err)
 	}
 	if resp.Err != "" {

@@ -75,45 +75,56 @@ type CVResult struct {
 	Folds     int
 }
 
-// CrossValidate runs k-fold cross-validation of the classifier produced by
-// factory over d, pooling predictions across folds before computing metrics
-// (so small folds do not destabilize precision/recall). threshold converts
-// scores to class predictions.
-func CrossValidate(factory func() ml.Classifier, d ml.Dataset, k int, threshold float64, rng *rand.Rand) (CVResult, error) {
-	if err := d.Validate(); err != nil {
-		return CVResult{}, err
-	}
-	folds, err := StratifiedKFold(d.Y, k, rng)
-	if err != nil {
-		return CVResult{}, err
-	}
+// FoldScores holds one fold's pooled-in-order predictions: parallel slices
+// over the fold's test examples.
+type FoldScores struct {
+	Preds  []int
+	Truths []int
+	Scores []float64
+}
 
+// ScoreFold fits a fresh classifier from factory on one fold's training
+// split and scores its test split. Empty folds yield a zero FoldScores.
+// Each call is independent of every other fold, so callers may evaluate
+// folds concurrently and pool the results in fold order afterwards (see
+// CrossValidateFolds).
+func ScoreFold(factory func() ml.Classifier, d ml.Dataset, fold Fold, fi int, threshold float64) (FoldScores, error) {
+	var out FoldScores
+	if len(fold.Train) == 0 || len(fold.Test) == 0 {
+		return out, nil
+	}
+	clf := factory()
+	if err := clf.Fit(d.Subset(fold.Train)); err != nil {
+		return out, fmt.Errorf("cv fold %d fit: %w", fi, err)
+	}
+	for _, i := range fold.Test {
+		score, err := clf.Score(d.X[i])
+		if err != nil {
+			return out, fmt.Errorf("cv fold %d score: %w", fi, err)
+		}
+		pred := 0
+		if score >= threshold {
+			pred = 1
+		}
+		out.Preds = append(out.Preds, pred)
+		out.Truths = append(out.Truths, d.Y[i])
+		out.Scores = append(out.Scores, score)
+	}
+	return out, nil
+}
+
+// CrossValidateFolds pools pre-computed per-fold scores in fold order and
+// derives the aggregate metrics. k is reported as CVResult.Folds.
+func CrossValidateFolds(folds []FoldScores, k int) (CVResult, error) {
 	var (
 		preds  []int
 		truths []int
 		scores []float64
 	)
-	for fi, fold := range folds {
-		if len(fold.Train) == 0 || len(fold.Test) == 0 {
-			continue
-		}
-		clf := factory()
-		if err := clf.Fit(d.Subset(fold.Train)); err != nil {
-			return CVResult{}, fmt.Errorf("cv fold %d fit: %w", fi, err)
-		}
-		for _, i := range fold.Test {
-			score, err := clf.Score(d.X[i])
-			if err != nil {
-				return CVResult{}, fmt.Errorf("cv fold %d score: %w", fi, err)
-			}
-			pred := 0
-			if score >= threshold {
-				pred = 1
-			}
-			preds = append(preds, pred)
-			truths = append(truths, d.Y[i])
-			scores = append(scores, score)
-		}
+	for _, f := range folds {
+		preds = append(preds, f.Preds...)
+		truths = append(truths, f.Truths...)
+		scores = append(scores, f.Scores...)
 	}
 	if len(preds) == 0 {
 		return CVResult{}, ErrEmpty
@@ -134,4 +145,25 @@ func CrossValidate(factory func() ml.Classifier, d ml.Dataset, k int, threshold 
 		AUC:       auc,
 		Folds:     k,
 	}, nil
+}
+
+// CrossValidate runs k-fold cross-validation of the classifier produced by
+// factory over d, pooling predictions across folds before computing metrics
+// (so small folds do not destabilize precision/recall). threshold converts
+// scores to class predictions.
+func CrossValidate(factory func() ml.Classifier, d ml.Dataset, k int, threshold float64, rng *rand.Rand) (CVResult, error) {
+	if err := d.Validate(); err != nil {
+		return CVResult{}, err
+	}
+	folds, err := StratifiedKFold(d.Y, k, rng)
+	if err != nil {
+		return CVResult{}, err
+	}
+	scored := make([]FoldScores, len(folds))
+	for fi, fold := range folds {
+		if scored[fi], err = ScoreFold(factory, d, fold, fi, threshold); err != nil {
+			return CVResult{}, err
+		}
+	}
+	return CrossValidateFolds(scored, k)
 }

@@ -1,0 +1,74 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"smartflux/internal/ml"
+)
+
+// TestScoreFoldsMatchCrossValidate scores every fold independently (as a
+// concurrent caller would) and pools them with CrossValidateFolds, requiring
+// exactly the result of the one-shot CrossValidate over the same folds.
+func TestScoreFoldsMatchCrossValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 150
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		v := rng.Float64() * 10
+		x[i] = []float64{v}
+		if v > 5 {
+			y[i] = 1
+		}
+	}
+	d := ml.Dataset{X: x, Y: y}
+	factory := func() ml.Classifier { return ml.NewTree(ml.TreeConfig{Seed: 3}) }
+
+	const k = 5
+	foldRng := rand.New(rand.NewSource(77))
+	want, err := CrossValidate(factory, d, k, 0.5, foldRng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same folds (same rng consumption), scored one by one.
+	foldRng = rand.New(rand.NewSource(77))
+	folds, err := StratifiedKFold(d.Y, k, foldRng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scored := make([]FoldScores, len(folds))
+	for fi, fold := range folds {
+		scored[fi], err = ScoreFold(factory, d, fold, fi, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := CrossValidateFolds(scored, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("fold-wise CV %+v != one-shot CV %+v", got, want)
+	}
+}
+
+// TestScoreFoldEmpty checks empty folds yield a zero score block and no error.
+func TestScoreFoldEmpty(t *testing.T) {
+	factory := func() ml.Classifier { return ml.NewTree(ml.TreeConfig{}) }
+	out, err := ScoreFold(factory, ml.Dataset{}, Fold{}, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Preds) != 0 || len(out.Truths) != 0 || len(out.Scores) != 0 {
+		t.Fatalf("empty fold produced scores: %+v", out)
+	}
+}
+
+// TestCrossValidateFoldsEmpty checks pooling nothing reports ErrEmpty.
+func TestCrossValidateFoldsEmpty(t *testing.T) {
+	if _, err := CrossValidateFolds(nil, 3); err != ErrEmpty {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}

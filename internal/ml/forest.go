@@ -4,7 +4,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 )
+
+// scoreParallelMin is the tree count above which Score fans out: below it
+// goroutine overhead dominates the per-tree traversal cost.
+const scoreParallelMin = 256
 
 // ForestConfig configures a random forest. The zero value gives the
 // "default parameterization" the paper relies on (§3.2): 100 trees,
@@ -27,6 +33,20 @@ type ForestConfig struct {
 	PositiveWeight float64
 	// Seed drives bootstrap sampling and feature subsampling.
 	Seed int64
+	// Parallelism bounds how many trees fit concurrently: 0 selects
+	// runtime.GOMAXPROCS(0), 1 fits sequentially. Every setting produces
+	// an identical forest: bootstrap samples and per-tree seeds are drawn
+	// sequentially from the root RNG in tree order before any tree fits,
+	// and out-of-bag votes are reduced in tree order afterwards.
+	Parallelism int
+}
+
+// workers resolves the effective fitting concurrency.
+func (c ForestConfig) workers() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (c ForestConfig) withDefaults() ForestConfig {
@@ -69,13 +89,30 @@ func NewForest(cfg ForestConfig) *Forest {
 // Name implements Named.
 func (f *Forest) Name() string { return "random-forest" }
 
+// oobVote is one tree's probability for one out-of-bag example.
+type oobVote struct {
+	example int
+	p       float64
+}
+
+// treeTask is the pre-drawn recipe for one tree: its bootstrap sample and
+// seed, fixed before any fitting starts so goroutine interleaving cannot
+// change what each tree trains on.
+type treeTask struct {
+	idx   []int
+	inBag []bool
+	seed  int64
+}
+
 // Fit trains the forest on d and computes the out-of-bag accuracy estimate.
+// Trees fit concurrently when ForestConfig.Parallelism allows; the fitted
+// forest and its OOB estimate are bit-identical for every setting (see
+// ForestConfig.Parallelism).
 func (f *Forest) Fit(d Dataset) error {
 	if err := d.Validate(); err != nil {
 		return err
 	}
 	f.features = d.Features()
-	f.trees = make([]*Tree, 0, f.cfg.Trees)
 
 	maxFeatures := int(math.Sqrt(float64(f.features)))
 	if maxFeatures < 1 {
@@ -97,11 +134,11 @@ func (f *Forest) Fit(d Dataset) error {
 	posMass := f.cfg.PositiveWeight * float64(len(pos))
 	totalMass := posMass + float64(len(neg))
 
-	// Track out-of-bag votes: per example, summed probability and count.
-	oobSum := make([]float64, d.Len())
-	oobN := make([]int, d.Len())
-
-	for i := 0; i < f.cfg.Trees; i++ {
+	// Phase 1 — sequential: draw every tree's bootstrap sample and seed
+	// from the root RNG in tree order (the exact historical draw order:
+	// per tree, n sample draws followed by one seed draw).
+	tasks := make([]treeTask, f.cfg.Trees)
+	for i := range tasks {
 		inBag := make([]bool, d.Len())
 		idx := make([]int, d.Len())
 		for j := range idx {
@@ -119,29 +156,76 @@ func (f *Forest) Fit(d Dataset) error {
 			idx[j] = k
 			inBag[k] = true
 		}
-		sample := d.Subset(idx)
+		tasks[i] = treeTask{idx: idx, inBag: inBag, seed: rng.Int63()}
+	}
+
+	// Phase 2 — parallel: fit trees into indexed slots; each records its
+	// out-of-bag votes locally.
+	trees := make([]*Tree, f.cfg.Trees)
+	votes := make([][]oobVote, f.cfg.Trees)
+	errs := make([]error, f.cfg.Trees)
+	fitOne := func(i int) {
+		task := tasks[i]
 		tree := NewTree(TreeConfig{
 			MaxDepth:    f.cfg.MaxDepth,
 			MinLeaf:     f.cfg.MinLeaf,
 			Criterion:   f.cfg.Criterion,
 			MaxFeatures: maxFeatures,
-			Seed:        rng.Int63(),
+			Seed:        task.seed,
 		})
-		if err := tree.Fit(sample); err != nil {
-			return fmt.Errorf("forest tree %d: %w", i, err)
+		if err := tree.Fit(d.Subset(task.idx)); err != nil {
+			errs[i] = fmt.Errorf("forest tree %d: %w", i, err)
+			return
 		}
-		f.trees = append(f.trees, tree)
-
+		trees[i] = tree
 		for j := 0; j < d.Len(); j++ {
-			if inBag[j] {
+			if task.inBag[j] {
 				continue
 			}
 			p, err := tree.Score(d.X[j])
 			if err != nil {
-				return fmt.Errorf("forest oob score: %w", err)
+				errs[i] = fmt.Errorf("forest oob score: %w", err)
+				return
 			}
-			oobSum[j] += p
-			oobN[j]++
+			votes[i] = append(votes[i], oobVote{example: j, p: p})
+		}
+	}
+	if workers := f.cfg.workers(); workers <= 1 || f.cfg.Trees <= 1 {
+		for i := range tasks {
+			fitOne(i)
+			if errs[i] != nil {
+				return errs[i]
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i := range tasks {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				fitOne(i)
+				<-sem
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	}
+	f.trees = trees
+
+	// Phase 3 — sequential: reduce out-of-bag votes in tree order, so
+	// floating-point accumulation matches the sequential engine exactly.
+	oobSum := make([]float64, d.Len())
+	oobN := make([]int, d.Len())
+	for i := range votes {
+		for _, v := range votes[i] {
+			oobSum[v.example] += v.p
+			oobN[v.example]++
 		}
 	}
 
@@ -171,6 +255,8 @@ func (f *Forest) Fit(d Dataset) error {
 }
 
 // Score implements Classifier: the mean of per-tree leaf probabilities.
+// Large forests score their trees concurrently; the per-tree probabilities
+// are summed in tree order either way, so the mean is bit-identical.
 func (f *Forest) Score(x []float64) (float64, error) {
 	if len(f.trees) == 0 {
 		return 0, ErrNotFitted
@@ -178,12 +264,57 @@ func (f *Forest) Score(x []float64) (float64, error) {
 	if len(x) != f.features {
 		return 0, fmt.Errorf("%w: got %d features, want %d", ErrDimensionMismatch, len(x), f.features)
 	}
+	if workers := f.cfg.workers(); workers > 1 && len(f.trees) >= scoreParallelMin {
+		return f.scoreParallel(x, workers)
+	}
 	var sum float64
 	for _, tree := range f.trees {
 		p, err := tree.Score(x)
 		if err != nil {
 			return 0, err
 		}
+		sum += p
+	}
+	return sum / float64(len(f.trees)), nil
+}
+
+// scoreParallel chunks the trees across workers and reduces the per-tree
+// probabilities sequentially in tree order.
+func (f *Forest) scoreParallel(x []float64, workers int) (float64, error) {
+	probs := make([]float64, len(f.trees))
+	errs := make([]error, workers)
+	chunk := (len(f.trees) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(f.trees) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(f.trees) {
+			hi = len(f.trees)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				p, err := f.trees[i].Score(x)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				probs[i] = p
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	var sum float64
+	for _, p := range probs {
 		sum += p
 	}
 	return sum / float64(len(f.trees)), nil

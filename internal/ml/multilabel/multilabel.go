@@ -10,6 +10,8 @@ package multilabel
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"smartflux/internal/ml"
 )
@@ -108,12 +110,36 @@ type BinaryRelevance struct {
 	// featureCols optionally restricts label l's model to the feature
 	// columns featureCols[l]; a nil inner slice means all features.
 	featureCols [][]int
+	// parallelism bounds concurrent per-label fits (see SetParallelism).
+	parallelism int
 }
 
 // NewBinaryRelevance creates a BR multi-label classifier whose per-label
 // models come from factory.
 func NewBinaryRelevance(factory func() ml.Classifier) *BinaryRelevance {
 	return &BinaryRelevance{factory: factory}
+}
+
+// SetParallelism bounds how many per-label models Fit trains concurrently:
+// n <= 0 selects runtime.GOMAXPROCS(0). Without a call, Fit stays
+// sequential, since concurrent fitting calls factory from multiple
+// goroutines. The labels are independent by construction — that is the
+// point of binary relevance — and each model lands in its label's slot, so
+// the fitted classifier is identical for every setting. Must be called
+// before Fit.
+func (b *BinaryRelevance) SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	b.parallelism = n
+}
+
+// workers resolves the effective fitting concurrency (unset = sequential).
+func (b *BinaryRelevance) workers() int {
+	if b.parallelism <= 0 {
+		return 1
+	}
+	return b.parallelism
 }
 
 // SetFeatureColumns restricts each label's model to a subset of feature
@@ -138,7 +164,9 @@ func (b *BinaryRelevance) project(l int, x []float64) ([]float64, error) {
 	return out, nil
 }
 
-// Fit trains one model per label column.
+// Fit trains one model per label column, concurrently when SetParallelism
+// allows. On error the first failing label (lowest index) is reported, as in
+// the sequential path.
 func (b *BinaryRelevance) Fit(d Dataset) error {
 	if err := d.Validate(); err != nil {
 		return err
@@ -148,7 +176,7 @@ func (b *BinaryRelevance) Fit(d Dataset) error {
 		return fmt.Errorf("%w: %d feature-column sets for %d labels", ErrShape, len(b.featureCols), labels)
 	}
 	models := make([]ml.Classifier, labels)
-	for l := 0; l < labels; l++ {
+	fitOne := func(l int) error {
 		binary, err := d.Label(l)
 		if err != nil {
 			return err
@@ -168,6 +196,33 @@ func (b *BinaryRelevance) Fit(d Dataset) error {
 			return fmt.Errorf("label %d: %w", l, err)
 		}
 		models[l] = clf
+		return nil
+	}
+	if workers := b.workers(); workers <= 1 || labels <= 1 {
+		for l := 0; l < labels; l++ {
+			if err := fitOne(l); err != nil {
+				return err
+			}
+		}
+	} else {
+		errs := make([]error, labels)
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for l := 0; l < labels; l++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(l int) {
+				defer wg.Done()
+				errs[l] = fitOne(l)
+				<-sem
+			}(l)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
 	}
 	b.models = models
 	b.labels = labels

@@ -1,0 +1,68 @@
+package multilabel
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"smartflux/internal/ml"
+)
+
+// TestBinaryRelevanceParallelFitIdentical fits the same multi-label problem
+// sequentially and with concurrent per-label fitting and requires identical
+// per-label scores: each label's classifier is built from an independent
+// factory call with its own deterministic seed, so the fan-out cannot change
+// any model.
+func TestBinaryRelevanceParallelFitIdentical(t *testing.T) {
+	d := twoLabelDataset(300, 11)
+	factory := func() ml.Classifier {
+		return ml.NewForest(ml.ForestConfig{Trees: 15, Seed: 21})
+	}
+
+	serial := NewBinaryRelevance(factory)
+	if err := serial.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	parallel := NewBinaryRelevance(factory)
+	parallel.SetParallelism(4)
+	if err := parallel.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, row := range d.X {
+		ss, err := serial.Scores(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps, err := parallel.Scores(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := range ss {
+			if ss[l] != ps[l] {
+				t.Fatalf("example %d label %d: serial %v != parallel %v", i, l, ss[l], ps[l])
+			}
+		}
+	}
+}
+
+// failingClassifier always fails to fit.
+type failingClassifier struct{}
+
+func (failingClassifier) Fit(ml.Dataset) error             { return errors.New("broken") }
+func (failingClassifier) Score([]float64) (float64, error) { return 0, errors.New("broken") }
+
+// TestBinaryRelevanceParallelFitError checks a failing label's error
+// surfaces, labeled with its index, under concurrent fitting.
+func TestBinaryRelevanceParallelFitError(t *testing.T) {
+	d := twoLabelDataset(10, 1)
+	br := NewBinaryRelevance(func() ml.Classifier { return failingClassifier{} })
+	br.SetParallelism(4)
+	err := br.Fit(d)
+	if err == nil {
+		t.Fatal("expected fit error")
+	}
+	if !strings.Contains(err.Error(), "label 0") {
+		t.Fatalf("err = %q, want the first label blamed", err)
+	}
+}

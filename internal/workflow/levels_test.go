@@ -1,0 +1,84 @@
+package workflow
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestLevelsDiamond checks the level partition of the diamond workflow:
+// siblings b and c share a level, so a wave scheduler may run them
+// concurrently while d waits for both.
+func TestLevelsDiamond(t *testing.T) {
+	w := buildDiamond(t)
+	levels, err := w.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]StepID{{"a"}, {"b", "c"}, {"d"}}
+	if !reflect.DeepEqual(levels, want) {
+		t.Fatalf("Levels = %v, want %v", levels, want)
+	}
+	for id, lvl := range map[StepID]int{"a": 0, "b": 1, "c": 1, "d": 2} {
+		if got := w.Level(id); got != lvl {
+			t.Errorf("Level(%s) = %d, want %d", id, got, lvl)
+		}
+	}
+	if got := w.Level("ghost"); got != -1 {
+		t.Errorf("Level(ghost) = %d, want -1", got)
+	}
+
+	// The returned partition is a copy: mutating it must not corrupt the
+	// workflow's own level table.
+	levels[0][0] = "mutated"
+	again, err := w.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0][0] != "a" {
+		t.Fatal("Levels must return a defensive copy")
+	}
+}
+
+// TestLevelsRequireFinalize checks levels are only available after Finalize.
+func TestLevelsRequireFinalize(t *testing.T) {
+	w := New("unfinalized")
+	if err := w.AddStep(step("a", nil, []string{"t"})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Levels(); !errors.Is(err, ErrNotFinalized) {
+		t.Errorf("want ErrNotFinalized, got %v", err)
+	}
+	if got := w.Level("a"); got != -1 {
+		t.Errorf("Level before Finalize = %d, want -1", got)
+	}
+}
+
+// TestLevelsConsistentWithOrder checks every step's level is strictly above
+// each predecessor's, and that the concatenated levels cover the order.
+func TestLevelsConsistentWithOrder(t *testing.T) {
+	w := buildDiamond(t)
+	order, err := w.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels, err := w.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat []StepID
+	for _, level := range levels {
+		flat = append(flat, level...)
+	}
+	if len(flat) != len(order) {
+		t.Fatalf("levels cover %d steps, order %d", len(flat), len(order))
+	}
+	for _, id := range order {
+		for _, pred := range w.Predecessors(id) {
+			if w.Level(pred) >= w.Level(id) {
+				t.Errorf("level(%s)=%d not above predecessor %s level %d",
+					id, w.Level(id), pred, w.Level(pred))
+			}
+		}
+	}
+}

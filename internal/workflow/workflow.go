@@ -61,6 +61,13 @@ func (c Container) String() string {
 	return c.Table + "/" + c.ColumnPrefix
 }
 
+// Overlaps reports whether two container references can share cells: same
+// table, with one column prefix containing the other (an unscoped reference
+// overlaps everything on its table).
+func (c Container) Overlaps(o Container) bool {
+	return containersOverlap(c, o)
+}
+
 // Snapshot reads the container's current numeric state from the store.
 // Missing tables yield an empty state.
 func (c Container) Snapshot(store *kvstore.Store) metric.State {
@@ -198,6 +205,8 @@ type Workflow struct {
 	name      string
 	steps     map[StepID]*Step
 	order     []StepID // topological
+	levels    [][]StepID
+	levelOf   map[StepID]int
 	preds     map[StepID][]StepID
 	succs     map[StepID][]StepID
 	finalized bool
@@ -330,11 +339,64 @@ func (w *Workflow) Finalize() error {
 		preds[to] = list
 	}
 
+	// Topological levels: a step's level is one past the deepest of its
+	// predecessors, so every step in level L depends only on steps in
+	// levels < L. All steps of one level are mutually independent and may
+	// execute concurrently (see engine.InstanceConfig.Parallelism).
+	levelOf := make(map[StepID]int, len(order))
+	maxLevel := 0
+	for _, id := range order {
+		level := 0
+		for _, pred := range preds[id] {
+			if l := levelOf[pred] + 1; l > level {
+				level = l
+			}
+		}
+		levelOf[id] = level
+		if level > maxLevel {
+			maxLevel = level
+		}
+	}
+	levels := make([][]StepID, maxLevel+1)
+	for _, id := range order { // order keeps each level deterministic
+		levels[levelOf[id]] = append(levels[levelOf[id]], id)
+	}
+
 	w.order = order
+	w.levels = levels
+	w.levelOf = levelOf
 	w.preds = preds
 	w.succs = succs
 	w.finalized = true
 	return nil
+}
+
+// Levels returns the topological levels of the DAG: level 0 holds the steps
+// with no predecessors, level L the steps whose deepest predecessor sits in
+// level L-1. Steps within one level are mutually independent — none reads a
+// container another one of the same level writes — which makes each level a
+// wave-schedulable unit for parallel execution.
+func (w *Workflow) Levels() ([][]StepID, error) {
+	if !w.finalized {
+		return nil, ErrNotFinalized
+	}
+	out := make([][]StepID, len(w.levels))
+	for i, level := range w.levels {
+		out[i] = make([]StepID, len(level))
+		copy(out[i], level)
+	}
+	return out, nil
+}
+
+// Level returns the topological level of step id, or -1 for unknown steps.
+func (w *Workflow) Level(id StepID) int {
+	if !w.finalized {
+		return -1
+	}
+	if _, ok := w.steps[id]; !ok {
+		return -1
+	}
+	return w.levelOf[id]
 }
 
 // stepOutputOn returns the producer's output container on the given table.

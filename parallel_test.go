@@ -1,0 +1,110 @@
+package smartflux_test
+
+import (
+	"reflect"
+	"testing"
+
+	"smartflux"
+	"smartflux/workloads"
+)
+
+// paperWorkloads returns the two §5.1 evaluation workloads with their report
+// steps, at small wave counts suitable for determinism checks.
+func paperWorkloads() map[string]struct {
+	build  smartflux.BuildFunc
+	report smartflux.StepID
+} {
+	return map[string]struct {
+		build  smartflux.BuildFunc
+		report smartflux.StepID
+	}{
+		"lrb": {
+			build:  workloads.LinearRoad(workloads.LinearRoadConfig{Seed: 42, MaxError: 0.10}),
+			report: workloads.LinearRoadClassify,
+		},
+		"aqhi": {
+			build:  workloads.AirQuality(workloads.AirQualityConfig{Seed: 42, MaxError: 0.10}),
+			report: workloads.AirQualityIndex,
+		},
+	}
+}
+
+// TestHarnessParallelismDeterminism runs both paper workloads through the
+// harness at Parallelism 1 and 4 under a skipping policy and requires the
+// full Result — execution matrices, measured/predicted error series, labels
+// and impacts — to be byte-identical. This is the PR's headline contract:
+// the worker pool only changes wall-clock time, never a number.
+func TestHarnessParallelismDeterminism(t *testing.T) {
+	for name, w := range paperWorkloads() {
+		t.Run(name, func(t *testing.T) {
+			run := func(par int) *smartflux.Result {
+				h, err := smartflux.NewHarnessWithConfig(w.build,
+					[]smartflux.StepID{w.report},
+					smartflux.HarnessConfig{Parallelism: par})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := h.Run(25, smartflux.SeqPolicy(3))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			if !reflect.DeepEqual(run(1), run(4)) {
+				t.Fatal("harness results diverged between Parallelism 1 and 4")
+			}
+		})
+	}
+}
+
+// TestPipelineParallelismDeterminism runs the full train→test→apply pipeline
+// of the AQHI workload at both parallelism settings (per-wave workers,
+// per-label training and concurrent CV folds all engaged at 4) and compares
+// the final resource and quality numbers.
+func TestPipelineParallelismDeterminism(t *testing.T) {
+	w := paperWorkloads()["aqhi"]
+	run := func(par int) *smartflux.PipelineResult {
+		res, err := smartflux.RunPipeline(w.build, []smartflux.StepID{w.report}, smartflux.PipelineConfig{
+			TrainWaves:  60,
+			ApplyWaves:  40,
+			Session:     smartflux.SessionConfig{Seed: 49, Thresholds: []float64{0.15}, PositiveWeight: 14},
+			Parallelism: par,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, par := run(1), run(4)
+	if !reflect.DeepEqual(seq.Test, par.Test) {
+		t.Fatalf("test reports diverged:\nseq: %+v\npar: %+v", seq.Test, par.Test)
+	}
+	if seq.Apply.TotalLiveExecutions() != par.Apply.TotalLiveExecutions() {
+		t.Fatalf("live executions diverged: %d vs %d",
+			seq.Apply.TotalLiveExecutions(), par.Apply.TotalLiveExecutions())
+	}
+	if !reflect.DeepEqual(seq.Apply.LiveExecuted, par.Apply.LiveExecuted) {
+		t.Fatal("execution matrices diverged")
+	}
+	if !reflect.DeepEqual(seq.Apply.RefLabels, par.Apply.RefLabels) {
+		t.Fatal("reference labels diverged")
+	}
+}
+
+// TestInstanceConfigParallelism checks the public InstanceConfig plumbing.
+func TestInstanceConfigParallelism(t *testing.T) {
+	wf, store, err := buildPublic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := smartflux.NewInstanceWithConfig(wf, store, smartflux.InstanceConfig{Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Parallelism() != 3 {
+		t.Fatalf("Parallelism = %d, want 3", inst.Parallelism())
+	}
+	if _, err := inst.RunWave(smartflux.SyncPolicy()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -102,6 +102,10 @@ type (
 	Decider = engine.Decider
 	// Harness pairs a live and a synchronous reference instance.
 	Harness = engine.Harness
+	// HarnessConfig configures harness construction (parallelism).
+	HarnessConfig = engine.HarnessConfig
+	// InstanceConfig configures a standalone instance.
+	InstanceConfig = engine.InstanceConfig
 	// Instance executes one workflow wave by wave.
 	Instance = engine.Instance
 	// Result aggregates a harness run.
@@ -271,10 +275,21 @@ func NewHarness(build BuildFunc, reportSteps []StepID) (*Harness, error) {
 	return engine.NewHarness(build, reportSteps)
 }
 
+// NewHarnessWithConfig is NewHarness with an explicit configuration, e.g. a
+// per-wave Parallelism bound. Results are bit-identical across settings.
+func NewHarnessWithConfig(build BuildFunc, reportSteps []StepID, cfg HarnessConfig) (*Harness, error) {
+	return engine.NewHarnessWithConfig(build, reportSteps, cfg)
+}
+
 // NewInstance binds a finalized workflow to a store for wave-by-wave
 // execution.
 func NewInstance(wf *Workflow, store *Store) (*Instance, error) {
 	return engine.NewInstance(wf, store, engine.InstanceConfig{})
+}
+
+// NewInstanceWithConfig is NewInstance with an explicit configuration.
+func NewInstanceWithConfig(wf *Workflow, store *Store, cfg InstanceConfig) (*Instance, error) {
+	return engine.NewInstance(wf, store, cfg)
 }
 
 // RunPipeline executes the full SmartFlux lifecycle: synchronous training,
