@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench
+.PHONY: all build test race vet lint lint-report check bench
 
 all: check
 
@@ -16,12 +16,22 @@ test:
 race:
 	$(GO) test -race ./...
 
-## vet: static analysis
+## vet: the stock go vet checks
 vet:
 	$(GO) vet ./...
 
-## check: the pre-PR gate — build, vet, tests, race
-check: build vet test race
+## lint: sflint, the project-specific determinism and concurrency analyzers
+lint:
+	$(GO) run ./cmd/sflint ./...
+
+## lint-report: machine-readable sflint report (schema v1) for CI artifacts.
+## Written even when findings exist; the lint target is what gates.
+lint-report:
+	$(GO) run ./cmd/sflint -json ./... > sflint-report.json || true
+	@wc -c sflint-report.json
+
+## check: the pre-PR gate — build, vet, lint, tests, race
+check: build vet lint test race
 
 ## bench: overhead microbenchmarks (§5.3 + instrumentation overhead) plus
 ## the serial-vs-parallel comparison, recorded to BENCH_PR2.json

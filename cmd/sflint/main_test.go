@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// mod points at the self-contained sflint testdata module.
+func mod(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("..", "..", "internal", "analysis", "testdata", "mod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitZeroOnCleanPackage(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-C", mod(t), "./clean")
+	if code != 0 {
+		t.Fatalf("exit = %d on clean package\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if strings.Contains(stdout, "[") {
+		t.Errorf("clean run printed diagnostics: %s", stdout)
+	}
+}
+
+func TestExitOneOnDiagnostics(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-C", mod(t), "./dirty")
+	if code != 1 {
+		t.Fatalf("exit = %d on dirty package, want 1\nstdout: %s", code, stdout)
+	}
+	for _, want := range []string{"[maporder]", "[errdrop]", "[goroleak]", "dirty.go:"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("human output missing %q:\n%s", want, stdout)
+		}
+	}
+	// file:line:col prefix on every diagnostic line.
+	for _, line := range strings.Split(strings.TrimSpace(stdout), "\n") {
+		if strings.HasPrefix(line, "sflint:") {
+			continue
+		}
+		if !strings.Contains(line, ".go:") {
+			t.Errorf("diagnostic line lacks file:line:col: %q", line)
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-json", "-C", mod(t), "./dirty")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var report struct {
+		Version     int `json:"version"`
+		Diagnostics []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		} `json:"diagnostics"`
+		Suppressed []struct {
+			Reason string `json:"reason"`
+		} `json:"suppressed"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &report); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, stdout)
+	}
+	if report.Version != 1 {
+		t.Errorf("schema version = %d, want 1", report.Version)
+	}
+	if len(report.Diagnostics) != 3 {
+		t.Errorf("want 3 diagnostics, got %d", len(report.Diagnostics))
+	}
+	for _, d := range report.Diagnostics {
+		if d.File == "" || d.Line == 0 || d.Col == 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+	if len(report.Suppressed) != 1 || !strings.Contains(report.Suppressed[0].Reason, "proven elsewhere") {
+		t.Errorf("suppressed finding missing its reason: %+v", report.Suppressed)
+	}
+}
+
+func TestSuppressionsAudit(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-suppressions", "-C", mod(t), "./dirty")
+	if code != 0 {
+		t.Fatalf("audit exit = %d, want 0", code)
+	}
+	if !strings.Contains(stdout, "[maporder]") ||
+		!strings.Contains(stdout, "order insensitivity proven elsewhere") ||
+		!strings.Contains(stdout, "dirty.go:") {
+		t.Errorf("audit output missing file:line, analyzer or reason:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "1 suppression(s) total") {
+		t.Errorf("audit output missing total:\n%s", stdout)
+	}
+}
+
+func TestEnableDisableFlags(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-enable", "goroleak", "-C", mod(t), "./dirty")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if strings.Contains(stdout, "[maporder]") || !strings.Contains(stdout, "[goroleak]") {
+		t.Errorf("-enable goroleak ran the wrong analyzers:\n%s", stdout)
+	}
+
+	code, stdout, _ = runCLI(t, "-disable", "maporder,errdrop,goroleak", "-C", mod(t), "./dirty")
+	if code != 0 {
+		t.Fatalf("exit = %d with the firing analyzers disabled, want 0\n%s", code, stdout)
+	}
+
+	code, _, stderr := runCLI(t, "-enable", "nosuch", "-C", mod(t), "./dirty")
+	if code != 2 || !strings.Contains(stderr, "unknown analyzer") {
+		t.Errorf("unknown analyzer name: exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestExitTwoOnLoadError(t *testing.T) {
+	code, _, stderr := runCLI(t, "-C", mod(t), "./nosuchpackage")
+	if code != 2 {
+		t.Fatalf("exit = %d on load error, want 2 (stderr: %s)", code, stderr)
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, name := range []string{"maporder", "nondeterm", "locks", "errdrop", "goroleak"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list missing analyzer %s:\n%s", name, stdout)
+		}
+	}
+}

@@ -56,7 +56,12 @@ func run(args []string, out io.Writer) error {
 			if err != nil {
 				return fmt.Errorf("trace-out: %w", err)
 			}
-			defer f.Close()
+			defer func() {
+				// A failed close can silently truncate the JSONL trace.
+				if cerr := f.Close(); cerr != nil {
+					fmt.Fprintln(os.Stderr, "smartflux: trace-out close:", cerr)
+				}
+			}()
 			jsonl = smartflux.NewJSONLTraceSink(f)
 			sinks = append(sinks, jsonl)
 		}
@@ -67,7 +72,7 @@ func run(args []string, out io.Writer) error {
 			if err != nil {
 				return fmt.Errorf("obs-addr: %w", err)
 			}
-			defer srv.Close()
+			defer func() { _ = srv.Close() }() // best-effort teardown at exit
 			fmt.Fprintf(out, "observability on http://%s (/metrics, /trace/tail, /debug/pprof)\n", srv.Addr())
 		}
 		observer = smartflux.NewRunObserver(registry, sinks...)

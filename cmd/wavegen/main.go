@@ -36,18 +36,21 @@ func run(args []string, out io.Writer) error {
 	}
 
 	w := bufio.NewWriter(out)
-	defer w.Flush()
-
+	var err error
 	switch *workload {
 	case "firerisk":
-		return dumpFireRisk(w, *waves, *seed)
+		err = dumpFireRisk(w, *waves, *seed)
 	case "aqhi":
-		return dumpAQHI(w, *waves, *seed)
+		err = dumpAQHI(w, *waves, *seed)
 	case "lrb":
-		return dumpLRB(w, *waves, *seed)
+		err = dumpLRB(w, *waves, *seed)
 	default:
-		return fmt.Errorf("unknown workload %q", *workload)
+		err = fmt.Errorf("unknown workload %q", *workload)
 	}
+	if err != nil {
+		return err
+	}
+	return w.Flush()
 }
 
 // dumpFireRisk writes grid-averaged temperature/precipitation/wind per wave.

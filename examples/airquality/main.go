@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"sort"
 
 	"smartflux"
 	"smartflux/workloads"
@@ -60,7 +61,13 @@ func main() {
 	fmt.Printf("AQHI @ %.0f%% bound — one adaptive week\n", *bound*100)
 	live := harness.Live()
 	state := live.OutputState(workloads.AirQualityIndex)
-	for key, v := range state {
+	keys := make([]string, 0, len(state))
+	for key := range state {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		v := state[key]
 		fmt.Printf("  final %s = %.2f (%s risk)\n", key, v, workloads.AirQualityRiskClass(v))
 	}
 	fmt.Printf("  executions: %d of %d sync (%.0f%% saved)\n",

@@ -37,7 +37,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer server.Close()
+	defer func() { _ = server.Close() }() // best-effort teardown at exit
 	fmt.Println("store serving on", addr)
 
 	table, err := store.CreateTable("readings", smartflux.TableOptions{})
@@ -54,7 +54,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer producer.Close()
+	defer func() { _ = producer.Close() }()
 	for wave := 0; wave < 3; wave++ {
 		for i := 0; i < 4; i++ {
 			row := "sensor" + strconv.Itoa(i)
@@ -71,7 +71,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer consumer.Close()
+	defer func() { _ = consumer.Close() }()
 	cells, err := consumer.Scan("readings", smartflux.ScanOptions{})
 	if err != nil {
 		return err

@@ -21,6 +21,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"sort"
 	"strconv"
 
 	"smartflux"
@@ -142,7 +143,12 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			defer f.Close()
+			defer func() {
+				// A failed close can silently truncate the JSONL trace.
+				if err := f.Close(); err != nil {
+					log.Printf("trace-out close: %v", err)
+				}
+			}()
 			sinks = append(sinks, smartflux.NewJSONLTraceSink(f))
 		}
 		if *obsAddr != "" {
@@ -152,7 +158,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			defer srv.Close()
+			defer func() { _ = srv.Close() }() // best-effort teardown at exit
 			fmt.Printf("observability on http://%s\n", srv.Addr())
 		}
 		observer = smartflux.NewRunObserver(registry, sinks...)
@@ -178,7 +184,13 @@ func main() {
 	fmt.Printf("application phase: %d/%d gated executions (%.0f%% saved)\n",
 		res.Apply.TotalLiveExecutions(), res.Apply.TotalSyncExecutions(),
 		res.Apply.SavingsRatio()*100)
-	for step, report := range res.Apply.Reports {
+	steps := make([]smartflux.StepID, 0, len(res.Apply.Reports))
+	for step := range res.Apply.Reports {
+		steps = append(steps, step)
+	}
+	sort.Slice(steps, func(i, j int) bool { return steps[i] < steps[j] })
+	for _, step := range steps {
+		report := res.Apply.Reports[step]
 		conf := report.Confidence()
 		fmt.Printf("step %s: %d bound violations in %d waves (confidence %.1f%%)\n",
 			step, report.ViolationCount(), applyWaves, conf[len(conf)-1]*100)

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testdataSrc is the GOPATH-style root of the annotated corpora.
+func testdataSrc(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func runWant(t *testing.T, path string, a *Analyzer) {
+	t.Helper()
+	problems, err := WantErrors(testdataSrc(t), path, a)
+	if err != nil {
+		t.Fatalf("want harness on %s: %v", path, err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+func TestMaporderCorpus(t *testing.T) {
+	runWant(t, "maporder", Maporder)
+}
+
+func TestNondetermCorpus(t *testing.T) {
+	// Positives live under the scoped fake path smartflux/internal/engine.
+	runWant(t, "smartflux/internal/engine/ndcorpus", Nondeterm)
+}
+
+func TestNondetermAllowlistedObsIsClean(t *testing.T) {
+	// The obs subtree is allowlisted: wall-clock reads there are by design.
+	runWant(t, "smartflux/internal/obs/timing", Nondeterm)
+}
+
+func TestNondetermUnscopedIsClean(t *testing.T) {
+	// The same calls outside the determinism scope produce nothing.
+	runWant(t, "unscoped", Nondeterm)
+}
+
+func TestLocksCorpus(t *testing.T) {
+	runWant(t, "locks", Locks)
+}
+
+func TestErrdropCorpus(t *testing.T) {
+	runWant(t, "errdrop", Errdrop)
+}
+
+func TestGoroleakCorpus(t *testing.T) {
+	runWant(t, "goroleak", Goroleak)
+}
+
+// TestScanFloatsRegressionLock pins the exact pre-PR-2 bug class to a
+// diagnostic: float accumulation over a ScanFloats-style map snapshot must
+// be reported by maporder. If the corpus or analyzer drifts so that this
+// pattern goes quiet, this test fails independently of the want harness.
+func TestScanFloatsRegressionLock(t *testing.T) {
+	fset, lp := loadCorpusPackage(t, "maporder")
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: Maporder,
+		Path:     "maporder",
+		Fset:     fset,
+		Files:    lp.files,
+		Pkg:      lp.pkg,
+		Info:     lp.info,
+		report:   func(d Diagnostic) { diags = append(diags, d) },
+	}
+	Maporder.Run(pass)
+	for _, d := range diags {
+		if filepath.Base(d.Position.Filename) == "maporder.go" &&
+			d.Analyzer == "maporder" && containsAll(d.Message, "floating-point accumulation", "sum") {
+			return
+		}
+	}
+	t.Fatalf("ScanFloats float-accumulation pattern produced no maporder diagnostic; got %v", diags)
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if !strings.Contains(s, sub) {
+			return false
+		}
+	}
+	return true
+}
+
+func loadCorpusPackage(t *testing.T, path string) (fset *token.FileSet, lp *loadedTestPackage) {
+	t.Helper()
+	fset = token.NewFileSet()
+	ti := newTestdataImporter(testdataSrc(t), fset)
+	lp, err := ti.load(path, filepath.Join(testdataSrc(t), filepath.FromSlash(path)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, lp
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errdropPackages are the import paths whose error returns must never be
+// discarded: the data-store layer. A skipped-step decision computed from a
+// container whose write silently failed is exactly the kind of wrong-number
+// bug the determinism contract exists to prevent.
+var errdropPackages = []string{
+	"smartflux/internal/kvstore",
+	"smartflux/internal/kvstore/kvnet",
+}
+
+// errdropCloserNames are method names with the io.Closer shape
+// (`func() error`) whose errors routinely hide real faults: a failed Close
+// on a buffered writer is a truncated file, a failed Flush is lost output.
+var errdropCloserNames = map[string]bool{"Close": true, "Flush": true, "Sync": true}
+
+// Errdrop flags statements that call an error-returning API and drop the
+// result on the floor: bare expression statements and defers of calls into
+// internal/kvstore, internal/kvstore/kvnet, or any Close/Flush/Sync method
+// with the io.Closer signature. Assigning the error to `_` is an explicit,
+// visible acknowledgment and stays clean.
+var Errdrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "discarded error returns from internal/kvstore, kvnet and " +
+		"io.Closer-shaped (Close/Flush/Sync) APIs",
+	Run: runErrdrop,
+}
+
+func runErrdrop(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDroppedCall(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				checkDroppedCall(pass, n.Call, "deferred ")
+			case *ast.GoStmt:
+				checkDroppedCall(pass, n.Call, "spawned ")
+			}
+			return true
+		})
+	}
+}
+
+func checkDroppedCall(pass *Pass, call *ast.CallExpr, how string) {
+	fn := staticCallee(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !lastResultIsError(sig) {
+		return
+	}
+	switch {
+	case sig.Recv() != nil && errdropCloserNames[fn.Name()] && sig.Params().Len() == 0 && sig.Results().Len() == 1:
+		pass.Reportf(call.Pos(), "%scall discards the error from %s; a failed %s loses data silently — "+
+			"check it or assign it to _ explicitly", how, fn.Name(), fn.Name())
+	case fn.Pkg() != nil && inErrdropPackages(fn.Pkg().Path()):
+		pass.Reportf(call.Pos(), "%scall discards the error from %s.%s; store-layer failures must be "+
+			"handled or explicitly assigned to _", how, fn.Pkg().Name(), fn.Name())
+	}
+}
+
+func inErrdropPackages(path string) bool {
+	for _, p := range errdropPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func lastResultIsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	t := res.At(res.Len() - 1).Type()
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

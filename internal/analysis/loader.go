@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir         string
+	ImportPath  string
+	Name        string
+	GoFiles     []string
+	CgoFiles    []string
+	TestGoFiles []string
+	Imports     []string
+	TestImports []string
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// LoadConfig configures package loading.
+type LoadConfig struct {
+	// Dir is the directory `go list` runs in (the module root, usually).
+	Dir string
+	// Patterns are go package patterns, e.g. "./...".
+	Patterns []string
+	// IncludeTests adds in-package _test.go files to the analyzed file set.
+	// External (package foo_test) test files are never loaded.
+	IncludeTests bool
+}
+
+// goList discovers packages with `go list -json`, the only piece of package
+// loading not done in-process. Everything downstream is go/parser+go/types.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// chainImporter resolves module-local imports from the packages this loader
+// has already type-checked (they are loaded in dependency order) and falls
+// back to the stdlib source importer for everything else.
+type chainImporter struct {
+	local    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	return c.fallback.Import(path)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Load discovers, parses and type-checks the packages matching cfg. Packages
+// are returned in deterministic dependency order.
+func Load(cfg LoadConfig) ([]*Package, error) {
+	patterns := cfg.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(cfg.Dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	byPath := make(map[string]*listedPackage, len(listed))
+	for _, lp := range listed {
+		byPath[lp.ImportPath] = lp
+	}
+
+	// Topologically order the module-local package graph so every local
+	// import is type-checked before its importers. Neighbors are visited in
+	// sorted order, keeping the whole load deterministic.
+	var order []*listedPackage
+	state := make(map[string]int, len(listed)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(lp *listedPackage) error
+	visit = func(lp *listedPackage) error {
+		switch state[lp.ImportPath] {
+		case 1:
+			return fmt.Errorf("import cycle through %s", lp.ImportPath)
+		case 2:
+			return nil
+		}
+		state[lp.ImportPath] = 1
+		deps := append([]string(nil), lp.Imports...)
+		if cfg.IncludeTests {
+			deps = append(deps, lp.TestImports...)
+		}
+		sort.Strings(deps)
+		for _, imp := range deps {
+			if imp == lp.ImportPath {
+				continue // in-package tests list their own package
+			}
+			if dep, ok := byPath[imp]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[lp.ImportPath] = 2
+		order = append(order, lp)
+		return nil
+	}
+	paths := make([]string, 0, len(listed))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(byPath[p]); err != nil {
+			return nil, err
+		}
+	}
+
+	// The source importer compiles stdlib dependencies from GOROOT source;
+	// with cgo disabled it takes the pure-Go paths everywhere, which is all
+	// type checking needs.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	imp := &chainImporter{
+		local:    make(map[string]*types.Package, len(order)),
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+
+	var out []*Package
+	for _, lp := range order {
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", lp.ImportPath)
+		}
+		names := append([]string(nil), lp.GoFiles...)
+		if cfg.IncludeTests {
+			names = append(names, lp.TestGoFiles...)
+		}
+		if len(names) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("parse %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %v", lp.ImportPath, err)
+		}
+		imp.local[lp.ImportPath] = tpkg
+		out = append(out, &Package{
+			Path:  lp.ImportPath,
+			Dir:   lp.Dir,
+			Fset:  fset,
+			Files: files,
+			Pkg:   tpkg,
+			Info:  info,
+		})
+	}
+	return out, nil
+}

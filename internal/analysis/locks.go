@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Locks flags mutex misuse that produces deadlocks or abandoned locks:
+// a Lock with no matching Unlock in the function, a return on a path
+// between Lock and Unlock (the lock leaks on that path), and blocking
+// operations — channel sends/receives, select, time.Sleep,
+// sync.WaitGroup.Wait — executed while a mutex is held.
+var Locks = &Analyzer{
+	Name: "locks",
+	Doc: "sync.Mutex/RWMutex held across channel operations or blocking calls, " +
+		"and Lock without a paired or deferred Unlock on every return path",
+	Run: runLocks,
+}
+
+// lockPair maps each sync lock method to its release.
+var lockPair = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+// syncLockMethod returns the method name ("Lock", "RLock", "Unlock",
+// "RUnlock") and the receiver expression text when call is a sync.Mutex /
+// sync.RWMutex lock-family method call.
+func syncLockMethod(info *types.Info, call *ast.CallExpr) (name, recv string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return fn.Name(), exprString(sel.X), true
+	}
+	return "", "", false
+}
+
+func runLocks(pass *Pass) {
+	for _, f := range pass.Files {
+		funcBodies(f, func(fname string, body *ast.BlockStmt) {
+			checkLockBody(pass, fname, body)
+		})
+	}
+}
+
+// checkLockBody analyzes one function body. Nested function literals are
+// skipped while scanning (they run on their own goroutine or at defer time,
+// not under the lock at this point in the code) except that unlocks inside
+// immediately-deferred closures still count as releases.
+func checkLockBody(pass *Pass, fname string, body *ast.BlockStmt) {
+	type lockSite struct {
+		call *ast.CallExpr
+		name string // Lock or RLock
+		recv string
+	}
+	var locks []lockSite
+
+	// Collect direct (non-nested-literal) lock-family calls plus the
+	// positions of deferred and inline unlocks per receiver. A deferred
+	// unlock's CallExpr must not count as an inline release: it runs at
+	// function exit, not at its source position.
+	unlockPos := map[string][]token.Pos{} // recv+"."+method -> inline unlock positions
+	deferredUnlock := map[string]bool{}   // recv+"."+method -> deferred release exists
+	deferCalls := map[*ast.CallExpr]bool{}
+	walkSkippingFuncLits(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if deferCalls[n] {
+				return
+			}
+			if name, recv, ok := syncLockMethod(pass.Info, n); ok {
+				if _, isLock := lockPair[name]; isLock {
+					locks = append(locks, lockSite{call: n, name: name, recv: recv})
+				} else {
+					unlockPos[recv+"."+name] = append(unlockPos[recv+"."+name], n.Pos())
+				}
+			}
+		case *ast.DeferStmt:
+			deferCalls[n.Call] = true // visited before its children
+			// defer mu.Unlock() — or a deferred closure releasing it.
+			if name, recv, ok := syncLockMethod(pass.Info, n.Call); ok {
+				if _, isLock := lockPair[name]; !isLock {
+					deferredUnlock[recv+"."+name] = true
+				}
+			} else if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if name, recv, ok := syncLockMethod(pass.Info, call); ok {
+							if _, isLock := lockPair[name]; !isLock {
+								deferredUnlock[recv+"."+name] = true
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	})
+
+	for _, l := range locks {
+		release := l.recv + "." + lockPair[l.name]
+		inline := unlockPos[release]
+		hasDeferred := deferredUnlock[release]
+
+		// firstRelease is the end of the critical section for positional
+		// region checks: the first inline unlock after this lock, or the
+		// end of the function when the unlock is deferred (or missing).
+		firstRelease := body.End()
+		for _, p := range inline {
+			if p > l.call.Pos() && p < firstRelease {
+				firstRelease = p
+			}
+		}
+		regionEnd := firstRelease
+
+		if !hasDeferred && len(inline) == 0 {
+			pass.Reportf(l.call.Pos(), "%s.%s() in %s has no matching %s() in this function; "+
+				"the lock is never released", l.recv, l.name, fname, release)
+			continue
+		}
+
+		if !hasDeferred {
+			// A return between Lock and the first subsequent Unlock leaks
+			// the lock on that path.
+			walkSkippingFuncLits(body, func(n ast.Node) {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok || ret.Pos() < l.call.End() || ret.Pos() >= regionEnd {
+					return
+				}
+				pass.Reportf(ret.Pos(), "return between %s.%s() and %s() in %s leaves the mutex locked on this path; "+
+					"use defer %s()", l.recv, l.name, release, fname, release)
+			})
+		}
+
+		// Blocking operations inside the critical section. With a deferred
+		// unlock the section extends to the end of the function.
+		walkSkippingFuncLits(body, func(n ast.Node) {
+			if n.Pos() < l.call.End() || n.Pos() >= regionEnd {
+				return
+			}
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send while %s is held by %s.%s() in %s; "+
+					"a blocked receiver deadlocks every other waiter on this mutex", l.recv, l.recv, l.name, fname)
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive while %s is held by %s.%s() in %s; "+
+						"a silent sender deadlocks every other waiter on this mutex", l.recv, l.recv, l.name, fname)
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select while %s is held by %s.%s() in %s", l.recv, l.recv, l.name, fname)
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(n.X); t != nil && isChan(t) {
+					pass.Reportf(n.Pos(), "range over channel while %s is held by %s.%s() in %s", l.recv, l.recv, l.name, fname)
+				}
+			case *ast.CallExpr:
+				if fn := staticCallee(pass.Info, n); fn != nil && fn.Pkg() != nil {
+					sig, _ := fn.Type().(*types.Signature)
+					isMethod := sig != nil && sig.Recv() != nil
+					if fn.Pkg().Path() == "time" && !isMethod && fn.Name() == "Sleep" {
+						pass.Reportf(n.Pos(), "time.Sleep while %s is held by %s.%s() in %s", l.recv, l.recv, l.name, fname)
+					}
+					if fn.Pkg().Path() == "sync" && isMethod && fn.Name() == "Wait" {
+						pass.Reportf(n.Pos(), "sync.WaitGroup.Wait while %s is held by %s.%s() in %s; "+
+							"waited goroutines that need the mutex can never finish", l.recv, l.recv, l.name, fname)
+					}
+				}
+			}
+		})
+	}
+}
+
+// walkSkippingFuncLits walks body, calling visit on every node, but does
+// not descend into nested function literals: their statements do not
+// execute at this point in the enclosing function.
+func walkSkippingFuncLits(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		visit(n)
+		return true
+	})
+}

@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Maporder flags order-sensitive work performed inside `range` over a map:
+// floating-point accumulation, appends to slices that outlive the loop, and
+// output writes. Go randomizes map iteration order on purpose, so any of
+// these perturbs results from run to run — exactly the ScanFloats bug class
+// PR 2 had to fix by eye. Integer accumulation, map-keyed writes and the
+// collect-then-sort idiom are all order-independent and stay clean.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc: "order-sensitive float accumulation, slice appends or output writes " +
+		"inside range over a map; iterate over sorted keys instead",
+	Run: runMaporder,
+}
+
+func runMaporder(pass *Pass) {
+	for _, f := range pass.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			checkMapRangeBody(pass, file, rs)
+			return true
+		})
+	}
+}
+
+// writeishNames are method/function names whose call inside a map range
+// emits output in iteration order.
+var writeishNames = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true,
+}
+
+func checkMapRangeBody(pass *Pass, file *ast.File, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// Inner map ranges are visited on their own; re-walking them
+			// here would double-report their findings.
+			if n != rs {
+				if t := pass.Info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						return false
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, file, rs, n)
+		case *ast.IncDecStmt:
+			// x++ / x-- are exact for ints; floats can't appear here in a
+			// way that accumulates beyond ±1 per element, but the type
+			// still decides determinism.
+			if t := pass.Info.TypeOf(n.X); t != nil && isFloat(t) {
+				pass.Reportf(n.Pos(), "floating-point accumulation on %s inside range over a map; "+
+					"map iteration order perturbs float results — iterate over sorted keys", exprString(n.X))
+			}
+		case *ast.CallExpr:
+			if fn := staticCallee(pass.Info, n); fn != nil && writeishNames[fn.Name()] {
+				// Sprint-style formatters return a value rather than
+				// writing; only writer-shaped calls are order-sensitive.
+				pass.Reportf(n.Pos(), "%s.%s inside range over a map writes in iteration order; "+
+					"collect and sort keys first", calleeQualifier(fn), fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+// calleeQualifier renders a short owner for a callee: package name for
+// functions, receiver type name for methods.
+func calleeQualifier(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name()
+		}
+		return t.String()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name()
+	}
+	return "?"
+}
+
+func checkMapRangeAssign(pass *Pass, file *ast.File, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := as.Lhs[0]
+		if t := pass.Info.TypeOf(lhs); t != nil && isFloat(t) {
+			pass.Reportf(as.Pos(), "floating-point accumulation on %s inside range over a map; "+
+				"map iteration order perturbs float results — iterate over sorted keys", exprString(lhs))
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			rhs := as.Rhs[i]
+			// x = append(x, ...) escaping the loop without a later sort.
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isBuiltinAppend(pass.Info, call) {
+				checkMapRangeAppend(pass, file, rs, lhs)
+				continue
+			}
+			// x = x + v style float accumulation.
+			obj := identObject(pass.Info, lhs)
+			if obj == nil {
+				continue
+			}
+			if t := pass.Info.TypeOf(lhs); t != nil && isFloat(t) && mentionsObject(pass.Info, rhs, obj) {
+				pass.Reportf(as.Pos(), "floating-point accumulation on %s inside range over a map; "+
+					"map iteration order perturbs float results — iterate over sorted keys", exprString(lhs))
+			}
+		}
+	}
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// checkMapRangeAppend flags `dst = append(dst, ...)` inside a map range when
+// dst is declared outside the loop (its order leaks out) and is not passed
+// to a sort afterwards — the collect-then-sort idiom is the sanctioned fix
+// and must stay clean.
+func checkMapRangeAppend(pass *Pass, file *ast.File, rs *ast.RangeStmt, lhs ast.Expr) {
+	obj := identObject(pass.Info, lhs)
+	if obj == nil {
+		return
+	}
+	if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+		return // loop-local slice: order cannot escape
+	}
+	if sortedAfter(pass, file, rs, obj) {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "append to %s inside range over a map leaks iteration order; "+
+		"sort %s afterwards or iterate over sorted keys", exprString(lhs), exprString(lhs))
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.Sort*
+// call after the range statement, inside the enclosing function.
+func sortedAfter(pass *Pass, file *ast.File, rs *ast.RangeStmt, obj types.Object) bool {
+	body := enclosingFuncBody(file, rs.Pos())
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || found {
+			return !found
+		}
+		fn := staticCallee(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg := fn.Pkg().Path()
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(pass.Info, arg, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

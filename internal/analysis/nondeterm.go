@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// nondetermScope lists the package subtrees whose non-test code must be a
+// deterministic function of its inputs: the QoD engine, the learners, the
+// session logic and the metric computations. These are the paths whose
+// numbers back the paper's >95%-confidence claim.
+var nondetermScope = []string{
+	"smartflux/internal/engine",
+	"smartflux/internal/ml",
+	"smartflux/internal/core",
+	"smartflux/internal/metric",
+}
+
+// nondetermAllow lists subtrees exempt from the check: observability code
+// reads wall clocks by design, and its output never feeds a result.
+var nondetermAllow = []string{
+	"smartflux/internal/obs",
+}
+
+// Nondeterm flags wall-clock reads (time.Now / time.Since / time.Until) and
+// global math/rand RNG use in the determinism-scoped packages. Timing that
+// only feeds metrics must carry an //sflint:ignore nondeterm justification;
+// randomness must flow through rand.New(rand.NewSource(seed)).
+var Nondeterm = &Analyzer{
+	Name: "nondeterm",
+	Doc: "wall-clock reads and unseeded global math/rand use in determinism-scoped " +
+		"packages (engine, ml, core, metric); obs is allowlisted",
+	Run: runNondeterm,
+}
+
+// globalRandExempt names math/rand package functions that are fine: RNG
+// construction takes an explicit seed, so determinism is the caller's
+// choice and visible at the call site.
+var globalRandExempt = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func pathInScope(path string, scope []string) bool {
+	for _, root := range scope {
+		if path == root || strings.HasPrefix(path, root+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runNondeterm(pass *Pass) {
+	if !pathInScope(pass.Path, nondetermScope) || pathInScope(pass.Path, nondetermAllow) {
+		return
+	}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue // the contract covers shipped code, not fixtures
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := staticCallee(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			isMethod := sig != nil && sig.Recv() != nil
+			switch fn.Pkg().Path() {
+			case "time":
+				if !isMethod && (fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until") {
+					pass.Reportf(call.Pos(), "time.%s reads the wall clock in determinism-scoped package %s; "+
+						"results must not depend on it (suppress with a reason if this only feeds metrics)",
+						fn.Name(), pass.Path)
+				}
+			case "math/rand", "math/rand/v2":
+				if !isMethod && !globalRandExempt[fn.Name()] {
+					pass.Reportf(call.Pos(), "global %s.%s uses the shared unseeded RNG; "+
+						"draw from rand.New(rand.NewSource(seed)) so runs are reproducible",
+						fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

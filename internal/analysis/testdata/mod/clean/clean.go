@@ -1,0 +1,19 @@
+// Package clean has nothing to report: sflint must exit 0 on it.
+package clean
+
+import "sort"
+
+// SortedSum accumulates floats over a map through the sanctioned
+// collect-sort-iterate pattern.
+func SortedSum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}

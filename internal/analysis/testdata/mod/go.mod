@@ -1,0 +1,3 @@
+module sflintmod
+
+go 1.24

@@ -1,0 +1,63 @@
+// Package errdrop is the annotated corpus for the errdrop analyzer.
+package errdrop
+
+import (
+	"bytes"
+
+	"smartflux/internal/kvstore"
+)
+
+type conn struct{}
+
+func (c *conn) Close() error { return nil }
+
+type sink struct{}
+
+func (s *sink) Flush() error { return nil }
+
+// dropPut discards a store-layer write error: the container silently
+// diverges from what the workflow believes it wrote.
+func dropPut(t *kvstore.Table) {
+	t.Put("r", "c", nil) // want `call discards the error from kvstore.Put`
+}
+
+// dropDelete discards a store-layer delete error.
+func dropDelete(t *kvstore.Table) {
+	t.Delete("r", "c") // want `call discards the error from kvstore.Delete`
+}
+
+// dropClose discards an io.Closer-shaped error.
+func dropClose(c *conn) {
+	c.Close() // want `call discards the error from Close`
+}
+
+// deferDropClose is the classic truncated-output bug.
+func deferDropClose(c *conn) {
+	defer c.Close() // want `deferred call discards the error from Close`
+}
+
+// deferDropFlush loses buffered output silently.
+func deferDropFlush(s *sink) {
+	defer s.Flush() // want `deferred call discards the error from Flush`
+}
+
+// checkedPut propagates the error.
+func checkedPut(t *kvstore.Table) error {
+	return t.Put("r", "c", nil)
+}
+
+// ackClose acknowledges the discard explicitly and visibly.
+func ackClose(c *conn) {
+	_ = c.Close()
+}
+
+// deferAckClose acknowledges a deferred discard inside a closure.
+func deferAckClose(c *conn) {
+	defer func() { _ = c.Close() }()
+}
+
+// bareNoError calls an error-free API bare; nothing to check.
+func bareNoError(t *kvstore.Table, b *bytes.Buffer) {
+	t.Get("r", "c")
+	b.Reset()
+}

@@ -1,0 +1,71 @@
+// Package goroleak is the annotated corpus for the goroleak analyzer.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// fireAndForget spawns a goroutine nothing can join or cancel.
+func fireAndForget() {
+	go func() { // want `goroutine literal has no completion signal`
+		work()
+	}()
+}
+
+// loopLeak is a worker loop with no exit signal.
+func loopLeak(xs []int) {
+	go func() { // want `goroutine literal has no completion signal`
+		total := 0
+		for _, x := range xs {
+			total += x
+		}
+		_ = total
+	}()
+}
+
+// captureLeak passes arguments but still offers no escape hatch.
+func captureLeak(n int) {
+	go func(k int) { // want `goroutine literal has no completion signal`
+		work()
+		_ = k * 2
+	}(n)
+}
+
+// withDone signals completion by closing a done channel.
+func withDone() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+// withWaitGroup is joinable through the WaitGroup.
+func withWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// withContext observes cancellation.
+func withContext(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		work()
+	}()
+}
+
+// sendsResult publishes its result over a channel; the receiver joins it.
+func sendsResult(ch chan int) {
+	go func() {
+		ch <- 42
+	}()
+}

@@ -1,0 +1,110 @@
+// Package locks is the annotated corpus for the locks analyzer.
+package locks
+
+import (
+	"sync"
+	"time"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// missingUnlock acquires and never releases.
+func missingUnlock(c *counter) {
+	c.mu.Lock() // want `c.mu.Lock\(\) in missingUnlock has no matching c.mu.Unlock\(\)`
+	c.n++
+}
+
+// returnWhileHeld leaks the lock on the early-return path.
+func returnWhileHeld(c *counter, skip bool) {
+	c.mu.Lock()
+	if skip {
+		return // want `return between c.mu.Lock\(\) and c.mu.Unlock\(\) in returnWhileHeld leaves the mutex locked`
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// sleepWhileHeld blocks the whole critical section on a timer.
+func sleepWhileHeld(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while c.mu is held`
+}
+
+// sendWhileHeld performs a channel send inside the critical section; a
+// slow receiver deadlocks every other user of the mutex.
+func sendWhileHeld(c *counter, ch chan int) {
+	c.mu.Lock()
+	ch <- c.n // want `channel send while c.mu is held`
+	c.mu.Unlock()
+}
+
+// recvWhileHeld blocks the critical section on a channel receive.
+func recvWhileHeld(c *counter, ch chan int) {
+	c.mu.Lock()
+	c.n = <-ch // want `channel receive while c.mu is held`
+	c.mu.Unlock()
+}
+
+// inc is the straight-line lock/unlock pattern.
+func inc(c *counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// get releases through defer, so every return path is covered.
+func get(c *counter, skip bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if skip {
+		return 0
+	}
+	return c.n
+}
+
+// incNotify sends only after the critical section ends.
+func incNotify(c *counter, ch chan int) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	ch <- c.n
+}
+
+// earlyOut releases before each return, in branch order.
+func earlyOut(c *counter, stop bool) int {
+	c.mu.Lock()
+	if stop {
+		c.mu.Unlock()
+		return 0
+	}
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// lookup uses the RWMutex read path with a deferred release.
+func lookup(t *table, k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// spawnUnderLock starts a goroutine whose channel send happens on another
+// goroutine — not while this function holds the mutex. The analyzer must
+// not descend into the literal.
+func spawnUnderLock(c *counter, ch chan int) {
+	c.mu.Lock()
+	go func() {
+		ch <- 1
+	}()
+	c.mu.Unlock()
+}

@@ -1,0 +1,40 @@
+// Package ndcorpus sits under the fake import path
+// smartflux/internal/engine/..., putting it inside the nondeterm
+// analyzer's determinism scope.
+package ndcorpus
+
+import (
+	"math/rand"
+	"time"
+)
+
+// waveClock reads the wall clock on a result path.
+func waveClock() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the wall clock`
+}
+
+// decisionAge measures elapsed time against the wall clock.
+func decisionAge(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // want `time.Since reads the wall clock`
+}
+
+// pickStep draws from the shared global RNG.
+func pickStep(n int) int {
+	return rand.Intn(n) // want `global rand.Intn uses the shared unseeded RNG`
+}
+
+// jitter draws a float from the shared global RNG.
+func jitter() float64 {
+	return rand.Float64() // want `global rand.Float64 uses the shared unseeded RNG`
+}
+
+// seededDraw is the sanctioned pattern: an explicit per-component seed.
+func seededDraw(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// epoch constructs a fixed time; no clock is read.
+func epoch() time.Time {
+	return time.Unix(0, 0).UTC()
+}

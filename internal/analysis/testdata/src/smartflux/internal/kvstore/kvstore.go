@@ -1,0 +1,18 @@
+// Package kvstore is a want-harness stand-in for the real store: the
+// errdrop analyzer matches callees by this import path.
+package kvstore
+
+// Table is a minimal store handle.
+type Table struct{}
+
+// Put writes a cell.
+func (t *Table) Put(row, column string, value []byte) error { return nil }
+
+// Delete removes a cell.
+func (t *Table) Delete(row, column string) error { return nil }
+
+// Get reads a cell; no error result, safe to call bare.
+func (t *Table) Get(row, column string) ([]byte, bool) { return nil, false }
+
+// Open opens a table by name.
+func Open(name string) (*Table, error) { return &Table{}, nil }

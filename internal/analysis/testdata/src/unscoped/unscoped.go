@@ -1,0 +1,18 @@
+// Package unscoped is outside every nondeterm scope root: the same calls
+// that are diagnostics under smartflux/internal/engine must be clean here.
+package unscoped
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the clock outside the determinism scope.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Roll uses the global RNG outside the determinism scope.
+func Roll() int {
+	return rand.Int()
+}

@@ -411,7 +411,7 @@ func (in *Instance) runWaveSequential(d Decider) (WaveResult, error) {
 	}
 	var waveStart time.Time
 	if ob != nil {
-		waveStart = time.Now()
+		waveStart = time.Now() //sflint:ignore nondeterm wave-latency metric only; never feeds results
 	}
 
 	ctx := &workflow.Context{Wave: wave, Store: in.store}
@@ -474,9 +474,9 @@ func (in *Instance) decide(d Decider, ob *instanceObs, wave, idx int, ready bool
 		return false, 0
 	}
 	if ob != nil {
-		t0 := time.Now()
+		t0 := time.Now() //sflint:ignore nondeterm decision-latency metric only; never feeds results
 		verdict = d.Decide(wave, idx, in.impacts)
-		decNanos = time.Since(t0).Nanoseconds()
+		decNanos = time.Since(t0).Nanoseconds() //sflint:ignore nondeterm decision-latency metric only; never feeds results
 		ob.decideDur.Observe(float64(decNanos) / 1e9)
 	} else {
 		verdict = d.Decide(wave, idx, in.impacts)
@@ -534,7 +534,7 @@ func (in *Instance) traceDecision(res *WaveResult, d Decider, step *workflow.Ste
 func (in *Instance) finishWave(res *WaveResult, ob *instanceObs, waveStart time.Time) {
 	if ob != nil {
 		ob.waves.Inc()
-		ob.waveDur.Observe(time.Since(waveStart).Seconds())
+		ob.waveDur.Observe(time.Since(waveStart).Seconds()) //sflint:ignore nondeterm wave-latency metric only; never feeds results
 		if !ob.deferEmit {
 			for _, ev := range res.Decisions {
 				ob.o.EmitDecision(ev)

@@ -137,7 +137,7 @@ func (in *Instance) runWaveParallel(d Decider) (WaveResult, error) {
 	}
 	var waveStart time.Time
 	if ob != nil {
-		waveStart = time.Now()
+		waveStart = time.Now() //sflint:ignore nondeterm wave-latency metric only; never feeds results
 	}
 
 	ctx := &workflow.Context{Wave: wave, Store: in.store}

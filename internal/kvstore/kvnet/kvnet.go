@@ -246,7 +246,8 @@ func (s *Server) acceptLoop(ln net.Listener) {
 // down) returns nil; decode and encode failures are reported through the
 // error counters and handler, and returned.
 func (s *Server) serveConn(conn net.Conn) error {
-	defer conn.Close()
+	// Close errors after a finished (or already failed) session are noise.
+	defer func() { _ = conn.Close() }()
 	remote := conn.RemoteAddr().String()
 	so := s.obs
 	dec := gob.NewDecoder(conn)
