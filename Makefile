@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-report check bench
+.PHONY: all build test race vet lint lint-report check chaos bench
 
 all: check
 
@@ -30,8 +30,14 @@ lint-report:
 	$(GO) run ./cmd/sflint -json ./... > sflint-report.json || true
 	@wc -c sflint-report.json
 
-## check: the pre-PR gate — build, vet, lint, tests, race
-check: build vet lint test race
+## chaos: the fault-injection suite under the race detector — seeded
+## error/disconnect/latency injection through pipeline, store and transport,
+## asserting bit-identical results and leak-free churn (DESIGN.md §10)
+chaos:
+	$(GO) test -race -run 'TestChaos' -v ./...
+
+## check: the pre-PR gate — build, vet, lint, tests, race, chaos
+check: build vet lint test race chaos
 
 ## bench: overhead microbenchmarks (§5.3 + instrumentation overhead) plus
 ## the serial-vs-parallel comparison, recorded to BENCH_PR2.json

@@ -16,6 +16,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"smartflux"
 	"smartflux/workloads"
@@ -39,8 +40,21 @@ func run(args []string, out io.Writer) error {
 	parallelism := fs.Int("parallelism", 0, "per-wave worker bound: 0 = GOMAXPROCS, 1 = sequential (results are identical either way)")
 	obsAddr := fs.String("obs-addr", "", "serve /metrics, /trace/tail and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
 	traceOut := fs.String("trace-out", "", "append decision-trace events as JSON lines to this file")
+	stepTimeout := fs.Duration("step-timeout", 0, "per-step execution timeout (0 = unbounded)")
+	retryMax := fs.Int("retry-max", 0, "extra attempts a failed or timed-out step gets within a wave")
+	retryBackoff := fs.Duration("retry-backoff", 10*time.Millisecond, "base delay between step retries (doubles per attempt, seeded jitter)")
+	retryWaves := fs.Int("retry-waves", 0, "times a failed wave is re-run from its pre-wave checkpoint")
+	degrade := fs.Bool("degrade", false, "forcibly skip gated steps that exhaust their retries instead of failing the run")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	resilience := smartflux.HarnessConfig{
+		StepTimeout:  *stepTimeout,
+		StepRetries:  *retryMax,
+		RetryBackoff: *retryBackoff,
+		RetrySeed:    *seed + 23,
+		DegradeGated: *degrade,
+		WaveRetries:  *retryWaves,
 	}
 
 	var (
@@ -105,6 +119,7 @@ func run(args []string, out io.Writer) error {
 			},
 			Obs:         observer,
 			Parallelism: *parallelism,
+			Resilience:  resilience,
 		})
 		if err != nil {
 			return err
@@ -122,7 +137,9 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	harness, err := smartflux.NewHarnessWithConfig(build, []smartflux.StepID{report}, smartflux.HarnessConfig{Parallelism: *parallelism})
+	harnessCfg := resilience
+	harnessCfg.Parallelism = *parallelism
+	harness, err := smartflux.NewHarnessWithConfig(build, []smartflux.StepID{report}, harnessCfg)
 	if err != nil {
 		return err
 	}
@@ -151,6 +168,13 @@ func printDecisionSummary(out io.Writer, reg *smartflux.MetricsRegistry) {
 	lat := snap.Histograms["smartflux_engine_decision_latency_seconds"]
 	fmt.Fprintf(out, "  decisions: %d exec, %d skip; p95 decision latency %.1fµs\n",
 		execs, skips, lat.P95*1e6)
+	retries := snap.Counters["smartflux_engine_step_retries_total"]
+	degraded := snap.Counters["smartflux_engine_steps_degraded_total"]
+	waveRetries := snap.Counters["smartflux_engine_wave_retries_total"]
+	if retries+degraded+waveRetries > 0 {
+		fmt.Fprintf(out, "  resilience: %d step retries, %d degraded steps, %d wave retries\n",
+			retries, degraded, waveRetries)
+	}
 }
 
 // traceErr surfaces a deferred trace-sink write error, if any.

@@ -7,6 +7,9 @@
 // play the roles of a producer step (writing sensor readings) and a consumer
 // step (aggregating them), and shows a mutation observer on the server side
 // — the hook SmartFlux's Monitoring component uses to compute input impacts.
+// Midway through the producer's run the server is killed and restarted on
+// the same address: the producer's retrying client reconnects transparently
+// and no reading is lost or written twice (see DESIGN.md §10).
 //
 // Run with:
 //
@@ -18,6 +21,7 @@ import (
 	"log"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"smartflux"
 	"smartflux/internal/kvstore/kvnet"
@@ -29,18 +33,22 @@ func main() {
 	}
 }
 
-func run() error {
-	// Server side: the shared store plus a Monitoring-style observer.
-	store := smartflux.NewStore()
+// startServer brings up a kvnet server over the shared store.
+func startServer(store *smartflux.Store, addr string) (*kvnet.Server, string, error) {
 	server := kvnet.NewServer(store)
-	addr, err := server.Listen("127.0.0.1:0")
+	got, err := server.Listen(addr)
 	if err != nil {
-		return err
+		return nil, "", err
 	}
-	defer func() { _ = server.Close() }() // best-effort teardown at exit
-	fmt.Println("store serving on", addr)
+	return server, got, nil
+}
 
-	table, err := store.CreateTable("readings", smartflux.TableOptions{})
+func run() error {
+	// Server side: the shared store plus a Monitoring-style observer. The
+	// store (and its observer subscription) outlives any one server
+	// process, as the HBase cluster would.
+	store := smartflux.NewStore()
+	table, err := store.EnsureTable("readings", smartflux.TableOptions{})
 	if err != nil {
 		return err
 	}
@@ -48,14 +56,42 @@ func run() error {
 	table.Subscribe(observerFunc(func(m smartflux.Mutation) {
 		observed.Add(1)
 	}))
+	server, addr, err := startServer(store, "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	fmt.Println("store serving on", addr)
+
+	// Both clients retry with backoff and reconnect on failure, so a server
+	// restart between (or during) their requests is invisible to them.
+	clientCfg := kvnet.ClientConfig{
+		DialTimeout:  2 * time.Second,
+		MaxRetries:   20,
+		RetryBackoff: 20 * time.Millisecond,
+		RetrySeed:    1,
+	}
 
 	// Producer process: writes a wave of readings over TCP.
-	producer, err := kvnet.Dial(addr)
+	producer, err := kvnet.DialConfig(addr, clientCfg)
 	if err != nil {
 		return err
 	}
 	defer func() { _ = producer.Close() }()
 	for wave := 0; wave < 3; wave++ {
+		if wave == 1 {
+			// Simulate a store-node crash mid-run: kill the server and bring
+			// a fresh one up on the same address over the same backing
+			// store. The producer's next Put fails, reconnects and retries;
+			// server-side request dedup keeps every write exactly-once.
+			if err := server.Close(); err != nil {
+				return err
+			}
+			fmt.Println("server: killed mid-run, restarting on", addr)
+			server, _, err = startServer(store, addr)
+			if err != nil {
+				return err
+			}
+		}
 		for i := 0; i < 4; i++ {
 			row := "sensor" + strconv.Itoa(i)
 			value := 20 + float64(wave) + float64(i)/2
@@ -65,9 +101,10 @@ func run() error {
 		}
 		fmt.Printf("producer: wave %d written\n", wave)
 	}
+	defer func() { _ = server.Close() }() // best-effort teardown at exit
 
 	// Consumer process: scans and aggregates over its own connection.
-	consumer, err := kvnet.Dial(addr)
+	consumer, err := kvnet.DialConfig(addr, clientCfg)
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,7 @@ package errdrop
 import (
 	"bytes"
 
+	"smartflux/internal/fault"
 	"smartflux/internal/kvstore"
 )
 
@@ -60,4 +61,20 @@ func deferAckClose(c *conn) {
 func bareNoError(t *kvstore.Table, b *bytes.Buffer) {
 	t.Get("r", "c")
 	b.Reset()
+}
+
+// dropFaultPut discards an injected store error: the fault fired and the
+// test learned nothing.
+func dropFaultPut(t *fault.Table) {
+	t.Put("r", "c", nil) // want `call discards the error from fault.Put`
+}
+
+// checkedFaultPut propagates the injected error so retries can see it.
+func checkedFaultPut(t *fault.Table) error {
+	return t.Put("r", "c", nil)
+}
+
+// bareFaultNoError calls a fault-layer API without an error result; clean.
+func bareFaultNoError(t *fault.Table) {
+	t.Stats()
 }

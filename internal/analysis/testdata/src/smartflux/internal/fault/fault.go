@@ -1,0 +1,14 @@
+// Package fault is a want-harness stand-in for the real fault-injection
+// layer: the errdrop analyzer matches callees by this import path. Injected
+// errors that are silently discarded defeat chaos testing, so every
+// error-returning call here must be checked.
+package fault
+
+// Table is a minimal error-surfacing store handle.
+type Table struct{}
+
+// Put writes a cell, possibly failing by injected fault.
+func (t *Table) Put(row, column string, value []byte) error { return nil }
+
+// Stats carries no error; safe to call bare.
+func (t *Table) Stats() int { return 0 }

@@ -26,6 +26,10 @@ type PipelineConfig struct {
 	// runtime.GOMAXPROCS(0), 1 runs sequentially; results are bit-identical
 	// across settings.
 	Parallelism int
+	// Resilience configures step timeouts, retries and degradation for
+	// both engine instances (see engine.HarnessConfig; the Parallelism
+	// field inside it is overridden by the pipeline's own).
+	Resilience engine.HarnessConfig
 }
 
 // PipelineResult aggregates an end-to-end run.
@@ -49,7 +53,9 @@ func RunPipeline(build engine.BuildFunc, reportSteps []workflow.StepID, cfg Pipe
 	if cfg.TrainWaves <= 0 {
 		return nil, fmt.Errorf("core: pipeline needs TrainWaves > 0, got %d", cfg.TrainWaves)
 	}
-	harness, err := engine.NewHarnessWithConfig(build, reportSteps, engine.HarnessConfig{Parallelism: cfg.Parallelism})
+	harnessCfg := cfg.Resilience
+	harnessCfg.Parallelism = cfg.Parallelism
+	harness, err := engine.NewHarnessWithConfig(build, reportSteps, harnessCfg)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"smartflux/internal/kvstore"
 	"smartflux/internal/metric"
@@ -41,6 +42,10 @@ type StepReport struct {
 	EndToEnd []float64
 	// Violations flags waves where Measured exceeded MaxError.
 	Violations []bool
+	// Degraded flags waves where the step was forcibly skipped after
+	// exhausting its retry budget; those waves accumulate Predicted error
+	// exactly like decider-chosen skips.
+	Degraded []bool
 }
 
 // Deviation returns the per-wave Predicted - Measured series (Figure 9's
@@ -87,6 +92,10 @@ type Result struct {
 	// LiveExecuted is the per-wave execution matrix of the live instance
 	// (wave × gated step).
 	LiveExecuted [][]bool
+	// LiveDegraded is the per-wave forced-skip matrix of the live instance
+	// (wave × gated step): true where a step's retry budget ran out and it
+	// was degraded to a skip.
+	LiveDegraded [][]bool
 	// RefLabels is the per-wave simulated-optimal decision matrix from
 	// the reference instance (wave × gated step; the paper's "optimal").
 	RefLabels [][]int
@@ -176,11 +185,13 @@ func (r *Result) SavingsRatio() float64 {
 type Harness struct {
 	live *Instance
 	ref  *Instance
+	cfg  HarnessConfig
 
 	reportSteps []workflow.StepID
 	measures    map[workflow.StepID]*measureState
 
-	obs *obs.Observer
+	obs         *obs.Observer
+	waveRetries *obs.Counter // nil when no observer is attached
 }
 
 // measureState tracks the snapshots needed to derive one step's error
@@ -196,6 +207,24 @@ type HarnessConfig struct {
 	// runtime.GOMAXPROCS(0), 1 the sequential engine. Results are
 	// bit-identical across settings.
 	Parallelism int
+
+	// StepTimeout, StepRetries, RetryBackoff and RetrySeed are forwarded
+	// to both instances: when the workload itself is faulty (chaos tests,
+	// flaky remote stores) the synchronous reference needs the same retry
+	// budget as the live run to stay comparable.
+	StepTimeout  time.Duration
+	StepRetries  int
+	RetryBackoff time.Duration
+	RetrySeed    int64
+	// DegradeGated is forwarded to the live instance only. Degrading the
+	// reference would corrupt the optimal labels and the measurement
+	// baseline — reference failures always propagate (and are retried at
+	// the wave boundary under WaveRetries).
+	DegradeGated bool
+	// WaveRetries is how many times a failed wave — live or reference — is
+	// re-run from its pre-wave checkpoint before the run fails. RunWave's
+	// rollback guarantees each retry starts from identical tracker state.
+	WaveRetries int
 }
 
 // NewHarness builds the live and reference instances via build. reportSteps
@@ -216,11 +245,23 @@ func NewHarnessWithConfig(build BuildFunc, reportSteps []workflow.StepID, cfg Ha
 	if err != nil {
 		return nil, fmt.Errorf("harness ref build: %w", err)
 	}
-	live, err := NewInstance(liveWf, liveStore, InstanceConfig{TrainingMode: false, Parallelism: cfg.Parallelism})
+	resilience := InstanceConfig{
+		Parallelism:  cfg.Parallelism,
+		StepTimeout:  cfg.StepTimeout,
+		StepRetries:  cfg.StepRetries,
+		RetryBackoff: cfg.RetryBackoff,
+		RetrySeed:    cfg.RetrySeed,
+	}
+	liveCfg := resilience
+	liveCfg.TrainingMode = false
+	liveCfg.DegradeGated = cfg.DegradeGated
+	live, err := NewInstance(liveWf, liveStore, liveCfg)
 	if err != nil {
 		return nil, fmt.Errorf("harness live instance: %w", err)
 	}
-	ref, err := NewInstance(refWf, refStore, InstanceConfig{TrainingMode: true, Parallelism: cfg.Parallelism})
+	refCfg := resilience
+	refCfg.TrainingMode = true
+	ref, err := NewInstance(refWf, refStore, refCfg)
 	if err != nil {
 		return nil, fmt.Errorf("harness ref instance: %w", err)
 	}
@@ -239,6 +280,7 @@ func NewHarnessWithConfig(build BuildFunc, reportSteps []workflow.StepID, cfg Ha
 	return &Harness{
 		live:        live,
 		ref:         ref,
+		cfg:         cfg,
 		reportSteps: reportSteps,
 		measures:    make(map[workflow.StepID]*measureState, len(reportSteps)),
 	}, nil
@@ -266,6 +308,10 @@ func defaultReportSteps(wf *workflow.Workflow) ([]workflow.StepID, error) {
 // Passing nil detaches.
 func (h *Harness) Instrument(o *obs.Observer) {
 	h.obs = o
+	h.waveRetries = nil
+	if o != nil {
+		h.waveRetries = o.Counter("smartflux_engine_wave_retries_total")
+	}
 	h.live.Instrument(o)
 	h.live.Store().Instrument(o)
 	if h.live.obs != nil {
@@ -305,31 +351,52 @@ func (h *Harness) Run(waves int, decider Decider) (*Result, error) {
 
 	oracle, _ := decider.(*Oracle)
 	for w := 0; w < waves; w++ {
-		refRes, err := h.ref.RunWave(Sync{})
+		refRes, err := h.runWave(h.ref, Sync{}, "ref", w)
 		if err != nil {
-			return nil, fmt.Errorf("harness ref wave %d: %w", w, err)
+			return nil, err
 		}
 		if oracle != nil {
 			oracle.Labels = refRes.Labels
 		}
-		liveRes, err := h.live.RunWave(decider)
+		liveRes, err := h.runWave(h.live, decider, "live", w)
 		if err != nil {
-			return nil, fmt.Errorf("harness live wave %d: %w", w, err)
+			return nil, err
 		}
 
 		res.RefLabels = append(res.RefLabels, refRes.Labels)
 		res.RefImpacts = append(res.RefImpacts, refRes.Impacts)
 		res.RefSimErrors = append(res.RefSimErrors, refRes.SimErrors)
 		res.LiveExecuted = append(res.LiveExecuted, liveRes.Executed)
+		res.LiveDegraded = append(res.LiveDegraded, liveRes.Degraded)
 		res.LiveImpacts = append(res.LiveImpacts, liveRes.Impacts)
 
-		if err := h.measure(res, liveRes); err != nil {
+		if err := h.measureWave(res, liveRes); err != nil {
 			return nil, fmt.Errorf("harness measure wave %d: %w", w, err)
 		}
 		res.Waves++
 		h.emitDecisions(res, liveRes, refRes)
 	}
 	return res, nil
+}
+
+// runWave executes one wave of an instance, re-running it from its pre-wave
+// checkpoint up to WaveRetries times on failure. RunWave's rollback makes
+// retries start from identical tracker state; only the store keeps any
+// partial writes, which deterministic processors overwrite with identical
+// latest values (DESIGN.md §10).
+func (h *Harness) runWave(in *Instance, d Decider, which string, w int) (WaveResult, error) {
+	var lastErr error
+	for attempt := 0; attempt <= h.cfg.WaveRetries; attempt++ {
+		if attempt > 0 {
+			h.waveRetries.Inc() // nil-safe no-op when uninstrumented
+		}
+		res, err := in.RunWave(d)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+	}
+	return WaveResult{}, fmt.Errorf("harness %s wave %d: %w", which, w, lastErr)
 }
 
 // emitDecisions enriches the live wave's decision events with the reference
@@ -365,6 +432,67 @@ func (h *Harness) emitDecisions(res *Result, liveRes, refRes WaveResult) {
 	for _, ev := range liveRes.Decisions {
 		h.obs.EmitDecision(ev)
 	}
+}
+
+// measureCheckpoint captures the harness measurement state — the per-report
+// series lengths and the live-basis accumulators — at a wave boundary, so a
+// failed measure pass can be rolled back and retried.
+type measureCheckpoint struct {
+	lens     map[workflow.StepID]int
+	measures map[workflow.StepID]measureState
+}
+
+func (h *Harness) checkpointMeasures(res *Result) measureCheckpoint {
+	cp := measureCheckpoint{
+		lens:     make(map[workflow.StepID]int, len(h.reportSteps)),
+		measures: make(map[workflow.StepID]measureState, len(h.reportSteps)),
+	}
+	for _, id := range h.reportSteps {
+		cp.lens[id] = len(res.Reports[id].Measured)
+		if st := h.measures[id]; st != nil {
+			cp.measures[id] = *st
+		}
+	}
+	return cp
+}
+
+func (h *Harness) restoreMeasures(res *Result, cp measureCheckpoint) {
+	for _, id := range h.reportSteps {
+		n := cp.lens[id]
+		r := res.Reports[id]
+		r.Measured = r.Measured[:n]
+		r.Predicted = r.Predicted[:n]
+		r.EndToEnd = r.EndToEnd[:n]
+		r.Violations = r.Violations[:n]
+		r.Degraded = r.Degraded[:n]
+		if st, ok := cp.measures[id]; ok {
+			*h.measures[id] = st
+		} else {
+			delete(h.measures, id)
+		}
+	}
+}
+
+// measureWave runs measure under the wave-retry budget. Measuring re-runs
+// report-step processors hypothetically, which can fail under store faults
+// just like real execution; each failed pass restores the measurement state
+// to the pre-wave checkpoint, so a failed wave never leaks partial series
+// (DESIGN.md §10).
+func (h *Harness) measureWave(res *Result, liveRes WaveResult) error {
+	var lastErr error
+	for attempt := 0; attempt <= h.cfg.WaveRetries; attempt++ {
+		if attempt > 0 {
+			h.waveRetries.Inc() // nil-safe no-op when uninstrumented
+		}
+		cp := h.checkpointMeasures(res)
+		err := h.measure(res, liveRes)
+		if err == nil {
+			return nil
+		}
+		h.restoreMeasures(res, cp)
+		lastErr = err
+	}
+	return lastErr
 }
 
 // measure appends this wave's error measurements for every reported step.
@@ -406,6 +534,7 @@ func (h *Harness) measure(res *Result, liveRes WaveResult) error {
 		report.Predicted = append(report.Predicted, st.accum)
 		report.EndToEnd = append(report.EndToEnd, metric.Evaluate(factory, refState, liveState))
 		report.Violations = append(report.Violations, measured > report.MaxError)
+		report.Degraded = append(report.Degraded, idx >= 0 && liveRes.Degraded[idx])
 	}
 	return nil
 }

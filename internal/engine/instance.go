@@ -1,9 +1,12 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"smartflux/internal/kvstore"
@@ -28,6 +31,33 @@ type InstanceConfig struct {
 	// single coordinator, and per-step results land in pre-indexed slots
 	// (see DESIGN.md "Parallel execution").
 	Parallelism int
+
+	// StepTimeout bounds each processor execution; zero means unbounded.
+	// A timed-out attempt fails with ErrStepTimeout; the abandoned
+	// processor goroutine is left to finish in the background (see
+	// DESIGN.md §10 for why its late writes are harmless for
+	// deterministic processors).
+	StepTimeout time.Duration
+	// StepRetries is how many extra attempts a failed or timed-out step
+	// execution gets within one wave before the failure propagates.
+	StepRetries int
+	// RetryBackoff is the base delay before a step retry, doubling per
+	// attempt (capped at 64×) with seeded jitter of up to half the delay.
+	// Zero retries immediately.
+	RetryBackoff time.Duration
+	// RetrySeed seeds the backoff jitter source, keeping retry timing
+	// deterministic for a given failure sequence.
+	RetrySeed int64
+	// DegradeGated turns an exhausted retry budget on a *gated* step into
+	// a forced skip instead of a wave failure: the step's partial output
+	// writes are rolled back, Executed stays false, and the wave carries
+	// on. The skipped execution's error keeps accumulating on the step's
+	// ε accounting exactly as a decider-chosen skip would (§2.2), so
+	// degradation is visible in the predicted-error series and decision
+	// trace rather than silently eating accuracy. Source and
+	// zero-tolerance steps never degrade — their output is a correctness
+	// precondition for successors, so their failures always propagate.
+	DegradeGated bool
 }
 
 // parallelism resolves the effective worker bound.
@@ -63,6 +93,11 @@ type WaveResult struct {
 	Impacts []float64
 	// Executed flags which gated steps executed this wave.
 	Executed []bool
+	// Degraded flags gated steps that were forcibly skipped this wave: the
+	// decider said execute, the retry budget ran out, and the step's
+	// outputs were rolled back (InstanceConfig.DegradeGated). A degraded
+	// step is not Executed.
+	Degraded []bool
 	// Labels holds the simulated optimal decisions (1 = simulated error
 	// exceeded maxε). Only meaningful for synchronously driven instances;
 	// entries are -1 when the step did not execute and no fresh label
@@ -106,6 +141,12 @@ type Instance struct {
 	impacts []float64 // last-known impacts, by gated index
 	wave    int
 
+	// retryMu guards jitter: workers of a parallel wave may back off
+	// concurrently, and the draw order must stay a pure function of the
+	// arrival order for a given seed.
+	retryMu sync.Mutex
+	jitter  *rand.Rand
+
 	obs *instanceObs // nil when no observer is attached
 }
 
@@ -114,13 +155,44 @@ type Instance struct {
 // which enriches the wave's decision events with measured errors and the
 // reference instance's optimal labels before emitting them itself.
 type instanceObs struct {
-	o         *obs.Observer
-	waves     *obs.Counter
-	execs     *obs.Counter
-	skips     *obs.Counter
-	waveDur   *obs.Histogram
-	decideDur *obs.Histogram
-	deferEmit bool
+	o           *obs.Observer
+	waves       *obs.Counter
+	execs       *obs.Counter
+	skips       *obs.Counter
+	stepRetries *obs.Counter
+	timeouts    *obs.Counter
+	degraded    *obs.Counter
+	recoveries  *obs.Counter
+	waveDur     *obs.Histogram
+	decideDur   *obs.Histogram
+	deferEmit   bool
+}
+
+// Nil-safe counter hooks: resilience events fire from worker goroutines and
+// from instances without an observer, so every call site goes through these.
+
+func (ob *instanceObs) countRetry() {
+	if ob != nil {
+		ob.stepRetries.Inc()
+	}
+}
+
+func (ob *instanceObs) countTimeout() {
+	if ob != nil {
+		ob.timeouts.Inc()
+	}
+}
+
+func (ob *instanceObs) countDegraded() {
+	if ob != nil {
+		ob.degraded.Inc()
+	}
+}
+
+func (ob *instanceObs) countRecovery() {
+	if ob != nil {
+		ob.recoveries.Inc()
+	}
 }
 
 // Instrument attaches an observer to the instance: per-wave duration and
@@ -134,12 +206,16 @@ func (in *Instance) Instrument(o *obs.Observer) {
 		return
 	}
 	in.obs = &instanceObs{
-		o:         o,
-		waves:     o.Counter("smartflux_engine_waves_total"),
-		execs:     o.Counter(`smartflux_engine_decisions_total{verdict="exec"}`),
-		skips:     o.Counter(`smartflux_engine_decisions_total{verdict="skip"}`),
-		waveDur:   o.Histogram("smartflux_engine_wave_duration_seconds"),
-		decideDur: o.Histogram("smartflux_engine_decision_latency_seconds"),
+		o:           o,
+		waves:       o.Counter("smartflux_engine_waves_total"),
+		execs:       o.Counter(`smartflux_engine_decisions_total{verdict="exec"}`),
+		skips:       o.Counter(`smartflux_engine_decisions_total{verdict="skip"}`),
+		stepRetries: o.Counter("smartflux_engine_step_retries_total"),
+		timeouts:    o.Counter("smartflux_engine_step_timeouts_total"),
+		degraded:    o.Counter("smartflux_engine_steps_degraded_total"),
+		recoveries:  o.Counter("smartflux_engine_wave_recoveries_total"),
+		waveDur:     o.Histogram("smartflux_engine_wave_duration_seconds"),
+		decideDur:   o.Histogram("smartflux_engine_decision_latency_seconds"),
 	}
 	o.Gauge("smartflux_engine_parallelism").Set(float64(in.par))
 }
@@ -165,6 +241,7 @@ func NewInstance(wf *workflow.Workflow, store *kvstore.Store, cfg InstanceConfig
 		gatedIdx: make(map[workflow.StepID]int, len(gated)),
 		states:   make(map[workflow.StepID]*stepState, len(order)),
 		impacts:  make([]float64, len(gated)),
+		jitter:   rand.New(rand.NewSource(cfg.RetrySeed)),
 	}
 	for i, id := range gated {
 		in.gatedIdx[id] = i
@@ -374,6 +451,7 @@ func newWaveResult(wave, gated int) WaveResult {
 		Wave:      wave,
 		Impacts:   make([]float64, gated),
 		Executed:  make([]bool, gated),
+		Degraded:  make([]bool, gated),
 		Labels:    make([]int, gated),
 		SimErrors: make([]float64, gated),
 	}
@@ -391,11 +469,25 @@ func newWaveResult(wave, gated int) WaveResult {
 // bit-identical for every Parallelism setting; with Parallelism > 1 the
 // snapshot/execute/simulate work of independent steps overlaps on a bounded
 // worker pool.
+// A failed wave leaves the instance in its pre-wave state: all trackers,
+// per-step bookkeeping and the wave counter are rolled back, so callers can
+// retry the wave or carry on as if it had not been attempted (store contents
+// are not rolled back; see DESIGN.md §10 for why deterministic processors
+// make that safe).
 func (in *Instance) RunWave(d Decider) (WaveResult, error) {
+	cp := in.checkpoint()
+	var res WaveResult
+	var err error
 	if in.par > 1 {
-		return in.runWaveParallel(d)
+		res, err = in.runWaveParallel(d)
+	} else {
+		res, err = in.runWaveSequential(d)
 	}
-	return in.runWaveSequential(d)
+	if err != nil {
+		in.restore(cp)
+		in.obs.countRecovery()
+	}
+	return res, err
 }
 
 // runWaveSequential is the strictly sequential wave loop: steps are
@@ -450,8 +542,20 @@ func (in *Instance) runWaveSequential(d Decider) (WaveResult, error) {
 			if !run {
 				continue
 			}
-			if err := in.execute(ctx, st, wave); err != nil {
-				return res, err
+			degraded, err := in.executeDegradable(ctx, st, wave)
+			if err != nil {
+				if !degraded {
+					return res, err
+				}
+				// Forced skip: outputs are rolled back, Executed stays
+				// false, and the shadow error keeps accumulating exactly
+				// as for a decider-chosen skip.
+				res.Degraded[idx] = true
+				if ev != nil {
+					ev.Degraded = true
+				}
+				ob.countDegraded()
+				continue
 			}
 			cache.invalidate(step.Outputs)
 			res.TotalExecutions++
@@ -544,15 +648,30 @@ func (in *Instance) finishWave(res *WaveResult, ob *instanceObs, waveStart time.
 	in.wave++
 }
 
-// execute runs a step's processor and updates its bookkeeping.
+// execute runs a step's processor — under the configured timeout and retry
+// budget — and updates its bookkeeping on success. Each failed attempt backs
+// off (exponential with seeded jitter) before the next; the last error is
+// returned once the budget is spent.
 func (in *Instance) execute(ctx *workflow.Context, st *stepState, wave int) error {
-	if err := st.step.Proc.Process(ctx); err != nil {
-		return fmt.Errorf("step %q wave %d: %w", st.step.ID, wave, err)
+	var lastErr error
+	for attempt := 0; attempt <= in.cfg.StepRetries; attempt++ {
+		if attempt > 0 {
+			in.obs.countRetry()
+			in.backoff(attempt - 1)
+		}
+		err := in.runProc(ctx, st)
+		if err == nil {
+			st.executedEver = true
+			st.lastExecWave = wave
+			st.execCount++
+			return nil
+		}
+		if errors.Is(err, ErrStepTimeout) {
+			in.obs.countTimeout()
+		}
+		lastErr = fmt.Errorf("step %q wave %d: %w", st.step.ID, wave, err)
 	}
-	st.executedEver = true
-	st.lastExecWave = wave
-	st.execCount++
-	return nil
+	return lastErr
 }
 
 // HypotheticalOutput runs step id's processor against the current store
@@ -567,63 +686,42 @@ func (in *Instance) HypotheticalOutput(id workflow.StepID) (metric.State, error)
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown step %q", id)
 	}
-	// Snapshot the raw contents of every output table.
-	type cellKey struct{ row, col string }
-	saved := make(map[string]map[cellKey][]byte, len(st.step.Outputs))
-	tables := make(map[string]*kvstore.Table, len(st.step.Outputs))
-	for _, out := range st.step.Outputs {
-		if _, done := saved[out.Table]; done {
-			continue
-		}
-		t, err := in.store.EnsureTable(out.Table, kvstore.TableOptions{})
-		if err != nil {
-			return nil, err
-		}
-		tables[out.Table] = t
-		snap := make(map[cellKey][]byte)
-		for _, c := range t.Scan(kvstore.ScanOptions{}) {
-			snap[cellKey{c.Row, c.Column}] = c.Version.Value
-		}
-		saved[out.Table] = snap
-	}
-
 	wave := in.wave - 1
 	if wave < 0 {
 		wave = 0
 	}
-	ctx := &workflow.Context{Wave: wave, Store: in.store}
-	if err := st.step.Proc.Process(ctx); err != nil {
-		return nil, fmt.Errorf("hypothetical %q: %w", id, err)
-	}
-	fresh := in.OutputState(id)
-
-	// Roll back: restore saved cells, delete cells the run introduced.
-	for name, t := range tables {
-		snap := saved[name]
-		batch := kvstore.NewBatch()
-		current := t.Scan(kvstore.ScanOptions{})
-		seen := make(map[cellKey]struct{}, len(current))
-		for _, c := range current {
-			key := cellKey{c.Row, c.Column}
-			seen[key] = struct{}{}
-			old, had := snap[key]
-			switch {
-			case !had:
-				batch.Delete(c.Row, c.Column)
-			case string(old) != string(c.Version.Value):
-				batch.Put(c.Row, c.Column, old)
-			}
+	// Hypothetical runs share the step timeout and retry budget: a
+	// transient store fault while measuring is as recoverable as one while
+	// executing. Every attempt — failed or not — is rolled back so the
+	// outputs keep their stale contents.
+	var lastErr error
+	for attempt := 0; attempt <= in.cfg.StepRetries; attempt++ {
+		if attempt > 0 {
+			in.obs.countRetry()
+			in.backoff(attempt - 1)
 		}
-		for key, old := range snap {
-			if _, still := seen[key]; !still {
-				batch.Put(key.row, key.col, old)
-			}
+		snap, err := in.saveOutputs(st.step)
+		if err != nil {
+			return nil, err
 		}
-		if err := t.Apply(batch); err != nil {
+		ctx := &workflow.Context{Wave: wave, Store: in.store}
+		if err := in.runProc(ctx, st); err != nil {
+			if errors.Is(err, ErrStepTimeout) {
+				in.obs.countTimeout()
+			}
+			lastErr = fmt.Errorf("hypothetical %q: %w", id, err)
+			if rbErr := in.rollbackOutputs(snap); rbErr != nil {
+				return nil, errors.Join(lastErr, fmt.Errorf("hypothetical rollback %q: %w", id, rbErr))
+			}
+			continue
+		}
+		fresh := in.OutputState(id)
+		if err := in.rollbackOutputs(snap); err != nil {
 			return nil, fmt.Errorf("hypothetical rollback %q: %w", id, err)
 		}
+		return fresh, nil
 	}
-	return fresh, nil
+	return nil, lastErr
 }
 
 // predecessorsReady reports whether all upstream steps have executed at

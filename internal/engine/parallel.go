@@ -119,6 +119,7 @@ type gatedVerdict struct {
 type stepOutcome struct {
 	executed bool
 	gated    bool
+	degraded bool
 	err      error
 }
 
@@ -191,8 +192,23 @@ func (in *Instance) runWaveParallel(d Decider) (WaveResult, error) {
 					return
 				}
 				sem <- struct{}{}
-				if err := in.execute(ctx, st, wave); err != nil {
+				degraded, err := in.executeDegradable(ctx, st, wave)
+				if err != nil {
 					<-sem
+					if degraded {
+						// Forced skip: outputs already rolled back, the
+						// step is simply not executed this wave.
+						// Successors waiting on done[i] proceed against
+						// its old outputs, exactly as after a
+						// decider-chosen skip.
+						idx := in.gatedIdx[step.ID]
+						res.Degraded[idx] = true
+						if v.ev != nil {
+							v.ev.Degraded = true
+						}
+						outcomes[i] = stepOutcome{gated: true, degraded: true}
+						return
+					}
 					outcomes[i] = stepOutcome{gated: true, err: err}
 					return
 				}
@@ -232,6 +248,9 @@ func (in *Instance) runWaveParallel(d Decider) (WaveResult, error) {
 		oc := &outcomes[i]
 		if oc.err != nil && firstErr == nil {
 			firstErr = oc.err
+		}
+		if oc.degraded {
+			ob.countDegraded()
 		}
 		if oc.executed {
 			res.TotalExecutions++

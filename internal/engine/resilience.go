@@ -1,0 +1,225 @@
+package engine
+
+// Step-level resilience and wave-boundary recovery. Three mechanisms, all
+// configured through InstanceConfig and documented in DESIGN.md §10:
+//
+//   - runProc bounds one processor execution with StepTimeout.
+//   - executeDegradable turns an exhausted retry budget on a gated step into
+//     a forced skip (outputs rolled back, wave carries on) when DegradeGated
+//     is set.
+//   - checkpoint/restore snapshot every tracker and the per-step bookkeeping
+//     at wave start so a failed wave leaves the instance exactly as it was.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"smartflux/internal/kvstore"
+	"smartflux/internal/metric"
+	"smartflux/internal/workflow"
+)
+
+// ErrStepTimeout marks a step execution attempt exceeding
+// InstanceConfig.StepTimeout; matchable with errors.Is through the engine's
+// wrapping.
+var ErrStepTimeout = errors.New("engine: step execution timed out")
+
+// runProc runs one processor attempt, bounded by the configured step
+// timeout. On timeout the processor goroutine is abandoned — Go cannot kill
+// it — and keeps running to completion in the background; its buffered done
+// channel lets it exit without leaking. Late writes from an abandoned
+// attempt race only with the step's own retry, which re-derives the same
+// values for deterministic processors, so the latest cell versions converge
+// either way.
+func (in *Instance) runProc(ctx *workflow.Context, st *stepState) error {
+	if in.cfg.StepTimeout <= 0 {
+		return st.step.Proc.Process(ctx)
+	}
+	done := make(chan error, 1)
+	go func() { done <- st.step.Proc.Process(ctx) }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(in.cfg.StepTimeout):
+		return fmt.Errorf("%w after %v", ErrStepTimeout, in.cfg.StepTimeout)
+	}
+}
+
+// backoff sleeps out the delay before retry number attempt (0-based):
+// RetryBackoff doubling per attempt, capped at 64×, plus jitter of up to
+// half the delay from the instance's seeded source.
+func (in *Instance) backoff(attempt int) {
+	base := in.cfg.RetryBackoff
+	if base <= 0 {
+		return
+	}
+	if attempt > 6 {
+		attempt = 6
+	}
+	d := base << uint(attempt)
+	in.retryMu.Lock()
+	d += time.Duration(in.jitter.Int63n(int64(d)/2 + 1))
+	in.retryMu.Unlock()
+	time.Sleep(d)
+}
+
+// executeDegradable executes a step with the retry budget and — for gated
+// steps under DegradeGated — converts terminal failure into a forced skip:
+// the step's output tables are restored to their pre-attempt contents and
+// degraded=true is returned alongside the error. The caller decides what a
+// degraded failure means (the wave loops mark the step Degraded and carry
+// on). Non-gated steps and instances without DegradeGated report
+// degraded=false and the error propagates as a wave failure.
+func (in *Instance) executeDegradable(ctx *workflow.Context, st *stepState, wave int) (degraded bool, err error) {
+	if !in.cfg.DegradeGated || !st.step.Gated() {
+		return false, in.execute(ctx, st, wave)
+	}
+	snap, err := in.saveOutputs(st.step)
+	if err != nil {
+		return false, err
+	}
+	if err := in.execute(ctx, st, wave); err != nil {
+		if rerr := in.rollbackOutputs(snap); rerr != nil {
+			// A failed rollback means the outputs may hold partial writes:
+			// that is corruption, not degradation — fail the wave.
+			return false, errors.Join(err, fmt.Errorf("degrade rollback %q: %w", st.step.ID, rerr))
+		}
+		return true, err
+	}
+	return false, nil
+}
+
+// cellKey addresses one cell within a table snapshot.
+type cellKey struct{ row, col string }
+
+// outputSnapshot captures the raw latest contents of a step's output tables,
+// for exact restoration after a hypothetical run or a degraded execution.
+type outputSnapshot struct {
+	tables map[string]*kvstore.Table
+	saved  map[string]map[cellKey][]byte
+}
+
+// saveOutputs snapshots the latest value of every cell in every output table
+// of step (each table once, even when referenced by several containers).
+func (in *Instance) saveOutputs(step *workflow.Step) (outputSnapshot, error) {
+	snap := outputSnapshot{
+		tables: make(map[string]*kvstore.Table, len(step.Outputs)),
+		saved:  make(map[string]map[cellKey][]byte, len(step.Outputs)),
+	}
+	for _, out := range step.Outputs {
+		if _, done := snap.saved[out.Table]; done {
+			continue
+		}
+		t, err := in.store.EnsureTable(out.Table, kvstore.TableOptions{})
+		if err != nil {
+			return outputSnapshot{}, err
+		}
+		snap.tables[out.Table] = t
+		cells := make(map[cellKey][]byte)
+		for _, c := range t.Scan(kvstore.ScanOptions{}) {
+			cells[cellKey{c.Row, c.Column}] = c.Version.Value
+		}
+		snap.saved[out.Table] = cells
+	}
+	return snap, nil
+}
+
+// rollbackOutputs restores every snapshotted table to its saved contents:
+// saved cells get their old values back, cells introduced since are deleted.
+// Restoration appends versions rather than rewinding history, so the latest
+// values — everything metrics and processors read — match the snapshot
+// exactly while the version log keeps a trace of the undone writes.
+func (in *Instance) rollbackOutputs(snap outputSnapshot) error {
+	for name, t := range snap.tables {
+		saved := snap.saved[name]
+		batch := kvstore.NewBatch()
+		current := t.Scan(kvstore.ScanOptions{})
+		seen := make(map[cellKey]struct{}, len(current))
+		for _, c := range current {
+			key := cellKey{c.Row, c.Column}
+			seen[key] = struct{}{}
+			old, had := saved[key]
+			switch {
+			case !had:
+				batch.Delete(c.Row, c.Column)
+			case string(old) != string(c.Version.Value):
+				batch.Put(c.Row, c.Column, old)
+			}
+		}
+		for key, old := range saved {
+			if _, still := seen[key]; !still {
+				batch.Put(key.row, key.col, old)
+			}
+		}
+		if err := t.Apply(batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stepCheckpoint is one step's pre-wave bookkeeping.
+type stepCheckpoint struct {
+	executedEver bool
+	lastExecWave int
+	execCount    int
+	impacts      []metric.TrackerState
+	errors       []metric.TrackerState
+}
+
+// waveCheckpoint captures everything RunWave mutates outside the store, so a
+// failed wave can be rolled back to exactly the pre-wave instance state.
+// Snapshots are shallow (a few pointers per tracker), so checkpointing is
+// always on rather than opt-in.
+type waveCheckpoint struct {
+	impacts []float64
+	steps   map[workflow.StepID]stepCheckpoint
+}
+
+// checkpoint captures the instance's mutable state at a wave boundary.
+func (in *Instance) checkpoint() waveCheckpoint {
+	cp := waveCheckpoint{
+		impacts: append([]float64(nil), in.impacts...),
+		steps:   make(map[workflow.StepID]stepCheckpoint, len(in.states)),
+	}
+	for id, st := range in.states {
+		sc := stepCheckpoint{
+			executedEver: st.executedEver,
+			lastExecWave: st.lastExecWave,
+			execCount:    st.execCount,
+			impacts:      make([]metric.TrackerState, len(st.impactTrackers)),
+			errors:       make([]metric.TrackerState, len(st.errorTrackers)),
+		}
+		for i, t := range st.impactTrackers {
+			sc.impacts[i] = t.Snapshot()
+		}
+		for i, t := range st.errorTrackers {
+			sc.errors[i] = t.Snapshot()
+		}
+		cp.steps[id] = sc
+	}
+	return cp
+}
+
+// restore rewinds the instance to a checkpoint taken at a wave boundary.
+// The wave counter needs no handling: failed waves never reach finishWave,
+// so it was never advanced.
+func (in *Instance) restore(cp waveCheckpoint) {
+	copy(in.impacts, cp.impacts)
+	for id, st := range in.states {
+		sc, ok := cp.steps[id]
+		if !ok {
+			continue
+		}
+		st.executedEver = sc.executedEver
+		st.lastExecWave = sc.lastExecWave
+		st.execCount = sc.execCount
+		for i, t := range st.impactTrackers {
+			t.Restore(sc.impacts[i])
+		}
+		for i, t := range st.errorTrackers {
+			t.Restore(sc.errors[i])
+		}
+	}
+}

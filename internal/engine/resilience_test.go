@@ -1,0 +1,396 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"smartflux/internal/kvstore"
+	"smartflux/internal/obs"
+	"smartflux/internal/workflow"
+)
+
+var errBoom = errors.New("boom")
+
+// hookedWorkload wraps testWorkload so each built copy's named step runs
+// mkHook()'s fresh closure before its real processor — the injection point
+// for deterministic step failures.
+func hookedWorkload(maxErr float64, stepID workflow.StepID, mkHook func() func(wave int) error) BuildFunc {
+	base := testWorkload(maxErr)
+	return func() (*workflow.Workflow, *kvstore.Store, error) {
+		wf, store, err := base()
+		if err != nil {
+			return nil, nil, err
+		}
+		step, err := wf.Step(stepID)
+		if err != nil {
+			return nil, nil, err
+		}
+		inner := step.Proc
+		hook := mkHook()
+		step.Proc = workflow.ProcessorFunc(func(ctx *workflow.Context) error {
+			if err := hook(ctx.Wave); err != nil {
+				return err
+			}
+			return inner.Process(ctx)
+		})
+		return wf, store, nil
+	}
+}
+
+// failFirstAttemptAt returns a hook factory failing exactly the first
+// processor attempt at the given wave.
+func failFirstAttemptAt(wave int) func() func(int) error {
+	return func() func(int) error {
+		failed := false
+		return func(w int) error {
+			if w == wave && !failed {
+				failed = true
+				return errBoom
+			}
+			return nil
+		}
+	}
+}
+
+// buildInstance constructs one instance from build.
+func buildInstance(t *testing.T, build BuildFunc, cfg InstanceConfig) *Instance {
+	t.Helper()
+	wf, store, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewInstance(wf, store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestStepRetryRecoversTransientFailure gives a step failing its first two
+// attempts a budget of two retries: the wave must succeed and match a
+// fault-free run exactly.
+func TestStepRetryRecoversTransientFailure(t *testing.T) {
+	mkFlaky := func() func(int) error {
+		fails := 0
+		return func(w int) error {
+			if w == 2 && fails < 2 {
+				fails++
+				return errBoom
+			}
+			return nil
+		}
+	}
+	reg := obs.NewRegistry()
+	faulty := buildInstance(t, hookedWorkload(0.05, "leaf", mkFlaky),
+		InstanceConfig{Parallelism: 1, StepRetries: 2})
+	faulty.Instrument(obs.New(reg))
+	clean := buildInstance(t, testWorkload(0.05), InstanceConfig{Parallelism: 1})
+
+	for w := 0; w < 5; w++ {
+		fres, err := faulty.RunWave(Sync{})
+		if err != nil {
+			t.Fatalf("faulty wave %d: %v", w, err)
+		}
+		cres, err := clean.RunWave(Sync{})
+		if err != nil {
+			t.Fatalf("clean wave %d: %v", w, err)
+		}
+		for i := range fres.Impacts {
+			if fres.Impacts[i] != cres.Impacts[i] || fres.Executed[i] != cres.Executed[i] || fres.SimErrors[i] != cres.SimErrors[i] {
+				t.Fatalf("wave %d step %d diverged from fault-free run: %+v vs %+v", w, i, fres, cres)
+			}
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["smartflux_engine_step_retries_total"]; got != 2 {
+		t.Errorf("step retries = %d, want 2", got)
+	}
+}
+
+// TestStepTimeout bounds a hung processor with StepTimeout: the wave must
+// fail promptly with an ErrStepTimeout-wrapped error.
+func TestStepTimeout(t *testing.T) {
+	mkHung := func() func(int) error {
+		return func(w int) error {
+			if w == 1 {
+				time.Sleep(2 * time.Second)
+			}
+			return nil
+		}
+	}
+	reg := obs.NewRegistry()
+	in := buildInstance(t, hookedWorkload(0.05, "mid", mkHung),
+		InstanceConfig{Parallelism: 1, StepTimeout: 30 * time.Millisecond})
+	in.Instrument(obs.New(reg))
+
+	if _, err := in.RunWave(Sync{}); err != nil {
+		t.Fatalf("wave 0: %v", err)
+	}
+	start := time.Now()
+	_, err := in.RunWave(Sync{})
+	if !errors.Is(err, ErrStepTimeout) {
+		t.Fatalf("wave 1 err = %v, want ErrStepTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("timeout took %v; deadline not applied", elapsed)
+	}
+	if got := reg.Snapshot().Counters["smartflux_engine_step_timeouts_total"]; got != 1 {
+		t.Errorf("timeouts = %d, want 1", got)
+	}
+}
+
+// TestDegradeGatedForcedSkip breaks a gated step permanently under
+// DegradeGated: waves keep succeeding, the step reports Degraded (never
+// Executed), its outputs stay at their last good contents, and the decision
+// trace carries degraded=true.
+func TestDegradeGatedForcedSkip(t *testing.T) {
+	mkBroken := func() func(int) error {
+		return func(w int) error {
+			if w >= 2 {
+				return errBoom
+			}
+			return nil
+		}
+	}
+	reg := obs.NewRegistry()
+	sink := obs.NewRingSink(64)
+	o := obs.New(reg, sink)
+	in := buildInstance(t, hookedWorkload(0.05, "leaf", mkBroken),
+		InstanceConfig{Parallelism: 1, DegradeGated: true})
+	in.Instrument(o)
+
+	idx := in.GatedIndex("leaf")
+	var lastGood float64
+	for w := 0; w < 5; w++ {
+		res, err := in.RunWave(Sync{})
+		if err != nil {
+			t.Fatalf("wave %d: %v", w, err)
+		}
+		state := in.OutputState("leaf")
+		switch {
+		case w < 2:
+			if res.Degraded[idx] || !res.Executed[idx] {
+				t.Fatalf("wave %d: degraded=%v executed=%v before the fault", w, res.Degraded[idx], res.Executed[idx])
+			}
+			lastGood = state["scaled:all/scaled"]
+		default:
+			if !res.Degraded[idx] || res.Executed[idx] {
+				t.Fatalf("wave %d: degraded=%v executed=%v, want forced skip", w, res.Degraded[idx], res.Executed[idx])
+			}
+			if got := state["scaled:all/scaled"]; got != lastGood {
+				t.Fatalf("wave %d: degraded step output moved %v -> %v; rollback failed", w, lastGood, got)
+			}
+		}
+	}
+	if got := reg.Snapshot().Counters["smartflux_engine_steps_degraded_total"]; got != 3 {
+		t.Errorf("degraded counter = %d, want 3", got)
+	}
+	var traced int
+	for _, ev := range sink.Tail(64) {
+		if ev.Step == "leaf" && ev.Degraded {
+			traced++
+			if ev.Executed {
+				t.Error("degraded event marked executed")
+			}
+			if !ev.Verdict {
+				t.Error("degraded event lost its execute verdict")
+			}
+		}
+	}
+	if traced != 3 {
+		t.Errorf("degraded trace events = %d, want 3", traced)
+	}
+}
+
+// TestDegradeMatchesSkipEpsilonAccounting is the ε-accounting contract: a
+// harness whose report step degrades on given waves must charge exactly the
+// Predicted error of a run whose decider *chooses* to skip those waves.
+func TestDegradeMatchesSkipEpsilonAccounting(t *testing.T) {
+	const failFrom = 4
+	builds := 0
+	mkLiveOnly := func() func(int) error {
+		builds++
+		if builds == 1 { // NewHarness builds the live copy first
+			// Fail only the first processor call per wave: that is the real
+			// execution attempt. The harness's HypotheticalOutput measurement
+			// re-runs the processor afterwards and must keep working.
+			counts := map[int]int{}
+			return func(w int) error {
+				if w >= failFrom {
+					counts[w]++
+					if counts[w] == 1 {
+						return errBoom
+					}
+				}
+				return nil
+			}
+		}
+		return func(int) error { return nil }
+	}
+	degraded, err := NewHarnessWithConfig(hookedWorkload(0.05, "leaf", mkLiveOnly), nil,
+		HarnessConfig{Parallelism: 1, DegradeGated: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipper, err := NewHarnessWithConfig(testWorkload(0.05), nil, HarnessConfig{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafIdx := skipper.Live().GatedIndex("leaf")
+
+	const waves = 8
+	degRes, err := degraded.Run(waves, Sync{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipRes, err := skipper.Run(waves, skipStepFrom{idx: leafIdx, wave: failFrom})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dr := degRes.Reports["leaf"]
+	sr := skipRes.Reports["leaf"]
+	for w := 0; w < waves; w++ {
+		if want := w >= failFrom; dr.Degraded[w] != want {
+			t.Fatalf("wave %d: degraded = %v, want %v", w, dr.Degraded[w], want)
+		}
+		if dr.Predicted[w] != sr.Predicted[w] {
+			t.Fatalf("wave %d: degraded Predicted %v != skip Predicted %v; ε accounting diverged",
+				w, dr.Predicted[w], sr.Predicted[w])
+		}
+		if dr.Measured[w] != sr.Measured[w] {
+			t.Fatalf("wave %d: degraded Measured %v != skip Measured %v", w, dr.Measured[w], sr.Measured[w])
+		}
+	}
+	if dr.Predicted[waves-1] == 0 {
+		t.Fatal("degraded waves accumulated no predicted error; nothing was charged")
+	}
+}
+
+// skipStepFrom executes everything except one gated step from a given wave.
+type skipStepFrom struct {
+	idx  int
+	wave int
+}
+
+func (s skipStepFrom) Decide(wave, idx int, _ []float64) bool {
+	return !(idx == s.idx && wave >= s.wave)
+}
+
+func (s skipStepFrom) Name() string { return "skip-step-from" }
+
+// TestWaveCheckpointRestore fails a wave mid-flight (after the source
+// already executed) and re-runs it: the retried wave and all later waves
+// must be bit-identical to a never-failed run.
+func TestWaveCheckpointRestore(t *testing.T) {
+	faulty := buildInstance(t, hookedWorkload(0.05, "leaf", failFirstAttemptAt(3)),
+		InstanceConfig{Parallelism: 1})
+	clean := buildInstance(t, testWorkload(0.05), InstanceConfig{Parallelism: 1})
+
+	for w := 0; w < 6; w++ {
+		fres, err := faulty.RunWave(Sync{})
+		if w == 3 && err != nil {
+			if !errors.Is(err, errBoom) {
+				t.Fatalf("wave 3 failed with %v, want errBoom", err)
+			}
+			if faulty.Wave() != 3 {
+				t.Fatalf("wave counter advanced to %d through a failed wave", faulty.Wave())
+			}
+			// The instance must be back at its pre-wave state: retry.
+			fres, err = faulty.RunWave(Sync{})
+		}
+		if err != nil {
+			t.Fatalf("faulty wave %d: %v", w, err)
+		}
+		cres, err := clean.RunWave(Sync{})
+		if err != nil {
+			t.Fatalf("clean wave %d: %v", w, err)
+		}
+		for i := range fres.Impacts {
+			if fres.Impacts[i] != cres.Impacts[i] || fres.Executed[i] != cres.Executed[i] ||
+				fres.SimErrors[i] != cres.SimErrors[i] || fres.Labels[i] != cres.Labels[i] {
+				t.Fatalf("wave %d step %d diverged after recovery: %+v vs %+v", w, i, fres, cres)
+			}
+		}
+	}
+}
+
+// TestHarnessWaveRetries lets the harness itself re-run failed waves: with
+// WaveRetries budget both instances ride out first-attempt failures and the
+// result matches a fault-free run.
+func TestHarnessWaveRetries(t *testing.T) {
+	faulty, err := NewHarnessWithConfig(hookedWorkload(0.05, "leaf", failFirstAttemptAt(2)), nil,
+		HarnessConfig{Parallelism: 1, WaveRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := NewHarnessWithConfig(testWorkload(0.05), nil, HarnessConfig{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const waves = 6
+	fres, err := faulty.Run(waves, Sync{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := clean.Run(waves, Sync{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, cr := fres.Reports["leaf"], cres.Reports["leaf"]
+	for w := 0; w < waves; w++ {
+		if fr.Measured[w] != cr.Measured[w] || fr.Predicted[w] != cr.Predicted[w] {
+			t.Fatalf("wave %d diverged: measured %v vs %v, predicted %v vs %v",
+				w, fr.Measured[w], cr.Measured[w], fr.Predicted[w], cr.Predicted[w])
+		}
+	}
+
+	// Without the retry budget the same fault kills the run.
+	doomed, err := NewHarnessWithConfig(hookedWorkload(0.05, "leaf", failFirstAttemptAt(2)), nil,
+		HarnessConfig{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doomed.Run(waves, Sync{}); !errors.Is(err, errBoom) {
+		t.Fatalf("run without WaveRetries = %v, want errBoom", err)
+	}
+}
+
+// TestDegradeParallelEquivalence runs the permanent-failure degrade scenario
+// at Parallelism 1 and 4: Executed/Degraded/Impacts must be bit-identical.
+func TestDegradeParallelEquivalence(t *testing.T) {
+	mkBroken := func() func(int) error {
+		return func(w int) error {
+			if w >= 2 && w%2 == 0 {
+				return errBoom
+			}
+			return nil
+		}
+	}
+	run := func(par int) []WaveResult {
+		in := buildInstance(t, hookedWorkload(0.05, "mid", mkBroken),
+			InstanceConfig{Parallelism: par, DegradeGated: true, StepRetries: 1})
+		var out []WaveResult
+		for w := 0; w < 6; w++ {
+			res, err := in.RunWave(Sync{})
+			if err != nil {
+				t.Fatalf("par %d wave %d: %v", par, w, err)
+			}
+			out = append(out, res)
+		}
+		return out
+	}
+	seq, par := run(1), run(4)
+	for w := range seq {
+		for i := range seq[w].Impacts {
+			if seq[w].Impacts[i] != par[w].Impacts[i] ||
+				seq[w].Executed[i] != par[w].Executed[i] ||
+				seq[w].Degraded[i] != par[w].Degraded[i] ||
+				seq[w].SimErrors[i] != par[w].SimErrors[i] {
+				t.Fatalf("wave %d step %d diverged across parallelism: %+v vs %+v", w, i, seq[w], par[w])
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package fault
+
+import (
+	"net"
+	"time"
+)
+
+// Conn wraps a net.Conn with fault injection on every Read and Write. The
+// injector is consulted once per call with op "read" or "write":
+//
+//   - Latency delays the call.
+//   - An injected error fails the call before any bytes move, so the wire
+//     never carries a partial frame from an injected (non-disconnect) fault.
+//   - A disconnect closes the underlying connection and fails the call; the
+//     peer observes an abrupt hang-up, possibly mid-frame.
+//   - Under a Blackhole policy, writes report full success without
+//     delivering anything; reads starve on the underlying connection and
+//     surface through read deadlines, exactly like a hung peer.
+//
+// Deadlines, addresses and Close pass through untouched.
+type Conn struct {
+	net.Conn
+	inj *Injector
+}
+
+// WrapConn interposes inj on c. A nil injector returns c unchanged.
+func WrapConn(c net.Conn, inj *Injector) net.Conn {
+	if inj == nil {
+		return c
+	}
+	return &Conn{Conn: c, inj: inj}
+}
+
+// intercept evaluates one I/O operation. It reports whether the caller
+// should swallow the call (blackholed write) and the error to fail with.
+func (c *Conn) intercept(op string) (swallow bool, err error) {
+	d := c.inj.Decide(op)
+	if err := d.apply(); err != nil {
+		if d.Disconnect {
+			_ = c.Conn.Close() // tear the transport down, surface the cause
+			return false, err
+		}
+		if c.inj.blackhole() && op == "write" {
+			return true, nil
+		}
+		return false, err
+	}
+	return false, nil
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	if _, err := c.intercept("read"); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) {
+	swallow, err := c.intercept("write")
+	if err != nil {
+		return 0, err
+	}
+	if swallow {
+		return len(p), nil // blackhole: accepted, never delivered
+	}
+	return c.Conn.Write(p)
+}
+
+// blackhole reports whether the policy blackholes traffic.
+func (i *Injector) blackhole() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.p.Blackhole
+}
+
+// Listener wraps a net.Listener so every accepted connection carries the
+// injector. Use with kvnet's Server.ServeListener to chaos-test the server
+// side of the wire.
+type Listener struct {
+	net.Listener
+	inj *Injector
+}
+
+// WrapListener interposes inj on every connection ln accepts. A nil
+// injector returns ln unchanged.
+func WrapListener(ln net.Listener, inj *Injector) net.Listener {
+	if inj == nil {
+		return ln
+	}
+	return &Listener{Listener: ln, inj: inj}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(c, l.inj), nil
+}
+
+// Dialer returns a dial function that wraps every established connection
+// with the injector — the client-side counterpart of WrapListener, shaped
+// for kvnet's ClientConfig.Dial so reconnects keep flowing through the
+// fault layer.
+func Dialer(inj *Injector) func(addr string, timeout time.Duration) (net.Conn, error) {
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		var c net.Conn
+		var err error
+		if timeout > 0 {
+			c, err = net.DialTimeout("tcp", addr, timeout)
+		} else {
+			c, err = net.Dial("tcp", addr)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return WrapConn(c, inj), nil
+	}
+}

@@ -1,0 +1,193 @@
+// Package fault is SmartFlux's deterministic fault-injection layer. It
+// exists so the failure paths of the distributed mode — broken kvnet
+// connections, slow or erroring store operations, hung steps — can be
+// exercised by ordinary, reproducible tests instead of being trusted blind.
+//
+// An Injector evaluates a seeded Policy once per operation: every decision
+// is drawn from a private rand.Source, so a given (Policy, operation
+// sequence) always produces the same faults. Three interposition surfaces
+// consume the decisions:
+//
+//   - Store / Table (store.go): wrap a kvstore.Store with fault injection on
+//     every data operation, for driving the engine's step retry and
+//     degradation paths in-process.
+//   - Conn / Listener (conn.go): wrap net.Conn / net.Listener so kvnet
+//     clients and servers see injected latency, I/O errors, disconnects and
+//     blackholes at the wire level.
+//   - Injector.StoreHook: a func(op, table) error usable anywhere a
+//     per-operation failure hook is accepted.
+//
+// The package is test-oriented but ships as production code: chaos suites,
+// examples and benchmarks all build against it.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"smartflux/internal/obs"
+)
+
+// ErrInjected is the root of every injected operation error; test code
+// matches it with errors.Is.
+var ErrInjected = errors.New("fault: injected error")
+
+// ErrDisconnected marks an injected connection teardown. It wraps
+// ErrInjected, so errors.Is(err, ErrInjected) also holds.
+var ErrDisconnected = fmt.Errorf("%w: injected disconnect", ErrInjected)
+
+// Policy describes what faults to inject and how often. The zero value
+// injects nothing.
+type Policy struct {
+	// Seed drives every probabilistic decision. Two injectors with the same
+	// seed presented with the same operation sequence inject identically.
+	Seed int64
+
+	// ErrorRate is the probability in [0, 1] that an operation fails with
+	// ErrInjected.
+	ErrorRate float64
+
+	// LatencyRate is the probability in [0, 1] that an operation is delayed
+	// by Latency before proceeding.
+	LatencyRate float64
+	// Latency is the injected delay (applied when the LatencyRate draw
+	// fires).
+	Latency time.Duration
+
+	// DisconnectRate is the probability in [0, 1] that an operation tears
+	// the connection down (conn wrappers close the underlying conn; store
+	// wrappers fail the op with ErrDisconnected).
+	DisconnectRate float64
+	// DisconnectAfter, when positive, forces exactly one disconnect at the
+	// Nth eligible operation — a deterministic "kill the link mid-run".
+	DisconnectAfter int
+
+	// Blackhole makes conn writes vanish (reported as successful, never
+	// delivered) and store operations fail with ErrInjected. Reads on a
+	// blackholed conn starve naturally and surface via read deadlines.
+	Blackhole bool
+
+	// Ops, when non-empty, restricts injection to the named operations.
+	// Conn wrappers use "read" and "write"; store wrappers use the kvstore
+	// op names ("get", "put", "delete", "scan", "apply", "create_table").
+	Ops map[string]bool
+}
+
+// Decision is the injector's verdict for one operation, in application
+// order: wait Latency, then fail with Err (nil = proceed); Disconnect tells
+// conn wrappers to also tear the transport down.
+type Decision struct {
+	Latency    time.Duration
+	Err        error
+	Disconnect bool
+}
+
+// Stats counts what an injector has done, for assertions without an
+// observer.
+type Stats struct {
+	Ops         int // operations presented (after the Ops filter)
+	Errors      int // ErrInjected failures
+	Latencies   int // delayed operations
+	Disconnects int // injected disconnects
+}
+
+// Injector evaluates a Policy operation by operation. It is safe for
+// concurrent use; concurrent callers serialize on an internal lock so the
+// decision sequence stays a pure function of arrival order.
+type Injector struct {
+	mu    sync.Mutex
+	p     Policy
+	rng   *rand.Rand
+	stats Stats
+
+	errs    *obs.Counter // nil when no observer is attached
+	delays  *obs.Counter
+	dropped *obs.Counter
+}
+
+// New creates an injector for the policy.
+func New(p Policy) *Injector {
+	return &Injector{p: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// Instrument attaches an observer counting injected faults on
+// smartflux_fault_injected_total{kind="error"|"latency"|"disconnect"}.
+// Passing nil detaches.
+func (i *Injector) Instrument(o *obs.Observer) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if o == nil {
+		i.errs, i.delays, i.dropped = nil, nil, nil
+		return
+	}
+	i.errs = o.Counter(`smartflux_fault_injected_total{kind="error"}`)
+	i.delays = o.Counter(`smartflux_fault_injected_total{kind="latency"}`)
+	i.dropped = o.Counter(`smartflux_fault_injected_total{kind="disconnect"}`)
+}
+
+// Stats returns a copy of the injection counters.
+func (i *Injector) Stats() Stats {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.stats
+}
+
+// Decide evaluates the policy for one named operation. Filtered-out
+// operations never consume randomness, so adding an op filter does not
+// change the fault sequence seen by the remaining ops.
+func (i *Injector) Decide(op string) Decision {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if len(i.p.Ops) > 0 && !i.p.Ops[op] {
+		return Decision{}
+	}
+	i.stats.Ops++
+	var d Decision
+	if i.p.Latency > 0 && i.p.LatencyRate > 0 && i.rng.Float64() < i.p.LatencyRate {
+		d.Latency = i.p.Latency
+		i.stats.Latencies++
+		i.delays.Inc() // nil-safe no-op when uninstrumented
+	}
+	switch {
+	case i.p.DisconnectAfter > 0 && i.stats.Ops == i.p.DisconnectAfter:
+		d.Disconnect = true
+	case i.p.DisconnectRate > 0 && i.rng.Float64() < i.p.DisconnectRate:
+		d.Disconnect = true
+	}
+	if d.Disconnect {
+		d.Err = ErrDisconnected
+		i.stats.Disconnects++
+		i.dropped.Inc()
+		return d
+	}
+	if i.p.Blackhole || (i.p.ErrorRate > 0 && i.rng.Float64() < i.p.ErrorRate) {
+		d.Err = fmt.Errorf("%w (op %s)", ErrInjected, op)
+		i.stats.Errors++
+		i.errs.Inc()
+	}
+	return d
+}
+
+// apply sleeps out the decision's latency and returns its error; the common
+// tail of every store-side interposition.
+func (d Decision) apply() error {
+	if d.Latency > 0 {
+		time.Sleep(d.Latency)
+	}
+	return d.Err
+}
+
+// StoreHook adapts the injector to the generic per-operation failure-hook
+// shape func(op, table) error. The table argument participates only in the
+// error message; filtering is by op name.
+func (i *Injector) StoreHook() func(op, table string) error {
+	return func(op, table string) error {
+		if err := i.Decide(op).apply(); err != nil {
+			return fmt.Errorf("table %q: %w", table, err)
+		}
+		return nil
+	}
+}

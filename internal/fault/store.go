@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"fmt"
+
+	"smartflux/internal/kvstore"
+)
+
+// Store wraps a kvstore.Store with fault injection on every data operation.
+// Workflow processors route their container access through it to exercise
+// the engine's step-retry and degradation paths; the underlying store is
+// untouched when an operation is failed (errors are injected strictly
+// before delegation, so a failed Put never half-applies).
+type Store struct {
+	store *kvstore.Store
+	inj   *Injector
+}
+
+// NewStore interposes inj on store.
+func NewStore(store *kvstore.Store, inj *Injector) *Store {
+	return &Store{store: store, inj: inj}
+}
+
+// Unwrap returns the underlying store.
+func (s *Store) Unwrap() *kvstore.Store { return s.store }
+
+// Injector returns the interposed injector.
+func (s *Store) Injector() *Injector { return s.inj }
+
+// opErr evaluates one store operation against the policy.
+func (s *Store) opErr(op, table string) error {
+	if err := s.inj.Decide(op).apply(); err != nil {
+		return fmt.Errorf("fault store %q: %w", table, err)
+	}
+	return nil
+}
+
+// EnsureTable mirrors kvstore.Store.EnsureTable under injection (op
+// "create_table").
+func (s *Store) EnsureTable(name string, opts kvstore.TableOptions) (*Table, error) {
+	if err := s.opErr("create_table", name); err != nil {
+		return nil, err
+	}
+	t, err := s.store.EnsureTable(name, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{t: t, s: s}, nil
+}
+
+// Table mirrors kvstore.Store.Table under injection (op "create_table",
+// sharing the table-resolution budget with EnsureTable).
+func (s *Store) Table(name string) (*Table, error) {
+	if err := s.opErr("create_table", name); err != nil {
+		return nil, err
+	}
+	t, err := s.store.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{t: t, s: s}, nil
+}
+
+// Table is a fault-injecting view of a kvstore.Table. Every operation
+// returns an error, including reads — injected read faults surface as
+// errors the same way a remote store's would.
+type Table struct {
+	t *kvstore.Table
+	s *Store
+}
+
+// Unwrap returns the underlying table.
+func (t *Table) Unwrap() *kvstore.Table { return t.t }
+
+// Put writes a value (op "put").
+func (t *Table) Put(row, column string, value []byte) error {
+	if err := t.s.opErr("put", t.t.Name()); err != nil {
+		return err
+	}
+	return t.t.Put(row, column, value)
+}
+
+// PutFloat writes an encoded float64 (op "put").
+func (t *Table) PutFloat(row, column string, v float64) error {
+	return t.Put(row, column, kvstore.EncodeFloat(v))
+}
+
+// Get reads the latest value of a cell (op "get").
+func (t *Table) Get(row, column string) ([]byte, bool, error) {
+	if err := t.s.opErr("get", t.t.Name()); err != nil {
+		return nil, false, err
+	}
+	v, ok := t.t.Get(row, column)
+	return v, ok, nil
+}
+
+// GetFloat reads a float64-encoded cell (op "get").
+func (t *Table) GetFloat(row, column string) (float64, bool, error) {
+	raw, ok, err := t.Get(row, column)
+	if err != nil || !ok {
+		return 0, ok, err
+	}
+	v, err := kvstore.DecodeFloat(raw)
+	if err != nil {
+		return 0, false, err
+	}
+	return v, true, nil
+}
+
+// Delete removes a cell (op "delete").
+func (t *Table) Delete(row, column string) error {
+	if err := t.s.opErr("delete", t.t.Name()); err != nil {
+		return err
+	}
+	return t.t.Delete(row, column)
+}
+
+// Scan returns matching cells (op "scan").
+func (t *Table) Scan(opts kvstore.ScanOptions) ([]kvstore.Cell, error) {
+	if err := t.s.opErr("scan", t.t.Name()); err != nil {
+		return nil, err
+	}
+	return t.t.Scan(opts), nil
+}
+
+// Apply applies a batch atomically (op "apply").
+func (t *Table) Apply(b *kvstore.Batch) error {
+	if err := t.s.opErr("apply", t.t.Name()); err != nil {
+		return err
+	}
+	return t.t.Apply(b)
+}

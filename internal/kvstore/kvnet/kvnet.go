@@ -6,19 +6,50 @@
 // The wire protocol is a simple request/response stream of gob-encoded
 // frames over one TCP connection per client. Every client request carries an
 // Op tag; the server answers each request exactly once, in order.
+//
+// # Resilience
+//
+// The client survives transient transport failures when ClientConfig enables
+// retries: each failed round trip tears the connection down, redials, and
+// re-sends, with exponential backoff and seeded jitter between attempts.
+// Reads (Get, Scan) are idempotent and always retryable; mutating ops (Put,
+// Delete, Apply) are retryable because every one carries a (client, sequence)
+// request ID that the server deduplicates — a retry of an op the server
+// already applied returns the cached response instead of applying twice.
+// CreateTable maps to EnsureTable server-side and is idempotent by
+// construction. Application-level errors (a response with a non-empty Err)
+// mean the op executed; they are returned immediately and never retried.
+//
+// The server drains gracefully on Close: in-flight requests finish and their
+// responses are flushed within a bounded drain window before connections
+// close, so a shutdown never chops a response mid-frame.
 package kvnet
 
 import (
+	"crypto/rand"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
+	mrand "math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"smartflux/internal/kvstore"
 	"smartflux/internal/obs"
+)
+
+// Sentinel errors, matchable with errors.Is through every kvnet wrapper.
+var (
+	// ErrClosed reports an operation on a client whose Close has begun. It
+	// replaces the raw net/gob errors a concurrent Close used to surface.
+	ErrClosed = errors.New("kvnet: client closed")
+	// ErrTimeout reports an I/O deadline expiring on a round trip. The
+	// original net.Error remains reachable via errors.As.
+	ErrTimeout = errors.New("kvnet: i/o timeout")
 )
 
 // op identifies the request type.
@@ -55,6 +86,14 @@ func opName(o op) string {
 	}
 }
 
+// mutatingOp reports whether o changes store state in a non-idempotent way.
+// These ops carry request IDs and are deduplicated server-side so client
+// retries stay exactly-once. CreateTable is excluded: it maps to EnsureTable
+// and re-applying it is a no-op.
+func mutatingOp(o op) bool {
+	return o == opPut || o == opDelete || o == opApply
+}
+
 // request is the client → server frame.
 type request struct {
 	Op          op
@@ -65,6 +104,12 @@ type request struct {
 	MaxVersions int
 	Scan        kvstore.ScanOptions
 	Ops         []kvstore.Op
+
+	// ClientID and Seq form the idempotency key of mutating requests: Seq
+	// increases per mutating op of one client, and the server remembers the
+	// last (Seq, response) per ClientID. Zero values disable deduplication.
+	ClientID uint64
+	Seq      uint64
 }
 
 // response is the server → client frame.
@@ -75,6 +120,10 @@ type response struct {
 	Cells []kvstore.Cell
 }
 
+// DefaultDrainTimeout bounds how long Server.Close lets in-flight responses
+// flush before forcing connections down.
+const DefaultDrainTimeout = time.Second
+
 // Server serves a Store over TCP.
 type Server struct {
 	store *kvstore.Store
@@ -84,10 +133,24 @@ type Server struct {
 	conns      map[net.Conn]struct{}
 	wg         sync.WaitGroup
 	closed     bool
+	drain      time.Duration
 	firstErr   error // first async serving error (decode/encode/accept)
 	errHandler func(error)
 
+	// dedup remembers the last mutating request and its response per
+	// client, keyed by ClientID — the server half of exactly-once retries.
+	// One entry per client ever seen; clients are per-step processes, so
+	// the map stays small.
+	dedupMu sync.Mutex
+	dedup   map[uint64]dedupEntry
+
 	obs *serverObs
+}
+
+// dedupEntry caches one client's latest applied mutating request.
+type dedupEntry struct {
+	seq  uint64
+	resp response
 }
 
 // serverObs carries the server's pre-resolved instruments.
@@ -99,20 +162,33 @@ type serverObs struct {
 	encodeErrs *obs.Counter
 	acceptErrs *obs.Counter
 	conns      *obs.Counter
+	dedupHits  *obs.Counter
 }
 
-// NewServer creates a server for the given store.
+// NewServer creates a server for the given store with the default graceful
+// drain window.
 func NewServer(store *kvstore.Store) *Server {
 	return &Server{
 		store: store,
 		conns: make(map[net.Conn]struct{}),
+		drain: DefaultDrainTimeout,
+		dedup: make(map[uint64]dedupEntry),
 	}
 }
 
+// SetDrainTimeout adjusts how long Close waits for in-flight responses to
+// flush. Zero (or negative) disables draining: Close tears connections down
+// immediately. Call before Close.
+func (s *Server) SetDrainTimeout(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drain = d
+}
+
 // Instrument attaches an observer to the server: per-op request counters, a
-// request-latency histogram, connection counts, and decode/encode/accept
-// error counters (plus a per-connection error counter labeled by remote
-// address). Call before Listen; passing nil detaches.
+// request-latency histogram, connection counts, retry-dedup hits, and
+// decode/encode/accept error counters (plus a per-connection error counter
+// labeled by remote address). Call before Listen; passing nil detaches.
 func (s *Server) Instrument(o *obs.Observer) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -127,6 +203,7 @@ func (s *Server) Instrument(o *obs.Observer) {
 		encodeErrs: o.Counter(`smartflux_kvnet_errors_total{kind="encode"}`),
 		acceptErrs: o.Counter(`smartflux_kvnet_errors_total{kind="accept"}`),
 		conns:      o.Counter("smartflux_kvnet_connections_total"),
+		dedupHits:  o.Counter("smartflux_kvnet_dedup_hits_total"),
 	}
 	for i := 1; i < opCount; i++ {
 		so.requests[i] = o.Counter(fmt.Sprintf("smartflux_kvnet_requests_total{op=%q}", opName(op(i))))
@@ -137,7 +214,8 @@ func (s *Server) Instrument(o *obs.Observer) {
 // SetErrorHandler registers a callback invoked (from the serving goroutines)
 // with every asynchronous error the server hits: request decode failures,
 // response encode failures and listener accept failures. Clean client
-// disconnects (EOF, closed connections) are not errors. Call before Listen.
+// disconnects (EOF, resets, closed connections) are not errors. Call before
+// Listen.
 func (s *Server) SetErrorHandler(fn func(error)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -187,6 +265,14 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("kvnet listen: %w", err)
 	}
+	return s.ServeListener(ln)
+}
+
+// ServeListener starts accepting connections on an already-bound listener —
+// the interposition point for fault-injecting wrappers (internal/fault's
+// WrapListener) and custom transports. The server takes ownership of ln and
+// returns its address.
+func (s *Server) ServeListener(ln net.Listener) (string, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -241,10 +327,24 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
+// cleanDisconnect reports whether a connection error is a normal client
+// departure rather than a protocol fault: EOF between frames, a reset or
+// broken pipe from an abruptly killed client, or our own shutdown. A
+// mid-frame EOF (io.ErrUnexpectedEOF) is deliberately NOT clean — a
+// truncated frame is indistinguishable from corrupt data and stays
+// observable through the decode-error counter and handler.
+func cleanDisconnect(err error) bool {
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE)
+}
+
 // serveConn answers one client connection until it closes. A clean
-// disconnect (EOF between frames, or the server shutting the connection
-// down) returns nil; decode and encode failures are reported through the
-// error counters and handler, and returned.
+// disconnect (EOF or reset between or inside frames — killed clients are
+// routine under connection churn — or the server shutting down) returns nil;
+// other decode and encode failures are reported through the error counters
+// and handler, and returned.
 func (s *Server) serveConn(conn net.Conn) error {
 	// Close errors after a finished (or already failed) session are noise.
 	defer func() { _ = conn.Close() }()
@@ -255,11 +355,11 @@ func (s *Server) serveConn(conn net.Conn) error {
 	for {
 		var req request
 		if err := dec.Decode(&req); err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || s.isClosed() {
+			if cleanDisconnect(err) || s.isClosed() {
 				return nil // clean disconnect or server shutdown
 			}
-			// Truncated frame or garbage on the wire: a fault worth
-			// surfacing, not a normal hang-up.
+			// Garbage on the wire: a fault worth surfacing, not a normal
+			// hang-up.
 			var decodeErrs *obs.Counter
 			if so != nil {
 				decodeErrs = so.decodeErrs
@@ -284,7 +384,7 @@ func (s *Server) serveConn(conn net.Conn) error {
 		}
 
 		if err := enc.Encode(resp); err != nil {
-			if errors.Is(err, net.ErrClosed) || s.isClosed() {
+			if cleanDisconnect(err) || s.isClosed() {
 				return nil
 			}
 			var encodeErrs *obs.Counter
@@ -298,7 +398,31 @@ func (s *Server) serveConn(conn net.Conn) error {
 	}
 }
 
+// handle answers one request, routing mutating requests through the
+// idempotency cache: a retry of the client's most recent mutating op
+// returns the remembered response instead of applying twice.
 func (s *Server) handle(req request) response {
+	if req.ClientID == 0 || req.Seq == 0 || !mutatingOp(req.Op) {
+		return s.dispatch(req)
+	}
+	s.dedupMu.Lock()
+	if e, ok := s.dedup[req.ClientID]; ok && e.seq == req.Seq {
+		s.dedupMu.Unlock()
+		if so := s.obs; so != nil {
+			so.dedupHits.Inc()
+		}
+		return e.resp
+	}
+	s.dedupMu.Unlock()
+	resp := s.dispatch(req)
+	s.dedupMu.Lock()
+	s.dedup[req.ClientID] = dedupEntry{seq: req.Seq, resp: resp}
+	s.dedupMu.Unlock()
+	return resp
+}
+
+// dispatch applies one request to the store.
+func (s *Server) dispatch(req request) response {
 	switch req.Op {
 	case opCreateTable:
 		_, err := s.store.EnsureTable(req.Table, kvstore.TableOptions{MaxVersions: req.MaxVersions})
@@ -354,8 +478,11 @@ func errResponse(err error) response {
 	return response{}
 }
 
-// Close stops the listener, closes live connections and waits for all
-// serving goroutines to exit. It is safe to call multiple times.
+// Close stops the listener, drains live connections and waits for all
+// serving goroutines to exit. With a positive drain window (the default),
+// idle connections wake and close immediately while in-flight requests get
+// up to the window to flush their response; a zero window closes
+// connections outright. Close is idempotent and safe to call concurrently.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -365,10 +492,22 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	ln := s.listener
+	// Deadline calls never block, so draining the live connections directly
+	// under the lock is safe and keeps the set consistent with serveConn's
+	// removals.
+	now := time.Now()
 	for conn := range s.conns {
-		_ = conn.Close()
+		if s.drain > 0 {
+			// Wake decodes blocked between frames right away; give writes
+			// of already-accepted requests the drain window to flush.
+			_ = conn.SetReadDeadline(now)
+			_ = conn.SetWriteDeadline(now.Add(s.drain))
+		} else {
+			_ = conn.Close()
+		}
 	}
 	s.mu.Unlock()
+
 	var err error
 	if ln != nil {
 		err = ln.Close()
@@ -378,105 +517,316 @@ func (s *Server) Close() error {
 }
 
 // ClientConfig configures a client connection. The zero value matches the
-// historical behaviour: no deadlines anywhere.
+// historical behaviour: no deadlines, no retries, no reconnection.
 type ClientConfig struct {
 	// DialTimeout bounds connection establishment; zero waits forever.
 	DialTimeout time.Duration
 	// ReadTimeout bounds each response read; zero waits forever. A hung or
-	// stalled server surfaces as a kvnet recv timeout error instead of
-	// blocking the calling workflow step indefinitely.
+	// stalled server surfaces as an ErrTimeout-wrapped kvnet recv error
+	// instead of blocking the calling workflow step indefinitely.
 	ReadTimeout time.Duration
 	// WriteTimeout bounds each request write; zero waits forever.
 	WriteTimeout time.Duration
+	// MaxRetries bounds the extra attempts a failed round trip gets. Every
+	// retry tears down and redials the connection. Reads retry as-is;
+	// mutating ops retry under their request ID so the server applies them
+	// exactly once.
+	MaxRetries int
+	// RetryBackoff is the base delay before a retry, doubling each attempt
+	// (capped at 64×) with seeded jitter of up to half the delay. Zero
+	// retries immediately.
+	RetryBackoff time.Duration
+	// RetrySeed seeds the jitter source; retries are deterministic given
+	// the seed and the failure sequence.
+	RetrySeed int64
+	// Dial overrides connection establishment (e.g. to interpose
+	// internal/fault's Dialer); nil dials TCP with DialTimeout.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
 	// Obs, when non-nil, counts I/O timeouts on
-	// smartflux_kvnet_client_timeouts_total{kind="read"|"write"}.
+	// smartflux_kvnet_client_timeouts_total{kind="read"|"write"}, retries
+	// on smartflux_kvnet_client_retries_total and reconnections on
+	// smartflux_kvnet_client_reconnects_total.
 	Obs *obs.Observer
 }
 
 // Client is a synchronous TCP client for a kvnet server. A Client is safe
-// for concurrent use; requests are serialized over one connection.
+// for concurrent use; requests are serialized over one connection. With
+// retries configured it transparently reconnects after transport failures.
 type Client struct {
-	cfg ClientConfig
+	cfg  ClientConfig
+	addr string
+	id   uint64 // idempotency identity, stable across reconnects
 
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	// opMu serializes round trips (and owns enc/dec, seq and the jitter
+	// RNG); connMu guards connection state so Close can interrupt an
+	// in-flight round trip without waiting for it.
+	opMu   sync.Mutex
+	seq    uint64
+	jitter *mrand.Rand
+
+	connMu sync.Mutex
+	conn   net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	closed bool
 
 	readTimeouts  *obs.Counter // nil when no observer is configured
 	writeTimeouts *obs.Counter
+	retries       *obs.Counter
+	reconnects    *obs.Counter
 }
 
-// Dial connects to a kvnet server with no I/O deadlines.
+// clientIDCounter is the fallback identity source when crypto/rand fails.
+var clientIDCounter atomic.Uint64
+
+// newClientID draws a non-zero 64-bit client identity. Identities only need
+// to be unique among clients of one server; randomness keeps identities from
+// colliding across processes without coordination.
+func newClientID() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		var id uint64
+		for _, x := range b {
+			id = id<<8 | uint64(x)
+		}
+		if id != 0 {
+			return id
+		}
+	}
+	return clientIDCounter.Add(1)
+}
+
+// Dial connects to a kvnet server with no I/O deadlines and no retries.
 func Dial(addr string) (*Client, error) {
 	return DialConfig(addr, ClientConfig{})
 }
 
 // DialConfig connects to a kvnet server with the given configuration.
 func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
-	var conn net.Conn
-	var err error
-	if cfg.DialTimeout > 0 {
-		conn, err = net.DialTimeout("tcp", addr, cfg.DialTimeout)
-	} else {
-		conn, err = net.Dial("tcp", addr)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("kvnet dial: %w", err)
-	}
 	c := &Client{
-		cfg:  cfg,
-		conn: conn,
-		enc:  gob.NewEncoder(conn),
-		dec:  gob.NewDecoder(conn),
+		cfg:    cfg,
+		addr:   addr,
+		id:     newClientID(),
+		jitter: mrand.New(mrand.NewSource(cfg.RetrySeed)),
 	}
 	if cfg.Obs != nil {
 		c.readTimeouts = cfg.Obs.Counter(`smartflux_kvnet_client_timeouts_total{kind="read"}`)
 		c.writeTimeouts = cfg.Obs.Counter(`smartflux_kvnet_client_timeouts_total{kind="write"}`)
+		c.retries = cfg.Obs.Counter("smartflux_kvnet_client_retries_total")
+		c.reconnects = cfg.Obs.Counter("smartflux_kvnet_client_reconnects_total")
+	}
+	// Eager first dial so an unreachable server fails construction, as it
+	// always has.
+	c.connMu.Lock()
+	_, _, _, err := c.ensureConnLocked(false)
+	c.connMu.Unlock()
+	if err != nil {
+		return nil, err
 	}
 	return c, nil
 }
 
-// Close closes the client connection.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.conn.Close()
+// dialConn establishes one connection using the configured dial function.
+func (c *Client) dialConn() (net.Conn, error) {
+	if c.cfg.Dial != nil {
+		return c.cfg.Dial(c.addr, c.cfg.DialTimeout)
+	}
+	if c.cfg.DialTimeout > 0 {
+		return net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	}
+	return net.Dial("tcp", c.addr)
 }
 
-// countTimeout bumps the matching timeout counter when err is a net timeout.
-func countTimeout(err error, counter *obs.Counter) {
-	if counter == nil {
-		return
+// ensureConnLocked returns the live connection, dialing a fresh one if
+// needed. Callers hold connMu. redial marks reconnections (vs. the first
+// dial) for the reconnect counter.
+func (c *Client) ensureConnLocked(redial bool) (net.Conn, *gob.Encoder, *gob.Decoder, error) {
+	if c.closed {
+		return nil, nil, nil, &opError{stage: "dial", kind: ErrClosed}
+	}
+	if c.conn != nil {
+		return c.conn, c.enc, c.dec, nil
+	}
+	conn, err := c.dialConn()
+	if err != nil {
+		return nil, nil, nil, &opError{stage: "dial", err: err}
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
+	if redial {
+		c.reconnects.Inc() // nil-safe no-op when uninstrumented
+	}
+	return conn, c.enc, c.dec, nil
+}
+
+// dropConn tears the current connection down so the next attempt redials.
+// The client's identity (and thus the dedup key space) survives.
+func (c *Client) dropConn() {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+		c.enc = nil
+		c.dec = nil
+	}
+}
+
+// isClosed reports whether Close has begun.
+func (c *Client) isClosed() bool {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	return c.closed
+}
+
+// Close closes the client. It is idempotent, safe to call concurrently with
+// in-flight operations — those fail promptly with ErrClosed instead of a
+// raw transport error — and returns nil on repeat calls.
+func (c *Client) Close() error {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close() // unblocks any in-flight read/write immediately
+	c.conn = nil
+	c.enc = nil
+	c.dec = nil
+	return err
+}
+
+// opError wraps a transport failure with its sentinel classification. Both
+// the sentinel (ErrClosed / ErrTimeout) and the underlying error stay
+// reachable through errors.Is / errors.As.
+type opError struct {
+	stage string // "dial", "send", "recv"
+	kind  error  // ErrClosed or ErrTimeout; nil for plain transport errors
+	err   error
+}
+
+func (e *opError) Error() string {
+	switch {
+	case e.kind != nil && e.err != nil:
+		return fmt.Sprintf("kvnet %s: %v: %v", e.stage, e.kind, e.err)
+	case e.kind != nil:
+		return fmt.Sprintf("kvnet %s: %v", e.stage, e.kind)
+	default:
+		return fmt.Sprintf("kvnet %s: %v", e.stage, e.err)
+	}
+}
+
+func (e *opError) Unwrap() []error {
+	switch {
+	case e.kind != nil && e.err != nil:
+		return []error{e.kind, e.err}
+	case e.kind != nil:
+		return []error{e.kind}
+	default:
+		return []error{e.err}
+	}
+}
+
+// wrapIOErr classifies one send/recv failure: concurrent Close becomes
+// ErrClosed, net timeouts become ErrTimeout (counted), everything else
+// passes through wrapped with its stage.
+func (c *Client) wrapIOErr(stage string, err error, timeouts *obs.Counter) error {
+	if c.isClosed() {
+		return &opError{stage: stage, kind: ErrClosed, err: err}
 	}
 	var nerr net.Error
 	if errors.As(err, &nerr) && nerr.Timeout() {
-		counter.Inc()
+		timeouts.Inc() // nil-safe no-op when uninstrumented
+		return &opError{stage: stage, kind: ErrTimeout, err: err}
 	}
+	return &opError{stage: stage, err: err}
 }
 
-func (c *Client) roundTrip(req request) (response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.cfg.WriteTimeout > 0 {
-		_ = c.conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+// retryable reports whether a failed request may be re-sent: reads and
+// idempotent ops always, mutating ops only under a request ID the server
+// deduplicates (always assigned — the check documents the invariant).
+func (c *Client) retryable(req request) bool {
+	if !mutatingOp(req.Op) {
+		return true
 	}
-	if err := c.enc.Encode(req); err != nil {
-		countTimeout(err, c.writeTimeouts)
-		return response{}, fmt.Errorf("kvnet send: %w", err)
+	return req.ClientID != 0 && req.Seq != 0
+}
+
+// backoff sleeps out the delay before retry number attempt (0-based):
+// RetryBackoff doubling per attempt, capped at 64×, plus jitter of up to
+// half the delay drawn from the seeded source.
+func (c *Client) backoff(attempt int) {
+	base := c.cfg.RetryBackoff
+	if base <= 0 {
+		return
+	}
+	if attempt > 6 {
+		attempt = 6
+	}
+	d := base << uint(attempt)
+	d += time.Duration(c.jitter.Int63n(int64(d)/2 + 1))
+	time.Sleep(d)
+}
+
+// attempt performs one wire round trip.
+func (c *Client) attempt(req request, redial bool) (response, error) {
+	c.connMu.Lock()
+	conn, enc, dec, err := c.ensureConnLocked(redial)
+	c.connMu.Unlock()
+	if err != nil {
+		return response{}, err
+	}
+	if c.cfg.WriteTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+	}
+	if err := enc.Encode(req); err != nil {
+		return response{}, c.wrapIOErr("send", err, c.writeTimeouts)
 	}
 	if c.cfg.ReadTimeout > 0 {
-		_ = c.conn.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout))
+		_ = conn.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout))
 	}
 	var resp response
-	if err := c.dec.Decode(&resp); err != nil {
-		countTimeout(err, c.readTimeouts)
-		return response{}, fmt.Errorf("kvnet recv: %w", err)
-	}
-	if resp.Err != "" {
-		return resp, errors.New(resp.Err)
+	if err := dec.Decode(&resp); err != nil {
+		return response{}, c.wrapIOErr("recv", err, c.readTimeouts)
 	}
 	return resp, nil
+}
+
+// roundTrip sends one request and returns its response, retrying through
+// reconnects per the configured policy. Application-level errors (non-empty
+// response.Err) mean the op executed server-side; they are returned
+// immediately and never retried.
+func (c *Client) roundTrip(req request) (response, error) {
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+	if mutatingOp(req.Op) {
+		c.seq++
+		req.ClientID, req.Seq = c.id, c.seq
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.attempt(req, attempt > 0)
+		if err == nil {
+			if resp.Err != "" {
+				return resp, errors.New(resp.Err)
+			}
+			return resp, nil
+		}
+		lastErr = err
+		if errors.Is(err, ErrClosed) {
+			return response{}, err
+		}
+		c.dropConn()
+		if attempt >= c.cfg.MaxRetries || !c.retryable(req) {
+			return response{}, lastErr
+		}
+		c.retries.Inc() // nil-safe no-op when uninstrumented
+		c.backoff(attempt)
+	}
 }
 
 // CreateTable ensures a table exists on the server.

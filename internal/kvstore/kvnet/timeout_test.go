@@ -58,6 +58,10 @@ func TestClientReadTimeout(t *testing.T) {
 	if err == nil {
 		t.Fatal("expected a timeout error")
 	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want errors.Is(err, ErrTimeout)", err)
+	}
+	// The original net.Error must stay reachable through the sentinel wrap.
 	var nerr net.Error
 	if !errors.As(err, &nerr) || !nerr.Timeout() {
 		t.Fatalf("err = %v, want a net timeout", err)

@@ -174,6 +174,39 @@ func (t *Tracker) Commit(state State) {
 	t.hasBaseline = true
 }
 
+// TrackerState is an opaque point-in-time snapshot of a Tracker, used for
+// wave-boundary recovery: capture before a wave, Restore if the wave fails,
+// and the tracker behaves as if the failed wave's observations never
+// happened. Snapshots are shallow — safe because trackers never mutate
+// retained states.
+type TrackerState struct {
+	execBaseline State
+	waveBaseline State
+	accumulated  float64
+	current      float64
+	hasBaseline  bool
+}
+
+// Snapshot captures the tracker's complete state.
+func (t *Tracker) Snapshot() TrackerState {
+	return TrackerState{
+		execBaseline: t.execBaseline,
+		waveBaseline: t.waveBaseline,
+		accumulated:  t.accumulated,
+		current:      t.current,
+		hasBaseline:  t.hasBaseline,
+	}
+}
+
+// Restore rewinds the tracker to a previously captured snapshot.
+func (t *Tracker) Restore(s TrackerState) {
+	t.execBaseline = s.execBaseline
+	t.waveBaseline = s.waveBaseline
+	t.accumulated = s.accumulated
+	t.current = s.current
+	t.hasBaseline = s.hasBaseline
+}
+
 // Reset clears all tracker state, as if freshly constructed.
 func (t *Tracker) Reset() {
 	t.execBaseline = nil

@@ -37,6 +37,10 @@ type DecisionEvent struct {
 	// actually ran (verdict gated by readiness).
 	Verdict  bool `json:"verdict"`
 	Executed bool `json:"executed"`
+	// Degraded marks a forced skip: the decider said execute but the step
+	// exhausted its retry budget and was rolled back, its shadow error left
+	// accumulating as if skipped (see DESIGN.md §10).
+	Degraded bool `json:"degraded,omitempty"`
 	// OptimalLabel is the simulated-optimal decision (1 = the true error
 	// exceeded maxε), -1 when unknown.
 	OptimalLabel int `json:"optimal_label"`

@@ -43,6 +43,7 @@ import (
 	"smartflux/internal/core"
 	"smartflux/internal/engine"
 	"smartflux/internal/kvstore"
+	"smartflux/internal/kvstore/kvnet"
 	"smartflux/internal/metric"
 	"smartflux/internal/ml"
 	"smartflux/internal/obs"
@@ -231,6 +232,20 @@ type (
 	JSONLTraceSink = obs.JSONLSink
 	// DebugServer serves /metrics, /trace/tail and pprof over HTTP.
 	DebugServer = obs.DebugServer
+)
+
+// Resilience sentinels, matchable with errors.Is through every layer's
+// wrapping (see DESIGN.md §10 "Fault tolerance & degradation semantics").
+var (
+	// ErrStepTimeout marks a step execution attempt exceeding the
+	// configured step timeout.
+	ErrStepTimeout = engine.ErrStepTimeout
+	// ErrNetClosed reports an operation on a kvnet client whose Close has
+	// begun.
+	ErrNetClosed = kvnet.ErrClosed
+	// ErrNetTimeout reports a kvnet I/O deadline expiring; the underlying
+	// net.Error stays reachable via errors.As.
+	ErrNetTimeout = kvnet.ErrTimeout
 )
 
 // NewMetricsRegistry creates an empty metrics registry.
