@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-report check chaos bench
+.PHONY: all build test race vet lint lint-report check chaos chaos-crash bench
 
 all: check
 
@@ -36,13 +36,22 @@ lint-report:
 chaos:
 	$(GO) test -race -run 'TestChaos' -v ./...
 
-## check: the pre-PR gate — build, vet, lint, tests, race, chaos
-check: build vet lint test race chaos
+## chaos-crash: the crash-durability suite under the race detector — seeded
+## crashes mid-WAL, at wave boundaries, during snapshots and with torn final
+## records, asserting bit-identical recovery (DESIGN.md §11)
+chaos-crash:
+	$(GO) test -race -run 'TestCrashChaos' -v .
 
-## bench: overhead microbenchmarks (§5.3 + instrumentation overhead) plus
-## the serial-vs-parallel comparison, recorded to BENCH_PR2.json
+## check: the pre-PR gate — build, vet, lint, tests, race, chaos, chaos-crash
+check: build vet lint test race chaos chaos-crash
+
+## bench: overhead microbenchmarks (§5.3 + instrumentation overhead), the
+## serial-vs-parallel comparison (BENCH_PR2.json) and the WAL-on vs WAL-off
+## wave-throughput comparison (BENCH_PR5.json)
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkOverhead' -benchtime 1000x .
 	$(GO) test -run xxx -bench 'BenchmarkRunWave|BenchmarkForestFit' -benchtime 10x .
 	$(GO) run ./cmd/parbench -out BENCH_PR2.json
 	@cat BENCH_PR2.json
+	$(GO) run ./cmd/durbench -out BENCH_PR5.json
+	@cat BENCH_PR5.json

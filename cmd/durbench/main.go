@@ -1,0 +1,226 @@
+// Command durbench measures the cost of crash durability: harness wave
+// throughput with the write-ahead log off versus on (per-commit fsync and
+// no-fsync policies), recorded as JSON (default BENCH_PR5.json):
+//
+//	durbench                  # write BENCH_PR5.json in the working dir
+//	durbench -out - -iters 50 # print JSON to stdout, 50 waves per variant
+//
+// One benchmark op is one full harness wave — reference + live execution,
+// measurement, checkpoint construction and (WAL-on) the commit record with
+// its flush policy, including periodic snapshot rotations.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"smartflux"
+	"smartflux/internal/durable"
+	"smartflux/internal/engine"
+)
+
+// report is the BENCH_PR5.json schema.
+type report struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	GoVersion  string  `json:"go_version"`
+	Note       string  `json:"note"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+// entry compares one flush policy's durable wave cost with the shared
+// WAL-off baseline.
+type entry struct {
+	Name        string  `json:"name"`
+	Fsync       string  `json:"fsync"`
+	WalOffNsOp  int64   `json:"wal_off_ns_op"`
+	WalOnNsOp   int64   `json:"wal_on_ns_op"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "durbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("durbench", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_PR5.json", "output file (- = stdout)")
+	iters := fs.Int("iters", 200, "waves per variant")
+	sensors := fs.Int("sensors", 20, "writes per wave in the benchmark workload")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	testing.Init()
+	if err := flag.Set("test.benchtime", fmt.Sprintf("%dx", *iters)); err != nil {
+		return err
+	}
+
+	rep := report{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Note: "one op = one harness wave (ref + live + measurement); WAL-on adds " +
+			"mutation logging, the per-wave commit checkpoint and periodic snapshots",
+	}
+
+	baseline, err := benchWaves(*sensors, false, durable.FsyncNever)
+	if err != nil {
+		return err
+	}
+	for _, mode := range []durable.FsyncMode{durable.FsyncCommit, durable.FsyncNever} {
+		on, err := benchWaves(*sensors, true, mode)
+		if err != nil {
+			return err
+		}
+		rep.Benchmarks = append(rep.Benchmarks, entry{
+			Name:        "HarnessWave/wal-" + mode.String(),
+			Fsync:       mode.String(),
+			WalOffNsOp:  baseline,
+			WalOnNsOp:   on,
+			OverheadPct: overhead(baseline, on),
+		})
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+// overhead is the WAL-on cost relative to the WAL-off baseline, in percent.
+func overhead(off, on int64) float64 {
+	if off <= 0 {
+		return 0
+	}
+	return 100 * (float64(on) - float64(off)) / float64(off)
+}
+
+// walCommitter commits every completed wave with an empty payload — the
+// durable pipeline's per-wave path minus the (workload-specific) session
+// checkpoint encoding.
+type walCommitter struct {
+	mgr *durable.Manager
+}
+
+func (c *walCommitter) CommitWave(hcp *engine.HarnessCheckpoint) error {
+	return c.mgr.Commit(hcp.Waves, nil)
+}
+
+// benchWaves times one harness wave with durability off or on under the
+// given flush policy.
+func benchWaves(sensors int, durableOn bool, mode durable.FsyncMode) (int64, error) {
+	cfg := engine.HarnessConfig{}
+	var mgr *durable.Manager
+	if durableOn {
+		dir, err := os.MkdirTemp("", "durbench-*")
+		if err != nil {
+			return 0, err
+		}
+		defer func() { _ = os.RemoveAll(dir) }()
+		mgr, err = durable.Open(durable.Options{Dir: dir, Fsync: mode})
+		if err != nil {
+			return 0, err
+		}
+		cfg.Committer = &walCommitter{mgr: mgr}
+	}
+	harness, err := engine.NewHarnessWithConfig(benchWorkload(sensors), nil, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if durableOn {
+		if err := mgr.Register("live", harness.Live().Store()); err != nil {
+			return 0, err
+		}
+		if err := mgr.Register("ref", harness.Ref().Store()); err != nil {
+			return 0, err
+		}
+		if err := mgr.Begin(0, nil); err != nil {
+			return 0, err
+		}
+		defer func() { _ = mgr.Close() }()
+	}
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		if _, err := harness.Run(b.N, engine.Sync{}); err != nil {
+			benchErr = err
+			b.FailNow()
+		}
+	})
+	return res.NsPerOp(), benchErr
+}
+
+// benchWorkload is the quickstart shape: a source writing `sensors` floats
+// and a gated aggregate over them.
+func benchWorkload(sensors int) smartflux.BuildFunc {
+	return func() (*smartflux.Workflow, *smartflux.Store, error) {
+		store := smartflux.NewStore()
+		wf := smartflux.NewWorkflow("durbench")
+		src := &smartflux.Step{
+			ID:      "src",
+			Source:  true,
+			Outputs: []smartflux.Container{{Table: "raw"}},
+			Proc: smartflux.ProcessorFunc(func(ctx *smartflux.Context) error {
+				t, err := ctx.Table("raw")
+				if err != nil {
+					return err
+				}
+				batch := smartflux.NewBatch()
+				for i := 0; i < sensors; i++ {
+					batch.PutFloat("s"+strconv.Itoa(i), "v", float64(ctx.Wave%97)+float64(i)/7)
+				}
+				return t.Apply(batch)
+			}),
+		}
+		agg := &smartflux.Step{
+			ID:      "agg",
+			Inputs:  []smartflux.Container{{Table: "raw"}},
+			Outputs: []smartflux.Container{{Table: "out"}},
+			QoD:     smartflux.QoD{MaxError: 0.05, Mode: smartflux.ModeAccumulate},
+			Proc: smartflux.ProcessorFunc(func(ctx *smartflux.Context) error {
+				raw, err := ctx.Table("raw")
+				if err != nil {
+					return err
+				}
+				var sum float64
+				var n int
+				for _, c := range raw.Scan(smartflux.ScanOptions{}) {
+					if v, ok := c.FloatValue(); ok {
+						sum += v
+						n++
+					}
+				}
+				if n == 0 {
+					return nil
+				}
+				out, err := ctx.Table("out")
+				if err != nil {
+					return err
+				}
+				return out.PutFloat("all", "mean", sum/float64(n))
+			}),
+		}
+		for _, s := range []*smartflux.Step{src, agg} {
+			if err := wf.AddStep(s); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := wf.Finalize(); err != nil {
+			return nil, nil, err
+		}
+		return wf, store, nil
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWritesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark smoke test")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-out", out, "-iters", "3", "-sensors", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2 (fsync commit + never)", len(rep.Benchmarks))
+	}
+	for _, b := range rep.Benchmarks {
+		if b.WalOffNsOp <= 0 || b.WalOnNsOp <= 0 {
+			t.Errorf("%s: non-positive timings: off=%d on=%d", b.Name, b.WalOffNsOp, b.WalOnNsOp)
+		}
+	}
+	if rep.Benchmarks[0].Fsync != "commit" || rep.Benchmarks[1].Fsync != "never" {
+		t.Errorf("unexpected fsync order: %+v", rep.Benchmarks)
+	}
+}

@@ -45,8 +45,21 @@ func run(args []string, out io.Writer) error {
 	retryBackoff := fs.Duration("retry-backoff", 10*time.Millisecond, "base delay between step retries (doubles per attempt, seeded jitter)")
 	retryWaves := fs.Int("retry-waves", 0, "times a failed wave is re-run from its pre-wave checkpoint")
 	degrade := fs.Bool("degrade", false, "forcibly skip gated steps that exhaust their retries instead of failing the run")
+	walDir := fs.String("wal-dir", "", "enable crash durability: write-ahead log + snapshots in this directory (smartflux policy only)")
+	snapEvery := fs.Int("snapshot-every", 64, "waves between compacting snapshots (with -wal-dir)")
+	fsyncFlag := fs.String("fsync", "commit", "WAL flush policy with -wal-dir: commit, always, never")
+	resume := fs.Bool("resume", false, "continue a crashed run from the -wal-dir state instead of starting fresh")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var fsyncMode smartflux.FsyncMode
+	if *walDir != "" {
+		var err error
+		if fsyncMode, err = smartflux.ParseFsyncMode(*fsyncFlag); err != nil {
+			return err
+		}
+	} else if *resume {
+		return fmt.Errorf("-resume requires -wal-dir")
 	}
 	resilience := smartflux.HarnessConfig{
 		StepTimeout:  *stepTimeout,
@@ -109,7 +122,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *policy == "smartflux" {
-		res, err := smartflux.RunPipeline(build, []smartflux.StepID{report}, smartflux.PipelineConfig{
+		cfg := smartflux.PipelineConfig{
 			TrainWaves: *train,
 			ApplyWaves: *apply,
 			Session: smartflux.SessionConfig{
@@ -120,7 +133,28 @@ func run(args []string, out io.Writer) error {
 			Obs:         observer,
 			Parallelism: *parallelism,
 			Resilience:  resilience,
-		})
+		}
+		var (
+			res  *smartflux.PipelineResult
+			info *smartflux.DurableRunInfo
+			err  error
+		)
+		switch {
+		case *walDir == "":
+			res, err = smartflux.RunPipeline(build, []smartflux.StepID{report}, cfg)
+		default:
+			opts := smartflux.DurableOptions{
+				Dir:           *walDir,
+				SnapshotEvery: *snapEvery,
+				Fsync:         fsyncMode,
+				Obs:           observer,
+			}
+			if *resume {
+				res, info, err = smartflux.ResumePipeline(build, []smartflux.StepID{report}, cfg, opts)
+			} else {
+				res, info, err = smartflux.RunPipelineDurable(build, []smartflux.StepID{report}, cfg, opts)
+			}
+		}
 		if err != nil {
 			return err
 		}
@@ -128,6 +162,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "%s @ %.0f%% bound, policy smartflux\n", *workload, *bound*100)
 		fmt.Fprintf(out, "  test phase: accuracy %.3f precision %.3f recall %.3f auc %.3f\n",
 			macro.Accuracy, macro.Precision, macro.Recall, macro.AUC)
+		printDurability(out, info)
 		printResult(out, res.Apply, report)
 		printDecisionSummary(out, registry)
 		return traceErr(jsonl)
@@ -154,6 +189,21 @@ func run(args []string, out io.Writer) error {
 	printResult(out, res, report)
 	printDecisionSummary(out, registry)
 	return traceErr(jsonl)
+}
+
+// printDurability reports what the durability layer did: the one-line
+// recovery summary on resumed runs, then the WAL/snapshot tallies.
+func printDurability(out io.Writer, info *smartflux.DurableRunInfo) {
+	if info == nil {
+		return
+	}
+	if info.Resumed {
+		r := info.Recovery
+		fmt.Fprintf(out, "  recovered: wave %d from snapshot epoch %d (%d records replayed, %d discarded, %d bytes truncated) in %s\n",
+			r.Wave, r.Epoch, r.Replayed, r.Discarded, r.TruncatedBytes, r.Duration.Round(time.Microsecond))
+	}
+	fmt.Fprintf(out, "  durability: %d WAL appends, %d fsyncs, %d commits, %d snapshots\n",
+		info.Durable.Appends, info.Durable.Fsyncs, info.Durable.Commits, info.Durable.Snapshots)
 }
 
 // printDecisionSummary reports exec/skip counts and the p95 decision latency

@@ -7,15 +7,18 @@ import (
 )
 
 // errdropPackages are the import paths whose error returns must never be
-// discarded: the data-store layer and the fault-injection wrappers around it.
-// A skipped-step decision computed from a container whose write silently
-// failed is exactly the kind of wrong-number bug the determinism contract
-// exists to prevent — and a dropped injected error defeats the whole point
-// of chaos testing, because the fault happened and nobody noticed.
+// discarded: the data-store layer, the fault-injection wrappers around it,
+// and the durability layer. A skipped-step decision computed from a container
+// whose write silently failed is exactly the kind of wrong-number bug the
+// determinism contract exists to prevent — a dropped injected error defeats
+// the whole point of chaos testing, because the fault happened and nobody
+// noticed — and an unchecked WAL append or commit is a run that believes it
+// is durable when it is not.
 var errdropPackages = []string{
 	"smartflux/internal/kvstore",
 	"smartflux/internal/kvstore/kvnet",
 	"smartflux/internal/fault",
+	"smartflux/internal/durable",
 }
 
 // errdropCloserNames are method names with the io.Closer shape
@@ -25,12 +28,13 @@ var errdropCloserNames = map[string]bool{"Close": true, "Flush": true, "Sync": t
 
 // Errdrop flags statements that call an error-returning API and drop the
 // result on the floor: bare expression statements and defers of calls into
-// internal/kvstore, internal/kvstore/kvnet, internal/fault, or any
-// Close/Flush/Sync method with the io.Closer signature. Assigning the error
-// to `_` is an explicit, visible acknowledgment and stays clean.
+// internal/kvstore, internal/kvstore/kvnet, internal/fault,
+// internal/durable, or any Close/Flush/Sync method with the io.Closer
+// signature. Assigning the error to `_` is an explicit, visible
+// acknowledgment and stays clean.
 var Errdrop = &Analyzer{
 	Name: "errdrop",
-	Doc: "discarded error returns from internal/kvstore, kvnet, fault and " +
+	Doc: "discarded error returns from internal/kvstore, kvnet, fault, durable and " +
 		"io.Closer-shaped (Close/Flush/Sync) APIs",
 	Run: runErrdrop,
 }

@@ -4,6 +4,7 @@ package errdrop
 import (
 	"bytes"
 
+	"smartflux/internal/durable"
 	"smartflux/internal/fault"
 	"smartflux/internal/kvstore"
 )
@@ -77,4 +78,25 @@ func checkedFaultPut(t *fault.Table) error {
 // bareFaultNoError calls a fault-layer API without an error result; clean.
 func bareFaultNoError(t *fault.Table) {
 	t.Stats()
+}
+
+// dropCommit discards a commit error: the wave was never made durable and
+// recovery will silently rewind past it.
+func dropCommit(m *durable.Manager) {
+	m.Commit(3, nil) // want `call discards the error from durable.Commit`
+}
+
+// deferDropManagerClose loses the final WAL flush.
+func deferDropManagerClose(m *durable.Manager) {
+	defer m.Close() // want `deferred call discards the error from Close`
+}
+
+// checkedCommit propagates the durability error.
+func checkedCommit(m *durable.Manager) error {
+	return m.Commit(3, nil)
+}
+
+// bareDurableNoError calls a durable-layer API without an error result; clean.
+func bareDurableNoError(m *durable.Manager) {
+	m.Epoch()
 }

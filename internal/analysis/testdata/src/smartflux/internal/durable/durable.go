@@ -1,0 +1,17 @@
+// Package durable is a want-harness stand-in for the real durability layer:
+// the errdrop analyzer matches callees by this import path. An unchecked WAL
+// append or commit is a run that believes it is durable when it is not, so
+// every error-returning call here must be checked.
+package durable
+
+// Manager is a minimal stand-in for the WAL/snapshot manager.
+type Manager struct{}
+
+// Commit appends a commit record, possibly failing.
+func (m *Manager) Commit(wave int, payload []byte) error { return nil }
+
+// Close flushes and closes the active WAL segment.
+func (m *Manager) Close() error { return nil }
+
+// Epoch carries no error; safe to call bare.
+func (m *Manager) Epoch() int { return 0 }

@@ -1,0 +1,639 @@
+package core
+
+// Crash durability for the full SmartFlux lifecycle. The durable pipeline
+// commits one PipelineCheckpoint per completed wave into the write-ahead
+// log (via durable.Manager): the harness checkpoint (tracker state,
+// decision series, measurement accumulators), the session state (knowledge
+// base, lifecycle phase, trained predictor parameters) and enough phase
+// bookkeeping to continue mid-stream. ResumePipeline rebuilds the workload,
+// replays the stores from the latest snapshot + WAL, restores the harness
+// and session from the last committed checkpoint and continues the run —
+// producing results bit-identical to an uncrashed execution (DESIGN.md §11).
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"smartflux/internal/durable"
+	"smartflux/internal/engine"
+	"smartflux/internal/ml"
+	"smartflux/internal/ml/multilabel"
+	"smartflux/internal/obs"
+	"smartflux/internal/workflow"
+)
+
+// Store names the durable layer registers the harness instances under.
+const (
+	durableLiveStore = "live"
+	durableRefStore  = "ref"
+)
+
+// PipelineCheckpoint phases.
+const (
+	phaseLabelTraining    = "training"
+	phaseLabelApplication = "application"
+	phaseLabelHarness     = "harness"
+)
+
+// PredictorParams is the serializable form of a trained Predictor: the
+// per-label model parameters plus decision configuration.
+type PredictorParams struct {
+	Models         []ml.ClassifierParams
+	FeatureColumns [][]int
+	Thresholds     []float64
+	FeatureMode    int
+	Labels         int
+}
+
+// Params exports the predictor's trained parameters. It fails for
+// classifiers without exportable parameters (everything but the tree
+// family); sessions fall back to re-training from the knowledge base.
+func (p *Predictor) Params() (*PredictorParams, error) {
+	models := p.br.Models()
+	out := &PredictorParams{
+		Models:         make([]ml.ClassifierParams, len(models)),
+		FeatureColumns: p.br.FeatureColumns(),
+		Thresholds:     append([]float64(nil), p.thresholds...),
+		FeatureMode:    int(p.featureMode),
+		Labels:         p.labels,
+	}
+	for i, m := range models {
+		cp, err := ml.ParamsOf(m)
+		if err != nil {
+			return nil, fmt.Errorf("core: predictor label %d: %w", i, err)
+		}
+		out.Models[i] = cp
+	}
+	return out, nil
+}
+
+// PredictorFromParams rebuilds a predictor from exported parameters; its
+// scores are bit-identical to the exporting predictor's.
+func PredictorFromParams(pp *PredictorParams) (*Predictor, error) {
+	models := make([]ml.Classifier, len(pp.Models))
+	for i := range pp.Models {
+		c, err := pp.Models[i].Build()
+		if err != nil {
+			return nil, fmt.Errorf("core: rebuild predictor label %d: %w", i, err)
+		}
+		models[i] = c
+	}
+	br, err := multilabel.FromModels(models, pp.FeatureColumns)
+	if err != nil {
+		return nil, fmt.Errorf("core: rebuild predictor: %w", err)
+	}
+	fm := FeatureMode(pp.FeatureMode)
+	if fm == 0 {
+		fm = FeatureOwnImpact
+	}
+	return &Predictor{
+		br:          br,
+		thresholds:  append([]float64(nil), pp.Thresholds...),
+		featureMode: fm,
+		labels:      pp.Labels,
+	}, nil
+}
+
+// SessionCheckpoint is the serializable state of a Session: the knowledge
+// base, the lifecycle phase, the last test report and — once trained — the
+// predictor parameters. The Config is construction-time input, exactly like
+// the engine's persisted state: a resumed run must build its session from
+// the same configuration.
+type SessionCheckpoint struct {
+	Phase int
+	KBX   [][]float64
+	KBY   [][]int
+	// Predictor holds the trained model; nil when untrained or when Refit.
+	Predictor *PredictorParams
+	// Refit marks a trained predictor whose parameters were not exportable
+	// (a non-default classifier); restore re-runs Train on the knowledge
+	// base, which is deterministic and reproduces the same model.
+	Refit  bool
+	Report TestReport
+}
+
+// Checkpoint exports the session's state.
+func (s *Session) Checkpoint() (*SessionCheckpoint, error) {
+	snap := s.kb.Snapshot()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cp := &SessionCheckpoint{
+		Phase:  int(s.phase),
+		KBX:    snap.X,
+		KBY:    snap.Y,
+		Report: s.report,
+	}
+	if s.predictor != nil {
+		pp, err := s.predictor.Params()
+		if err != nil {
+			cp.Refit = true
+		} else {
+			cp.Predictor = pp
+		}
+	}
+	return cp, nil
+}
+
+// RestoreCheckpoint rewinds the session to an exported state. The session
+// must have been built with the same Config as the exporting one.
+func (s *Session) RestoreCheckpoint(cp *SessionCheckpoint) error {
+	s.kb.mu.Lock()
+	s.kb.data = multilabel.Dataset{
+		X: append([][]float64(nil), cp.KBX...),
+		Y: append([][]int(nil), cp.KBY...),
+	}
+	s.kb.mu.Unlock()
+	var pred *Predictor
+	if cp.Predictor != nil {
+		p, err := PredictorFromParams(cp.Predictor)
+		if err != nil {
+			return err
+		}
+		pred = p
+	} else if cp.Refit {
+		if _, err := s.Train(); err != nil {
+			return fmt.Errorf("core: restore refit: %w", err)
+		}
+		s.mu.RLock()
+		pred = s.predictor
+		s.mu.RUnlock()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if pred != nil {
+		s.predictor = pred
+	}
+	s.phase = Phase(cp.Phase)
+	s.report = cp.Report
+	if so := s.obs; so != nil {
+		so.phaseGauge.Set(float64(s.phase))
+	}
+	return nil
+}
+
+// PipelineCheckpoint is the opaque payload committed per wave: which phase
+// the lifecycle is in, the phase lengths (validated on resume), the harness
+// state at the boundary, the finished training result (application phase
+// only) and the session state.
+type PipelineCheckpoint struct {
+	Phase      string // "training", "application" or "harness"
+	TrainWaves int
+	ApplyWaves int
+	Train      *engine.Result
+	Harness    *engine.HarnessCheckpoint
+	Session    *SessionCheckpoint
+}
+
+// encodePipelineCheckpoint serializes via gob (float-bit exact, handles the
+// NaN/Inf values JSON cannot).
+func encodePipelineCheckpoint(cp *PipelineCheckpoint) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
+		return nil, fmt.Errorf("core: encode checkpoint: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodePipelineCheckpoint parses a committed checkpoint payload.
+func decodePipelineCheckpoint(b []byte) (*PipelineCheckpoint, error) {
+	var cp PipelineCheckpoint
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("core: decode checkpoint: %w", err)
+	}
+	return &cp, nil
+}
+
+// DurableOptions configures crash durability for a run.
+type DurableOptions struct {
+	// Dir is the durability directory (WAL + snapshots).
+	Dir string
+	// SnapshotEvery is the compaction period in waves (0 = the durable
+	// package default, negative disables rotation).
+	SnapshotEvery int
+	// Fsync selects the log flush policy.
+	Fsync durable.FsyncMode
+	// Hook is the crash-injection hook (see durable.Options.Hook).
+	Hook func(op string) error
+	// Obs receives durability and recovery metrics (nil disables them).
+	Obs *obs.Observer
+}
+
+// DurableRunInfo reports what the durability layer did during a run.
+type DurableRunInfo struct {
+	// Resumed is true when the run continued from recovered state.
+	Resumed bool
+	// Recovery describes the recovery (zero value on fresh starts).
+	Recovery durable.RecoveryStats
+	// Durable holds the manager's cumulative counters.
+	Durable durable.Stats
+}
+
+// pipelineCommitter implements engine.WaveCommitter: it wraps every harness
+// checkpoint into a PipelineCheckpoint and commits it with a global wave
+// number (training waves, then application waves).
+type pipelineCommitter struct {
+	mgr        *durable.Manager
+	session    *Session // nil for harness-only runs
+	phase      string
+	base       int // global wave offset of the current phase
+	train      *engine.Result
+	trainWaves int
+	applyWaves int
+}
+
+// enterApplication switches the committer to the application phase.
+func (c *pipelineCommitter) enterApplication(train *engine.Result) {
+	c.phase = phaseLabelApplication
+	c.base = c.trainWaves
+	c.train = train
+}
+
+// checkpoint builds the pipeline checkpoint for a harness boundary (nil for
+// the initial, nothing-run-yet commit payload).
+func (c *pipelineCommitter) checkpoint(hcp *engine.HarnessCheckpoint) (*PipelineCheckpoint, error) {
+	pcp := &PipelineCheckpoint{
+		Phase:      c.phase,
+		TrainWaves: c.trainWaves,
+		ApplyWaves: c.applyWaves,
+		Harness:    hcp,
+		Train:      c.train,
+	}
+	if c.session != nil {
+		scp, err := c.session.Checkpoint()
+		if err != nil {
+			return nil, err
+		}
+		pcp.Session = scp
+	}
+	return pcp, nil
+}
+
+// CommitWave implements engine.WaveCommitter.
+func (c *pipelineCommitter) CommitWave(hcp *engine.HarnessCheckpoint) error {
+	pcp, err := c.checkpoint(hcp)
+	if err != nil {
+		return err
+	}
+	blob, err := encodePipelineCheckpoint(pcp)
+	if err != nil {
+		return err
+	}
+	return c.mgr.Commit(c.base+hcp.Waves, blob)
+}
+
+var _ engine.WaveCommitter = (*pipelineCommitter)(nil)
+
+// openPipelineManager opens the durability manager and registers both
+// harness stores under their recovery names.
+func openPipelineManager(harness *engine.Harness, opts DurableOptions) (*durable.Manager, error) {
+	mgr, err := durable.Open(durable.Options{
+		Dir:           opts.Dir,
+		SnapshotEvery: opts.SnapshotEvery,
+		Fsync:         opts.Fsync,
+		Hook:          opts.Hook,
+		Obs:           opts.Obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := mgr.Register(durableLiveStore, harness.Live().Store()); err != nil {
+		return nil, err
+	}
+	if err := mgr.Register(durableRefStore, harness.Ref().Store()); err != nil {
+		return nil, err
+	}
+	return mgr, nil
+}
+
+// RunPipelineDurable is RunPipeline with crash durability: every completed
+// wave is committed to the write-ahead log under opts.Dir, with periodic
+// compacting snapshots. The directory must not already hold durable state
+// (use ResumePipeline to continue a crashed run).
+func RunPipelineDurable(build engine.BuildFunc, reportSteps []workflow.StepID, cfg PipelineConfig, opts DurableOptions) (*PipelineResult, *DurableRunInfo, error) {
+	if cfg.TrainWaves <= 0 {
+		return nil, nil, fmt.Errorf("core: pipeline needs TrainWaves > 0, got %d", cfg.TrainWaves)
+	}
+	rec, err := durable.Recover(opts.Dir, opts.Obs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rec != nil {
+		return nil, nil, fmt.Errorf("core: %s already holds durable state at wave %d; resume it (ResumePipeline / -resume) or point -wal-dir elsewhere", opts.Dir, rec.Wave)
+	}
+
+	committer := &pipelineCommitter{
+		phase:      phaseLabelTraining,
+		trainWaves: cfg.TrainWaves,
+		applyWaves: cfg.ApplyWaves,
+	}
+	harness, session, err := buildPipeline(build, reportSteps, cfg, committer)
+	if err != nil {
+		return nil, nil, err
+	}
+	committer.session = session
+	mgr, err := openPipelineManager(harness, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	committer.mgr = mgr
+
+	res, err := func() (*PipelineResult, error) {
+		initial, err := committer.checkpoint(nil)
+		if err != nil {
+			return nil, err
+		}
+		blob, err := encodePipelineCheckpoint(initial)
+		if err != nil {
+			return nil, err
+		}
+		if err := mgr.Begin(0, blob); err != nil {
+			return nil, err
+		}
+		trainRes, err := harness.Run(cfg.TrainWaves, session)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline training: %w", err)
+		}
+		return finishPipeline(harness, session, cfg, committer, trainRes, nil)
+	}()
+	info := &DurableRunInfo{Durable: mgr.Stats()}
+	if cerr := mgr.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, info, err
+	}
+	info.Durable = mgr.Stats()
+	return res, info, nil
+}
+
+// ResumePipeline continues a crashed durable pipeline: it recovers the
+// stores from the latest snapshot + WAL (truncating any torn record),
+// restores the harness and session from the last committed checkpoint and
+// runs the remaining waves. cfg must match the original run (same workload,
+// same phase lengths, same session configuration); the results are
+// bit-identical to an uncrashed RunPipelineDurable.
+func ResumePipeline(build engine.BuildFunc, reportSteps []workflow.StepID, cfg PipelineConfig, opts DurableOptions) (*PipelineResult, *DurableRunInfo, error) {
+	if cfg.TrainWaves <= 0 {
+		return nil, nil, fmt.Errorf("core: pipeline needs TrainWaves > 0, got %d", cfg.TrainWaves)
+	}
+	rec, err := durable.Recover(opts.Dir, opts.Obs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rec == nil {
+		return nil, nil, fmt.Errorf("core: no durable state in %s to resume", opts.Dir)
+	}
+	pcp, err := decodePipelineCheckpoint(rec.Payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	if pcp.Phase == phaseLabelHarness {
+		return nil, nil, fmt.Errorf("core: %s holds a harness-only run; use ResumeHarness", opts.Dir)
+	}
+	if pcp.TrainWaves != cfg.TrainWaves || pcp.ApplyWaves != cfg.ApplyWaves {
+		return nil, nil, fmt.Errorf("core: checkpoint is a %d+%d wave run, config wants %d+%d",
+			pcp.TrainWaves, pcp.ApplyWaves, cfg.TrainWaves, cfg.ApplyWaves)
+	}
+
+	committer := &pipelineCommitter{
+		phase:      pcp.Phase,
+		trainWaves: cfg.TrainWaves,
+		applyWaves: cfg.ApplyWaves,
+	}
+	if pcp.Phase == phaseLabelApplication {
+		committer.base = cfg.TrainWaves
+		committer.train = pcp.Train
+	}
+	harness, session, err := buildPipeline(build, reportSteps, cfg, committer)
+	if err != nil {
+		return nil, nil, err
+	}
+	committer.session = session
+
+	// Replay the stores, then rewind the in-memory state to the same wave
+	// boundary — all before Begin snapshots the restored content.
+	if err := rec.Apply(durableLiveStore, harness.Live().Store()); err != nil {
+		return nil, nil, err
+	}
+	if err := rec.Apply(durableRefStore, harness.Ref().Store()); err != nil {
+		return nil, nil, err
+	}
+	if pcp.Session != nil {
+		if err := session.RestoreCheckpoint(pcp.Session); err != nil {
+			return nil, nil, err
+		}
+	}
+	var trainRes, applyRes *engine.Result
+	if pcp.Harness != nil {
+		res, err := harness.RestoreCheckpoint(pcp.Harness, session)
+		if err != nil {
+			return nil, nil, err
+		}
+		if pcp.Phase == phaseLabelApplication {
+			applyRes = res
+			trainRes = pcp.Train
+		} else {
+			trainRes = res
+		}
+	} else if pcp.Phase == phaseLabelApplication {
+		return nil, nil, fmt.Errorf("core: application-phase checkpoint without harness state")
+	}
+
+	mgr, err := openPipelineManager(harness, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	committer.mgr = mgr
+
+	res, err := func() (*PipelineResult, error) {
+		if err := mgr.Begin(rec.Wave, rec.Payload); err != nil {
+			return nil, err
+		}
+		if trainRes == nil {
+			trainRes, err = harness.Run(cfg.TrainWaves, session)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline training: %w", err)
+			}
+		} else if pcp.Phase == phaseLabelTraining {
+			if remaining := cfg.TrainWaves - trainRes.Waves; remaining > 0 {
+				if err := harness.ResumeRun(trainRes, remaining, session); err != nil {
+					return nil, fmt.Errorf("pipeline training: %w", err)
+				}
+			}
+		}
+		return finishPipeline(harness, session, cfg, committer, trainRes, applyRes)
+	}()
+	info := &DurableRunInfo{Resumed: true, Recovery: rec.Stats, Durable: mgr.Stats()}
+	if cerr := mgr.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, info, err
+	}
+	info.Durable = mgr.Stats()
+	return res, info, nil
+}
+
+// finishPipeline runs everything after the training waves: knowledge-base
+// feeding and model training (unless the restored session is already in the
+// application phase), then the remaining application waves.
+func finishPipeline(harness *engine.Harness, session *Session, cfg PipelineConfig, committer *pipelineCommitter, trainRes, applyRes *engine.Result) (*PipelineResult, error) {
+	var report TestReport
+	if session.Phase() == PhaseApplication {
+		report = session.LastTestReport()
+	} else {
+		for w := range trainRes.RefImpacts {
+			session.ObserveTrainingWave(trainRes.RefImpacts[w], trainRes.RefLabels[w])
+		}
+		var err error
+		report, err = session.Train()
+		if err != nil {
+			return nil, fmt.Errorf("pipeline train: %w", err)
+		}
+	}
+
+	committer.enterApplication(trainRes)
+	if applyRes == nil {
+		if cfg.ApplyWaves > 0 {
+			var err error
+			applyRes, err = harness.Run(cfg.ApplyWaves, session)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline application: %w", err)
+			}
+		}
+	} else if remaining := cfg.ApplyWaves - applyRes.Waves; remaining > 0 {
+		if err := harness.ResumeRun(applyRes, remaining, session); err != nil {
+			return nil, fmt.Errorf("pipeline application: %w", err)
+		}
+	}
+	return &PipelineResult{
+		Train:   trainRes,
+		Apply:   applyRes,
+		Test:    report,
+		Session: session,
+	}, nil
+}
+
+// RunHarnessDurable runs a bare harness (no learning session) for `waves`
+// waves under decider with crash durability; the committed checkpoints use
+// phase "harness".
+func RunHarnessDurable(build engine.BuildFunc, reportSteps []workflow.StepID, waves int, decider engine.Decider, hcfg engine.HarnessConfig, opts DurableOptions) (*engine.Result, *DurableRunInfo, error) {
+	rec, err := durable.Recover(opts.Dir, opts.Obs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rec != nil {
+		return nil, nil, fmt.Errorf("core: %s already holds durable state at wave %d; use ResumeHarness", opts.Dir, rec.Wave)
+	}
+	committer := &pipelineCommitter{phase: phaseLabelHarness, trainWaves: waves}
+	hcfg.Committer = committer
+	harness, err := engine.NewHarnessWithConfig(build, reportSteps, hcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.Obs != nil {
+		harness.Instrument(opts.Obs)
+	}
+	mgr, err := openPipelineManager(harness, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	committer.mgr = mgr
+
+	res, err := func() (*engine.Result, error) {
+		initial, err := committer.checkpoint(nil)
+		if err != nil {
+			return nil, err
+		}
+		blob, err := encodePipelineCheckpoint(initial)
+		if err != nil {
+			return nil, err
+		}
+		if err := mgr.Begin(0, blob); err != nil {
+			return nil, err
+		}
+		return harness.Run(waves, decider)
+	}()
+	info := &DurableRunInfo{Durable: mgr.Stats()}
+	if cerr := mgr.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, info, err
+	}
+	info.Durable = mgr.Stats()
+	return res, info, nil
+}
+
+// ResumeHarness continues a crashed RunHarnessDurable run.
+func ResumeHarness(build engine.BuildFunc, reportSteps []workflow.StepID, waves int, decider engine.Decider, hcfg engine.HarnessConfig, opts DurableOptions) (*engine.Result, *DurableRunInfo, error) {
+	rec, err := durable.Recover(opts.Dir, opts.Obs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rec == nil {
+		return nil, nil, fmt.Errorf("core: no durable state in %s to resume", opts.Dir)
+	}
+	pcp, err := decodePipelineCheckpoint(rec.Payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	if pcp.Phase != phaseLabelHarness {
+		return nil, nil, fmt.Errorf("core: %s holds a %s-phase pipeline run; use ResumePipeline", opts.Dir, pcp.Phase)
+	}
+	if pcp.TrainWaves != waves {
+		return nil, nil, fmt.Errorf("core: checkpoint is a %d-wave run, config wants %d", pcp.TrainWaves, waves)
+	}
+	committer := &pipelineCommitter{phase: phaseLabelHarness, trainWaves: waves}
+	hcfg.Committer = committer
+	harness, err := engine.NewHarnessWithConfig(build, reportSteps, hcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.Obs != nil {
+		harness.Instrument(opts.Obs)
+	}
+	if err := rec.Apply(durableLiveStore, harness.Live().Store()); err != nil {
+		return nil, nil, err
+	}
+	if err := rec.Apply(durableRefStore, harness.Ref().Store()); err != nil {
+		return nil, nil, err
+	}
+	var res *engine.Result
+	if pcp.Harness != nil {
+		res, err = harness.RestoreCheckpoint(pcp.Harness, decider)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	mgr, err := openPipelineManager(harness, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	committer.mgr = mgr
+
+	out, err := func() (*engine.Result, error) {
+		if err := mgr.Begin(rec.Wave, rec.Payload); err != nil {
+			return nil, err
+		}
+		if res == nil {
+			return harness.Run(waves, decider)
+		}
+		if remaining := waves - res.Waves; remaining > 0 {
+			if err := harness.ResumeRun(res, remaining, decider); err != nil {
+				return nil, err
+			}
+		}
+		return res, nil
+	}()
+	info := &DurableRunInfo{Resumed: true, Recovery: rec.Stats, Durable: mgr.Stats()}
+	if cerr := mgr.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, info, err
+	}
+	info.Durable = mgr.Stats()
+	return out, info, nil
+}

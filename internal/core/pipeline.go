@@ -44,20 +44,16 @@ type PipelineResult struct {
 	Session *Session
 }
 
-// RunPipeline executes the full SmartFlux lifecycle over the workload
-// produced by build. reportSteps selects the steps whose output error is
-// measured (nil = the last gated step). During training the session decides
-// "execute" for every step, so the live instance runs synchronously; after
-// Train succeeds the same harness continues under the predictor.
-func RunPipeline(build engine.BuildFunc, reportSteps []workflow.StepID, cfg PipelineConfig) (*PipelineResult, error) {
-	if cfg.TrainWaves <= 0 {
-		return nil, fmt.Errorf("core: pipeline needs TrainWaves > 0, got %d", cfg.TrainWaves)
-	}
+// buildPipeline constructs the harness + session pair shared by the plain
+// and durable pipeline drivers. committer, when non-nil, receives a
+// checkpoint after every completed wave (crash durability).
+func buildPipeline(build engine.BuildFunc, reportSteps []workflow.StepID, cfg PipelineConfig, committer engine.WaveCommitter) (*engine.Harness, *Session, error) {
 	harnessCfg := cfg.Resilience
 	harnessCfg.Parallelism = cfg.Parallelism
+	harnessCfg.Committer = committer
 	harness, err := engine.NewHarnessWithConfig(build, reportSteps, harnessCfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sessionCfg := cfg.Session
 	if sessionCfg.Parallelism == 0 {
@@ -67,6 +63,22 @@ func RunPipeline(build engine.BuildFunc, reportSteps []workflow.StepID, cfg Pipe
 	if cfg.Obs != nil {
 		harness.Instrument(cfg.Obs)
 		session.Instrument(cfg.Obs)
+	}
+	return harness, session, nil
+}
+
+// RunPipeline executes the full SmartFlux lifecycle over the workload
+// produced by build. reportSteps selects the steps whose output error is
+// measured (nil = the last gated step). During training the session decides
+// "execute" for every step, so the live instance runs synchronously; after
+// Train succeeds the same harness continues under the predictor.
+func RunPipeline(build engine.BuildFunc, reportSteps []workflow.StepID, cfg PipelineConfig) (*PipelineResult, error) {
+	if cfg.TrainWaves <= 0 {
+		return nil, fmt.Errorf("core: pipeline needs TrainWaves > 0, got %d", cfg.TrainWaves)
+	}
+	harness, session, err := buildPipeline(build, reportSteps, cfg, nil)
+	if err != nil {
+		return nil, err
 	}
 
 	trainRes, err := harness.Run(cfg.TrainWaves, session)

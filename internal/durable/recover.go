@@ -1,0 +1,226 @@
+package durable
+
+// Recovery: load the newest valid snapshot, replay the epoch's WAL up to
+// its last commit record, truncate any torn tail, and expose the result so
+// callers can rebuild stores and the harness/pipeline checkpoint. Records
+// after the last commit belong to a wave that never committed; they are
+// discarded so the restarted run re-executes that wave from the boundary
+// and reproduces the same timestamps and values.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"smartflux/internal/kvstore"
+	"smartflux/internal/obs"
+)
+
+// RecoveryStats summarizes what one recovery did.
+type RecoveryStats struct {
+	// Epoch is the snapshot epoch recovery loaded.
+	Epoch int
+	// SnapshotWave is the wave the snapshot was taken at.
+	SnapshotWave int
+	// Wave is the last committed wave (== SnapshotWave when the WAL held no
+	// commit record).
+	Wave int
+	// Replayed counts WAL records up to and including the last commit.
+	Replayed int
+	// Discarded counts valid WAL records after the last commit (an
+	// uncommitted wave's partial mutations).
+	Discarded int
+	// TruncatedBytes is the torn/corrupt tail removed from the WAL file.
+	TruncatedBytes int64
+	// Torn reports whether the WAL ended in a torn or corrupt record.
+	Torn bool
+	// Duration is the wall-clock recovery time.
+	Duration time.Duration
+}
+
+// recoveredStore is one store's reconstruction inputs.
+type recoveredStore struct {
+	image StoreImage
+	muts  []walRecord // committed mutation/create records, log order
+	clock uint64
+}
+
+// Recovery is the loaded durable state of one directory.
+type Recovery struct {
+	// Wave is the last committed wave.
+	Wave int
+	// Payload is the opaque checkpoint blob of the last commit (or of the
+	// snapshot when no commit record followed it).
+	Payload []byte
+	// Stats describes the recovery.
+	Stats RecoveryStats
+
+	stores []recoveredStore
+	byName map[string]int
+}
+
+// Recover loads the durable state under dir. It returns (nil, nil) when the
+// directory does not exist or holds no snapshot — a fresh start. It picks
+// the newest snapshot that validates (falling back on corruption), replays
+// the matching WAL up to its last commit record, and truncates any torn
+// final record so the file ends on a clean boundary.
+func Recover(dir string, o *obs.Observer) (*Recovery, error) {
+	start := time.Now()
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("durable: scan dir: %w", err)
+	}
+	var epochs []int
+	for _, e := range entries {
+		if epoch, snap, ok := epochOf(e.Name()); ok && snap {
+			epochs = append(epochs, epoch)
+		}
+	}
+	if len(epochs) == 0 {
+		return nil, nil
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(epochs)))
+
+	var (
+		data  *snapshotData
+		epoch int
+		lastE error
+	)
+	for _, e := range epochs {
+		d, err := loadSnapshot(snapshotPath(dir, e))
+		if err != nil {
+			lastE = err
+			continue
+		}
+		data, epoch = d, e
+		break
+	}
+	if data == nil {
+		return nil, fmt.Errorf("durable: no valid snapshot in %s: %w", dir, lastE)
+	}
+
+	r := &Recovery{
+		Wave:    data.Wave,
+		Payload: data.Payload,
+		byName:  make(map[string]int, len(data.Stores)),
+	}
+	r.Stats.Epoch = epoch
+	r.Stats.SnapshotWave = data.Wave
+	for i, img := range data.Stores {
+		r.stores = append(r.stores, recoveredStore{image: img, clock: img.Clock})
+		r.byName[img.Name] = i
+	}
+
+	wp := walPath(dir, epoch)
+	records, info, err := readWAL(wp)
+	if errors.Is(err, os.ErrNotExist) {
+		// Crash between snapshot publish and WAL creation: snapshot-only.
+		r.finish(start, o)
+		return r, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if info.torn {
+		r.Stats.Torn = true
+		r.Stats.TruncatedBytes = info.totalBytes - info.validBytes
+		if err := truncateWAL(wp, info.validBytes); err != nil {
+			return nil, err
+		}
+	}
+
+	lastCommit := -1
+	for i, rec := range records {
+		if rec.kind == recCommit {
+			lastCommit = i
+		}
+	}
+	r.Stats.Discarded = len(records) - (lastCommit + 1)
+	if lastCommit >= 0 {
+		commit := records[lastCommit]
+		if len(commit.clocks) != len(r.stores) {
+			return nil, fmt.Errorf("durable: commit record has %d clocks, snapshot has %d stores", len(commit.clocks), len(r.stores))
+		}
+		r.Wave = commit.wave
+		r.Payload = commit.payload
+		r.Stats.Replayed = lastCommit + 1
+		for i := range r.stores {
+			r.stores[i].clock = commit.clocks[i]
+		}
+		for _, rec := range records[:lastCommit+1] {
+			if rec.kind == recCommit {
+				continue
+			}
+			if rec.store < 0 || rec.store >= len(r.stores) {
+				return nil, fmt.Errorf("durable: record references store %d, snapshot has %d", rec.store, len(r.stores))
+			}
+			r.stores[rec.store].muts = append(r.stores[rec.store].muts, rec)
+		}
+	}
+	r.Stats.Wave = r.Wave
+	r.finish(start, o)
+	return r, nil
+}
+
+// finish stamps the duration and emits recovery metrics.
+func (r *Recovery) finish(start time.Time, o *obs.Observer) {
+	r.Stats.Wave = r.Wave
+	r.Stats.Duration = time.Since(start)
+	o.Counter("smartflux_durable_recovered_records_total").Add(uint64(r.Stats.Replayed))
+	o.Counter("smartflux_durable_discarded_records_total").Add(uint64(r.Stats.Discarded))
+	o.Histogram("smartflux_durable_recovery_duration_seconds").Observe(r.Stats.Duration.Seconds())
+}
+
+// StoreNames returns the recovered store names in registration order.
+func (r *Recovery) StoreNames() []string {
+	names := make([]string, len(r.stores))
+	for i, rs := range r.stores {
+		names[i] = rs.image.Name
+	}
+	return names
+}
+
+// Apply rebuilds one recovered store into s: the snapshot image, then the
+// committed WAL mutations, then the committed logical clock. The target
+// should be empty; replay is idempotent, so applying twice (or applying over
+// a store that already absorbed some of the same timestamped writes, as a
+// deduplicating network server might) converges to the same state.
+func (r *Recovery) Apply(name string, s *kvstore.Store) error {
+	idx, ok := r.byName[name]
+	if !ok {
+		return fmt.Errorf("durable: recovery has no store %q (has %v)", name, r.StoreNames())
+	}
+	rs := r.stores[idx]
+	if err := applyImage(rs.image, s); err != nil {
+		return err
+	}
+	for _, rec := range rs.muts {
+		switch rec.kind {
+		case recCreate:
+			if _, err := s.EnsureTable(rec.table, kvstore.TableOptions{MaxVersions: rec.maxVersions}); err != nil {
+				return fmt.Errorf("durable: replay create %q: %w", rec.table, err)
+			}
+		case recMutation:
+			t, err := s.EnsureTable(rec.table, kvstore.TableOptions{})
+			if err != nil {
+				return fmt.Errorf("durable: replay table %q: %w", rec.table, err)
+			}
+			if rec.del {
+				if err := t.ReplayDelete(rec.row, rec.col); err != nil {
+					return fmt.Errorf("durable: replay delete %s/%s: %w", rec.row, rec.col, err)
+				}
+			} else if err := t.ReplayPut(rec.row, rec.col, rec.value, rec.ts); err != nil {
+				return fmt.Errorf("durable: replay put %s/%s: %w", rec.row, rec.col, err)
+			}
+		default:
+			return fmt.Errorf("durable: unexpected record type %d in replay", rec.kind)
+		}
+	}
+	s.SetClock(rs.clock)
+	return nil
+}

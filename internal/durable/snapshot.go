@@ -1,0 +1,185 @@
+package durable
+
+// Compacting snapshots. A snapshot is one gob-encoded snapshotData value —
+// every registered store's full image (all cells, all retained versions,
+// logical timestamps, the store clock) plus the wave number and the opaque
+// harness/pipeline checkpoint payload committed at that wave — wrapped in
+// the same [len][CRC32][payload] framing as WAL records so corruption is
+// detected on load. Snapshots are written to a temp file, fsynced and
+// renamed into place, then the directory is fsynced: a crash mid-snapshot
+// leaves at worst a stray *.tmp file that recovery ignores.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"smartflux/internal/kvstore"
+)
+
+// CellImage is one cell's full version history, oldest first.
+type CellImage struct {
+	Row      string
+	Col      string
+	Versions []kvstore.Version
+}
+
+// TableImage is one table's complete content and configuration.
+type TableImage struct {
+	Name        string
+	MaxVersions int
+	Cells       []CellImage
+}
+
+// StoreImage is one store's complete content: every table, every retained
+// version, and the logical clock.
+type StoreImage struct {
+	Name   string
+	Clock  uint64
+	Tables []TableImage
+}
+
+// snapshotData is the full on-disk snapshot payload.
+type snapshotData struct {
+	Wave    int
+	Stores  []StoreImage // in registration order (WAL store indexes refer to it)
+	Payload []byte       // opaque checkpoint blob from the last commit
+}
+
+// captureStore builds a StoreImage of s. Callers must ensure no concurrent
+// writers (the manager snapshots at wave boundaries, where the engine is
+// quiescent).
+func captureStore(name string, s *kvstore.Store) (StoreImage, error) {
+	img := StoreImage{Name: name, Clock: s.Clock()}
+	for _, tn := range s.TableNames() {
+		t, err := s.Table(tn)
+		if err != nil {
+			return StoreImage{}, fmt.Errorf("durable: snapshot table %q: %w", tn, err)
+		}
+		ti := TableImage{Name: tn, MaxVersions: t.MaxVersions()}
+		for _, c := range t.Scan(kvstore.ScanOptions{}) {
+			vs := t.GetVersions(c.Row, c.Column, 0) // newest first
+			ci := CellImage{Row: c.Row, Col: c.Column, Versions: make([]kvstore.Version, len(vs))}
+			for i, v := range vs { // store oldest first for replay order
+				ci.Versions[len(vs)-1-i] = v
+			}
+			ti.Cells = append(ti.Cells, ci)
+		}
+		img.Tables = append(img.Tables, ti)
+	}
+	return img, nil
+}
+
+// applyImage loads a StoreImage into s via the replay API, recreating tables,
+// version histories and timestamps exactly. The store clock is restored by
+// Recovery.Apply from the final commit record, not here.
+func applyImage(img StoreImage, s *kvstore.Store) error {
+	for _, ti := range img.Tables {
+		t, err := s.EnsureTable(ti.Name, kvstore.TableOptions{MaxVersions: ti.MaxVersions})
+		if err != nil {
+			return fmt.Errorf("durable: restore table %q: %w", ti.Name, err)
+		}
+		for _, ci := range ti.Cells {
+			for _, v := range ci.Versions { // oldest first
+				if err := t.ReplayPut(ci.Row, ci.Col, v.Value, v.Timestamp); err != nil {
+					return fmt.Errorf("durable: restore cell %s/%s: %w", ci.Row, ci.Col, err)
+				}
+			}
+		}
+	}
+	s.SetClock(img.Clock)
+	return nil
+}
+
+// snapshotPath and walPath name an epoch's files.
+func snapshotPath(dir string, epoch int) string {
+	return filepath.Join(dir, fmt.Sprintf("snapshot-%08d.snap", epoch))
+}
+
+func walPath(dir string, epoch int) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%08d.log", epoch))
+}
+
+// writeSnapshot atomically persists a snapshot for the given epoch.
+func writeSnapshot(dir string, epoch int, data *snapshotData) (int64, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(data); err != nil {
+		return 0, fmt.Errorf("durable: encode snapshot: %w", err)
+	}
+	frame := make([]byte, frameHeader+body.Len())
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(body.Len()))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(body.Bytes()))
+	copy(frame[frameHeader:], body.Bytes())
+
+	final := snapshotPath(dir, epoch)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("durable: create snapshot: %w", err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		cerr := f.Close()
+		_ = cerr // the write error is the root cause
+		return 0, fmt.Errorf("durable: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close() // the sync error is the root cause
+		return 0, fmt.Errorf("durable: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return 0, fmt.Errorf("durable: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return 0, fmt.Errorf("durable: publish snapshot: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return 0, err
+	}
+	return int64(len(frame)), nil
+}
+
+// loadSnapshot reads and validates one snapshot file.
+func loadSnapshot(path string) (*snapshotData, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("durable: read snapshot: %w", err)
+	}
+	if len(raw) < frameHeader {
+		return nil, fmt.Errorf("durable: snapshot %s: short file (%d bytes)", filepath.Base(path), len(raw))
+	}
+	plen := binary.LittleEndian.Uint32(raw[0:4])
+	want := binary.LittleEndian.Uint32(raw[4:8])
+	if int(plen) != len(raw)-frameHeader {
+		return nil, fmt.Errorf("durable: snapshot %s: length mismatch (header %d, body %d)", filepath.Base(path), plen, len(raw)-frameHeader)
+	}
+	body := raw[frameHeader:]
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, fmt.Errorf("durable: snapshot %s: checksum mismatch", filepath.Base(path))
+	}
+	var data snapshotData
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&data); err != nil {
+		return nil, fmt.Errorf("durable: decode snapshot %s: %w", filepath.Base(path), err)
+	}
+	return &data, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: open dir for sync: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		cerr := d.Close()
+		_ = cerr // the sync error is the root cause
+		return fmt.Errorf("durable: sync dir: %w", err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("durable: close dir: %w", err)
+	}
+	return nil
+}

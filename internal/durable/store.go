@@ -1,0 +1,145 @@
+package durable
+
+// Store is the durability-aware view workflow processors route their
+// container access through, mirroring fault.Store's interposition surface.
+// Mutations are captured by the manager's store-level observers (so writes
+// that bypass this wrapper — e.g. the engine's rollback batches — are logged
+// too); the wrapper's job is to surface the manager's sticky crash error on
+// every subsequent operation, reads included, so a run over a dead log
+// fails its wave instead of silently diverging from what recovery will
+// reconstruct.
+
+import (
+	"fmt"
+
+	"smartflux/internal/kvstore"
+)
+
+// Store wraps a kvstore.Store registered with a Manager.
+type Store struct {
+	store *kvstore.Store
+	mgr   *Manager
+}
+
+// NewStore interposes mgr's health on store. The store must also be
+// Register-ed with the manager; the wrapper does not do that itself.
+func NewStore(store *kvstore.Store, mgr *Manager) *Store {
+	return &Store{store: store, mgr: mgr}
+}
+
+// Unwrap returns the underlying store.
+func (s *Store) Unwrap() *kvstore.Store { return s.store }
+
+// Manager returns the interposed manager.
+func (s *Store) Manager() *Manager { return s.mgr }
+
+// opErr fails the operation when the manager has gone sticky.
+func (s *Store) opErr(table string) error {
+	if err := s.mgr.Err(); err != nil {
+		return fmt.Errorf("durable store %q: %w", table, err)
+	}
+	return nil
+}
+
+// EnsureTable mirrors kvstore.Store.EnsureTable.
+func (s *Store) EnsureTable(name string, opts kvstore.TableOptions) (*Table, error) {
+	if err := s.opErr(name); err != nil {
+		return nil, err
+	}
+	t, err := s.store.EnsureTable(name, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{t: t, s: s}, nil
+}
+
+// Table mirrors kvstore.Store.Table.
+func (s *Store) Table(name string) (*Table, error) {
+	if err := s.opErr(name); err != nil {
+		return nil, err
+	}
+	t, err := s.store.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{t: t, s: s}, nil
+}
+
+// Table is a durability-aware view of a kvstore.Table.
+type Table struct {
+	t *kvstore.Table
+	s *Store
+}
+
+// Unwrap returns the underlying table.
+func (t *Table) Unwrap() *kvstore.Table { return t.t }
+
+// Put writes a value.
+func (t *Table) Put(row, column string, value []byte) error {
+	if err := t.s.opErr(t.t.Name()); err != nil {
+		return err
+	}
+	if err := t.t.Put(row, column, value); err != nil {
+		return err
+	}
+	// The observer ran synchronously inside Put; surface an append failure
+	// it recorded so the wave aborts at the mutation that went un-logged.
+	return t.s.opErr(t.t.Name())
+}
+
+// PutFloat writes an encoded float64.
+func (t *Table) PutFloat(row, column string, v float64) error {
+	return t.Put(row, column, kvstore.EncodeFloat(v))
+}
+
+// Get reads the latest value of a cell.
+func (t *Table) Get(row, column string) ([]byte, bool, error) {
+	if err := t.s.opErr(t.t.Name()); err != nil {
+		return nil, false, err
+	}
+	v, ok := t.t.Get(row, column)
+	return v, ok, nil
+}
+
+// GetFloat reads a float64-encoded cell.
+func (t *Table) GetFloat(row, column string) (float64, bool, error) {
+	raw, ok, err := t.Get(row, column)
+	if err != nil || !ok {
+		return 0, ok, err
+	}
+	v, err := kvstore.DecodeFloat(raw)
+	if err != nil {
+		return 0, false, err
+	}
+	return v, true, nil
+}
+
+// Delete removes a cell.
+func (t *Table) Delete(row, column string) error {
+	if err := t.s.opErr(t.t.Name()); err != nil {
+		return err
+	}
+	if err := t.t.Delete(row, column); err != nil {
+		return err
+	}
+	return t.s.opErr(t.t.Name())
+}
+
+// Scan returns matching cells.
+func (t *Table) Scan(opts kvstore.ScanOptions) ([]kvstore.Cell, error) {
+	if err := t.s.opErr(t.t.Name()); err != nil {
+		return nil, err
+	}
+	return t.t.Scan(opts), nil
+}
+
+// Apply applies a batch atomically.
+func (t *Table) Apply(b *kvstore.Batch) error {
+	if err := t.s.opErr(t.t.Name()); err != nil {
+		return err
+	}
+	if err := t.t.Apply(b); err != nil {
+		return err
+	}
+	return t.s.opErr(t.t.Name())
+}

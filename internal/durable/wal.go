@@ -1,0 +1,397 @@
+package durable
+
+// Write-ahead log format. The log is a flat sequence of framed records:
+//
+//	[4B little-endian payload length][4B IEEE CRC32 of payload][payload]
+//
+// The payload's first byte is the record type; the rest is type-specific,
+// encoded with uvarints and length-prefixed byte strings:
+//
+//	mutation (1): store uvarint, kind byte (1 put / 2 delete), ts uvarint,
+//	              table, row, column strings; puts append the value bytes
+//	create  (2):  store uvarint, table string, maxVersions uvarint
+//	commit  (3):  wave uvarint, clock count uvarint, per-store clocks,
+//	              opaque checkpoint payload bytes
+//
+// Readers stop at the first frame that is short, oversized or fails its
+// CRC: everything after a torn or corrupt record is unreachable, which is
+// exactly the prefix property recovery needs (DESIGN.md §11).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Record types.
+const (
+	recMutation byte = 1
+	recCreate   byte = 2
+	recCommit   byte = 3
+)
+
+// Mutation kinds inside recMutation payloads (match kvstore.MutationKind).
+const (
+	mutPut    byte = 1
+	mutDelete byte = 2
+)
+
+// frameHeader is the fixed per-record framing overhead.
+const frameHeader = 8
+
+// maxRecordBytes bounds a single record so a corrupt length field cannot
+// drive a giant allocation during recovery.
+const maxRecordBytes = 1 << 28 // 256 MiB
+
+// walRecord is one decoded log record.
+type walRecord struct {
+	kind byte
+
+	// mutation / create fields
+	store       int
+	table       string
+	row, col    string
+	value       []byte
+	ts          uint64
+	del         bool
+	maxVersions int
+
+	// commit fields
+	wave    int
+	clocks  []uint64
+	payload []byte
+}
+
+// appendUvarint appends v in uvarint encoding.
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// appendString appends a length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// encodeMutation builds a recMutation payload.
+func encodeMutation(storeIdx int, table, row, col string, value []byte, ts uint64, del bool) []byte {
+	b := make([]byte, 0, 32+len(table)+len(row)+len(col)+len(value))
+	b = append(b, recMutation)
+	b = appendUvarint(b, uint64(storeIdx))
+	kind := mutPut
+	if del {
+		kind = mutDelete
+	}
+	b = append(b, kind)
+	b = appendUvarint(b, ts)
+	b = appendString(b, table)
+	b = appendString(b, row)
+	b = appendString(b, col)
+	if !del {
+		b = append(b, value...)
+	}
+	return b
+}
+
+// encodeCreate builds a recCreate payload.
+func encodeCreate(storeIdx int, table string, maxVersions int) []byte {
+	b := make([]byte, 0, 16+len(table))
+	b = append(b, recCreate)
+	b = appendUvarint(b, uint64(storeIdx))
+	b = appendString(b, table)
+	b = appendUvarint(b, uint64(maxVersions))
+	return b
+}
+
+// encodeCommit builds a recCommit payload.
+func encodeCommit(wave int, clocks []uint64, payload []byte) []byte {
+	b := make([]byte, 0, 24+8*len(clocks)+len(payload))
+	b = append(b, recCommit)
+	b = appendUvarint(b, uint64(wave))
+	b = appendUvarint(b, uint64(len(clocks)))
+	for _, c := range clocks {
+		b = appendUvarint(b, c)
+	}
+	return append(b, payload...)
+}
+
+// payloadReader walks a record payload.
+type payloadReader struct {
+	b   []byte
+	pos int
+}
+
+var errShortRecord = errors.New("durable: truncated record payload")
+
+func (r *payloadReader) byte() (byte, error) {
+	if r.pos >= len(r.b) {
+		return 0, errShortRecord
+	}
+	v := r.b[r.pos]
+	r.pos++
+	return v, nil
+}
+
+func (r *payloadReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		return 0, errShortRecord
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *payloadReader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if uint64(len(r.b)-r.pos) < n {
+		return "", errShortRecord
+	}
+	s := string(r.b[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}
+
+func (r *payloadReader) rest() []byte {
+	out := make([]byte, len(r.b)-r.pos)
+	copy(out, r.b[r.pos:])
+	r.pos = len(r.b)
+	return out
+}
+
+// decodeRecord parses one payload into a walRecord.
+func decodeRecord(payload []byte) (walRecord, error) {
+	r := payloadReader{b: payload}
+	kind, err := r.byte()
+	if err != nil {
+		return walRecord{}, err
+	}
+	rec := walRecord{kind: kind}
+	switch kind {
+	case recMutation:
+		store, err := r.uvarint()
+		if err != nil {
+			return walRecord{}, err
+		}
+		mk, err := r.byte()
+		if err != nil {
+			return walRecord{}, err
+		}
+		ts, err := r.uvarint()
+		if err != nil {
+			return walRecord{}, err
+		}
+		if rec.table, err = r.str(); err != nil {
+			return walRecord{}, err
+		}
+		if rec.row, err = r.str(); err != nil {
+			return walRecord{}, err
+		}
+		if rec.col, err = r.str(); err != nil {
+			return walRecord{}, err
+		}
+		rec.store = int(store)
+		rec.ts = ts
+		rec.del = mk == mutDelete
+		if !rec.del {
+			rec.value = r.rest()
+		}
+	case recCreate:
+		store, err := r.uvarint()
+		if err != nil {
+			return walRecord{}, err
+		}
+		if rec.table, err = r.str(); err != nil {
+			return walRecord{}, err
+		}
+		mv, err := r.uvarint()
+		if err != nil {
+			return walRecord{}, err
+		}
+		rec.store = int(store)
+		rec.maxVersions = int(mv)
+	case recCommit:
+		wave, err := r.uvarint()
+		if err != nil {
+			return walRecord{}, err
+		}
+		n, err := r.uvarint()
+		if err != nil {
+			return walRecord{}, err
+		}
+		if n > uint64(len(payload)) { // clocks cannot outnumber payload bytes
+			return walRecord{}, errShortRecord
+		}
+		rec.wave = int(wave)
+		rec.clocks = make([]uint64, n)
+		for i := range rec.clocks {
+			if rec.clocks[i], err = r.uvarint(); err != nil {
+				return walRecord{}, err
+			}
+		}
+		rec.payload = r.rest()
+	default:
+		return walRecord{}, fmt.Errorf("durable: unknown record type %d", kind)
+	}
+	return rec, nil
+}
+
+// encodeFrame wraps a payload in the on-disk framing.
+func encodeFrame(payload []byte) []byte {
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeader:], payload)
+	return frame
+}
+
+// tornError matches crash errors that carry a torn-write byte count
+// (fault.(*Crash) implements it); errors.As keeps the durability layer free
+// of a dependency on the fault package.
+type tornError interface {
+	error
+	Torn() int
+}
+
+// walWriter appends framed records to one log file.
+type walWriter struct {
+	f       *os.File
+	path    string
+	mode    FsyncMode
+	hook    func(op string) error
+	appends int
+	written int64
+	fsyncs  int
+}
+
+// createWAL opens a fresh log file for appending.
+func createWAL(path string, mode FsyncMode, hook func(op string) error) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: create wal: %w", err)
+	}
+	return &walWriter{f: f, path: path, mode: mode, hook: hook}, nil
+}
+
+// append frames and writes one record payload, consulting the crash hook
+// first. A crash decision carrying a torn byte count persists that prefix of
+// the frame before the error propagates — the on-disk shape a real crash
+// mid-write leaves behind.
+func (w *walWriter) append(payload []byte) (int, error) {
+	frame := encodeFrame(payload)
+	if w.hook != nil {
+		if err := w.hook("wal_append"); err != nil {
+			var torn tornError
+			if errors.As(err, &torn) && torn.Torn() > 0 {
+				n := torn.Torn()
+				if n > len(frame) {
+					n = len(frame)
+				}
+				// Best-effort: the process is "dying"; the partial frame is
+				// the observable wreckage, not a tracked write.
+				if _, werr := w.f.Write(frame[:n]); werr == nil {
+					_ = w.f.Sync() // crash simulation: recovery must cope with any outcome
+				}
+			}
+			return 0, err
+		}
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		return 0, fmt.Errorf("durable: wal append: %w", err)
+	}
+	w.appends++
+	w.written += int64(len(frame))
+	if w.mode == FsyncAlways {
+		if err := w.sync(); err != nil {
+			return len(frame), err
+		}
+	}
+	return len(frame), nil
+}
+
+// sync flushes the log file to stable storage.
+func (w *walWriter) sync() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("durable: wal fsync: %w", err)
+	}
+	w.fsyncs++
+	return nil
+}
+
+// close flushes (unless FsyncNever) and closes the log file.
+func (w *walWriter) close() error {
+	if w.mode != FsyncNever {
+		if err := w.sync(); err != nil {
+			cerr := w.f.Close()
+			if cerr != nil {
+				return errors.Join(err, cerr)
+			}
+			return err
+		}
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("durable: wal close: %w", err)
+	}
+	return nil
+}
+
+// walReadInfo describes how a log read terminated.
+type walReadInfo struct {
+	validBytes int64 // offset of the first unreadable byte
+	totalBytes int64
+	torn       bool // file ended mid-record or failed a CRC
+}
+
+// readWAL reads every valid record of a log file, stopping at the first
+// torn or corrupt frame.
+func readWAL(path string) ([]walRecord, walReadInfo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, walReadInfo{}, fmt.Errorf("durable: read wal: %w", err)
+	}
+	info := walReadInfo{totalBytes: int64(len(data))}
+	var records []walRecord
+	pos := 0
+	for {
+		if pos == len(data) {
+			break // clean end
+		}
+		if len(data)-pos < frameHeader {
+			info.torn = true
+			break
+		}
+		plen := binary.LittleEndian.Uint32(data[pos : pos+4])
+		want := binary.LittleEndian.Uint32(data[pos+4 : pos+8])
+		if plen > maxRecordBytes || int(plen) > len(data)-pos-frameHeader {
+			info.torn = true
+			break
+		}
+		payload := data[pos+frameHeader : pos+frameHeader+int(plen)]
+		if crc32.ChecksumIEEE(payload) != want {
+			info.torn = true
+			break
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			info.torn = true
+			break
+		}
+		records = append(records, rec)
+		pos += frameHeader + int(plen)
+	}
+	info.validBytes = int64(pos)
+	return records, info, nil
+}
+
+// truncateWAL cuts a log file back to its last valid record boundary,
+// removing a torn tail so later appends start from a clean prefix.
+func truncateWAL(path string, validBytes int64) error {
+	if err := os.Truncate(path, validBytes); err != nil {
+		return fmt.Errorf("durable: truncate torn wal: %w", err)
+	}
+	return nil
+}

@@ -55,8 +55,12 @@ var _ Decider = Sync{}
 // Figure 11): executing and not executing have equal probability unless P is
 // overridden.
 type Random struct {
-	rng *rand.Rand
-	p   float64
+	rng  *rand.Rand
+	p    float64
+	seed int64
+	// draws counts decisions taken, so a crash-recovered run can rewind the
+	// source to the same position (see persist.go).
+	draws uint64
 }
 
 // NewRandom creates a Random policy with execution probability p (0 < p < 1;
@@ -65,7 +69,13 @@ func NewRandom(p float64, seed int64) *Random {
 	if p <= 0 || p >= 1 {
 		p = 0.5
 	}
-	return &Random{rng: rand.New(rand.NewSource(seed)), p: p}
+	return &Random{rng: rand.New(rand.NewSource(seed)), p: p, seed: seed}
+}
+
+// reseed rewinds the random source to its initial position.
+func (r *Random) reseed() {
+	r.rng = rand.New(rand.NewSource(r.seed))
+	r.draws = 0
 }
 
 // Name implements Decider.
@@ -73,6 +83,7 @@ func (r *Random) Name() string { return "random" }
 
 // Decide implements Decider.
 func (r *Random) Decide(int, int, []float64) bool {
+	r.draws++
 	return r.rng.Float64() < r.p
 }
 

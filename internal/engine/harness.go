@@ -225,6 +225,11 @@ type HarnessConfig struct {
 	// re-run from its pre-wave checkpoint before the run fails. RunWave's
 	// rollback guarantees each retry starts from identical tracker state.
 	WaveRetries int
+
+	// Committer, when non-nil, receives a full HarnessCheckpoint after every
+	// completed wave. The durability layer implements it by writing a commit
+	// record to the write-ahead log; a commit error fails the run.
+	Committer WaveCommitter
 }
 
 // NewHarness builds the live and reference instances via build. reportSteps
@@ -348,19 +353,37 @@ func (h *Harness) Run(waves int, decider Decider) (*Result, error) {
 		}
 		res.Reports[id] = &StepReport{MaxError: step.QoD.MaxError}
 	}
+	if err := h.runWaves(res, waves, decider); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
 
+// ResumeRun executes `waves` additional waves, appending to a result
+// restored via RestoreCheckpoint. The instances continue from their restored
+// wave counters, so the combined series is indistinguishable from an
+// uninterrupted run.
+func (h *Harness) ResumeRun(res *Result, waves int, decider Decider) error {
+	return h.runWaves(res, waves, decider)
+}
+
+// runWaves is the shared wave loop of Run and ResumeRun. Each completed wave
+// is committed to cfg.Committer (when set) after measurement, so the
+// durability layer always checkpoints a consistent wave boundary.
+func (h *Harness) runWaves(res *Result, waves int, decider Decider) error {
 	oracle, _ := decider.(*Oracle)
-	for w := 0; w < waves; w++ {
+	for n := 0; n < waves; n++ {
+		w := res.Waves
 		refRes, err := h.runWave(h.ref, Sync{}, "ref", w)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if oracle != nil {
 			oracle.Labels = refRes.Labels
 		}
 		liveRes, err := h.runWave(h.live, decider, "live", w)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		res.RefLabels = append(res.RefLabels, refRes.Labels)
@@ -371,12 +394,21 @@ func (h *Harness) Run(waves int, decider Decider) (*Result, error) {
 		res.LiveImpacts = append(res.LiveImpacts, liveRes.Impacts)
 
 		if err := h.measureWave(res, liveRes); err != nil {
-			return nil, fmt.Errorf("harness measure wave %d: %w", w, err)
+			return fmt.Errorf("harness measure wave %d: %w", w, err)
 		}
 		res.Waves++
 		h.emitDecisions(res, liveRes, refRes)
+		if h.cfg.Committer != nil {
+			cp, err := h.Checkpoint(res, decider)
+			if err != nil {
+				return fmt.Errorf("harness checkpoint wave %d: %w", w, err)
+			}
+			if err := h.cfg.Committer.CommitWave(cp); err != nil {
+				return fmt.Errorf("harness commit wave %d: %w", w, err)
+			}
+		}
 	}
-	return res, nil
+	return nil
 }
 
 // runWave executes one wave of an instance, re-running it from its pre-wave

@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+)
+
+// captureCommitter records every wave checkpoint it is handed.
+type captureCommitter struct {
+	cps []*HarnessCheckpoint
+}
+
+func (c *captureCommitter) CommitWave(cp *HarnessCheckpoint) error {
+	c.cps = append(c.cps, cp)
+	return nil
+}
+
+// equalResults compares every series of two results bitwise.
+func equalResults(t *testing.T, got, want *Result) {
+	t.Helper()
+	if got.Waves != want.Waves {
+		t.Fatalf("Waves = %d, want %d", got.Waves, want.Waves)
+	}
+	if got.Policy != want.Policy {
+		t.Fatalf("Policy = %q, want %q", got.Policy, want.Policy)
+	}
+	equalFloatMatrix(t, "RefImpacts", got.RefImpacts, want.RefImpacts)
+	equalFloatMatrix(t, "RefSimErrors", got.RefSimErrors, want.RefSimErrors)
+	equalFloatMatrix(t, "LiveImpacts", got.LiveImpacts, want.LiveImpacts)
+	equalIntMatrix(t, "RefLabels", got.RefLabels, want.RefLabels)
+	equalBoolMatrix(t, "LiveExecuted", got.LiveExecuted, want.LiveExecuted)
+	equalBoolMatrix(t, "LiveDegraded", got.LiveDegraded, want.LiveDegraded)
+	if len(got.Reports) != len(want.Reports) {
+		t.Fatalf("Reports = %d entries, want %d", len(got.Reports), len(want.Reports))
+	}
+	for id, w := range want.Reports {
+		g, ok := got.Reports[id]
+		if !ok {
+			t.Fatalf("Reports missing %q", id)
+		}
+		equalFloatMatrix(t, "Measured/"+string(id), [][]float64{g.Measured}, [][]float64{w.Measured})
+		equalFloatMatrix(t, "Predicted/"+string(id), [][]float64{g.Predicted}, [][]float64{w.Predicted})
+		equalFloatMatrix(t, "EndToEnd/"+string(id), [][]float64{g.EndToEnd}, [][]float64{w.EndToEnd})
+		equalBoolMatrix(t, "Violations/"+string(id), [][]bool{g.Violations}, [][]bool{w.Violations})
+	}
+}
+
+func equalFloatMatrix(t *testing.T, name string, got, want [][]float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s row %d: %d cols, want %d", name, i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if math.Float64bits(got[i][j]) != math.Float64bits(want[i][j]) {
+				t.Fatalf("%s[%d][%d] = %v, want bit-identical %v", name, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func equalIntMatrix(t *testing.T, name string, got, want [][]int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("%s[%d][%d] = %d, want %d", name, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func equalBoolMatrix(t *testing.T, name string, got, want [][]bool) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("%s[%d][%d] = %v, want %v", name, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestHarnessCheckpointResumeBitIdentical runs a harness to a wave boundary,
+// round-trips the committed checkpoint through gob, restores it, resumes,
+// and compares every series against an uninterrupted run of the same length.
+func TestHarnessCheckpointResumeBitIdentical(t *testing.T) {
+	const total, cut = 30, 12
+	build := testWorkload(0.05)
+
+	clean, err := NewHarness(build, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanRes, err := clean.Run(total, NewRandom(0.5, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cc := &captureCommitter{}
+	h, err := NewHarnessWithConfig(build, nil, HarnessConfig{Committer: cc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := NewRandom(0.5, 3)
+	if _, err := h.Run(cut, rnd); err != nil {
+		t.Fatal(err)
+	}
+	if len(cc.cps) != cut {
+		t.Fatalf("committed %d checkpoints, want %d", len(cc.cps), cut)
+	}
+
+	// Serialize the boundary checkpoint exactly as the durability layer does.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cc.cps[cut-1]); err != nil {
+		t.Fatal(err)
+	}
+	var decoded HarnessCheckpoint
+	if err := gob.NewDecoder(&buf).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	// Perturb the decider, then restore: RestoreDeciderState must rewind it.
+	rnd.Decide(0, 0, nil)
+	rnd.Decide(0, 0, nil)
+
+	res, err := h.RestoreCheckpoint(&decoded, rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Waves != cut {
+		t.Fatalf("restored Waves = %d, want %d", res.Waves, cut)
+	}
+	if err := h.ResumeRun(res, total-cut, rnd); err != nil {
+		t.Fatal(err)
+	}
+	equalResults(t, res, cleanRes)
+}
+
+// TestRandomDeciderStateRoundTrip exports a mid-sequence decider state into
+// a fresh decider and checks the verdict streams stay aligned.
+func TestRandomDeciderStateRoundTrip(t *testing.T) {
+	orig := NewRandom(0.3, 77)
+	for i := 0; i < 25; i++ {
+		orig.Decide(i, 0, nil)
+	}
+	state, err := orig.DeciderState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewRandom(0.3, 77)
+	if err := restored.RestoreDeciderState(state); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got, want := restored.Decide(i, 0, nil), orig.Decide(i, 0, nil); got != want {
+			t.Fatalf("draw %d: restored = %v, original = %v", i, got, want)
+		}
+	}
+	if err := restored.RestoreDeciderState([]byte{}); err == nil {
+		t.Fatal("RestoreDeciderState(empty): want error")
+	}
+}
+
+// TestRestorePersistedStateShapeMismatch rejects persisted state from a
+// different workload.
+func TestRestorePersistedStateShapeMismatch(t *testing.T) {
+	a := buildInstance(t, testWorkload(0.05), InstanceConfig{})
+	wide := buildInstance(t, wideWorkload(4, 0.05), InstanceConfig{})
+	if err := a.RestorePersistedState(wide.PersistState()); err == nil {
+		t.Fatal("restoring mismatched persisted state: want error")
+	}
+}

@@ -39,6 +39,35 @@ var ErrInjected = errors.New("fault: injected error")
 // ErrInjected, so errors.Is(err, ErrInjected) also holds.
 var ErrDisconnected = fmt.Errorf("%w: injected disconnect", ErrInjected)
 
+// ErrCrashed marks an injected process crash. Once a crash point fires, the
+// injector stays crashed: every later operation fails with ErrCrashed too,
+// modeling a dead process rather than a transient fault. Wraps ErrInjected.
+var ErrCrashed = fmt.Errorf("%w: injected crash", ErrInjected)
+
+// Crash is the error returned at the moment a crash point fires. TornBytes
+// tells write-ahead-log interposition how many bytes of the in-flight record
+// to persist before dying, modeling a torn write; 0 means the record is lost
+// whole. It unwraps to ErrCrashed (and hence ErrInjected).
+type Crash struct {
+	TornBytes int
+}
+
+// Error implements error.
+func (c *Crash) Error() string {
+	if c.TornBytes > 0 {
+		return fmt.Sprintf("fault: injected crash (torn after %d bytes)", c.TornBytes)
+	}
+	return "fault: injected crash"
+}
+
+// Unwrap makes errors.Is(err, ErrCrashed) and errors.Is(err, ErrInjected)
+// hold for *Crash values.
+func (c *Crash) Unwrap() error { return ErrCrashed }
+
+// Torn reports the torn-write byte count. Consumers (internal/durable) match
+// it through an errors.As interface so they need no import of this package.
+func (c *Crash) Torn() int { return c.TornBytes }
+
 // Policy describes what faults to inject and how often. The zero value
 // injects nothing.
 type Policy struct {
@@ -74,6 +103,20 @@ type Policy struct {
 	// Conn wrappers use "read" and "write"; store wrappers use the kvstore
 	// op names ("get", "put", "delete", "scan", "apply", "create_table").
 	Ops map[string]bool
+
+	// CrashPoints maps an operation name to the 1-based occurrence at which
+	// the injector crashes: the Nth Decide for that op returns a *Crash
+	// error and the injector turns permanently dead (every later operation
+	// of any name fails with ErrCrashed). Occurrences are counted per op
+	// name, independent of the Ops filter, and crash decisions consume no
+	// randomness — adding a crash point does not perturb the probabilistic
+	// fault sequence. The durability layer uses ops "wal_append" and
+	// "snapshot".
+	CrashPoints map[string]int
+	// CrashTornBytes is carried on the *Crash error for "torn write"
+	// modeling: how many bytes of the in-flight record survive the crash.
+	// 0 means the record is lost whole.
+	CrashTornBytes int
 }
 
 // Decision is the injector's verdict for one operation, in application
@@ -92,16 +135,19 @@ type Stats struct {
 	Errors      int // ErrInjected failures
 	Latencies   int // delayed operations
 	Disconnects int // injected disconnects
+	Crashes     int // crash points fired (0 or 1; the injector dies crashing)
 }
 
 // Injector evaluates a Policy operation by operation. It is safe for
 // concurrent use; concurrent callers serialize on an internal lock so the
 // decision sequence stays a pure function of arrival order.
 type Injector struct {
-	mu    sync.Mutex
-	p     Policy
-	rng   *rand.Rand
-	stats Stats
+	mu       sync.Mutex
+	p        Policy
+	rng      *rand.Rand
+	stats    Stats
+	opCounts map[string]int // per-op occurrence counts for crash points
+	crashed  bool
 
 	errs    *obs.Counter // nil when no observer is attached
 	delays  *obs.Counter
@@ -141,6 +187,21 @@ func (i *Injector) Stats() Stats {
 func (i *Injector) Decide(op string) Decision {
 	i.mu.Lock()
 	defer i.mu.Unlock()
+	if i.crashed {
+		return Decision{Err: ErrCrashed}
+	}
+	if n, ok := i.p.CrashPoints[op]; ok && n > 0 {
+		if i.opCounts == nil {
+			i.opCounts = make(map[string]int)
+		}
+		i.opCounts[op]++
+		if i.opCounts[op] == n {
+			i.crashed = true
+			i.stats.Crashes++
+			i.errs.Inc() // nil-safe no-op when uninstrumented
+			return Decision{Err: &Crash{TornBytes: i.p.CrashTornBytes}}
+		}
+	}
 	if len(i.p.Ops) > 0 && !i.p.Ops[op] {
 		return Decision{}
 	}
@@ -189,5 +250,14 @@ func (i *Injector) StoreHook() func(op, table string) error {
 			return fmt.Errorf("table %q: %w", table, err)
 		}
 		return nil
+	}
+}
+
+// OpHook adapts the injector to the single-argument per-operation hook shape
+// func(op) error used by the durability layer. Crash decisions pass the
+// *Crash error through unwrapped so the caller can read TornBytes.
+func (i *Injector) OpHook() func(op string) error {
+	return func(op string) error {
+		return i.Decide(op).apply()
 	}
 }

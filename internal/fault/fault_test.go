@@ -245,3 +245,63 @@ func TestDialerWrapsConn(t *testing.T) {
 		t.Fatalf("dialed-conn Write err = %v, want ErrInjected", err)
 	}
 }
+
+func TestInjectorCrashPoint(t *testing.T) {
+	inj := New(Policy{
+		Seed:           1,
+		CrashPoints:    map[string]int{"wal_append": 3},
+		CrashTornBytes: 7,
+	})
+	for n := 1; n <= 2; n++ {
+		if d := inj.Decide("wal_append"); d.Err != nil {
+			t.Fatalf("append %d: unexpected error %v", n, d.Err)
+		}
+	}
+	// Other ops do not advance the wal_append count.
+	if d := inj.Decide("snapshot"); d.Err != nil {
+		t.Fatalf("snapshot: unexpected error %v", d.Err)
+	}
+	d := inj.Decide("wal_append")
+	if !errors.Is(d.Err, ErrCrashed) || !errors.Is(d.Err, ErrInjected) {
+		t.Fatalf("3rd append: err = %v, want ErrCrashed wrapping ErrInjected", d.Err)
+	}
+	var crash *Crash
+	if !errors.As(d.Err, &crash) || crash.TornBytes != 7 {
+		t.Fatalf("3rd append: err = %#v, want *Crash{TornBytes: 7}", d.Err)
+	}
+	// The injector is now permanently dead for every op.
+	for _, op := range []string{"wal_append", "snapshot", "get"} {
+		if d := inj.Decide(op); !errors.Is(d.Err, ErrCrashed) {
+			t.Fatalf("post-crash %s: err = %v, want ErrCrashed", op, d.Err)
+		}
+	}
+	st := inj.Stats()
+	if st.Crashes != 1 {
+		t.Fatalf("Crashes = %d, want 1", st.Crashes)
+	}
+}
+
+func TestInjectorCrashPointDoesNotPerturbRandomStream(t *testing.T) {
+	p := Policy{Seed: 42, ErrorRate: 0.5}
+	plain := decisions(p, "op", 40)
+	p.CrashPoints = map[string]int{"op": 100} // never reached in 40 ops
+	withCrash := decisions(p, "op", 40)
+	for i := range plain {
+		if (plain[i].Err == nil) != (withCrash[i].Err == nil) {
+			t.Fatalf("decision %d diverged once a crash point was configured", i)
+		}
+	}
+}
+
+func TestInjectorOpHook(t *testing.T) {
+	inj := New(Policy{CrashPoints: map[string]int{"wal_append": 1}, CrashTornBytes: 3})
+	hook := inj.OpHook()
+	if err := hook("snapshot"); err != nil {
+		t.Fatalf("snapshot: unexpected error %v", err)
+	}
+	err := hook("wal_append")
+	var crash *Crash
+	if !errors.As(err, &crash) || crash.TornBytes != 3 {
+		t.Fatalf("hook err = %v, want *Crash{TornBytes: 3}", err)
+	}
+}

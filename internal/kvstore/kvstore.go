@@ -112,9 +112,10 @@ func (c Cell) Key() string { return c.Row + "/" + c.Column }
 // Store is a collection of named tables sharing a logical clock. The zero
 // value is not usable; create stores with New.
 type Store struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
-	clock  uint64
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	clock   uint64
+	created []func(t *Table)
 
 	// ins holds pre-resolved observability counters; nil when detached.
 	// An atomic pointer keeps the hot read/write paths lock-free and lets
@@ -161,6 +162,39 @@ func (s *Store) nextTimestamp() uint64 {
 	return s.clock
 }
 
+// Clock returns the current value of the store's logical clock: the timestamp
+// most recently assigned to a mutation (0 for a fresh store). Durability
+// layers record it alongside checkpoints so recovery can restore it.
+func (s *Store) Clock() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.clock
+}
+
+// SetClock forces the logical clock to c, so the next mutation is stamped
+// c+1. It exists for crash recovery — replaying a log reproduces the exact
+// timestamp sequence only if the clock also resumes from the recorded value.
+// It must not be called concurrently with mutations.
+func (s *Store) SetClock(c uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock = c
+}
+
+// OnTableCreate registers a hook invoked synchronously whenever a table is
+// created, before CreateTable (or EnsureTable) returns it to the caller.
+// Existing tables do not retro-fire; callers wanting full coverage should
+// walk TableNames first. Durability layers use this to subscribe to every
+// table a workload creates without interposing on the creation path.
+func (s *Store) OnTableCreate(hook func(t *Table)) {
+	if hook == nil {
+		return
+	}
+	s.mu.Lock()
+	s.created = append(s.created, hook)
+	s.mu.Unlock()
+}
+
 // TableOptions configures table creation.
 type TableOptions struct {
 	// MaxVersions bounds retained versions per cell; 0 means
@@ -179,8 +213,8 @@ func (s *Store) CreateTable(name string, opts TableOptions) (*Table, error) {
 		maxVersions = DefaultMaxVersions
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.tables[name]; ok {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrTableExists, name)
 	}
 	t := &Table{
@@ -190,6 +224,12 @@ func (s *Store) CreateTable(name string, opts TableOptions) (*Table, error) {
 		rows:        make(map[string]map[string][]Version),
 	}
 	s.tables[name] = t
+	hooks := make([]func(t *Table), len(s.created))
+	copy(hooks, s.created)
+	s.mu.Unlock()
+	for _, hook := range hooks {
+		hook(t)
+	}
 	return t, nil
 }
 

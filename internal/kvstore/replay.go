@@ -1,0 +1,78 @@
+package kvstore
+
+// Replay operations rebuild table state from a durability log. Unlike Put and
+// Delete they take explicit timestamps, never advance the store clock, never
+// notify observers, and are idempotent — replaying the same record twice (as
+// can happen when a write-ahead log overlaps a snapshot) leaves the table
+// bit-identical to replaying it once.
+
+// MaxVersions returns the per-cell version bound the table was created with.
+func (t *Table) MaxVersions() int { return t.maxVersions }
+
+// ReplayPut inserts a version with an explicit timestamp at (row, column).
+// Versions are kept ordered by timestamp, a version whose timestamp already
+// exists in the cell is skipped, and the cell is trimmed to MaxVersions
+// oldest-first — so an in-order replay reproduces exactly what the original
+// Put sequence built. Observers are not notified and the store clock is
+// untouched; callers restore the clock separately (Store.SetClock).
+func (t *Table) ReplayPut(row, column string, value []byte, ts uint64) error {
+	if row == "" || column == "" {
+		return ErrEmptyKey
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cols, ok := t.rows[row]
+	if !ok {
+		cols = make(map[string][]Version)
+		t.rows[row] = cols
+		t.rowKeys = nil
+	}
+	if _, ok := cols[column]; !ok {
+		delete(t.colKeys, row)
+	}
+	versions := cols[column]
+	// Find the insertion point; versions are newest-last.
+	idx := len(versions)
+	for idx > 0 && versions[idx-1].Timestamp > ts {
+		idx--
+	}
+	if idx > 0 && versions[idx-1].Timestamp == ts {
+		return nil // duplicate replay of the same record
+	}
+	stored := make([]byte, len(value))
+	copy(stored, value)
+	versions = append(versions, Version{})
+	copy(versions[idx+1:], versions[idx:])
+	versions[idx] = Version{Timestamp: ts, Value: stored}
+	if len(versions) > t.maxVersions {
+		versions = versions[len(versions)-t.maxVersions:]
+	}
+	cols[column] = versions
+	return nil
+}
+
+// ReplayDelete removes a cell during log replay. Like the live Delete it
+// drops the whole cell; deleting a missing cell is a no-op, which is what
+// makes replay of delete records idempotent. Observers are not notified and
+// the store clock is untouched.
+func (t *Table) ReplayDelete(row, column string) error {
+	if row == "" || column == "" {
+		return ErrEmptyKey
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cols, ok := t.rows[row]
+	if !ok {
+		return nil
+	}
+	if _, ok := cols[column]; !ok {
+		return nil
+	}
+	delete(cols, column)
+	delete(t.colKeys, row)
+	if len(cols) == 0 {
+		delete(t.rows, row)
+		t.rowKeys = nil
+	}
+	return nil
+}

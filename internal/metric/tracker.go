@@ -207,6 +207,54 @@ func (t *Tracker) Restore(s TrackerState) {
 	t.hasBaseline = s.hasBaseline
 }
 
+// PersistedTracker is the exported, serialization-friendly form of a
+// tracker's state, used by the durability layer to checkpoint ε/ι accounting
+// across process crashes. Unlike TrackerState it deep-copies the baselines,
+// so a persisted value stays valid however the live tracker evolves.
+type PersistedTracker struct {
+	ExecBaseline State
+	WaveBaseline State
+	Accumulated  float64
+	Current      float64
+	HasBaseline  bool
+}
+
+// cloneState deep-copies a container snapshot; nil stays nil.
+func cloneState(s State) State {
+	if s == nil {
+		return nil
+	}
+	out := make(State, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Persist captures the tracker's complete state in exported, deep-copied
+// form. The tracker's factory and mode are construction-time configuration
+// and are not part of the persisted state; RestorePersisted must be called
+// on a tracker built with the same factory and mode.
+func (t *Tracker) Persist() PersistedTracker {
+	return PersistedTracker{
+		ExecBaseline: cloneState(t.execBaseline),
+		WaveBaseline: cloneState(t.waveBaseline),
+		Accumulated:  t.accumulated,
+		Current:      t.current,
+		HasBaseline:  t.hasBaseline,
+	}
+}
+
+// RestorePersisted rewinds the tracker to a persisted snapshot, deep-copying
+// so later persisted values are independent of this tracker.
+func (t *Tracker) RestorePersisted(s PersistedTracker) {
+	t.execBaseline = cloneState(s.ExecBaseline)
+	t.waveBaseline = cloneState(s.WaveBaseline)
+	t.accumulated = s.Accumulated
+	t.current = s.Current
+	t.hasBaseline = s.HasBaseline
+}
+
 // Reset clears all tracker state, as if freshly constructed.
 func (t *Tracker) Reset() {
 	t.execBaseline = nil

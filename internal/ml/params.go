@@ -1,0 +1,143 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Fitted-parameter export. Trees and forests are pure functions of their
+// node tables once fitted, so checkpointing the exported parameter structs
+// and rebuilding from them yields a classifier whose Score is bit-identical
+// to the original — the property the durability layer's "trained forest
+// parameters" snapshot relies on.
+
+// NodeParams is the exported form of one tree node. Leaves have
+// Feature == -1; Left/Right index into the owning TreeParams.Nodes.
+type NodeParams struct {
+	Feature   int
+	Threshold float64
+	Left      int
+	Right     int
+	Prob      float64
+}
+
+// TreeParams is the exported form of a fitted decision tree.
+type TreeParams struct {
+	Config   TreeConfig
+	Features int
+	Nodes    []NodeParams
+}
+
+// Params exports the tree's fitted parameters. An unfitted tree exports an
+// empty node table; restoring it yields an unfitted tree.
+func (t *Tree) Params() TreeParams {
+	nodes := make([]NodeParams, len(t.nodes))
+	for i, n := range t.nodes {
+		nodes[i] = NodeParams{
+			Feature:   n.feature,
+			Threshold: n.threshold,
+			Left:      n.left,
+			Right:     n.right,
+			Prob:      n.prob,
+		}
+	}
+	return TreeParams{Config: t.cfg, Features: t.features, Nodes: nodes}
+}
+
+// TreeFromParams rebuilds a tree from exported parameters. The result scores
+// bit-identically to the exporting tree and can be refitted like any tree
+// built with the same config.
+func TreeFromParams(p TreeParams) *Tree {
+	cfg := p.Config.withDefaults()
+	t := &Tree{
+		cfg:      cfg,
+		features: p.Features,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		nodes:    make([]treeNode, len(p.Nodes)),
+	}
+	for i, n := range p.Nodes {
+		t.nodes[i] = treeNode{
+			feature:   n.Feature,
+			threshold: n.Threshold,
+			left:      n.Left,
+			right:     n.Right,
+			prob:      n.Prob,
+		}
+	}
+	return t
+}
+
+// ForestParams is the exported form of a fitted random forest.
+type ForestParams struct {
+	Config   ForestConfig
+	Features int
+	Trees    []TreeParams
+	OOBScore float64
+	HasOOB   bool
+}
+
+// Params exports the forest's fitted parameters, including the out-of-bag
+// estimate computed during Fit.
+func (f *Forest) Params() ForestParams {
+	trees := make([]TreeParams, len(f.trees))
+	for i, tree := range f.trees {
+		trees[i] = tree.Params()
+	}
+	return ForestParams{
+		Config:   f.cfg,
+		Features: f.features,
+		Trees:    trees,
+		OOBScore: f.oobScore,
+		HasOOB:   f.hasOOB,
+	}
+}
+
+// ForestFromParams rebuilds a forest from exported parameters. Scoring is
+// bit-identical to the exporting forest: per-tree probabilities are reduced
+// in tree order regardless of parallelism.
+func ForestFromParams(p ForestParams) *Forest {
+	f := NewForest(p.Config)
+	f.features = p.Features
+	f.oobScore = p.OOBScore
+	f.hasOOB = p.HasOOB
+	f.trees = make([]*Tree, len(p.Trees))
+	for i, tp := range p.Trees {
+		f.trees[i] = TreeFromParams(tp)
+	}
+	return f
+}
+
+// ParamsOf exports the fitted parameters of any supported classifier.
+// It returns an error for classifier types without a parameter form.
+func ParamsOf(c Classifier) (ClassifierParams, error) {
+	switch m := c.(type) {
+	case *Forest:
+		return ClassifierParams{Forest: ptr(m.Params())}, nil
+	case *Tree:
+		return ClassifierParams{Tree: ptr(m.Params())}, nil
+	default:
+		return ClassifierParams{}, fmt.Errorf("ml: classifier %T has no exportable parameters", c)
+	}
+}
+
+// ClassifierParams is a tagged union over the exportable classifier kinds,
+// shaped for encoding/gob (exactly one field is non-nil).
+type ClassifierParams struct {
+	Forest *ForestParams
+	Tree   *TreeParams
+}
+
+// Build rebuilds the classifier the params were exported from.
+func (p ClassifierParams) Build() (Classifier, error) {
+	switch {
+	case p.Forest != nil:
+		return ForestFromParams(*p.Forest), nil
+	case p.Tree != nil:
+		return TreeFromParams(*p.Tree), nil
+	default:
+		return nil, fmt.Errorf("ml: empty classifier params")
+	}
+}
+
+// ptr returns a pointer to v; a local generic helper for literal unions.
+func ptr[T any](v T) *T { return &v }

@@ -1,0 +1,128 @@
+package ml
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// paramsDataset builds a deterministic two-feature dataset with a noisy
+// nonlinear boundary so fitted trees are non-trivial.
+func paramsDataset(n int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := Dataset{X: make([][]float64, n), Y: make([]int, n)}
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		d.X[i] = []float64{a, b}
+		if a*a+b > 0.9 && rng.Float64() > 0.1 {
+			d.Y[i] = 1
+		}
+	}
+	return d
+}
+
+func TestForestParamsRoundTripBitIdentical(t *testing.T) {
+	d := paramsDataset(200, 3)
+	f := NewForest(ForestConfig{Trees: 25, Seed: 11, PositiveWeight: 2})
+	if err := f.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	p := f.Params()
+
+	// Serialize through gob, as the durability layer does.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		t.Fatal(err)
+	}
+	var decoded ForestParams
+	if err := gob.NewDecoder(&buf).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	restored := ForestFromParams(decoded)
+
+	if got, want := restored.TreeCount(), f.TreeCount(); got != want {
+		t.Fatalf("TreeCount = %d, want %d", got, want)
+	}
+	gotOOB, gotOK := restored.OOBAccuracy()
+	wantOOB, wantOK := f.OOBAccuracy()
+	if gotOK != wantOK || math.Float64bits(gotOOB) != math.Float64bits(wantOOB) {
+		t.Fatalf("OOB = (%v, %v), want (%v, %v)", gotOOB, gotOK, wantOOB, wantOK)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		x := []float64{rng.Float64() * 1.5, rng.Float64() * 1.5}
+		want, err := f.Score(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.Score(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("Score(%v) = %v, want bit-identical %v", x, got, want)
+		}
+	}
+}
+
+func TestTreeParamsRoundTrip(t *testing.T) {
+	d := paramsDataset(120, 5)
+	tree := NewTree(TreeConfig{Criterion: Entropy, MaxDepth: 6})
+	if err := tree.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	restored := TreeFromParams(tree.Params())
+	if got, want := restored.NodeCount(), tree.NodeCount(); got != want {
+		t.Fatalf("NodeCount = %d, want %d", got, want)
+	}
+	for i := range d.X {
+		want, err := tree.Score(d.X[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.Score(d.X[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("Score(%v) = %v, want %v", d.X[i], got, want)
+		}
+	}
+	// A restored tree must be refittable like a fresh one.
+	if err := restored.Fit(d); err != nil {
+		t.Fatalf("refit restored tree: %v", err)
+	}
+}
+
+func TestClassifierParamsUnion(t *testing.T) {
+	d := paramsDataset(80, 7)
+	f := NewForest(ForestConfig{Trees: 5, Seed: 2})
+	if err := f.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParamsOf(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := clf.(*Forest); !ok {
+		t.Fatalf("Build returned %T, want *Forest", clf)
+	}
+	if _, err := (ClassifierParams{}).Build(); err == nil {
+		t.Fatal("empty params Build: want error")
+	}
+	if _, err := ParamsOf(stubClassifier{}); err == nil {
+		t.Fatal("ParamsOf(stub): want error")
+	}
+}
+
+// stubClassifier is a Classifier with no parameter form.
+type stubClassifier struct{}
+
+func (stubClassifier) Fit(Dataset) error                { return nil }
+func (stubClassifier) Score([]float64) (float64, error) { return 0, nil }

@@ -41,6 +41,7 @@ import (
 	"io"
 
 	"smartflux/internal/core"
+	"smartflux/internal/durable"
 	"smartflux/internal/engine"
 	"smartflux/internal/kvstore"
 	"smartflux/internal/kvstore/kvnet"
@@ -311,6 +312,53 @@ func NewInstanceWithConfig(wf *Workflow, store *Store, cfg InstanceConfig) (*Ins
 // model construction with the test phase, then adaptive application.
 func RunPipeline(build BuildFunc, reportSteps []StepID, cfg PipelineConfig) (*PipelineResult, error) {
 	return core.RunPipeline(build, reportSteps, cfg)
+}
+
+// Crash durability (DESIGN.md §11): every kvstore mutation is written to a
+// CRC-checksummed write-ahead log, every completed wave commits a full
+// harness + session checkpoint, and periodic snapshots compact the log.
+// After a crash, ResumePipeline reconstructs the stores and the learning
+// state from the latest snapshot plus the WAL tail and continues the run —
+// bit-identically to an execution that never crashed.
+type (
+	// DurableOptions configures the durability directory, snapshot cadence
+	// and fsync policy of a durable run.
+	DurableOptions = core.DurableOptions
+	// DurableRunInfo reports recovery and WAL statistics of a durable run.
+	DurableRunInfo = core.DurableRunInfo
+	// FsyncMode selects when the write-ahead log is flushed to disk.
+	FsyncMode = durable.FsyncMode
+	// DurableStats holds the WAL manager's cumulative counters.
+	DurableStats = durable.Stats
+	// RecoveryStats summarizes one crash recovery.
+	RecoveryStats = durable.RecoveryStats
+)
+
+// Fsync policies for DurableOptions.Fsync.
+const (
+	// FsyncCommit flushes once per committed wave (the default).
+	FsyncCommit = durable.FsyncCommit
+	// FsyncAlways flushes after every appended record.
+	FsyncAlways = durable.FsyncAlways
+	// FsyncNever leaves flushing to the OS.
+	FsyncNever = durable.FsyncNever
+)
+
+// ParseFsyncMode parses "commit", "always" or "never".
+func ParseFsyncMode(s string) (FsyncMode, error) { return durable.ParseFsyncMode(s) }
+
+// RunPipelineDurable is RunPipeline with crash durability under opts.Dir.
+// The directory must not already hold durable state; use ResumePipeline to
+// continue a crashed run.
+func RunPipelineDurable(build BuildFunc, reportSteps []StepID, cfg PipelineConfig, opts DurableOptions) (*PipelineResult, *DurableRunInfo, error) {
+	return core.RunPipelineDurable(build, reportSteps, cfg, opts)
+}
+
+// ResumePipeline continues a crashed durable pipeline from the state under
+// opts.Dir. cfg must match the original run; the result is bit-identical to
+// an uncrashed RunPipelineDurable.
+func ResumePipeline(build BuildFunc, reportSteps []StepID, cfg PipelineConfig, opts DurableOptions) (*PipelineResult, *DurableRunInfo, error) {
+	return core.ResumePipeline(build, reportSteps, cfg, opts)
 }
 
 // Triggering policies.
