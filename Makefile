@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-report check chaos chaos-crash bench
+.PHONY: all build test race vet lint lint-report check chaos chaos-crash chaos-trace bench
 
 all: check
 
@@ -41,6 +41,17 @@ chaos:
 ## records, asserting bit-identical recovery (DESIGN.md §11)
 chaos-crash:
 	$(GO) test -race -run 'TestCrashChaos' -v .
+
+## chaos-trace: the chaos suite with span emission enabled — every run
+## appends causal spans + decision events to chaos-spans.jsonl (several runs
+## share the stream; sftrace's last-wins duplicate handling absorbs the ID
+## reuse), then sftrace analyzes it offline into sftrace-report.txt. CI
+## uploads both as artifacts.
+chaos-trace:
+	rm -f chaos-spans.jsonl
+	SMARTFLUX_CHAOS_SPAN_OUT=$(CURDIR)/chaos-spans.jsonl $(GO) test -race -run 'TestChaos' .
+	$(GO) run ./cmd/sftrace -waves 6 chaos-spans.jsonl > sftrace-report.txt
+	@head -n 40 sftrace-report.txt
 
 ## check: the pre-PR gate — build, vet, lint, tests, race, chaos, chaos-crash
 check: build vet lint test race chaos chaos-crash

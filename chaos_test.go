@@ -3,6 +3,7 @@ package smartflux_test
 import (
 	"fmt"
 	"math"
+	"os"
 	"strconv"
 	"strings"
 	"testing"
@@ -173,6 +174,26 @@ func equalFloats(a, b []float64) bool {
 	return true
 }
 
+// chaosObserver builds the suite's observer. When SMARTFLUX_CHAOS_SPAN_OUT
+// names a file, causal spans and decision events are appended there as one
+// JSONL stream so CI can publish the raw trace plus an sftrace report for
+// the whole chaos suite; unset (the default) it adds no span sinks and the
+// suite runs with span emission disabled, exactly as before.
+func chaosObserver(t *testing.T, reg *smartflux.MetricsRegistry, sinks ...smartflux.TraceSink) *smartflux.RunObserver {
+	t.Helper()
+	path := os.Getenv("SMARTFLUX_CHAOS_SPAN_OUT")
+	if path == "" {
+		return smartflux.NewRunObserver(reg, sinks...)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("SMARTFLUX_CHAOS_SPAN_OUT: %v", err)
+	}
+	t.Cleanup(func() { _ = f.Close() })
+	jsonl := smartflux.NewJSONLTraceSink(f)
+	return smartflux.NewRunObserver(reg, append(sinks, smartflux.TraceSink(jsonl))...).WithSpanSinks(jsonl)
+}
+
 type chaosOutcome struct {
 	rig       *chaosRig
 	dumps     []string
@@ -196,7 +217,7 @@ func runChaosPipeline(t *testing.T, p fault.Policy) chaosOutcome {
 			Thresholds:     []float64{0.15},
 			PositiveWeight: 12,
 		},
-		Obs: smartflux.NewRunObserver(reg, smartflux.NewTraceRing(8)),
+		Obs: chaosObserver(t, reg, smartflux.NewTraceRing(8)),
 		Resilience: smartflux.HarnessConfig{
 			StepRetries: 30,
 			RetrySeed:   5,
@@ -427,7 +448,7 @@ func TestChaosDegradedStepsInTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	harness.Instrument(smartflux.NewRunObserver(reg, ring))
+	harness.Instrument(chaosObserver(t, reg, ring))
 	res, err := harness.Run(30, smartflux.SyncPolicy())
 	if err != nil {
 		t.Fatalf("degraded run must complete: %v", err)

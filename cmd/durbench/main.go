@@ -55,9 +55,17 @@ func run(args []string) error {
 	out := fs.String("out", "BENCH_PR5.json", "output file (- = stdout)")
 	iters := fs.Int("iters", 200, "waves per variant")
 	sensors := fs.Int("sensors", 20, "writes per wave in the benchmark workload")
+	obsAddr := fs.String("obs-addr", "", "serve /metrics, /trace/tail, /trace/spans and /debug/pprof on this address while benchmarks run")
+	traceOut := fs.String("trace-out", "", "append decision-trace events as JSON lines to this file (adds sink cost to the measured waves)")
+	spanOut := fs.String("span-out", "", "append causal spans (plus decision events) as JSON lines to this file, readable by sftrace (adds sink cost to the measured waves)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	observer, obsClose, err := buildObserver(*obsAddr, *traceOut, *spanOut)
+	if err != nil {
+		return err
+	}
+	defer obsClose()
 	testing.Init()
 	if err := flag.Set("test.benchtime", fmt.Sprintf("%dx", *iters)); err != nil {
 		return err
@@ -71,12 +79,12 @@ func run(args []string) error {
 			"mutation logging, the per-wave commit checkpoint and periodic snapshots",
 	}
 
-	baseline, err := benchWaves(*sensors, false, durable.FsyncNever)
+	baseline, err := benchWaves(*sensors, false, durable.FsyncNever, observer)
 	if err != nil {
 		return err
 	}
 	for _, mode := range []durable.FsyncMode{durable.FsyncCommit, durable.FsyncNever} {
-		on, err := benchWaves(*sensors, true, mode)
+		on, err := benchWaves(*sensors, true, mode, observer)
 		if err != nil {
 			return err
 		}
@@ -101,6 +109,59 @@ func run(args []string) error {
 	return os.WriteFile(*out, data, 0o644)
 }
 
+// buildObserver wires the -obs-addr/-trace-out/-span-out flags into one
+// observer shared by every benchmark variant. All three empty yields nil
+// (uninstrumented waves, the default measurement). When a sink is attached
+// its cost is part of what the benchmark measures — that is the point: the
+// span JSONL feeds sftrace's per-layer WAL breakdown.
+func buildObserver(obsAddr, traceOut, spanOut string) (*smartflux.RunObserver, func(), error) {
+	if obsAddr == "" && traceOut == "" && spanOut == "" {
+		return nil, func() {}, nil
+	}
+	registry := smartflux.NewMetricsRegistry()
+	var (
+		sinks     []smartflux.TraceSink
+		spanSinks []smartflux.SpanSink
+		closers   []func()
+	)
+	closeAll := func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return nil, closeAll, fmt.Errorf("trace-out: %w", err)
+		}
+		closers = append(closers, func() { _ = f.Close() })
+		sinks = append(sinks, smartflux.NewJSONLTraceSink(f))
+	}
+	if spanOut != "" {
+		f, err := os.Create(spanOut)
+		if err != nil {
+			return nil, closeAll, fmt.Errorf("span-out: %w", err)
+		}
+		closers = append(closers, func() { _ = f.Close() })
+		spanl := smartflux.NewJSONLTraceSink(f)
+		sinks = append(sinks, spanl)
+		spanSinks = append(spanSinks, spanl)
+	}
+	if obsAddr != "" {
+		ring := smartflux.NewTraceRing(4096)
+		sinks = append(sinks, ring)
+		spanRing := smartflux.NewSpanRing(4096)
+		spanSinks = append(spanSinks, spanRing)
+		srv, err := smartflux.StartDebugServer(obsAddr, registry, ring, spanRing)
+		if err != nil {
+			return nil, closeAll, fmt.Errorf("obs-addr: %w", err)
+		}
+		closers = append(closers, func() { _ = srv.Close() })
+		fmt.Fprintf(os.Stderr, "durbench: observability on http://%s\n", srv.Addr())
+	}
+	return smartflux.NewRunObserver(registry, sinks...).WithSpanSinks(spanSinks...), closeAll, nil
+}
+
 // overhead is the WAL-on cost relative to the WAL-off baseline, in percent.
 func overhead(off, on int64) float64 {
 	if off <= 0 {
@@ -121,8 +182,8 @@ func (c *walCommitter) CommitWave(hcp *engine.HarnessCheckpoint) error {
 }
 
 // benchWaves times one harness wave with durability off or on under the
-// given flush policy.
-func benchWaves(sensors int, durableOn bool, mode durable.FsyncMode) (int64, error) {
+// given flush policy; observer (may be nil) instruments the harness and WAL.
+func benchWaves(sensors int, durableOn bool, mode durable.FsyncMode, observer *smartflux.RunObserver) (int64, error) {
 	cfg := engine.HarnessConfig{}
 	var mgr *durable.Manager
 	if durableOn {
@@ -131,7 +192,7 @@ func benchWaves(sensors int, durableOn bool, mode durable.FsyncMode) (int64, err
 			return 0, err
 		}
 		defer func() { _ = os.RemoveAll(dir) }()
-		mgr, err = durable.Open(durable.Options{Dir: dir, Fsync: mode})
+		mgr, err = durable.Open(durable.Options{Dir: dir, Fsync: mode, Obs: observer})
 		if err != nil {
 			return 0, err
 		}
@@ -140,6 +201,9 @@ func benchWaves(sensors int, durableOn bool, mode durable.FsyncMode) (int64, err
 	harness, err := engine.NewHarnessWithConfig(benchWorkload(sensors), nil, cfg)
 	if err != nil {
 		return 0, err
+	}
+	if observer != nil {
+		harness.Instrument(observer)
 	}
 	if durableOn {
 		if err := mgr.Register("live", harness.Live().Store()); err != nil {

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"smartflux/internal/experiments"
+	"smartflux/internal/obs"
 )
 
 func main() {
@@ -40,11 +41,20 @@ func run(args []string, out *os.File) error {
 	seed := fs.Int64("seed", 42, "deterministic seed")
 	scale := fs.Float64("scale", 1, "wave-count scale factor (1 = paper-length runs)")
 	jobs := fs.Int("j", 0, "concurrent (workload, bound) pipeline runs: 0 = GOMAXPROCS, 1 = one at a time (output is identical either way)")
+	obsAddr := fs.String("obs-addr", "", "serve /metrics, /trace/tail, /trace/spans and /debug/pprof on this address while experiments run")
+	traceOut := fs.String("trace-out", "", "append decision-trace events from every pipeline as JSON lines to this file")
+	spanOut := fs.String("span-out", "", "append causal spans (plus decision events) as JSON lines to this file, readable by sftrace; prefer -j 1 and a single -fig so runs don't interleave")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	runner := experiments.NewRunner(experiments.Config{Seed: *seed, Scale: *scale, Jobs: *jobs})
+	observer, obsClose, err := buildObserver(*obsAddr, *traceOut, *spanOut, out)
+	if err != nil {
+		return err
+	}
+	defer obsClose()
+
+	runner := experiments.NewRunner(experiments.Config{Seed: *seed, Scale: *scale, Jobs: *jobs, Obs: observer})
 	selected := strings.Split(*fig, ",")
 	all := *fig == "all"
 
@@ -148,6 +158,60 @@ func run(args []string, out *os.File) error {
 		return fmt.Errorf("unknown experiment %q", *fig)
 	}
 	return nil
+}
+
+// buildObserver wires the -obs-addr/-trace-out/-span-out flags into one
+// observer instrumenting every pipeline the runner executes; the returned
+// close function flushes the JSONL files and stops the debug server. All
+// three flags empty yields a nil observer (no instrumentation overhead).
+func buildObserver(obsAddr, traceOut, spanOut string, out *os.File) (*obs.Observer, func(), error) {
+	if obsAddr == "" && traceOut == "" && spanOut == "" {
+		return nil, func() {}, nil
+	}
+	registry := obs.NewRegistry()
+	var (
+		sinks     []obs.Sink
+		spanSinks []obs.SpanSink
+		closers   []func()
+	)
+	closeAll := func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return nil, closeAll, fmt.Errorf("trace-out: %w", err)
+		}
+		closers = append(closers, func() { _ = f.Close() })
+		sinks = append(sinks, obs.NewJSONLSink(f))
+	}
+	if spanOut != "" {
+		f, err := os.Create(spanOut)
+		if err != nil {
+			return nil, closeAll, fmt.Errorf("span-out: %w", err)
+		}
+		closers = append(closers, func() { _ = f.Close() })
+		// One sink carries both record kinds so sftrace can correlate the
+		// ε-spend timeline with skip decisions from a single file.
+		spanl := obs.NewJSONLSink(f)
+		sinks = append(sinks, spanl)
+		spanSinks = append(spanSinks, spanl)
+	}
+	if obsAddr != "" {
+		ring := obs.NewRingSink(4096)
+		sinks = append(sinks, ring)
+		spanRing := obs.NewSpanRing(4096)
+		spanSinks = append(spanSinks, spanRing)
+		srv, err := obs.StartDebugServer(obsAddr, registry, ring, spanRing)
+		if err != nil {
+			return nil, closeAll, fmt.Errorf("obs-addr: %w", err)
+		}
+		closers = append(closers, func() { _ = srv.Close() })
+		fmt.Fprintf(out, "observability on http://%s (/metrics, /trace/tail, /trace/spans, /debug/pprof)\n", srv.Addr())
+	}
+	return obs.New(registry, sinks...).WithSpanSinks(spanSinks...), closeAll, nil
 }
 
 // prewarmTargets lists every (workload, bound) pipeline the selected figures

@@ -1,0 +1,66 @@
+// Command sftrace analyzes SmartFlux span logs offline. It reads one or more
+// mixed JSONL trace files (span records plus decision records, as written by
+// smartflux -span-out or the durable layer's flight recorder) and reports:
+//
+//   - per-wave critical-path analysis: the dependency chain of step execute
+//     times that bounds each wave's latency, and the slack between that chain
+//     and the observed wave duration;
+//   - a per-layer latency breakdown (engine / store / net / wal / ml) with
+//     p50/p95/p99 over each operation kind;
+//   - retry and degradation hot spots, and the errors that caused them;
+//   - a per-wave ε-spend timeline correlating executed/skipped decisions with
+//     the simulated output error the skips charged.
+//
+// Lines are tolerated out of order, truncated (the tail of a crashed run) and
+// duplicated (wave retries re-emit the same deterministic span IDs; the last
+// record wins). Unknown record types are counted and skipped so the format
+// can grow.
+//
+// Usage:
+//
+//	sftrace [-top n] [-waves n] [trace.jsonl ...]
+//
+// With no file arguments sftrace reads stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	top := flag.Int("top", 5, "how many retry/degradation hot spots to list")
+	waves := flag.Int("waves", 0, "limit per-wave tables to the first n waves (0 = all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: sftrace [flags] [trace.jsonl ...]\n\nreads mixed span+decision JSONL (stdin when no files are given)\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	tr := newTrace()
+	if flag.NArg() == 0 {
+		if err := tr.readFrom(os.Stdin); err != nil {
+			fmt.Fprintf(os.Stderr, "sftrace: stdin: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sftrace: %v\n", err)
+			os.Exit(1)
+		}
+		rerr := tr.readFrom(f)
+		_ = f.Close()
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "sftrace: %s: %v\n", path, rerr)
+			os.Exit(1)
+		}
+	}
+	if len(tr.spans) == 0 && len(tr.decisions) == 0 {
+		fmt.Fprintln(os.Stderr, "sftrace: no span or decision records found")
+		os.Exit(1)
+	}
+	writeReport(os.Stdout, tr, *top, *waves)
+}

@@ -38,8 +38,9 @@ func run(args []string, out io.Writer) error {
 	apply := fs.Int("apply", 384, "application waves")
 	seed := fs.Int64("seed", 42, "deterministic seed")
 	parallelism := fs.Int("parallelism", 0, "per-wave worker bound: 0 = GOMAXPROCS, 1 = sequential (results are identical either way)")
-	obsAddr := fs.String("obs-addr", "", "serve /metrics, /trace/tail and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
+	obsAddr := fs.String("obs-addr", "", "serve /metrics, /trace/tail, /trace/spans and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
 	traceOut := fs.String("trace-out", "", "append decision-trace events as JSON lines to this file")
+	spanOut := fs.String("span-out", "", "append causal spans (plus decision events) as JSON lines to this file, readable by sftrace")
 	stepTimeout := fs.Duration("step-timeout", 0, "per-step execution timeout (0 = unbounded)")
 	retryMax := fs.Int("retry-max", 0, "extra attempts a failed or timed-out step gets within a wave")
 	retryBackoff := fs.Duration("retry-backoff", 10*time.Millisecond, "base delay between step retries (doubles per attempt, seeded jitter)")
@@ -74,10 +75,12 @@ func run(args []string, out io.Writer) error {
 		registry *smartflux.MetricsRegistry
 		observer *smartflux.RunObserver
 		jsonl    *smartflux.JSONLTraceSink
+		spanl    *smartflux.JSONLTraceSink
 	)
-	if *obsAddr != "" || *traceOut != "" {
+	if *obsAddr != "" || *traceOut != "" || *spanOut != "" {
 		registry = smartflux.NewMetricsRegistry()
 		var sinks []smartflux.TraceSink
+		var spanSinks []smartflux.SpanSink
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
 			if err != nil {
@@ -92,17 +95,36 @@ func run(args []string, out io.Writer) error {
 			jsonl = smartflux.NewJSONLTraceSink(f)
 			sinks = append(sinks, jsonl)
 		}
+		if *spanOut != "" {
+			f, err := os.Create(*spanOut)
+			if err != nil {
+				return fmt.Errorf("span-out: %w", err)
+			}
+			defer func() {
+				if cerr := f.Close(); cerr != nil {
+					fmt.Fprintln(os.Stderr, "smartflux: span-out close:", cerr)
+				}
+			}()
+			// One sink carries both record kinds so sftrace can correlate
+			// the ε-spend timeline with skip decisions from a single file.
+			spanl = smartflux.NewJSONLTraceSink(f)
+			sinks = append(sinks, spanl)
+			spanSinks = append(spanSinks, spanl)
+		}
+		var spanRing *smartflux.SpanRing
 		if *obsAddr != "" {
 			ring := smartflux.NewTraceRing(4096)
 			sinks = append(sinks, ring)
-			srv, err := smartflux.StartDebugServer(*obsAddr, registry, ring)
+			spanRing = smartflux.NewSpanRing(4096)
+			spanSinks = append(spanSinks, spanRing)
+			srv, err := smartflux.StartDebugServer(*obsAddr, registry, ring, spanRing)
 			if err != nil {
 				return fmt.Errorf("obs-addr: %w", err)
 			}
 			defer func() { _ = srv.Close() }() // best-effort teardown at exit
-			fmt.Fprintf(out, "observability on http://%s (/metrics, /trace/tail, /debug/pprof)\n", srv.Addr())
+			fmt.Fprintf(out, "observability on http://%s (/metrics, /trace/tail, /trace/spans, /debug/pprof)\n", srv.Addr())
 		}
-		observer = smartflux.NewRunObserver(registry, sinks...)
+		observer = smartflux.NewRunObserver(registry, sinks...).WithSpanSinks(spanSinks...)
 	}
 
 	var build smartflux.BuildFunc
@@ -165,7 +187,7 @@ func run(args []string, out io.Writer) error {
 		printDurability(out, info)
 		printResult(out, res.Apply, report)
 		printDecisionSummary(out, registry)
-		return traceErr(jsonl)
+		return traceErr(jsonl, spanl)
 	}
 
 	decider, err := parsePolicy(*policy, *seed)
@@ -188,7 +210,7 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "%s @ %.0f%% bound, policy %s\n", *workload, *bound*100, decider.Name())
 	printResult(out, res, report)
 	printDecisionSummary(out, registry)
-	return traceErr(jsonl)
+	return traceErr(jsonl, spanl)
 }
 
 // printDurability reports what the durability layer did: the one-line
@@ -227,13 +249,15 @@ func printDecisionSummary(out io.Writer, reg *smartflux.MetricsRegistry) {
 	}
 }
 
-// traceErr surfaces a deferred trace-sink write error, if any.
-func traceErr(jsonl *smartflux.JSONLTraceSink) error {
-	if jsonl == nil {
-		return nil
-	}
-	if err := jsonl.Err(); err != nil {
-		return fmt.Errorf("trace-out: %w", err)
+// traceErr surfaces a deferred trace- or span-sink write error, if any.
+func traceErr(sinks ...*smartflux.JSONLTraceSink) error {
+	for _, s := range sinks {
+		if s == nil {
+			continue
+		}
+		if err := s.Err(); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
 	}
 	return nil
 }

@@ -10,8 +10,9 @@
 //	go run ./examples/quickstart
 //
 // Pass -trace-out decisions.jsonl to log every triggering decision (one JSON
-// line per wave and gated step), and -obs-addr 127.0.0.1:8080 to watch live
-// metrics on /metrics while it runs.
+// line per wave and gated step), -span-out spans.jsonl to record the causal
+// span tree for offline analysis with `go run ./cmd/sftrace`, and
+// -obs-addr 127.0.0.1:8080 to watch live metrics on /metrics while it runs.
 package main
 
 import (
@@ -127,17 +128,19 @@ func build() (*smartflux.Workflow, *smartflux.Store, error) {
 }
 
 func main() {
-	obsAddr := flag.String("obs-addr", "", "serve /metrics and /trace/tail on this address")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /trace/tail and /trace/spans on this address")
 	traceOut := flag.String("trace-out", "", "write decision-trace JSON lines to this file")
+	spanOut := flag.String("span-out", "", "append causal spans (plus decision events) as JSON lines to this file, readable by sftrace")
 	flag.Parse()
 
 	var (
 		registry *smartflux.MetricsRegistry
 		observer *smartflux.RunObserver
 	)
-	if *obsAddr != "" || *traceOut != "" {
+	if *obsAddr != "" || *traceOut != "" || *spanOut != "" {
 		registry = smartflux.NewMetricsRegistry()
 		var sinks []smartflux.TraceSink
+		var spanSinks []smartflux.SpanSink
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
 			if err != nil {
@@ -151,17 +154,35 @@ func main() {
 			}()
 			sinks = append(sinks, smartflux.NewJSONLTraceSink(f))
 		}
+		if *spanOut != "" {
+			f, err := os.Create(*spanOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer func() {
+				if err := f.Close(); err != nil {
+					log.Printf("span-out close: %v", err)
+				}
+			}()
+			// One JSONL sink carries both record kinds; sftrace splits them
+			// back apart by the "type" field.
+			jsonl := smartflux.NewJSONLTraceSink(f)
+			sinks = append(sinks, jsonl)
+			spanSinks = append(spanSinks, jsonl)
+		}
 		if *obsAddr != "" {
 			ring := smartflux.NewTraceRing(2048)
 			sinks = append(sinks, ring)
-			srv, err := smartflux.StartDebugServer(*obsAddr, registry, ring)
+			spanRing := smartflux.NewSpanRing(4096)
+			spanSinks = append(spanSinks, spanRing)
+			srv, err := smartflux.StartDebugServer(*obsAddr, registry, ring, spanRing)
 			if err != nil {
 				log.Fatal(err)
 			}
 			defer func() { _ = srv.Close() }() // best-effort teardown at exit
 			fmt.Printf("observability on http://%s\n", srv.Addr())
 		}
-		observer = smartflux.NewRunObserver(registry, sinks...)
+		observer = smartflux.NewRunObserver(registry, sinks...).WithSpanSinks(spanSinks...)
 	}
 
 	res, err := smartflux.RunPipeline(build, nil, smartflux.PipelineConfig{

@@ -1,0 +1,50 @@
+package smartflux_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smartflux"
+	"smartflux/internal/fault"
+)
+
+// TestFlightRecorderDump pins the flight-recorder contract end to end: a
+// durable run that dies with spans attached — here via the pipeline
+// observer only, the case a library caller hits when DurableOptions.Obs is
+// left nil — must leave a non-empty <wal-dir>/flight.jsonl behind.
+func TestFlightRecorderDump(t *testing.T) {
+	dir := t.TempDir()
+	rig := &chaosRig{}
+	boom := errors.New("injected wal failure")
+	var appends int
+	_, _, err := smartflux.RunPipelineDurable(chaosBuild(fault.Policy{}, rig), []smartflux.StepID{"alert"},
+		smartflux.PipelineConfig{
+			TrainWaves: 10,
+			ApplyWaves: 5,
+			Session:    smartflux.SessionConfig{Seed: 7, Thresholds: []float64{0.15}, PositiveWeight: 12},
+			Obs: smartflux.NewRunObserver(smartflux.NewMetricsRegistry()).
+				WithSpanSinks(smartflux.NewSpanRing(0)),
+		},
+		smartflux.DurableOptions{Dir: dir, Hook: func(op string) error {
+			if op == "wal_append" {
+				appends++
+				if appends > 40 {
+					return boom
+				}
+			}
+			return nil
+		}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("durable run should fail with the injected error, got %v", err)
+	}
+	data, rerr := os.ReadFile(filepath.Join(dir, "flight.jsonl"))
+	if rerr != nil {
+		t.Fatalf("flight.jsonl not dumped: %v", rerr)
+	}
+	if len(data) == 0 {
+		t.Fatal("flight.jsonl is empty")
+	}
+	t.Logf("flight.jsonl: %d bytes", len(data))
+}

@@ -59,6 +59,16 @@ func TestGoroleakCorpus(t *testing.T) {
 	runWant(t, "goroleak", Goroleak)
 }
 
+func TestSpanleakCorpus(t *testing.T) {
+	runWant(t, "spanleak", Spanleak)
+}
+
+func TestSpanleakObsPackageExempt(t *testing.T) {
+	// The obs implementation package itself must never be flagged, even
+	// though its constructors hand out spans nobody in-package ends.
+	runWant(t, "smartflux/internal/obs", Spanleak)
+}
+
 // TestScanFloatsRegressionLock pins the exact pre-PR-2 bug class to a
 // diagnostic: float accumulation over a ScanFloats-style map snapshot must
 // be reported by maporder. If the corpus or analyzer drifts so that this

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// obsPkgPath is the import path whose *Span values spanleak tracks. Matching
+// is by the result type's package, not the callee's, so wrappers like the
+// store's opSpan or the engine's waveSpan helpers are covered at their call
+// sites too.
+const obsPkgPath = "smartflux/internal/obs"
+
+// Spanleak flags span starts with no reachable end: a call producing an
+// *obs.Span whose result is discarded outright, or assigned to a variable
+// on which neither End nor EndErr is ever invoked and which never escapes
+// the function (returned, passed as an argument, stored in a field, sent on
+// a channel...). A span that is started but never ended is worse than no
+// span: it allocates, it anchors children, and its event is never emitted,
+// so the trace silently loses exactly the operation someone thought was
+// worth timing. Escaping spans are assumed ended elsewhere (the engine's
+// run anchor and kvnet's per-client root are deliberately unemitted ID
+// roots stored in fields). The obs package itself is exempt — it is the
+// implementation — as are _test.go files, whose nil-safety and emission
+// tests create spans in deliberately odd ways.
+var Spanleak = &Analyzer{
+	Name: "spanleak",
+	Doc: "span started with no reachable End/EndErr and no escape; the span " +
+		"event is never emitted and the timed operation vanishes from traces",
+	Run: runSpanleak,
+}
+
+func runSpanleak(pass *Pass) {
+	if pass.Path == obsPkgPath || strings.HasPrefix(pass.Path, obsPkgPath+"/") {
+		return
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		checkFileSpans(pass, f)
+	}
+}
+
+// checkFileSpans walks every statement of a file looking for span starts.
+// Function bodies are visited through funcBodies (declarations and literals
+// each exactly once); nested literals are skipped inside each body so a
+// creation is examined in its innermost function only.
+func checkFileSpans(pass *Pass, f *ast.File) {
+	funcBodies(f, func(name string, body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+				return false // visited by its own funcBodies callback
+			}
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok && isSpanCall(pass, call) {
+					pass.Reportf(call.Pos(), "span is started and immediately discarded; "+
+						"it can never be ended and its event is never emitted")
+				}
+			case *ast.AssignStmt:
+				checkSpanAssign(pass, f, st)
+			}
+			return true
+		})
+	})
+}
+
+// checkSpanAssign examines `x := spanCall(...)` / `x = spanCall(...)` forms.
+// Assignments to struct fields or other non-identifier targets escape by
+// construction and are left alone.
+func checkSpanAssign(pass *Pass, f *ast.File, st *ast.AssignStmt) {
+	if len(st.Lhs) != len(st.Rhs) {
+		return // x, y := f() — span creators are all single-result
+	}
+	for i, rhs := range st.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isSpanCall(pass, call) {
+			continue
+		}
+		id, ok := st.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue // field or index target: the span escapes
+		}
+		if id.Name == "_" {
+			pass.Reportf(call.Pos(), "span is started and assigned to _; "+
+				"it can never be ended and its event is never emitted")
+			continue
+		}
+		obj := pass.Info.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		ended, escaped := classifySpanUses(pass, f, obj)
+		if !ended && !escaped {
+			pass.Reportf(call.Pos(), "span %s is started but never ended: no reachable "+
+				"End/EndErr call and the span does not escape this file; its event is never emitted", id.Name)
+		}
+	}
+}
+
+// classifySpanUses scans the whole file (object identity makes this safe
+// across nested closures in either direction) and reports whether the span
+// variable is ever ended, and whether it escapes. Neutral uses — assignment
+// targets, method-call receivers, nil comparisons — count as neither.
+func classifySpanUses(pass *Pass, f *ast.File, obj types.Object) (ended, escaped bool) {
+	neutral := make(map[*ast.Ident]bool)
+	mark := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+			neutral[id] = true
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				mark(name)
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+					neutral[id] = true
+					if sel.Sel.Name == "End" || sel.Sel.Name == "EndErr" {
+						ended = true
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			// `sp != nil` / `sp == nil` guards don't use the span, they
+			// gate work done to feed it.
+			if isNilIdent(pass, n.X) {
+				mark(n.Y)
+			}
+			if isNilIdent(pass, n.Y) {
+				mark(n.X)
+			}
+		}
+		return true
+	})
+	ast.Inspect(f, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || neutral[id] || pass.Info.ObjectOf(id) != obj {
+			return true
+		}
+		escaped = true
+		return false
+	})
+	return ended, escaped
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(pass *Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.Info.ObjectOf(id).(*types.Nil)
+	return isNil
+}
+
+// isSpanCall reports whether call's static callee returns exactly one value
+// of type *obs.Span.
+func isSpanCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := staticCallee(pass.Info, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	ptr, ok := sig.Results().At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Name() == "Span" && o.Pkg() != nil && o.Pkg().Path() == obsPkgPath
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strconv"
 	"sync"
 
 	"smartflux/internal/obs"
@@ -34,10 +35,14 @@ type DriftDetector struct {
 
 // driftObs holds the pre-resolved instruments of an attached observer.
 type driftObs struct {
+	o         *obs.Observer
 	agreed    *obs.Counter
 	disagreed *obs.Counter
 	signals   *obs.Counter
 	rate      *obs.Gauge
+	// spanSeq numbers drift-signal marker spans (drift/d0, drift/d1, ...);
+	// guarded by the detector's mu like the rest of the state.
+	spanSeq int
 }
 
 // NewDriftDetector creates a detector over a sliding window of `window`
@@ -69,6 +74,7 @@ func (d *DriftDetector) Instrument(o *obs.Observer) {
 		return
 	}
 	d.obs = &driftObs{
+		o:         o,
 		agreed:    o.Counter(`smartflux_drift_observations_total{outcome="agreed"}`),
 		disagreed: o.Counter(`smartflux_drift_observations_total{outcome="disagreed"}`),
 		signals:   o.Counter("smartflux_drift_signals_total"),
@@ -125,6 +131,15 @@ func (d *DriftDetector) Drifted() bool {
 	if drifted && !d.drifted {
 		if do := d.obs; do != nil {
 			do.signals.Inc()
+			// A drift crossing is an instant, not an interval: emit a
+			// zero-ish-duration marker span so the trace timeline shows
+			// when retraining was triggered.
+			sp := do.o.RootSpan("drift/d"+strconv.Itoa(do.spanSeq), "drift.signal", "ml")
+			if sp != nil {
+				do.spanSeq++
+				sp.SetAttr("rate", strconv.FormatFloat(d.rateLocked(), 'g', 6, 64))
+				sp.End()
+			}
 		}
 	}
 	d.drifted = drifted

@@ -14,6 +14,8 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"smartflux/internal/durable"
 	"smartflux/internal/engine"
@@ -284,6 +286,31 @@ func (c *pipelineCommitter) CommitWave(hcp *engine.HarnessCheckpoint) error {
 
 var _ engine.WaveCommitter = (*pipelineCommitter)(nil)
 
+// dumpFlightRecorder writes the first non-empty flight-recorder ring among
+// observers (the last N spans) to <dir>/flight.jsonl when a durable run
+// exits with an error, so a crash leaves a causal trace of what was in
+// flight next to the WAL it will be recovered from. Pipeline entry points
+// pass both the durable-layer observer and the pipeline observer — the span
+// sinks may be attached to either. Best-effort: dump failures never mask
+// the run error. The durable layer's epoch GC only removes
+// epoch-*.wal/.snap files, so the dump survives subsequent snapshots and is
+// overwritten by the next failure.
+func dumpFlightRecorder(dir string, observers ...*obs.Observer) {
+	for _, o := range observers {
+		ring := o.Flight()
+		if ring == nil || ring.Len() == 0 {
+			continue
+		}
+		f, err := os.Create(filepath.Join(dir, "flight.jsonl"))
+		if err != nil {
+			return
+		}
+		_ = ring.Dump(f)
+		_ = f.Close()
+		return
+	}
+}
+
 // openPipelineManager opens the durability manager and registers both
 // harness stores under their recovery names.
 func openPipelineManager(harness *engine.Harness, opts DurableOptions) (*durable.Manager, error) {
@@ -361,6 +388,7 @@ func RunPipelineDurable(build engine.BuildFunc, reportSteps []workflow.StepID, c
 		err = cerr
 	}
 	if err != nil {
+		dumpFlightRecorder(opts.Dir, opts.Obs, cfg.Obs)
 		return nil, info, err
 	}
 	info.Durable = mgr.Stats()
@@ -469,6 +497,7 @@ func ResumePipeline(build engine.BuildFunc, reportSteps []workflow.StepID, cfg P
 		err = cerr
 	}
 	if err != nil {
+		dumpFlightRecorder(opts.Dir, opts.Obs, cfg.Obs)
 		return nil, info, err
 	}
 	info.Durable = mgr.Stats()
@@ -560,6 +589,7 @@ func RunHarnessDurable(build engine.BuildFunc, reportSteps []workflow.StepID, wa
 		err = cerr
 	}
 	if err != nil {
+		dumpFlightRecorder(opts.Dir, opts.Obs)
 		return nil, info, err
 	}
 	info.Durable = mgr.Stats()
@@ -632,6 +662,7 @@ func ResumeHarness(build engine.BuildFunc, reportSteps []workflow.StepID, waves 
 		err = cerr
 	}
 	if err != nil {
+		dumpFlightRecorder(opts.Dir, opts.Obs)
 		return nil, info, err
 	}
 	info.Durable = mgr.Stats()

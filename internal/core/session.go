@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"smartflux/internal/ml"
@@ -137,6 +139,9 @@ type Session struct {
 	phase     Phase
 	report    TestReport
 	obs       *sessionObs
+	// trainSeq numbers Train invocations so train spans get deterministic
+	// IDs (train/t0, train/t1, ...) across initial fits and drift retrains.
+	trainSeq atomic.Uint64
 }
 
 // sessionObs holds the pre-resolved instruments of an attached observer so
@@ -213,6 +218,13 @@ func (s *Session) ObserveTrainingWave(impacts []float64, labels []int) {
 // not satisfactory, a training phase takes place again").
 func (s *Session) Train() (TestReport, error) {
 	start := time.Now() //sflint:ignore nondeterm training-duration metric only; never feeds results
+	s.mu.RLock()
+	trainObs := s.obs
+	s.mu.RUnlock()
+	var sp *obs.Span
+	if trainObs != nil {
+		sp = trainObs.o.RootSpan("train/t"+strconv.FormatUint(s.trainSeq.Add(1)-1, 10), "train", "ml")
+	}
 	factory := s.cfg.Factory
 	if factory == nil {
 		if weight := s.cfg.PositiveWeight; weight > 0 &&
@@ -225,6 +237,7 @@ func (s *Session) Train() (TestReport, error) {
 			var err error
 			factory, err = ClassifierFactory(s.cfg.Classifier, s.cfg.Seed)
 			if err != nil {
+				sp.EndErr(err)
 				return TestReport{}, err
 			}
 		}
@@ -232,13 +245,18 @@ func (s *Session) Train() (TestReport, error) {
 	data := s.kb.Snapshot()
 	predictor, err := newPredictor(factory, data, s.cfg.Thresholds, s.cfg.FeatureMode, s.cfg.Parallelism)
 	if err != nil {
+		sp.EndErr(err)
 		return TestReport{}, err
 	}
 
 	report, err := s.test(factory, data)
 	if err != nil {
+		sp.EndErr(err)
 		return TestReport{}, err
 	}
+	sp.SetAttr("accepted", strconv.FormatBool(report.Accepted))
+	sp.SetAttr("examples", strconv.Itoa(len(data.X)))
+	sp.End()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()

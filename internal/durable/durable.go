@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 
@@ -110,12 +111,25 @@ type managedStore struct {
 
 // instruments holds the manager's obs hooks (all nil-safe).
 type instruments struct {
+	o         *obs.Observer
 	appends   *obs.Counter
 	bytes     *obs.Counter
 	fsyncs    *obs.Counter
 	commits   *obs.Counter
 	snapshots *obs.Counter
 	snapDur   *obs.Histogram
+}
+
+// walSpan starts one WAL-operation root span (wal/<kind><seq>, e.g.
+// wal/append17), or nil when the observer has no span sinks. seq is the
+// operation's cumulative counter value, which makes IDs deterministic: the
+// WAL is serialized under the manager's mutex, so a given run produces the
+// same append/fsync/snapshot sequence every time.
+func (ins *instruments) walSpan(kind string, seq int) *obs.Span {
+	if !ins.o.Spanning() {
+		return nil
+	}
+	return ins.o.RootSpan("wal/"+kind+strconv.Itoa(seq), "wal."+kind, "wal")
 }
 
 // Manager owns one durability directory: it observes every mutation of the
@@ -164,6 +178,7 @@ func Open(opts Options) (*Manager, error) {
 		byName:    make(map[string]int),
 		epoch:     maxEpoch,
 		ins: instruments{
+			o:         opts.Obs,
 			appends:   opts.Obs.Counter("smartflux_durable_wal_appends_total"),
 			bytes:     opts.Obs.Counter("smartflux_durable_wal_bytes_total"),
 			fsyncs:    opts.Obs.Counter("smartflux_durable_fsyncs_total"),
@@ -374,10 +389,12 @@ func (m *Manager) onTableCreate(storeIdx int, t *kvstore.Table) {
 // appendLocked writes one record and maintains counters; any failure goes
 // sticky. Callers hold m.mu.
 func (m *Manager) appendLocked(payload []byte) error {
+	sp := m.ins.walSpan("append", m.stats.Appends)
 	pre := m.w.fsyncs
 	n, err := m.w.append(payload)
 	if err != nil {
 		m.sticky = err
+		sp.EndErr(err)
 		return err
 	}
 	m.stats.Appends++
@@ -386,23 +403,31 @@ func (m *Manager) appendLocked(payload []byte) error {
 	m.ins.appends.Inc()
 	m.ins.bytes.Add(uint64(n))
 	m.ins.fsyncs.Add(uint64(m.w.fsyncs - pre))
+	sp.SetBytes(int64(n))
+	sp.End()
 	return nil
 }
 
 // syncLocked flushes the current WAL and maintains counters.
 func (m *Manager) syncLocked() error {
+	sp := m.ins.walSpan("fsync", m.stats.Fsyncs)
 	if err := m.w.sync(); err != nil {
+		sp.EndErr(err)
 		return err
 	}
 	m.stats.Fsyncs++
 	m.ins.fsyncs.Inc()
+	sp.End()
 	return nil
 }
 
 // rotateLocked starts epoch m.epoch+1: consults the crash hook, writes the
 // new snapshot, switches to a fresh WAL, then removes every older epoch's
 // files. Callers hold m.mu.
-func (m *Manager) rotateLocked(wave int, payload []byte) error {
+func (m *Manager) rotateLocked(wave int, payload []byte) (err error) {
+	sp := m.ins.walSpan("snapshot", m.stats.Snapshots)
+	sp.SetWave(wave)
+	defer func() { sp.EndErr(err) }()
 	if m.opts.Hook != nil {
 		if err := m.opts.Hook("snapshot"); err != nil {
 			return err

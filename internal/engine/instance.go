@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -148,6 +149,12 @@ type Instance struct {
 	jitter  *rand.Rand
 
 	obs *instanceObs // nil when no observer is attached
+	// runSpan is the run-level span anchor created by Instrument when the
+	// observer has span sinks. It is an unemitted ID root — never Ended —
+	// that wave/step/attempt spans hang off so their path-like IDs
+	// (run/w3/classify/a0) stay deterministic; nil disables span emission
+	// throughout the wave loops.
+	runSpan *obs.Span
 }
 
 // instanceObs carries the pre-resolved instruments of an attached observer,
@@ -203,8 +210,10 @@ func (ob *instanceObs) countRecovery() {
 func (in *Instance) Instrument(o *obs.Observer) {
 	if o == nil {
 		in.obs = nil
+		in.runSpan = nil
 		return
 	}
+	in.runSpan = o.RootSpan("run", "run", "engine")
 	in.obs = &instanceObs{
 		o:           o,
 		waves:       o.Counter("smartflux_engine_waves_total"),
@@ -218,6 +227,51 @@ func (in *Instance) Instrument(o *obs.Observer) {
 		decideDur:   o.Histogram("smartflux_engine_decision_latency_seconds"),
 	}
 	o.Gauge("smartflux_engine_parallelism").Set(float64(in.par))
+}
+
+// Span helpers. Wave, step and attempt spans hang off the run anchor with
+// IDs derived purely from (wave, step ID, attempt), so traces from two runs
+// of the same workload align node for node even though timings differ. All
+// helpers return nil — and allocate nothing — when spanning is off.
+
+// waveSpan starts wave's span under the run anchor, or returns nil.
+func (in *Instance) waveSpan(wave int) *obs.Span {
+	if in.runSpan == nil {
+		return nil
+	}
+	sp := in.runSpan.ChildKey("w"+strconv.Itoa(wave), "wave", "engine")
+	sp.SetWave(wave)
+	return sp
+}
+
+// stepSpan starts a step's span under its wave span, recording the wave,
+// the step ID and the sibling step spans whose completion gates its start
+// under the parallel scheduler — the edges critical-path analysis walks.
+func (in *Instance) stepSpan(waveSp *obs.Span, st *stepState, orderIdx, wave int) *obs.Span {
+	if waveSp == nil {
+		return nil
+	}
+	sp := waveSp.ChildKey(string(st.step.ID), "step", "engine")
+	sp.SetWave(wave)
+	sp.SetStep(string(st.step.ID))
+	if waits := in.waitIdx[orderIdx]; len(waits) > 0 {
+		ids := make([]string, len(waits))
+		for k, j := range waits {
+			ids[k] = waveSp.ID() + "/" + string(in.order[j])
+		}
+		sp.SetWaitFor(ids)
+	}
+	return sp
+}
+
+// attemptSpan starts one execution attempt's span under its step span.
+func attemptSpan(sp *obs.Span, attempt int) *obs.Span {
+	if sp == nil {
+		return nil
+	}
+	att := sp.ChildKey("a"+strconv.Itoa(attempt), "attempt", "engine")
+	att.SetAttempt(attempt)
+	return att
 }
 
 // NewInstance creates an instance over wf and store. The workflow must be
@@ -508,23 +562,33 @@ func (in *Instance) runWaveSequential(d Decider) (WaveResult, error) {
 
 	ctx := &workflow.Context{Wave: wave, Store: in.store}
 	cache := newWaveCache(in.store)
-	for _, id := range in.order {
+	waveSp := in.waveSpan(wave)
+	for i, id := range in.order {
 		st := in.states[id]
 		step := st.step
+		stepSp := in.stepSpan(waveSp, st, i, wave)
 		switch {
 		case step.Source:
-			if err := in.execute(ctx, st, wave); err != nil {
+			if err := in.execute(ctx, st, wave, stepSp); err != nil {
+				stepSp.EndErr(err)
+				waveSp.EndErr(err)
 				return res, err
 			}
+			stepSp.End()
 			cache.invalidate(step.Outputs)
 			res.TotalExecutions++
 		case !step.Gated():
 			if !in.predecessorsReady(id) {
+				stepSp.SetSkipped(true)
+				stepSp.End()
 				continue
 			}
-			if err := in.execute(ctx, st, wave); err != nil {
+			if err := in.execute(ctx, st, wave, stepSp); err != nil {
+				stepSp.EndErr(err)
+				waveSp.EndErr(err)
 				return res, err
 			}
+			stepSp.End()
 			cache.invalidate(step.Outputs)
 			res.TotalExecutions++
 		default:
@@ -534,17 +598,22 @@ func (in *Instance) runWaveSequential(d Decider) (WaveResult, error) {
 			impact, inputStates := in.observeImpact(st, cache)
 			in.impacts[idx] = impact
 			res.Impacts[idx] = impact
+			stepSp.SetIota(impact)
 
 			ready := in.predecessorsReady(id)
 			verdict, decNanos := in.decide(d, ob, wave, idx, ready)
 			run := ready && verdict
 			ev := in.traceDecision(&res, d, step, idx, impact, ready, verdict, decNanos, tracing)
 			if !run {
+				stepSp.SetSkipped(true)
+				stepSp.End()
 				continue
 			}
-			degraded, err := in.executeDegradable(ctx, st, wave)
+			degraded, err := in.executeDegradable(ctx, st, wave, stepSp)
 			if err != nil {
 				if !degraded {
+					stepSp.EndErr(err)
+					waveSp.EndErr(err)
 					return res, err
 				}
 				// Forced skip: outputs are rolled back, Executed stays
@@ -554,6 +623,8 @@ func (in *Instance) runWaveSequential(d Decider) (WaveResult, error) {
 				if ev != nil {
 					ev.Degraded = true
 				}
+				stepSp.SetDegraded(true)
+				stepSp.EndErr(err)
 				ob.countDegraded()
 				continue
 			}
@@ -565,8 +636,11 @@ func (in *Instance) runWaveSequential(d Decider) (WaveResult, error) {
 				ev.Executed = true
 			}
 			in.simulateAndCommit(st, inputStates, &res, idx, ev)
+			stepSp.SetEps(res.SimErrors[idx])
+			stepSp.End()
 		}
 	}
+	waveSp.End()
 	in.finishWave(&res, ob, waveStart)
 	return res, nil
 }
@@ -651,15 +725,19 @@ func (in *Instance) finishWave(res *WaveResult, ob *instanceObs, waveStart time.
 // execute runs a step's processor — under the configured timeout and retry
 // budget — and updates its bookkeeping on success. Each failed attempt backs
 // off (exponential with seeded jitter) before the next; the last error is
-// returned once the budget is spent.
-func (in *Instance) execute(ctx *workflow.Context, st *stepState, wave int) error {
+// returned once the budget is spent. Each attempt gets a child span of sp
+// (nil disables); retries are charged to sp itself.
+func (in *Instance) execute(ctx *workflow.Context, st *stepState, wave int, sp *obs.Span) error {
 	var lastErr error
 	for attempt := 0; attempt <= in.cfg.StepRetries; attempt++ {
 		if attempt > 0 {
 			in.obs.countRetry()
+			sp.SetRetries(attempt)
 			in.backoff(attempt - 1)
 		}
+		att := attemptSpan(sp, attempt)
 		err := in.runProc(ctx, st)
+		att.EndErr(err)
 		if err == nil {
 			st.executedEver = true
 			st.lastExecWave = wave

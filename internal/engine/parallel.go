@@ -157,6 +157,7 @@ func (in *Instance) runWaveParallel(d Decider) (WaveResult, error) {
 	}
 	outcomes := make([]stepOutcome, n)
 	sem := make(chan struct{}, in.par)
+	waveSp := in.waveSpan(wave)
 
 	var wg sync.WaitGroup
 	for i := range in.order {
@@ -165,34 +166,45 @@ func (in *Instance) runWaveParallel(d Decider) (WaveResult, error) {
 		go func(i int, st *stepState) {
 			defer wg.Done()
 			defer close(done[i])
+			// The step span opens before the wait loop and marks the wait
+			// boundary after it, so dur − wait is the step's execute time —
+			// the quantity critical-path analysis sums along wait_for edges.
+			stepSp := in.stepSpan(waveSp, st, i, wave)
 			for _, j := range in.waitIdx[i] {
 				<-done[j]
 			}
+			stepSp.MarkWait()
 			step := st.step
 			switch {
 			case step.Source, !step.Gated():
 				if !step.Source && !in.predecessorsReady(step.ID) {
+					stepSp.SetSkipped(true)
+					stepSp.End()
 					return
 				}
 				sem <- struct{}{}
-				err := in.execute(ctx, st, wave)
+				err := in.execute(ctx, st, wave, stepSp)
 				if err == nil {
 					cache.invalidate(step.Outputs)
 				}
 				<-sem
+				stepSp.EndErr(err)
 				outcomes[i] = stepOutcome{executed: err == nil, err: err}
 			default:
 				ready := in.predecessorsReady(step.ID)
 				sem <- struct{}{}
 				impact, inputStates := in.observeImpact(st, cache)
 				<-sem
+				stepSp.SetIota(impact)
 				obsCh[i] <- gatedObservation{impact: impact, ready: ready}
 				v := <-verCh[i]
 				if !v.run {
+					stepSp.SetSkipped(true)
+					stepSp.End()
 					return
 				}
 				sem <- struct{}{}
-				degraded, err := in.executeDegradable(ctx, st, wave)
+				degraded, err := in.executeDegradable(ctx, st, wave, stepSp)
 				if err != nil {
 					<-sem
 					if degraded {
@@ -206,9 +218,12 @@ func (in *Instance) runWaveParallel(d Decider) (WaveResult, error) {
 						if v.ev != nil {
 							v.ev.Degraded = true
 						}
+						stepSp.SetDegraded(true)
+						stepSp.EndErr(err)
 						outcomes[i] = stepOutcome{gated: true, degraded: true}
 						return
 					}
+					stepSp.EndErr(err)
 					outcomes[i] = stepOutcome{gated: true, err: err}
 					return
 				}
@@ -219,7 +234,9 @@ func (in *Instance) runWaveParallel(d Decider) (WaveResult, error) {
 					v.ev.Executed = true
 				}
 				in.simulateAndCommit(st, inputStates, &res, idx, v.ev)
+				stepSp.SetEps(res.SimErrors[idx])
 				<-sem
+				stepSp.End()
 				outcomes[i] = stepOutcome{executed: true, gated: true}
 			}
 		}(i, st)
@@ -260,8 +277,10 @@ func (in *Instance) runWaveParallel(d Decider) (WaveResult, error) {
 		}
 	}
 	if firstErr != nil {
+		waveSp.EndErr(firstErr)
 		return res, firstErr
 	}
+	waveSp.End()
 	in.finishWave(&res, ob, waveStart)
 	return res, nil
 }

@@ -17,6 +17,7 @@ import (
 
 	"smartflux/internal/kvstore"
 	"smartflux/internal/metric"
+	"smartflux/internal/obs"
 	"smartflux/internal/workflow"
 )
 
@@ -71,15 +72,15 @@ func (in *Instance) backoff(attempt int) {
 // degraded failure means (the wave loops mark the step Degraded and carry
 // on). Non-gated steps and instances without DegradeGated report
 // degraded=false and the error propagates as a wave failure.
-func (in *Instance) executeDegradable(ctx *workflow.Context, st *stepState, wave int) (degraded bool, err error) {
+func (in *Instance) executeDegradable(ctx *workflow.Context, st *stepState, wave int, sp *obs.Span) (degraded bool, err error) {
 	if !in.cfg.DegradeGated || !st.step.Gated() {
-		return false, in.execute(ctx, st, wave)
+		return false, in.execute(ctx, st, wave, sp)
 	}
 	snap, err := in.saveOutputs(st.step)
 	if err != nil {
 		return false, err
 	}
-	if err := in.execute(ctx, st, wave); err != nil {
+	if err := in.execute(ctx, st, wave, sp); err != nil {
 		if rerr := in.rollbackOutputs(snap); rerr != nil {
 			// A failed rollback means the outputs may hold partial writes:
 			// that is corruption, not degradation — fail the wave.

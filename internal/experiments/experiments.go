@@ -25,6 +25,7 @@ import (
 	"smartflux/internal/core"
 	"smartflux/internal/engine"
 	"smartflux/internal/lrb"
+	"smartflux/internal/obs"
 	"smartflux/internal/workflow"
 )
 
@@ -54,6 +55,13 @@ type Config struct {
 	// so concurrent pipelines don't oversubscribe the machine), and every
 	// figure's output is identical for every setting.
 	Jobs int
+	// Obs, when non-nil, instruments every pipeline the runner executes
+	// (metrics, decision traces and causal spans; see cmd/experiments'
+	// -trace-out/-span-out/-obs-addr flags). Figure output is unchanged.
+	// Span IDs are deterministic per run, so with several cached pipelines
+	// tracing into one stream the runs' trees share IDs; prefer a single
+	// -fig target (or sftrace per-file analysis) for span work.
+	Obs *obs.Observer
 }
 
 // jobs resolves the effective pipeline fan-out.
@@ -190,6 +198,7 @@ func (r *Runner) runPipeline(w Workload, bound float64) (*core.PipelineResult, e
 		ApplyWaves:  r.cfg.applyWaves(w),
 		Session:     r.cfg.session(),
 		Parallelism: parallelism,
+		Obs:         r.cfg.Obs,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments %s bound %.2f: %w", w, bound, err)

@@ -51,6 +51,8 @@ func (t *Table) Apply(b *Batch) error {
 			return ErrEmptyKey
 		}
 	}
+	ins := t.store.ins.Load()
+	sp := ins.opSpan("apply", t.name)
 	muts := make([]Mutation, 0, len(b.ops))
 	t.mu.Lock()
 	for _, op := range b.ops {
@@ -84,7 +86,7 @@ func (t *Table) Apply(b *Batch) error {
 		muts = append(muts, t.putLocked(op.Row, op.Column, op.Value, ts))
 	}
 	t.mu.Unlock()
-	if ins := t.store.ins.Load(); ins != nil {
+	if ins != nil {
 		var dels uint64
 		for _, m := range muts {
 			if m.Kind == MutationDelete {
@@ -93,6 +95,14 @@ func (t *Table) Apply(b *Batch) error {
 		}
 		ins.mutations.Add(uint64(len(muts)) - dels)
 		ins.deletes.Add(dels)
+	}
+	if sp != nil {
+		var n int64
+		for _, m := range muts {
+			n += int64(len(m.New))
+		}
+		sp.SetBytes(n)
+		sp.End()
 	}
 	t.notify(muts)
 	return nil

@@ -33,6 +33,7 @@ import (
 	"io"
 	mrand "math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -557,12 +558,17 @@ type Client struct {
 	addr string
 	id   uint64 // idempotency identity, stable across reconnects
 
-	// opMu serializes round trips (and owns enc/dec, seq and the jitter
-	// RNG); connMu guards connection state so Close can interrupt an
+	// opMu serializes round trips (and owns enc/dec, seq, rtSeq and the
+	// jitter RNG); connMu guards connection state so Close can interrupt an
 	// in-flight round trip without waiting for it.
 	opMu   sync.Mutex
 	seq    uint64
+	rtSeq  uint64 // numbers round-trip spans under root
 	jitter *mrand.Rand
+
+	// root anchors this client's round-trip spans under one unemitted
+	// net/c<n> ID; nil when the observer is not tracing spans.
+	root *obs.Span
 
 	connMu sync.Mutex
 	conn   net.Conn
@@ -578,6 +584,10 @@ type Client struct {
 
 // clientIDCounter is the fallback identity source when crypto/rand fails.
 var clientIDCounter atomic.Uint64
+
+// clientSpanSeq numbers span-tracing clients process-wide so their root span
+// IDs (net/c0, net/c1, ...) stay distinct when several clients share sinks.
+var clientSpanSeq atomic.Uint64
 
 // newClientID draws a non-zero 64-bit client identity. Identities only need
 // to be unique among clients of one server; randomness keeps identities from
@@ -614,6 +624,10 @@ func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
 		c.writeTimeouts = cfg.Obs.Counter(`smartflux_kvnet_client_timeouts_total{kind="write"}`)
 		c.retries = cfg.Obs.Counter("smartflux_kvnet_client_retries_total")
 		c.reconnects = cfg.Obs.Counter("smartflux_kvnet_client_reconnects_total")
+	}
+	if cfg.Obs.Spanning() {
+		idx := clientSpanSeq.Add(1) - 1
+		c.root = cfg.Obs.RootSpan("net/c"+strconv.FormatUint(idx, 10), "client", "net")
 	}
 	// Eager first dial so an unreachable server fails construction, as it
 	// always has.
@@ -772,11 +786,18 @@ func (c *Client) backoff(attempt int) {
 	time.Sleep(d)
 }
 
-// attempt performs one wire round trip.
-func (c *Client) attempt(req request, redial bool) (response, error) {
+// attempt performs one wire round trip. att, when non-nil, is the span for
+// this attempt; a dial child hangs off it when the connection must be
+// (re)established.
+func (c *Client) attempt(req request, redial bool, att *obs.Span) (response, error) {
 	c.connMu.Lock()
+	var dialSp *obs.Span
+	if c.conn == nil && att != nil {
+		dialSp = att.ChildKey("dial", "dial", "net")
+	}
 	conn, enc, dec, err := c.ensureConnLocked(redial)
 	c.connMu.Unlock()
+	dialSp.EndErr(err)
 	if err != nil {
 		return response{}, err
 	}
@@ -807,26 +828,65 @@ func (c *Client) roundTrip(req request) (response, error) {
 		c.seq++
 		req.ClientID, req.Seq = c.id, c.seq
 	}
+	var sp *obs.Span
+	if c.root != nil {
+		sp = c.root.ChildKey("rt"+strconv.FormatUint(c.rtSeq, 10), opName(req.Op), "net")
+		c.rtSeq++
+		if req.Table != "" {
+			sp.SetAttr("table", req.Table)
+		}
+	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		resp, err := c.attempt(req, attempt > 0)
+		var att *obs.Span
+		if sp != nil {
+			att = sp.ChildKey("a"+strconv.Itoa(attempt), "attempt", "net")
+		}
+		resp, err := c.attempt(req, attempt > 0, att)
+		att.EndErr(err)
 		if err == nil {
 			if resp.Err != "" {
-				return resp, errors.New(resp.Err)
+				appErr := errors.New(resp.Err)
+				sp.SetRetries(attempt)
+				sp.EndErr(appErr)
+				return resp, appErr
+			}
+			if sp != nil {
+				sp.SetRetries(attempt)
+				sp.SetBytes(wireBytes(req, resp))
+				sp.End()
 			}
 			return resp, nil
 		}
 		lastErr = err
 		if errors.Is(err, ErrClosed) {
+			sp.SetRetries(attempt)
+			sp.EndErr(err)
 			return response{}, err
 		}
 		c.dropConn()
 		if attempt >= c.cfg.MaxRetries || !c.retryable(req) {
+			sp.SetRetries(attempt)
+			sp.EndErr(lastErr)
 			return response{}, lastErr
 		}
 		c.retries.Inc() // nil-safe no-op when uninstrumented
 		c.backoff(attempt)
 	}
+}
+
+// wireBytes approximates the payload bytes a round trip moved: request and
+// response values, batched op values, and scanned cell values. Framing and
+// gob overhead are excluded.
+func wireBytes(req request, resp response) int64 {
+	n := int64(len(req.Value)) + int64(len(resp.Value))
+	for _, op := range req.Ops {
+		n += int64(len(op.Value))
+	}
+	for _, cell := range resp.Cells {
+		n += int64(len(cell.Version.Value))
+	}
+	return n
 }
 
 // CreateTable ensures a table exists on the server.

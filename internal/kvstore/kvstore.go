@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -123,24 +124,42 @@ type Store struct {
 	ins atomic.Pointer[storeInstruments]
 }
 
-// storeInstruments carries the store-level traffic counters.
+// storeInstruments carries the store-level traffic counters and the span
+// hook of an attached observer.
 type storeInstruments struct {
+	o         *obs.Observer
 	mutations *obs.Counter
 	deletes   *obs.Counter
 	gets      *obs.Counter
 	scans     *obs.Counter
 	scanCells *obs.Counter
+	// opSeq numbers op spans store-wide (store/<table>/<op><seq>). The
+	// sequence is deterministic only when operations arrive in a
+	// deterministic order — the sequential engine, not parallel waves.
+	opSeq atomic.Uint64
+}
+
+// opSpan starts one store-operation root span, or returns nil when the
+// attached observer has no span sinks. Safe on a nil receiver.
+func (ins *storeInstruments) opSpan(op, table string) *obs.Span {
+	if ins == nil || !ins.o.Spanning() {
+		return nil
+	}
+	seq := ins.opSeq.Add(1) - 1
+	return ins.o.RootSpan("store/"+table+"/"+op+strconv.FormatUint(seq, 10), op, "store")
 }
 
 // Instrument attaches an observer recording store traffic: mutation, delete,
-// get and scan counters (plus cells returned by scans). Passing nil
-// detaches; with no observer every hook is a single nil-pointer check.
+// get and scan counters (plus cells returned by scans), and per-operation
+// spans when the observer has span sinks. Passing nil detaches; with no
+// observer every hook is a single nil-pointer check.
 func (s *Store) Instrument(o *obs.Observer) {
-	if o == nil || o.Metrics() == nil {
+	if o == nil || (o.Metrics() == nil && !o.Spanning()) {
 		s.ins.Store(nil)
 		return
 	}
 	s.ins.Store(&storeInstruments{
+		o:         o,
 		mutations: o.Counter(`smartflux_kvstore_ops_total{op="mutate"}`),
 		deletes:   o.Counter(`smartflux_kvstore_ops_total{op="delete"}`),
 		gets:      o.Counter(`smartflux_kvstore_ops_total{op="get"}`),
@@ -328,12 +347,18 @@ func (t *Table) Put(row, column string, value []byte) error {
 		return ErrEmptyKey
 	}
 	ts := t.store.nextTimestamp()
+	ins := t.store.ins.Load()
+	sp := ins.opSpan("put", t.name)
 	t.mu.Lock()
 	m := t.putLocked(row, column, value, ts)
 	t.mu.Unlock()
-	if ins := t.store.ins.Load(); ins != nil {
+	if ins != nil {
 		ins.mutations.Inc()
 	}
+	// The span covers the in-memory mutation; durability cost incurred by
+	// observers (WAL appends) is attributed to the wal layer's own spans.
+	sp.SetBytes(int64(len(value)))
+	sp.End()
 	t.notify([]Mutation{m})
 	return nil
 }
@@ -375,8 +400,12 @@ func (t *Table) putLocked(row, column string, value []byte, ts uint64) Mutation 
 // Get returns the latest value at (row, column). The second return is false
 // when the cell does not exist.
 func (t *Table) Get(row, column string) ([]byte, bool) {
-	if ins := t.store.ins.Load(); ins != nil {
+	ins := t.store.ins.Load()
+	if ins != nil {
 		ins.gets.Inc()
+	}
+	if sp := ins.opSpan("get", t.name); sp != nil {
+		defer sp.End()
 	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -392,8 +421,12 @@ func (t *Table) Get(row, column string) ([]byte, bool) {
 // single-round-trip current+previous read the paper relies on for metric
 // state with negligible overhead.
 func (t *Table) GetWithPrevious(row, column string) (cur, prev []byte, curOK, prevOK bool) {
-	if ins := t.store.ins.Load(); ins != nil {
+	ins := t.store.ins.Load()
+	if ins != nil {
 		ins.gets.Inc()
+	}
+	if sp := ins.opSpan("get", t.name); sp != nil {
+		defer sp.End()
 	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -435,15 +468,19 @@ func (t *Table) Delete(row, column string) error {
 		return ErrEmptyKey
 	}
 	ts := t.store.nextTimestamp()
+	ins := t.store.ins.Load()
+	sp := ins.opSpan("delete", t.name)
 	t.mu.Lock()
 	cols, ok := t.rows[row]
 	if !ok {
 		t.mu.Unlock()
+		sp.End()
 		return nil
 	}
 	versions, ok := cols[column]
 	if !ok {
 		t.mu.Unlock()
+		sp.End()
 		return nil
 	}
 	old := versions[len(versions)-1].Value
@@ -454,9 +491,10 @@ func (t *Table) Delete(row, column string) error {
 		t.rowKeys = nil
 	}
 	t.mu.Unlock()
-	if ins := t.store.ins.Load(); ins != nil {
+	if ins != nil {
 		ins.deletes.Inc()
 	}
+	sp.End()
 	t.notify([]Mutation{{
 		Table:     t.name,
 		Row:       row,
@@ -517,10 +555,20 @@ func (t *Table) sortedColKeysLocked(row string) []string {
 // Scan returns the latest version of every matching cell, ordered by row then
 // column (both lexicographic). The returned slices are copies.
 func (t *Table) Scan(opts ScanOptions) []Cell {
+	ins := t.store.ins.Load()
+	sp := ins.opSpan("scan", t.name)
 	cells := t.scan(opts)
-	if ins := t.store.ins.Load(); ins != nil {
+	if ins != nil {
 		ins.scans.Inc()
 		ins.scanCells.Add(uint64(len(cells)))
+	}
+	if sp != nil {
+		var n int64
+		for _, c := range cells {
+			n += int64(len(c.Version.Value))
+		}
+		sp.SetBytes(n)
+		sp.End()
 	}
 	return cells
 }

@@ -1,22 +1,27 @@
 // Package obs is SmartFlux's observability layer: a lock-cheap metrics
 // registry (counters, gauges, streaming histograms with a Prometheus-style
 // text exposition and an expvar bridge), a structured decision tracer that
-// records one event per (wave, gated step), and an optional debug HTTP
-// server exposing /metrics, /trace/tail and net/http/pprof.
+// records one event per (wave, gated step), a causal span tracer that times
+// the run → wave → step → attempt → op tree (span.go), and an optional debug
+// HTTP server exposing /metrics, /trace/tail, /trace/spans and
+// net/http/pprof.
 //
 // The whole package is nil-safe by design: every method on a nil *Registry,
-// *Counter, *Gauge, *Histogram, *Tracer or *Observer is a no-op, so
+// *Counter, *Gauge, *Histogram, *Tracer, *Span, *SpanTracer or *Observer is
+// a no-op, so
 // instrumented code paths (engine, session, store, network layer) carry no
 // conditional wiring — they call the hooks unconditionally and pay only a
 // nil check when observability is not attached.
 package obs
 
-// Observer bundles the two observability capabilities instrumented
-// components accept: a metrics registry and a decision tracer. A nil
-// *Observer (or one with nil parts) turns every hook into a no-op.
+// Observer bundles the observability capabilities instrumented components
+// accept: a metrics registry, a decision tracer and a causal span tracer. A
+// nil *Observer (or one with nil parts) turns every hook into a no-op.
 type Observer struct {
 	reg    *Registry
 	tracer *Tracer
+	spans  *SpanTracer
+	flight *SpanRing
 }
 
 // New creates an observer over reg (may be nil) emitting decision events to
@@ -64,4 +69,58 @@ func (o *Observer) EmitDecision(ev DecisionEvent) {
 		return
 	}
 	o.tracer.Emit(ev)
+}
+
+// WithSpanSinks attaches span sinks to the observer and returns it, enabling
+// span emission on every instrumented layer. The first *SpanRing among the
+// sinks (if any) is remembered as the flight recorder, reachable via Flight
+// for post-mortem dumps. Calling it again chains additional sinks. A nil
+// receiver stays nil.
+func (o *Observer) WithSpanSinks(sinks ...SpanSink) *Observer {
+	if o == nil {
+		return nil
+	}
+	kept := make([]SpanSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s == nil {
+			continue
+		}
+		kept = append(kept, s)
+		if ring, ok := s.(*SpanRing); ok && o.flight == nil {
+			o.flight = ring
+		}
+	}
+	if len(kept) == 0 {
+		return o
+	}
+	if o.spans == nil {
+		o.spans = NewSpanTracer(kept...)
+	} else {
+		o.spans.sinks = append(o.spans.sinks, kept...)
+	}
+	return o
+}
+
+// Spanning reports whether spans have anywhere to go. Hot paths use it to
+// skip building span IDs and attributes entirely when disabled.
+func (o *Observer) Spanning() bool {
+	return o != nil && o.spans != nil
+}
+
+// RootSpan starts a root span with the given deterministic ID, or returns
+// nil when spanning is disabled.
+func (o *Observer) RootSpan(id, name, layer string) *Span {
+	if !o.Spanning() {
+		return nil
+	}
+	return newSpan(o.spans, id, "", name, layer)
+}
+
+// Flight returns the flight-recorder ring attached via WithSpanSinks, or
+// nil.
+func (o *Observer) Flight() *SpanRing {
+	if o == nil {
+		return nil
+	}
+	return o.flight
 }

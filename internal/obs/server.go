@@ -16,6 +16,7 @@ import (
 //
 //	/metrics       Prometheus text exposition of the registry
 //	/trace/tail    JSON array of the most recent decision events (?n=100)
+//	/trace/spans   JSON array of the most recent spans (?n=100)
 //	/debug/pprof/  the standard net/http/pprof profiling handlers
 //	/debug/vars    expvar (includes the registry when published)
 //	/healthz       liveness probe
@@ -30,9 +31,10 @@ type DebugServer struct {
 }
 
 // StartDebugServer binds addr (e.g. "127.0.0.1:6060"; port 0 picks a free
-// port) and serves the debug endpoints in a background goroutine. reg and
-// ring may be nil; the corresponding endpoints then serve empty responses.
-func StartDebugServer(addr string, reg *Registry, ring *RingSink) (*DebugServer, error) {
+// port) and serves the debug endpoints in a background goroutine. reg, ring
+// and spans may be nil; the corresponding endpoints then serve empty
+// responses.
+func StartDebugServer(addr string, reg *Registry, ring *RingSink, spans *SpanRing) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -56,6 +58,23 @@ func StartDebugServer(addr string, reg *Registry, ring *RingSink) (*DebugServer,
 		events := []DecisionEvent{}
 		if ring != nil {
 			events = ring.Tail(n)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(events)
+	})
+	mux.HandleFunc("/trace/spans", func(w http.ResponseWriter, r *http.Request) {
+		n := 100
+		if raw := r.URL.Query().Get("n"); raw != "" {
+			v, err := strconv.Atoi(raw)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		events := []SpanEvent{}
+		if spans != nil {
+			events = spans.Tail(n)
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(events)

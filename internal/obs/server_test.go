@@ -13,8 +13,10 @@ func TestDebugServer(t *testing.T) {
 	reg.Counter(`decisions_total{verdict="exec"}`).Add(2)
 	ring := NewRingSink(16)
 	ring.Emit(DecisionEvent{Wave: 3, Step: "agg"})
+	spans := NewSpanRing(16)
+	spans.EmitSpan(SpanEvent{Type: "span", ID: "run/w3/agg", Name: "step", Layer: "engine", Wave: 3, Step: "agg"})
 
-	srv, err := StartDebugServer("127.0.0.1:0", reg, ring)
+	srv, err := StartDebugServer("127.0.0.1:0", reg, ring, spans)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,6 +52,20 @@ func TestDebugServer(t *testing.T) {
 	if code, _ := get("/trace/tail?n=bogus"); code != http.StatusBadRequest {
 		t.Errorf("bad n must 400, got %d", code)
 	}
+	code, body = get("/trace/spans?n=10")
+	if code != http.StatusOK {
+		t.Fatalf("/trace/spans code=%d", code)
+	}
+	var spanEvents []SpanEvent
+	if err := json.Unmarshal([]byte(body), &spanEvents); err != nil {
+		t.Fatalf("/trace/spans bad JSON: %v", err)
+	}
+	if len(spanEvents) != 1 || spanEvents[0].ID != "run/w3/agg" || spanEvents[0].Wave != 3 {
+		t.Errorf("/trace/spans events = %+v", spanEvents)
+	}
+	if code, _ := get("/trace/spans?n=-1"); code != http.StatusBadRequest {
+		t.Errorf("bad span n must 400, got %d", code)
+	}
 	if code, _ := get("/healthz"); code != http.StatusOK {
 		t.Errorf("/healthz code=%d", code)
 	}
@@ -70,7 +86,7 @@ func TestDebugServer(t *testing.T) {
 }
 
 func TestDebugServerNilBackends(t *testing.T) {
-	srv, err := StartDebugServer("127.0.0.1:0", nil, nil)
+	srv, err := StartDebugServer("127.0.0.1:0", nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,5 +99,14 @@ func TestDebugServerNilBackends(t *testing.T) {
 	body, _ := io.ReadAll(resp.Body)
 	if strings.TrimSpace(string(body)) != "[]" {
 		t.Errorf("nil ring must serve [], got %q", body)
+	}
+	resp2, err := http.Get("http://" + srv.Addr() + "/trace/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body, _ = io.ReadAll(resp2.Body)
+	if strings.TrimSpace(string(body)) != "[]" {
+		t.Errorf("nil span ring must serve [], got %q", body)
 	}
 }

@@ -120,6 +120,17 @@ func (s *JSONLSink) Emit(ev DecisionEvent) {
 	s.err = s.enc.Encode(ev)
 }
 
+// EmitSpan implements SpanSink, interleaving span records with decision
+// records in the same stream; readers discriminate by the "type" field.
+func (s *JSONLSink) EmitSpan(ev SpanEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(ev)
+}
+
 // Err returns the first write error, if any.
 func (s *JSONLSink) Err() error {
 	s.mu.Lock()
@@ -127,7 +138,10 @@ func (s *JSONLSink) Err() error {
 	return s.err
 }
 
-var _ Sink = (*JSONLSink)(nil)
+var (
+	_ Sink     = (*JSONLSink)(nil)
+	_ SpanSink = (*JSONLSink)(nil)
+)
 
 // RingSink keeps the most recent events in a fixed-capacity ring buffer, so
 // a live process can serve "what just happened" queries (/trace/tail)

@@ -229,10 +229,23 @@ type (
 	TraceSink = obs.Sink
 	// TraceRing is a fixed-capacity in-memory trace sink.
 	TraceRing = obs.RingSink
-	// JSONLTraceSink appends decision events as JSON lines.
+	// JSONLTraceSink appends decision events as JSON lines. It is also a
+	// SpanSink: spans and decision events interleave in one stream,
+	// discriminated by the "type" field.
 	JSONLTraceSink = obs.JSONLSink
-	// DebugServer serves /metrics, /trace/tail and pprof over HTTP.
+	// DebugServer serves /metrics, /trace/tail, /trace/spans and pprof
+	// over HTTP.
 	DebugServer = obs.DebugServer
+	// Span is one timed node of the causal run → wave → step → attempt →
+	// op tree; see RunObserver.WithSpanSinks and DESIGN.md §12.
+	Span = obs.Span
+	// SpanEvent is the wire record of one completed span.
+	SpanEvent = obs.SpanEvent
+	// SpanSink receives completed spans.
+	SpanSink = obs.SpanSink
+	// SpanRing is a fixed-capacity in-memory span sink, doubling as the
+	// crash flight recorder.
+	SpanRing = obs.SpanRing
 )
 
 // Resilience sentinels, matchable with errors.Is through every layer's
@@ -267,12 +280,19 @@ func NewTraceRing(capacity int) *TraceRing { return obs.NewRingSink(capacity) }
 // event to w.
 func NewJSONLTraceSink(w io.Writer) *JSONLTraceSink { return obs.NewJSONLSink(w) }
 
+// NewSpanRing creates an in-memory span sink keeping the last capacity
+// spans (a default bound when capacity <= 0). Attach it with
+// RunObserver.WithSpanSinks; when attached it also serves as the crash
+// flight recorder.
+func NewSpanRing(capacity int) *SpanRing { return obs.NewSpanRing(capacity) }
+
 // StartDebugServer serves /metrics (Prometheus text), /trace/tail (recent
-// decision events from ring, which may be nil), /healthz and /debug/pprof on
-// addr. Pass "127.0.0.1:0" for an ephemeral port; the bound address is
-// available via Addr().
-func StartDebugServer(addr string, reg *MetricsRegistry, ring *TraceRing) (*DebugServer, error) {
-	return obs.StartDebugServer(addr, reg, ring)
+// decision events from ring, which may be nil), /trace/spans (recent spans
+// from spans, which may be nil), /healthz and /debug/pprof on addr. Pass
+// "127.0.0.1:0" for an ephemeral port; the bound address is available via
+// Addr().
+func StartDebugServer(addr string, reg *MetricsRegistry, ring *TraceRing, spans *SpanRing) (*DebugServer, error) {
+	return obs.StartDebugServer(addr, reg, ring, spans)
 }
 
 // NewStore creates an empty data store.
