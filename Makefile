@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-report check chaos chaos-crash chaos-trace bench
+.PHONY: all build test race vet lint lint-report check chaos chaos-crash chaos-trace bench wirebench wirebench-smoke
 
 all: check
 
@@ -53,8 +53,20 @@ chaos-trace:
 	$(GO) run ./cmd/sftrace -waves 6 chaos-spans.jsonl > sftrace-report.txt
 	@head -n 40 sftrace-report.txt
 
-## check: the pre-PR gate — build, vet, lint, tests, race, chaos, chaos-crash
-check: build vet lint test race chaos chaos-crash
+## wirebench: the kvnet wire benchmark (gob baseline vs binary framed codec,
+## sync vs pipelined, 1/8/64 clients) writing BENCH_PR7.json (DESIGN.md §13).
+## The ≥8-client cells need GOMAXPROCS >= 4 or -force.
+wirebench:
+	$(GO) run ./cmd/wirebench -force -out BENCH_PR7.json
+
+## wirebench-smoke: tiny-op-count wirebench pass — a correctness smoke for the
+## benchmark harness itself (numbers meaningless); part of make check
+wirebench-smoke:
+	$(GO) run ./cmd/wirebench -smoke -force -out /tmp/wirebench-smoke.json
+
+## check: the pre-PR gate — build, vet, lint, tests, race, chaos, chaos-crash,
+## and a wirebench smoke pass
+check: build vet lint test race chaos chaos-crash wirebench-smoke
 
 ## bench: overhead microbenchmarks (§5.3 + instrumentation overhead), the
 ## serial-vs-parallel comparison (BENCH_PR2.json) and the WAL-on vs WAL-off

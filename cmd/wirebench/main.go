@@ -1,0 +1,447 @@
+// Command wirebench measures the kvnet wire overhaul (DESIGN.md §13): the
+// legacy synchronous gob protocol (reimplemented here as the baseline — the
+// tree no longer ships it) against the binary framed codec, synchronous and
+// pipelined, at increasing client concurrency. It reports ops/sec and
+// latency percentiles per configuration and writes a JSON report
+// (BENCH_PR7.json) recording the perf trajectory ROADMAP asks for.
+//
+// The ≥8-client configurations are gated on GOMAXPROCS >= 4 (on a
+// single-core box they measure scheduler contention, not the wire); pass
+// -force to run them anyway.
+package main
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"smartflux/internal/kvstore"
+	"smartflux/internal/kvstore/kvnet"
+)
+
+// valueSize is the payload size of benchmarked puts; reads return the same.
+const valueSize = 128
+
+// pipelineDepth is how many concurrent ops each pipelined client keeps in
+// flight.
+const pipelineDepth = 16
+
+type result struct {
+	Name      string  `json:"name"`
+	Protocol  string  `json:"protocol"` // "gob" or "binary"
+	Mode      string  `json:"mode"`     // "sync" or "pipelined"
+	Clients   int     `json:"clients"`
+	Ops       int     `json:"ops"` // total ops across clients
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Micros float64 `json:"p50_us"`
+	P95Micros float64 `json:"p95_us"`
+	P99Micros float64 `json:"p99_us"`
+}
+
+type report struct {
+	GoVersion     string   `json:"go_version"`
+	GOMAXPROCS    int      `json:"gomaxprocs"`
+	NumCPU        int      `json:"num_cpu"`
+	Note          string   `json:"note"`
+	Skipped       []string `json:"skipped,omitempty"`
+	SpeedupVsGob8 float64  `json:"speedup_vs_gob_8c,omitempty"`
+	Benchmarks    []result `json:"benchmarks"`
+}
+
+func main() {
+	fs := flag.NewFlagSet("wirebench", flag.ExitOnError)
+	out := fs.String("out", "BENCH_PR7.json", "output JSON path")
+	opsPerClient := fs.Int("ops", 2000, "operations per client")
+	force := fs.Bool("force", false, "run >=8-client benches even when GOMAXPROCS < 4")
+	smoke := fs.Bool("smoke", false, "tiny op counts; correctness smoke, numbers meaningless")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this path")
+	match := fs.String("match", "", "only run benchmarks whose name contains this substring")
+	_ = fs.Parse(os.Args[1:])
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wirebench:", err)
+			os.Exit(1)
+		}
+		defer func() { _ = f.Close() }()
+		_ = pprof.StartCPUProfile(f)
+		defer pprof.StopCPUProfile()
+	}
+
+	if *smoke {
+		*opsPerClient = 20
+	}
+	rep := report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Note: "mixed 50/50 put+get workload, 128B values, loopback TCP; " +
+			"gob-sync is the pre-overhaul wire reimplemented as baseline",
+	}
+	if *smoke {
+		rep.Note += "; SMOKE RUN (tiny op counts, numbers meaningless)"
+	}
+
+	type bench struct {
+		protocol, mode string
+	}
+	benches := []bench{{"gob", "sync"}, {"binary", "sync"}, {"binary", "pipelined"}}
+	for _, clients := range []int{1, 8, 64} {
+		if clients >= 8 && rep.GOMAXPROCS < 4 && !*force {
+			msg := fmt.Sprintf("%d-client benches skipped: GOMAXPROCS %d < 4 (use -force)", clients, rep.GOMAXPROCS)
+			fmt.Fprintln(os.Stderr, "wirebench: "+msg)
+			rep.Skipped = append(rep.Skipped, msg)
+			continue
+		}
+		for _, b := range benches {
+			name := fmt.Sprintf("%s-%s/%dc", b.protocol, b.mode, clients)
+			if *match != "" && !strings.Contains(name, *match) {
+				continue
+			}
+			r, err := runBench(b.protocol, b.mode, clients, *opsPerClient)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wirebench: %s/%dc: %v\n", b.protocol+"-"+b.mode, clients, err)
+				os.Exit(1)
+			}
+			rep.Benchmarks = append(rep.Benchmarks, r)
+			fmt.Printf("%-22s %9.0f ops/s   p50 %7.1fµs  p95 %7.1fµs  p99 %7.1fµs\n",
+				r.Name, r.OpsPerSec, r.P50Micros, r.P95Micros, r.P99Micros)
+		}
+	}
+
+	var gob8, bin8 float64
+	for _, r := range rep.Benchmarks {
+		if r.Clients == 8 && r.Protocol == "gob" {
+			gob8 = r.OpsPerSec
+		}
+		if r.Clients == 8 && r.Protocol == "binary" && r.Mode == "pipelined" {
+			bin8 = r.OpsPerSec
+		}
+	}
+	if gob8 > 0 && bin8 > 0 {
+		rep.SpeedupVsGob8 = bin8 / gob8
+		fmt.Printf("binary-pipelined vs gob-sync at 8 clients: %.2fx\n", rep.SpeedupVsGob8)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wirebench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "wirebench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}
+
+// runBench drives one (protocol, mode, clients) cell: every client runs
+// opsPerClient mixed put/get ops against a fresh store and server, and
+// every op's latency lands in one pool for the percentiles.
+func runBench(protocol, mode string, clients, opsPerClient int) (result, error) {
+	store := kvstore.New()
+	if _, err := store.EnsureTable("bench", kvstore.TableOptions{}); err != nil {
+		return result{}, err
+	}
+
+	var addr string
+	var shutdown func()
+	switch protocol {
+	case "gob":
+		srv, err := newGobServer(store)
+		if err != nil {
+			return result{}, err
+		}
+		addr, shutdown = srv.addr, srv.close
+	default:
+		srv := kvnet.NewServer(store)
+		a, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return result{}, err
+		}
+		addr, shutdown = a, func() { _ = srv.Close() }
+	}
+	defer shutdown()
+
+	value := make([]byte, valueSize)
+	for i := range value {
+		value[i] = byte(i)
+	}
+
+	latencies := make([][]float64, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lat := make([]float64, 0, opsPerClient)
+			defer func() { latencies[c] = lat }()
+			var latMu sync.Mutex
+
+			oneOp := func(cl opClient, i int) error {
+				row := fmt.Sprintf("r%03d-%04d", c, i%512)
+				t0 := time.Now()
+				var err error
+				if i%2 == 0 {
+					err = cl.put("bench", row, "v", value)
+				} else {
+					_, _, err = cl.get("bench", row, "v")
+				}
+				d := float64(time.Since(t0)) / float64(time.Microsecond)
+				latMu.Lock()
+				lat = append(lat, d)
+				latMu.Unlock()
+				return err
+			}
+
+			cl, err := dialBench(protocol, addr)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer cl.close()
+
+			if mode == "pipelined" {
+				var cwg sync.WaitGroup
+				perWorker := opsPerClient / pipelineDepth
+				if perWorker == 0 {
+					perWorker = 1
+				}
+				werrs := make([]error, pipelineDepth)
+				for w := 0; w < pipelineDepth; w++ {
+					cwg.Add(1)
+					go func(w int) {
+						defer cwg.Done()
+						for i := 0; i < perWorker; i++ {
+							if err := oneOp(cl, w*perWorker+i); err != nil {
+								werrs[w] = err
+								return
+							}
+						}
+					}(w)
+				}
+				cwg.Wait()
+				for _, err := range werrs {
+					if err != nil {
+						errs[c] = err
+						return
+					}
+				}
+				return
+			}
+			for i := 0; i < opsPerClient; i++ {
+				if err := oneOp(cl, i); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return result{}, err
+		}
+	}
+
+	var all []float64
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	total := len(all)
+	return result{
+		Name:      fmt.Sprintf("%s-%s/%dc", protocol, mode, clients),
+		Protocol:  protocol,
+		Mode:      mode,
+		Clients:   clients,
+		Ops:       total,
+		OpsPerSec: float64(total) / elapsed.Seconds(),
+		P50Micros: percentile(all, 0.50),
+		P95Micros: percentile(all, 0.95),
+		P99Micros: percentile(all, 0.99),
+	}, nil
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// opClient is the minimal surface both protocols expose to the workload.
+type opClient interface {
+	put(table, row, column string, value []byte) error
+	get(table, row, column string) ([]byte, bool, error)
+	close() error
+}
+
+func dialBench(protocol, addr string) (opClient, error) {
+	if protocol == "gob" {
+		return dialGob(addr)
+	}
+	c, err := kvnet.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &binaryClient{c}, nil
+}
+
+type binaryClient struct{ c *kvnet.Client }
+
+func (b *binaryClient) put(table, row, column string, value []byte) error {
+	return b.c.Put(table, row, column, value)
+}
+func (b *binaryClient) get(table, row, column string) ([]byte, bool, error) {
+	return b.c.Get(table, row, column)
+}
+func (b *binaryClient) close() error { return b.c.Close() }
+
+// --- legacy gob baseline -------------------------------------------------
+//
+// A faithful miniature of the pre-overhaul kvnet wire: reflective gob
+// request/response structs on a strictly synchronous one-op-per-round-trip
+// loop, requests serialized behind a client mutex.
+
+type gobRequest struct {
+	Op     int // 1 = put, 2 = get
+	Table  string
+	Row    string
+	Column string
+	Value  []byte
+}
+
+type gobResponse struct {
+	Err   string
+	Value []byte
+	Found bool
+}
+
+type gobServer struct {
+	store *kvstore.Store
+	ln    net.Listener
+	addr  string
+	wg    sync.WaitGroup
+}
+
+func newGobServer(store *kvstore.Store) (*gobServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &gobServer{store: store, ln: ln, addr: ln.Addr().String()}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+func (s *gobServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+		}()
+	}
+}
+
+func (s *gobServer) serve(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req gobRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		var resp gobResponse
+		t, err := s.store.Table(req.Table)
+		if err != nil {
+			resp.Err = err.Error()
+		} else if req.Op == 1 {
+			if err := t.Put(req.Row, req.Column, req.Value); err != nil {
+				resp.Err = err.Error()
+			}
+		} else {
+			resp.Value, resp.Found = t.Get(req.Row, req.Column)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *gobServer) close() {
+	_ = s.ln.Close()
+	s.wg.Wait()
+}
+
+type gobClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+func dialGob(addr string) (opClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &gobClient{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+func (c *gobClient) roundTrip(req gobRequest) (gobResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return gobResponse{}, err
+	}
+	var resp gobResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		return gobResponse{}, err
+	}
+	return resp, nil
+}
+
+func (c *gobClient) put(table, row, column string, value []byte) error {
+	resp, err := c.roundTrip(gobRequest{Op: 1, Table: table, Row: row, Column: column, Value: value})
+	if err == nil && resp.Err != "" {
+		err = fmt.Errorf("%s", resp.Err)
+	}
+	return err
+}
+
+func (c *gobClient) get(table, row, column string) ([]byte, bool, error) {
+	resp, err := c.roundTrip(gobRequest{Op: 2, Table: table, Row: row, Column: column})
+	if err == nil && resp.Err != "" {
+		err = fmt.Errorf("%s", resp.Err)
+	}
+	return resp.Value, resp.Found, err
+}
+
+func (c *gobClient) close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}

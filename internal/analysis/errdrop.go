@@ -7,8 +7,11 @@ import (
 )
 
 // errdropPackages are the import paths whose error returns must never be
-// discarded: the data-store layer, the fault-injection wrappers around it,
-// and the durability layer. A skipped-step decision computed from a container
+// discarded: the data-store layer (prefix-matched, so the kvnet transport
+// and the internal/kvstore/wire framed codec are covered — a dropped
+// wire.Reader.Done or ReadFrame error is a torn frame treated as clean and
+// a misaligned stream), the fault-injection wrappers around it, and the
+// durability layer. A skipped-step decision computed from a container
 // whose write silently failed is exactly the kind of wrong-number bug the
 // determinism contract exists to prevent — a dropped injected error defeats
 // the whole point of chaos testing, because the fault happened and nobody

@@ -7,6 +7,7 @@ import (
 	"smartflux/internal/durable"
 	"smartflux/internal/fault"
 	"smartflux/internal/kvstore"
+	"smartflux/internal/kvstore/wire"
 )
 
 type conn struct{}
@@ -99,4 +100,33 @@ func checkedCommit(m *durable.Manager) error {
 // bareDurableNoError calls a durable-layer API without an error result; clean.
 func bareDurableNoError(m *durable.Manager) {
 	m.Epoch()
+}
+
+// dropWireDone discards the codec's sticky decode error: a torn or
+// trailing-garbage frame parses as clean and the bad bytes become state.
+func dropWireDone(r *wire.Reader) {
+	r.Done() // want `call discards the error from wire.Done`
+}
+
+// dropWireReadFrame discards a frame-read error: the stream is now
+// misaligned and every later frame decodes garbage.
+func dropWireReadFrame(b *wire.Buffer) {
+	wire.ReadFrame(b) // want `call discards the error from wire.ReadFrame`
+}
+
+// checkedWireDone propagates the codec error.
+func checkedWireDone(r *wire.Reader) error {
+	return r.Done()
+}
+
+// ackWireReadFrame acknowledges the discard explicitly and visibly.
+func ackWireReadFrame(b *wire.Buffer) {
+	_ = wire.ReadFrame(b)
+}
+
+// bareWireNoError exercises pooled-buffer recycling, which carries no
+// error result and is clean to call bare.
+func bareWireNoError() {
+	b := wire.GetBuffer()
+	b.Release()
 }

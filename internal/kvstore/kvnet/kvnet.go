@@ -3,22 +3,29 @@
 // where steps interact with a remote HBase cluster through (intercepted)
 // client libraries.
 //
-// The wire protocol is a simple request/response stream of gob-encoded
-// frames over one TCP connection per client. Every client request carries an
-// Op tag; the server answers each request exactly once, in order.
+// The wire protocol is the length-prefixed binary framing of
+// internal/kvstore/wire (DESIGN.md §13): every frame carries a magic,
+// version, op, flags, a client-assigned sequence number and a payload
+// length. Requests are pipelined — a client keeps many frames in flight on
+// one connection and demultiplexes responses by sequence number — and Scan
+// responses stream back as chunks of at most wire.ScanChunkCells cells, so
+// neither side materializes whole result sets. Peers speaking the legacy
+// gob protocol (or a different frame version) fail loudly at the first
+// frame instead of corrupting state.
 //
 // # Resilience
 //
 // The client survives transient transport failures when ClientConfig enables
-// retries: each failed round trip tears the connection down, redials, and
-// re-sends, with exponential backoff and seeded jitter between attempts.
-// Reads (Get, Scan) are idempotent and always retryable; mutating ops (Put,
-// Delete, Apply) are retryable because every one carries a (client, sequence)
-// request ID that the server deduplicates — a retry of an op the server
-// already applied returns the cached response instead of applying twice.
-// CreateTable maps to EnsureTable server-side and is idempotent by
-// construction. Application-level errors (a response with a non-empty Err)
-// mean the op executed; they are returned immediately and never retried.
+// retries: a failed connection epoch tears the socket down, redials with
+// exponential backoff and seeded jitter, and re-sends every frame that was
+// in flight under its original sequence number. Reads (Get, Scan) are
+// idempotent and always retryable; mutating ops (Put, Delete, Apply) are
+// retryable because the server keeps a per-client window of recently applied
+// sequence numbers — a retry of an op the server already applied returns the
+// remembered outcome instead of applying twice, even with many mutating ops
+// in flight. CreateTable maps to EnsureTable server-side and is idempotent
+// by construction. Application-level errors (an error response frame) mean
+// the op executed; they are returned immediately and never retried.
 //
 // The server drains gracefully on Close: in-flight requests finish and their
 // responses are flushed within a bounded drain window before connections
@@ -26,104 +33,44 @@
 package kvnet
 
 import (
-	"crypto/rand"
-	"encoding/gob"
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
-	mrand "math/rand"
 	"net"
-	"strconv"
 	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	"smartflux/internal/kvstore"
+	"smartflux/internal/kvstore/wire"
 	"smartflux/internal/obs"
 )
 
 // Sentinel errors, matchable with errors.Is through every kvnet wrapper.
 var (
 	// ErrClosed reports an operation on a client whose Close has begun. It
-	// replaces the raw net/gob errors a concurrent Close used to surface.
+	// replaces the raw net errors a concurrent Close used to surface.
 	ErrClosed = errors.New("kvnet: client closed")
 	// ErrTimeout reports an I/O deadline expiring on a round trip. The
 	// original net.Error remains reachable via errors.As.
 	ErrTimeout = errors.New("kvnet: i/o timeout")
 )
 
-// op identifies the request type.
-type op int
-
-const (
-	opCreateTable op = iota + 1
-	opPut
-	opGet
-	opDelete
-	opScan
-	opApply
-
-	opCount = int(opApply) + 1
-)
-
-// opName names each request type for metric labels.
-func opName(o op) string {
-	switch o {
-	case opCreateTable:
-		return "create_table"
-	case opPut:
-		return "put"
-	case opGet:
-		return "get"
-	case opDelete:
-		return "delete"
-	case opScan:
-		return "scan"
-	case opApply:
-		return "apply"
-	default:
-		return "unknown"
-	}
-}
-
-// mutatingOp reports whether o changes store state in a non-idempotent way.
-// These ops carry request IDs and are deduplicated server-side so client
-// retries stay exactly-once. CreateTable is excluded: it maps to EnsureTable
-// and re-applying it is a no-op.
-func mutatingOp(o op) bool {
-	return o == opPut || o == opDelete || o == opApply
-}
-
-// request is the client → server frame.
-type request struct {
-	Op          op
-	Table       string
-	Row         string
-	Column      string
-	Value       []byte
-	MaxVersions int
-	Scan        kvstore.ScanOptions
-	Ops         []kvstore.Op
-
-	// ClientID and Seq form the idempotency key of mutating requests: Seq
-	// increases per mutating op of one client, and the server remembers the
-	// last (Seq, response) per ClientID. Zero values disable deduplication.
-	ClientID uint64
-	Seq      uint64
-}
-
-// response is the server → client frame.
-type response struct {
-	Err   string
-	Value []byte
-	Found bool
-	Cells []kvstore.Cell
-}
-
 // DefaultDrainTimeout bounds how long Server.Close lets in-flight responses
 // flush before forcing connections down.
 const DefaultDrainTimeout = time.Second
+
+// serverBufSize sizes the per-connection buffered reader and writer. Reads
+// batch pipelined request frames into one syscall; writes coalesce response
+// frames until the inbound buffer runs dry.
+const serverBufSize = 64 << 10
+
+// dedupWindowSize bounds the per-client window of remembered mutating
+// sequence numbers. It must exceed the client's in-flight cap
+// (maxInflightFrames) with room to spare, so a retried frame's sequence
+// number can never have been evicted while the retry was still possible.
+const dedupWindowSize = 4096
 
 // Server serves a Store over TCP.
 type Server struct {
@@ -138,32 +85,54 @@ type Server struct {
 	firstErr   error // first async serving error (decode/encode/accept)
 	errHandler func(error)
 
-	// dedup remembers the last mutating request and its response per
-	// client, keyed by ClientID — the server half of exactly-once retries.
-	// One entry per client ever seen; clients are per-step processes, so
-	// the map stays small.
+	// dedup holds one bounded window of applied (seq → outcome) entries per
+	// client, keyed by ClientID — the server half of exactly-once retries
+	// under pipelining, where many mutating ops are in flight at once.
 	dedupMu sync.Mutex
-	dedup   map[uint64]dedupEntry
+	dedup   map[uint64]*dedupWindow
 
 	obs *serverObs
 }
 
-// dedupEntry caches one client's latest applied mutating request.
-type dedupEntry struct {
-	seq  uint64
-	resp response
+// dedupWindow remembers the outcomes ("" = applied cleanly, else the
+// application error string) of one client's most recent mutating sequence
+// numbers, evicting FIFO beyond dedupWindowSize.
+type dedupWindow struct {
+	outcome map[uint64]string
+	ring    []uint64
+	next    int
+}
+
+// lookup returns the remembered outcome of seq, if still in the window.
+func (w *dedupWindow) lookup(seq uint64) (string, bool) {
+	msg, ok := w.outcome[seq]
+	return msg, ok
+}
+
+// record remembers seq's outcome, evicting the oldest entry when full.
+func (w *dedupWindow) record(seq uint64, msg string) {
+	if len(w.ring) < dedupWindowSize {
+		w.ring = append(w.ring, seq)
+	} else {
+		delete(w.outcome, w.ring[w.next])
+		w.ring[w.next] = seq
+		w.next = (w.next + 1) % dedupWindowSize
+	}
+	w.outcome[seq] = msg
 }
 
 // serverObs carries the server's pre-resolved instruments.
 type serverObs struct {
 	o          *obs.Observer
-	requests   [opCount]*obs.Counter
+	requests   [int(wire.OpApply) + 1]*obs.Counter
 	reqDur     *obs.Histogram
 	decodeErrs *obs.Counter
 	encodeErrs *obs.Counter
 	acceptErrs *obs.Counter
 	conns      *obs.Counter
 	dedupHits  *obs.Counter
+	bytesSent  *obs.Counter
+	bytesRecv  *obs.Counter
 }
 
 // NewServer creates a server for the given store with the default graceful
@@ -173,7 +142,7 @@ func NewServer(store *kvstore.Store) *Server {
 		store: store,
 		conns: make(map[net.Conn]struct{}),
 		drain: DefaultDrainTimeout,
-		dedup: make(map[uint64]dedupEntry),
+		dedup: make(map[uint64]*dedupWindow),
 	}
 }
 
@@ -187,9 +156,10 @@ func (s *Server) SetDrainTimeout(d time.Duration) {
 }
 
 // Instrument attaches an observer to the server: per-op request counters, a
-// request-latency histogram, connection counts, retry-dedup hits, and
-// decode/encode/accept error counters (plus a per-connection error counter
-// labeled by remote address). Call before Listen; passing nil detaches.
+// request-latency histogram, connection counts, retry-dedup hits, exact
+// on-wire byte counters, and decode/encode/accept error counters (plus a
+// per-connection error counter labeled by remote address). Call before
+// Listen; passing nil detaches.
 func (s *Server) Instrument(o *obs.Observer) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -205,9 +175,13 @@ func (s *Server) Instrument(o *obs.Observer) {
 		acceptErrs: o.Counter(`smartflux_kvnet_errors_total{kind="accept"}`),
 		conns:      o.Counter("smartflux_kvnet_connections_total"),
 		dedupHits:  o.Counter("smartflux_kvnet_dedup_hits_total"),
+		bytesSent:  o.Counter(`smartflux_kvnet_bytes_total{dir="sent"}`),
+		bytesRecv:  o.Counter(`smartflux_kvnet_bytes_total{dir="recv"}`),
 	}
-	for i := 1; i < opCount; i++ {
-		so.requests[i] = o.Counter(fmt.Sprintf("smartflux_kvnet_requests_total{op=%q}", opName(op(i))))
+	// The hello preamble is connection plumbing, not a request: it gets no
+	// counter and no latency sample.
+	for op := wire.OpCreateTable; op <= wire.OpApply; op++ {
+		so.requests[op] = o.Counter(fmt.Sprintf("smartflux_kvnet_requests_total{op=%q}", wire.OpName(op)))
 	}
 	s.obs = so
 }
@@ -341,123 +315,186 @@ func cleanDisconnect(err error) bool {
 		errors.Is(err, syscall.EPIPE)
 }
 
-// serveConn answers one client connection until it closes. A clean
-// disconnect (EOF or reset between or inside frames — killed clients are
-// routine under connection churn — or the server shutting down) returns nil;
-// other decode and encode failures are reported through the error counters
-// and handler, and returned.
+// serveConn answers one client connection until it closes. The first frame
+// must be the hello preamble carrying the client's dedup identity; request
+// frames are then answered in arrival order, with responses buffered and
+// flushed once the inbound buffer runs dry (so a pipelined burst costs one
+// write syscall, not one per response). A clean disconnect (EOF or reset
+// between frames — killed clients are routine under connection churn — or
+// the server shutting down) returns nil; decode and encode failures are
+// reported through the error counters and handler, and returned.
 func (s *Server) serveConn(conn net.Conn) error {
 	// Close errors after a finished (or already failed) session are noise.
 	defer func() { _ = conn.Close() }()
 	remote := conn.RemoteAddr().String()
 	so := s.obs
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	br := bufio.NewReaderSize(conn, serverBufSize)
+	bw := bufio.NewWriterSize(conn, serverBufSize)
+	in := wire.GetBuffer()
+	defer in.Release()
+	out := wire.GetBuffer()
+	defer out.Release()
+
+	decodeFail := func(err error) error {
+		err = fmt.Errorf("kvnet decode from %s: %w", remote, err)
+		var decodeErrs *obs.Counter
+		if so != nil {
+			decodeErrs = so.decodeErrs
+		}
+		s.reportErr(decodeErrs, remote, err)
+		return err
+	}
+	encodeFail := func(err error) error {
+		err = fmt.Errorf("kvnet encode to %s: %w", remote, err)
+		var encodeErrs *obs.Counter
+		if so != nil {
+			encodeErrs = so.encodeErrs
+		}
+		s.reportErr(encodeErrs, remote, err)
+		return err
+	}
+
+	var clientID uint64
+	helloSeen := false
 	for {
-		var req request
-		if err := dec.Decode(&req); err != nil {
+		h, payload, err := wire.ReadFrame(br, in)
+		if err != nil {
+			if errors.Is(err, wire.ErrVersion) {
+				// Fail loudly toward the peer before hanging up: address the
+				// rejection to the offending frame so a newer client can
+				// surface "version mismatch" instead of a silent drop.
+				out.Reset()
+				wire.AppendErrResponse(out, h.Op, h.Seq, "kvnet: "+err.Error())
+				_, _ = bw.Write(out.Bytes())
+				_ = bw.Flush()
+			}
 			if cleanDisconnect(err) || s.isClosed() {
 				return nil // clean disconnect or server shutdown
 			}
-			// Garbage on the wire: a fault worth surfacing, not a normal
+			// Garbage on the wire (including legacy gob peers, torn frames
+			// and version mismatches): a fault worth surfacing, not a normal
 			// hang-up.
-			var decodeErrs *obs.Counter
-			if so != nil {
-				decodeErrs = so.decodeErrs
-			}
-			err = fmt.Errorf("kvnet decode from %s: %w", remote, err)
-			s.reportErr(decodeErrs, remote, err)
-			return err
+			return decodeFail(err)
+		}
+		if so != nil {
+			so.bytesRecv.Add(uint64(wire.HeaderSize + len(payload)))
+		}
+		req, err := wire.DecodeRequest(h, payload)
+		if err != nil {
+			return decodeFail(err)
+		}
+		if req.Op == wire.OpHello {
+			// One-way preamble: record the dedup identity, send nothing. The
+			// first bytes a client ever reads are its first op's response.
+			clientID = req.ClientID
+			helloSeen = true
+			continue
+		}
+		if !helloSeen {
+			return decodeFail(fmt.Errorf("%s frame before hello preamble", wire.OpName(req.Op)))
 		}
 
 		var start time.Time
 		if so != nil {
 			start = time.Now()
 		}
-		resp := s.handle(req)
+		werr := s.serveRequest(&req, clientID, bw, out)
 		if so != nil {
 			so.reqDur.Observe(time.Since(start).Seconds())
-			i := int(req.Op)
-			if i <= 0 || i >= opCount {
-				i = 0
-			}
-			so.requests[i].Inc() // index 0 (unknown op) is a nil no-op
+			so.requests[req.Op].Inc()
 		}
-
-		if err := enc.Encode(resp); err != nil {
-			if cleanDisconnect(err) || s.isClosed() {
+		if werr == nil && br.Buffered() == 0 {
+			werr = bw.Flush()
+		}
+		if werr != nil {
+			if cleanDisconnect(werr) || s.isClosed() {
 				return nil
 			}
-			var encodeErrs *obs.Counter
-			if so != nil {
-				encodeErrs = so.encodeErrs
-			}
-			err = fmt.Errorf("kvnet encode to %s: %w", remote, err)
-			s.reportErr(encodeErrs, remote, err)
-			return err
+			return encodeFail(werr)
 		}
 	}
 }
 
-// handle answers one request, routing mutating requests through the
-// idempotency cache: a retry of the client's most recent mutating op
-// returns the remembered response instead of applying twice.
-func (s *Server) handle(req request) response {
-	if req.ClientID == 0 || req.Seq == 0 || !mutatingOp(req.Op) {
-		return s.dispatch(req)
+// serveRequest answers one decoded request, writing its response frame(s)
+// into bw via the scratch buffer out. The returned error is a transport
+// write failure; application errors travel inside error response frames.
+func (s *Server) serveRequest(req *wire.Request, clientID uint64, bw *bufio.Writer, out *wire.Buffer) error {
+	if req.Op == wire.OpScan {
+		return s.serveScan(req, bw, out)
 	}
-	s.dedupMu.Lock()
-	if e, ok := s.dedup[req.ClientID]; ok && e.seq == req.Seq {
-		s.dedupMu.Unlock()
-		if so := s.obs; so != nil {
-			so.dedupHits.Inc()
-		}
-		return e.resp
-	}
-	s.dedupMu.Unlock()
-	resp := s.dispatch(req)
-	s.dedupMu.Lock()
-	s.dedup[req.ClientID] = dedupEntry{seq: req.Seq, resp: resp}
-	s.dedupMu.Unlock()
-	return resp
-}
-
-// dispatch applies one request to the store.
-func (s *Server) dispatch(req request) response {
-	switch req.Op {
-	case opCreateTable:
-		_, err := s.store.EnsureTable(req.Table, kvstore.TableOptions{MaxVersions: req.MaxVersions})
-		return errResponse(err)
-	case opPut:
+	out.Reset()
+	switch {
+	case req.Op == wire.OpGet:
 		t, err := s.store.Table(req.Table)
 		if err != nil {
-			return errResponse(err)
-		}
-		return errResponse(t.Put(req.Row, req.Column, req.Value))
-	case opGet:
-		t, err := s.store.Table(req.Table)
-		if err != nil {
-			return errResponse(err)
+			wire.AppendErrResponse(out, wire.OpGet, req.Seq, err.Error())
+			break
 		}
 		v, found := t.Get(req.Row, req.Column)
-		return response{Value: v, Found: found}
-	case opDelete:
-		t, err := s.store.Table(req.Table)
-		if err != nil {
-			return errResponse(err)
+		wire.AppendGetResponse(out, req.Seq, v, found)
+	case req.Op == wire.OpCreateTable:
+		// Idempotent by construction; no dedup entry needed.
+		_, err := s.store.EnsureTable(req.Table, kvstore.TableOptions{MaxVersions: req.MaxVers})
+		appendResult(out, req.Op, req.Seq, errString(err))
+	case wire.Mutating(req.Op) && clientID != 0 && req.Seq != 0:
+		if msg, ok := s.dedupLookup(clientID, req.Seq); ok {
+			if so := s.obs; so != nil {
+				so.dedupHits.Inc()
+			}
+			appendResult(out, req.Op, req.Seq, msg)
+			break
 		}
-		return errResponse(t.Delete(req.Row, req.Column))
-	case opScan:
-		t, err := s.store.Table(req.Table)
-		if err != nil {
-			return errResponse(err)
-		}
-		return response{Cells: t.Scan(req.Scan)}
-	case opApply:
-		t, err := s.store.Table(req.Table)
-		if err != nil {
-			return errResponse(err)
-		}
+		msg := errString(s.applyMutation(req))
+		s.dedupRecord(clientID, req.Seq, msg)
+		appendResult(out, req.Op, req.Seq, msg)
+	default:
+		// Mutating op without a dedup identity (seq 0): apply uncached.
+		appendResult(out, req.Op, req.Seq, errString(s.applyMutation(req)))
+	}
+	return s.writeFrames(bw, out)
+}
+
+// serveScan streams one scan as chunked response frames straight off the
+// store's shared-page scanner: cell values are serialized while they alias
+// live store memory and never copied.
+func (s *Server) serveScan(req *wire.Request, bw *bufio.Writer, out *wire.Buffer) error {
+	t, err := s.store.Table(req.Table)
+	if err != nil {
+		out.Reset()
+		wire.AppendErrResponse(out, wire.OpScan, req.Seq, err.Error())
+		return s.writeFrames(bw, out)
+	}
+	return t.ScanPagesShared(req.Scan, wire.ScanChunkCells, func(cells []kvstore.Cell, final bool) error {
+		out.Reset()
+		wire.AppendScanChunk(out, req.Seq, cells, final)
+		return s.writeFrames(bw, out)
+	})
+}
+
+// writeFrames copies one encoded response (or chunk) into the buffered
+// writer, counting exact on-wire bytes.
+func (s *Server) writeFrames(bw *bufio.Writer, out *wire.Buffer) error {
+	if _, err := bw.Write(out.Bytes()); err != nil {
+		return err
+	}
+	if so := s.obs; so != nil {
+		so.bytesSent.Add(uint64(out.Len()))
+	}
+	return nil
+}
+
+// applyMutation applies one mutating request to the store.
+func (s *Server) applyMutation(req *wire.Request) error {
+	t, err := s.store.Table(req.Table)
+	if err != nil {
+		return err
+	}
+	switch req.Op {
+	case wire.OpPut:
+		return t.Put(req.Row, req.Column, req.Value)
+	case wire.OpDelete:
+		return t.Delete(req.Row, req.Column)
+	case wire.OpApply:
 		b := kvstore.NewBatch()
 		for _, o := range req.Ops {
 			if o.Delete {
@@ -466,17 +503,51 @@ func (s *Server) dispatch(req request) response {
 				b.Put(o.Row, o.Column, o.Value)
 			}
 		}
-		return errResponse(t.Apply(b))
+		return t.Apply(b)
 	default:
-		return response{Err: fmt.Sprintf("kvnet: unknown op %d", req.Op)}
+		return fmt.Errorf("kvnet: op %s is not a mutation", wire.OpName(req.Op))
 	}
 }
 
-func errResponse(err error) response {
-	if err != nil {
-		return response{Err: err.Error()}
+// dedupLookup consults the client's dedup window for an already-applied seq.
+func (s *Server) dedupLookup(clientID, seq uint64) (string, bool) {
+	s.dedupMu.Lock()
+	defer s.dedupMu.Unlock()
+	w, ok := s.dedup[clientID]
+	if !ok {
+		return "", false
 	}
-	return response{}
+	return w.lookup(seq)
+}
+
+// dedupRecord remembers an applied seq's outcome in the client's window.
+func (s *Server) dedupRecord(clientID, seq uint64, msg string) {
+	s.dedupMu.Lock()
+	defer s.dedupMu.Unlock()
+	w, ok := s.dedup[clientID]
+	if !ok {
+		w = &dedupWindow{outcome: make(map[uint64]string)}
+		s.dedup[clientID] = w
+	}
+	w.record(seq, msg)
+}
+
+// appendResult encodes a mutating op's outcome: an empty message is a bare
+// OK frame, anything else an error frame.
+func appendResult(out *wire.Buffer, op byte, seq uint64, msg string) {
+	if msg == "" {
+		wire.AppendOKResponse(out, op, seq)
+	} else {
+		wire.AppendErrResponse(out, op, seq, msg)
+	}
+}
+
+// errString flattens an error for the wire.
+func errString(err error) string {
+	if err != nil {
+		return err.Error()
+	}
+	return ""
 }
 
 // Close stops the listener, drains live connections and waits for all
@@ -514,437 +585,5 @@ func (s *Server) Close() error {
 		err = ln.Close()
 	}
 	s.wg.Wait()
-	return err
-}
-
-// ClientConfig configures a client connection. The zero value matches the
-// historical behaviour: no deadlines, no retries, no reconnection.
-type ClientConfig struct {
-	// DialTimeout bounds connection establishment; zero waits forever.
-	DialTimeout time.Duration
-	// ReadTimeout bounds each response read; zero waits forever. A hung or
-	// stalled server surfaces as an ErrTimeout-wrapped kvnet recv error
-	// instead of blocking the calling workflow step indefinitely.
-	ReadTimeout time.Duration
-	// WriteTimeout bounds each request write; zero waits forever.
-	WriteTimeout time.Duration
-	// MaxRetries bounds the extra attempts a failed round trip gets. Every
-	// retry tears down and redials the connection. Reads retry as-is;
-	// mutating ops retry under their request ID so the server applies them
-	// exactly once.
-	MaxRetries int
-	// RetryBackoff is the base delay before a retry, doubling each attempt
-	// (capped at 64×) with seeded jitter of up to half the delay. Zero
-	// retries immediately.
-	RetryBackoff time.Duration
-	// RetrySeed seeds the jitter source; retries are deterministic given
-	// the seed and the failure sequence.
-	RetrySeed int64
-	// Dial overrides connection establishment (e.g. to interpose
-	// internal/fault's Dialer); nil dials TCP with DialTimeout.
-	Dial func(addr string, timeout time.Duration) (net.Conn, error)
-	// Obs, when non-nil, counts I/O timeouts on
-	// smartflux_kvnet_client_timeouts_total{kind="read"|"write"}, retries
-	// on smartflux_kvnet_client_retries_total and reconnections on
-	// smartflux_kvnet_client_reconnects_total.
-	Obs *obs.Observer
-}
-
-// Client is a synchronous TCP client for a kvnet server. A Client is safe
-// for concurrent use; requests are serialized over one connection. With
-// retries configured it transparently reconnects after transport failures.
-type Client struct {
-	cfg  ClientConfig
-	addr string
-	id   uint64 // idempotency identity, stable across reconnects
-
-	// opMu serializes round trips (and owns enc/dec, seq, rtSeq and the
-	// jitter RNG); connMu guards connection state so Close can interrupt an
-	// in-flight round trip without waiting for it.
-	opMu   sync.Mutex
-	seq    uint64
-	rtSeq  uint64 // numbers round-trip spans under root
-	jitter *mrand.Rand
-
-	// root anchors this client's round-trip spans under one unemitted
-	// net/c<n> ID; nil when the observer is not tracing spans.
-	root *obs.Span
-
-	connMu sync.Mutex
-	conn   net.Conn
-	enc    *gob.Encoder
-	dec    *gob.Decoder
-	closed bool
-
-	readTimeouts  *obs.Counter // nil when no observer is configured
-	writeTimeouts *obs.Counter
-	retries       *obs.Counter
-	reconnects    *obs.Counter
-}
-
-// clientIDCounter is the fallback identity source when crypto/rand fails.
-var clientIDCounter atomic.Uint64
-
-// clientSpanSeq numbers span-tracing clients process-wide so their root span
-// IDs (net/c0, net/c1, ...) stay distinct when several clients share sinks.
-var clientSpanSeq atomic.Uint64
-
-// newClientID draws a non-zero 64-bit client identity. Identities only need
-// to be unique among clients of one server; randomness keeps identities from
-// colliding across processes without coordination.
-func newClientID() uint64 {
-	var b [8]byte
-	if _, err := rand.Read(b[:]); err == nil {
-		var id uint64
-		for _, x := range b {
-			id = id<<8 | uint64(x)
-		}
-		if id != 0 {
-			return id
-		}
-	}
-	return clientIDCounter.Add(1)
-}
-
-// Dial connects to a kvnet server with no I/O deadlines and no retries.
-func Dial(addr string) (*Client, error) {
-	return DialConfig(addr, ClientConfig{})
-}
-
-// DialConfig connects to a kvnet server with the given configuration.
-func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
-	c := &Client{
-		cfg:    cfg,
-		addr:   addr,
-		id:     newClientID(),
-		jitter: mrand.New(mrand.NewSource(cfg.RetrySeed)),
-	}
-	if cfg.Obs != nil {
-		c.readTimeouts = cfg.Obs.Counter(`smartflux_kvnet_client_timeouts_total{kind="read"}`)
-		c.writeTimeouts = cfg.Obs.Counter(`smartflux_kvnet_client_timeouts_total{kind="write"}`)
-		c.retries = cfg.Obs.Counter("smartflux_kvnet_client_retries_total")
-		c.reconnects = cfg.Obs.Counter("smartflux_kvnet_client_reconnects_total")
-	}
-	if cfg.Obs.Spanning() {
-		idx := clientSpanSeq.Add(1) - 1
-		c.root = cfg.Obs.RootSpan("net/c"+strconv.FormatUint(idx, 10), "client", "net")
-	}
-	// Eager first dial so an unreachable server fails construction, as it
-	// always has.
-	c.connMu.Lock()
-	_, _, _, err := c.ensureConnLocked(false)
-	c.connMu.Unlock()
-	if err != nil {
-		return nil, err
-	}
-	return c, nil
-}
-
-// dialConn establishes one connection using the configured dial function.
-func (c *Client) dialConn() (net.Conn, error) {
-	if c.cfg.Dial != nil {
-		return c.cfg.Dial(c.addr, c.cfg.DialTimeout)
-	}
-	if c.cfg.DialTimeout > 0 {
-		return net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
-	}
-	return net.Dial("tcp", c.addr)
-}
-
-// ensureConnLocked returns the live connection, dialing a fresh one if
-// needed. Callers hold connMu. redial marks reconnections (vs. the first
-// dial) for the reconnect counter.
-func (c *Client) ensureConnLocked(redial bool) (net.Conn, *gob.Encoder, *gob.Decoder, error) {
-	if c.closed {
-		return nil, nil, nil, &opError{stage: "dial", kind: ErrClosed}
-	}
-	if c.conn != nil {
-		return c.conn, c.enc, c.dec, nil
-	}
-	conn, err := c.dialConn()
-	if err != nil {
-		return nil, nil, nil, &opError{stage: "dial", err: err}
-	}
-	c.conn = conn
-	c.enc = gob.NewEncoder(conn)
-	c.dec = gob.NewDecoder(conn)
-	if redial {
-		c.reconnects.Inc() // nil-safe no-op when uninstrumented
-	}
-	return conn, c.enc, c.dec, nil
-}
-
-// dropConn tears the current connection down so the next attempt redials.
-// The client's identity (and thus the dedup key space) survives.
-func (c *Client) dropConn() {
-	c.connMu.Lock()
-	defer c.connMu.Unlock()
-	if c.conn != nil {
-		_ = c.conn.Close()
-		c.conn = nil
-		c.enc = nil
-		c.dec = nil
-	}
-}
-
-// isClosed reports whether Close has begun.
-func (c *Client) isClosed() bool {
-	c.connMu.Lock()
-	defer c.connMu.Unlock()
-	return c.closed
-}
-
-// Close closes the client. It is idempotent, safe to call concurrently with
-// in-flight operations — those fail promptly with ErrClosed instead of a
-// raw transport error — and returns nil on repeat calls.
-func (c *Client) Close() error {
-	c.connMu.Lock()
-	defer c.connMu.Unlock()
-	if c.closed {
-		return nil
-	}
-	c.closed = true
-	if c.conn == nil {
-		return nil
-	}
-	err := c.conn.Close() // unblocks any in-flight read/write immediately
-	c.conn = nil
-	c.enc = nil
-	c.dec = nil
-	return err
-}
-
-// opError wraps a transport failure with its sentinel classification. Both
-// the sentinel (ErrClosed / ErrTimeout) and the underlying error stay
-// reachable through errors.Is / errors.As.
-type opError struct {
-	stage string // "dial", "send", "recv"
-	kind  error  // ErrClosed or ErrTimeout; nil for plain transport errors
-	err   error
-}
-
-func (e *opError) Error() string {
-	switch {
-	case e.kind != nil && e.err != nil:
-		return fmt.Sprintf("kvnet %s: %v: %v", e.stage, e.kind, e.err)
-	case e.kind != nil:
-		return fmt.Sprintf("kvnet %s: %v", e.stage, e.kind)
-	default:
-		return fmt.Sprintf("kvnet %s: %v", e.stage, e.err)
-	}
-}
-
-func (e *opError) Unwrap() []error {
-	switch {
-	case e.kind != nil && e.err != nil:
-		return []error{e.kind, e.err}
-	case e.kind != nil:
-		return []error{e.kind}
-	default:
-		return []error{e.err}
-	}
-}
-
-// wrapIOErr classifies one send/recv failure: concurrent Close becomes
-// ErrClosed, net timeouts become ErrTimeout (counted), everything else
-// passes through wrapped with its stage.
-func (c *Client) wrapIOErr(stage string, err error, timeouts *obs.Counter) error {
-	if c.isClosed() {
-		return &opError{stage: stage, kind: ErrClosed, err: err}
-	}
-	var nerr net.Error
-	if errors.As(err, &nerr) && nerr.Timeout() {
-		timeouts.Inc() // nil-safe no-op when uninstrumented
-		return &opError{stage: stage, kind: ErrTimeout, err: err}
-	}
-	return &opError{stage: stage, err: err}
-}
-
-// retryable reports whether a failed request may be re-sent: reads and
-// idempotent ops always, mutating ops only under a request ID the server
-// deduplicates (always assigned — the check documents the invariant).
-func (c *Client) retryable(req request) bool {
-	if !mutatingOp(req.Op) {
-		return true
-	}
-	return req.ClientID != 0 && req.Seq != 0
-}
-
-// backoff sleeps out the delay before retry number attempt (0-based):
-// RetryBackoff doubling per attempt, capped at 64×, plus jitter of up to
-// half the delay drawn from the seeded source.
-func (c *Client) backoff(attempt int) {
-	base := c.cfg.RetryBackoff
-	if base <= 0 {
-		return
-	}
-	if attempt > 6 {
-		attempt = 6
-	}
-	d := base << uint(attempt)
-	d += time.Duration(c.jitter.Int63n(int64(d)/2 + 1))
-	time.Sleep(d)
-}
-
-// attempt performs one wire round trip. att, when non-nil, is the span for
-// this attempt; a dial child hangs off it when the connection must be
-// (re)established.
-func (c *Client) attempt(req request, redial bool, att *obs.Span) (response, error) {
-	c.connMu.Lock()
-	var dialSp *obs.Span
-	if c.conn == nil && att != nil {
-		dialSp = att.ChildKey("dial", "dial", "net")
-	}
-	conn, enc, dec, err := c.ensureConnLocked(redial)
-	c.connMu.Unlock()
-	dialSp.EndErr(err)
-	if err != nil {
-		return response{}, err
-	}
-	if c.cfg.WriteTimeout > 0 {
-		_ = conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
-	}
-	if err := enc.Encode(req); err != nil {
-		return response{}, c.wrapIOErr("send", err, c.writeTimeouts)
-	}
-	if c.cfg.ReadTimeout > 0 {
-		_ = conn.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout))
-	}
-	var resp response
-	if err := dec.Decode(&resp); err != nil {
-		return response{}, c.wrapIOErr("recv", err, c.readTimeouts)
-	}
-	return resp, nil
-}
-
-// roundTrip sends one request and returns its response, retrying through
-// reconnects per the configured policy. Application-level errors (non-empty
-// response.Err) mean the op executed server-side; they are returned
-// immediately and never retried.
-func (c *Client) roundTrip(req request) (response, error) {
-	c.opMu.Lock()
-	defer c.opMu.Unlock()
-	if mutatingOp(req.Op) {
-		c.seq++
-		req.ClientID, req.Seq = c.id, c.seq
-	}
-	var sp *obs.Span
-	if c.root != nil {
-		sp = c.root.ChildKey("rt"+strconv.FormatUint(c.rtSeq, 10), opName(req.Op), "net")
-		c.rtSeq++
-		if req.Table != "" {
-			sp.SetAttr("table", req.Table)
-		}
-	}
-	var lastErr error
-	for attempt := 0; ; attempt++ {
-		var att *obs.Span
-		if sp != nil {
-			att = sp.ChildKey("a"+strconv.Itoa(attempt), "attempt", "net")
-		}
-		resp, err := c.attempt(req, attempt > 0, att)
-		att.EndErr(err)
-		if err == nil {
-			if resp.Err != "" {
-				appErr := errors.New(resp.Err)
-				sp.SetRetries(attempt)
-				sp.EndErr(appErr)
-				return resp, appErr
-			}
-			if sp != nil {
-				sp.SetRetries(attempt)
-				sp.SetBytes(wireBytes(req, resp))
-				sp.End()
-			}
-			return resp, nil
-		}
-		lastErr = err
-		if errors.Is(err, ErrClosed) {
-			sp.SetRetries(attempt)
-			sp.EndErr(err)
-			return response{}, err
-		}
-		c.dropConn()
-		if attempt >= c.cfg.MaxRetries || !c.retryable(req) {
-			sp.SetRetries(attempt)
-			sp.EndErr(lastErr)
-			return response{}, lastErr
-		}
-		c.retries.Inc() // nil-safe no-op when uninstrumented
-		c.backoff(attempt)
-	}
-}
-
-// wireBytes approximates the payload bytes a round trip moved: request and
-// response values, batched op values, and scanned cell values. Framing and
-// gob overhead are excluded.
-func wireBytes(req request, resp response) int64 {
-	n := int64(len(req.Value)) + int64(len(resp.Value))
-	for _, op := range req.Ops {
-		n += int64(len(op.Value))
-	}
-	for _, cell := range resp.Cells {
-		n += int64(len(cell.Version.Value))
-	}
-	return n
-}
-
-// CreateTable ensures a table exists on the server.
-func (c *Client) CreateTable(name string, maxVersions int) error {
-	_, err := c.roundTrip(request{Op: opCreateTable, Table: name, MaxVersions: maxVersions})
-	return err
-}
-
-// Put writes a value.
-func (c *Client) Put(table, row, column string, value []byte) error {
-	_, err := c.roundTrip(request{Op: opPut, Table: table, Row: row, Column: column, Value: value})
-	return err
-}
-
-// PutFloat writes an encoded float64.
-func (c *Client) PutFloat(table, row, column string, v float64) error {
-	return c.Put(table, row, column, kvstore.EncodeFloat(v))
-}
-
-// Get reads the latest value of a cell.
-func (c *Client) Get(table, row, column string) ([]byte, bool, error) {
-	resp, err := c.roundTrip(request{Op: opGet, Table: table, Row: row, Column: column})
-	if err != nil {
-		return nil, false, err
-	}
-	return resp.Value, resp.Found, nil
-}
-
-// GetFloat reads a float64-encoded cell.
-func (c *Client) GetFloat(table, row, column string) (float64, bool, error) {
-	raw, found, err := c.Get(table, row, column)
-	if err != nil || !found {
-		return 0, found, err
-	}
-	v, err := kvstore.DecodeFloat(raw)
-	if err != nil {
-		return 0, false, err
-	}
-	return v, true, nil
-}
-
-// Delete removes a cell.
-func (c *Client) Delete(table, row, column string) error {
-	_, err := c.roundTrip(request{Op: opDelete, Table: table, Row: row, Column: column})
-	return err
-}
-
-// Scan returns matching cells.
-func (c *Client) Scan(table string, opts kvstore.ScanOptions) ([]kvstore.Cell, error) {
-	resp, err := c.roundTrip(request{Op: opScan, Table: table, Scan: opts})
-	if err != nil {
-		return nil, err
-	}
-	return resp.Cells, nil
-}
-
-// Apply applies a batch atomically on the server.
-func (c *Client) Apply(table string, ops []kvstore.Op) error {
-	_, err := c.roundTrip(request{Op: opApply, Table: table, Ops: ops})
 	return err
 }

@@ -75,9 +75,11 @@ func TestClientReconnectsAcrossServerRestart(t *testing.T) {
 	if got := snap.Counters["smartflux_kvnet_client_reconnects_total"]; got < 1 {
 		t.Errorf("reconnects = %d, want >= 1", got)
 	}
-	if got := snap.Counters["smartflux_kvnet_client_retries_total"]; got < 1 {
-		t.Errorf("retries = %d, want >= 1", got)
-	}
+	// No retries assertion: the pipelined client detects the dead
+	// connection asynchronously, so the post-restart op is charged a retry
+	// only if it was already in flight when the failure surfaced — with a
+	// quiet gap between ops a plain reconnect (retries = 0) is correct.
+	// Deterministic retry accounting is covered by TestRetryChargesFrames.
 }
 
 // TestClientRetriesThroughInjectedDisconnects runs a workload over a

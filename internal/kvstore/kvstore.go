@@ -20,7 +20,6 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -573,56 +572,15 @@ func (t *Table) Scan(opts ScanOptions) []Cell {
 	return cells
 }
 
-// scan implements Scan under the table lock.
+// scan implements Scan: one lock hold for an atomic snapshot of shared
+// value references, then one arena allocation for all the value copies.
+// The copy can happen outside the lock because stored value buffers are
+// immutable once written — putLocked always allocates a fresh buffer.
 func (t *Table) scan(opts ScanOptions) []Cell {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-
-	var rowKeys []string
-	for _, row := range t.sortedRowKeysLocked() {
-		if opts.StartRow != "" && row < opts.StartRow {
-			continue
-		}
-		if opts.EndRow != "" && row >= opts.EndRow {
-			continue
-		}
-		if opts.RowPrefix != "" && !strings.HasPrefix(row, opts.RowPrefix) {
-			continue
-		}
-		rowKeys = append(rowKeys, row)
-	}
-
-	var cells []Cell
-	for _, row := range rowKeys {
-		cols := t.rows[row]
-		var colKeys []string
-		if opts.ColumnPrefix == "" {
-			colKeys = t.sortedColKeysLocked(row)
-		} else {
-			for _, col := range t.sortedColKeysLocked(row) {
-				if strings.HasPrefix(col, opts.ColumnPrefix) {
-					colKeys = append(colKeys, col)
-				}
-			}
-		}
-		for _, col := range colKeys {
-			versions := cols[col]
-			v := versions[len(versions)-1]
-			value := make([]byte, len(v.Value))
-			copy(value, v.Value)
-			cells = append(cells, Cell{
-				Row:    row,
-				Column: col,
-				Version: Version{
-					Timestamp: v.Timestamp,
-					Value:     value,
-				},
-			})
-			if opts.Limit > 0 && len(cells) >= opts.Limit {
-				return cells
-			}
-		}
-	}
+	cells, total, _ := t.collectLocked(opts, nil, opts.Limit, nil)
+	t.mu.Unlock()
+	arenaCopyValues(cells, total)
 	return cells
 }
 

@@ -1,0 +1,199 @@
+package kvstore
+
+import (
+	"strings"
+	"sync"
+)
+
+// scanCursor marks the last cell a previous page returned; collection
+// resumes strictly after it. An inactive cursor means "start from the top".
+type scanCursor struct {
+	row    string
+	col    string
+	active bool
+}
+
+// collectLocked appends up to max matching cells to dst in (row, column)
+// order, resuming after cur when it is active. Cell values are shared
+// references into live store memory — value buffers are immutable once
+// written (putLocked always allocates a fresh buffer), so the references
+// stay valid and stable after t.mu is released, but callers handing them
+// out must either copy (arenaCopyValues) or document the aliasing. Returns
+// the extended slice, the summed value bytes of the appended cells, and
+// whether collection stopped at max with (potentially) more cells ahead.
+// max <= 0 means unbounded. Callers must hold t.mu for writing (the
+// sorted-key caches rebuild lazily).
+func (t *Table) collectLocked(opts ScanOptions, cur *scanCursor, max int, dst []Cell) ([]Cell, int64, bool) {
+	rows := t.sortedRowKeysLocked()
+	i := 0
+	if cur != nil && cur.active {
+		i = searchStrings(rows, cur.row)
+	}
+	var valueBytes int64
+	for ; i < len(rows); i++ {
+		row := rows[i]
+		if opts.StartRow != "" && row < opts.StartRow {
+			continue
+		}
+		if opts.EndRow != "" && row >= opts.EndRow {
+			continue
+		}
+		if opts.RowPrefix != "" && !strings.HasPrefix(row, opts.RowPrefix) {
+			continue
+		}
+		cols := t.rows[row]
+		for _, col := range t.sortedColKeysLocked(row) {
+			if opts.ColumnPrefix != "" && !strings.HasPrefix(col, opts.ColumnPrefix) {
+				continue
+			}
+			if cur != nil && cur.active && row == cur.row && col <= cur.col {
+				continue
+			}
+			versions := cols[col]
+			v := versions[len(versions)-1]
+			dst = append(dst, Cell{Row: row, Column: col, Version: v})
+			valueBytes += int64(len(v.Value))
+			if max > 0 && len(dst) >= max {
+				if cur != nil {
+					cur.row, cur.col, cur.active = row, col, true
+				}
+				return dst, valueBytes, true
+			}
+		}
+	}
+	return dst, valueBytes, false
+}
+
+// searchStrings is sort.SearchStrings without the package dependency knot:
+// the first index at or after which x would sort.
+func searchStrings(a []string, x string) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// arenaCopyValues replaces each cell's shared value reference with a copy
+// carved out of one arena allocation sized for the whole batch — one malloc
+// per scan page instead of one per cell. total must be the summed value
+// lengths (as returned by collectLocked). Each copy is capacity-capped so
+// appending to one cell's value can never scribble over its neighbour's.
+func arenaCopyValues(cells []Cell, total int64) {
+	arena := make([]byte, 0, total)
+	for i := range cells {
+		off := len(arena)
+		arena = append(arena, cells[i].Version.Value...)
+		cells[i].Version.Value = arena[off:len(arena):len(arena)]
+	}
+}
+
+// defaultScanPage is the page size used when callers pass pageSize <= 0,
+// and the capacity of pooled page slices. It matches wire.ScanChunkCells so
+// the kvnet server's streamed chunks recycle pages without reallocating.
+const defaultScanPage = 256
+
+// scanPagePool recycles page slices between ScanPagesShared calls.
+var scanPagePool = sync.Pool{New: func() any {
+	s := make([]Cell, 0, defaultScanPage)
+	return &s
+}}
+
+// ScanPages streams the latest version of every matching cell in (row,
+// column) order, invoking fn with consecutive pages of up to pageSize
+// cells (pageSize <= 0 uses a default). The final invocation — there is
+// always at least one, possibly with an empty page — has final=true. Pages
+// are independently allocated with arena-backed value copies; fn may
+// retain them.
+//
+// Unlike Scan, the table lock is released between pages (the HBase scanner
+// contract the paper's store substrate provides): a scan interleaved with
+// writes sees each page atomically but not the whole result set. Cells
+// already returned are never revisited; cells inserted behind the cursor
+// are missed.
+func (t *Table) ScanPages(opts ScanOptions, pageSize int, fn func(cells []Cell, final bool) error) error {
+	return t.scanPages(opts, pageSize, false, fn)
+}
+
+// ScanPagesShared is ScanPages without the defensive copies, for hot paths
+// that serialize cells and move on (the kvnet streaming-scan server): cell
+// values alias live store memory (immutable once written) and the page
+// slice is pooled and reused across invocations. fn must not mutate the
+// values and must not retain the page or any cell value past its return.
+func (t *Table) ScanPagesShared(opts ScanOptions, pageSize int, fn func(cells []Cell, final bool) error) error {
+	return t.scanPages(opts, pageSize, true, fn)
+}
+
+func (t *Table) scanPages(opts ScanOptions, pageSize int, shared bool, fn func(cells []Cell, final bool) error) error {
+	if pageSize <= 0 {
+		pageSize = defaultScanPage
+	}
+	ins := t.store.ins.Load()
+	sp := ins.opSpan("scan", t.name)
+
+	var pagePtr *[]Cell
+	var page []Cell
+	if shared && pageSize <= defaultScanPage {
+		pagePtr = scanPagePool.Get().(*[]Cell)
+		page = (*pagePtr)[:0]
+	}
+
+	var (
+		cur      scanCursor
+		returned int
+		total    int64
+		err      error
+	)
+	for {
+		max := pageSize
+		if opts.Limit > 0 && opts.Limit-returned < max {
+			max = opts.Limit - returned
+		}
+		dst := page[:0]
+		if !shared {
+			dst = nil // fn may retain copy-variant pages; never reuse them
+		}
+		var pageBytes int64
+		var more bool
+		t.mu.Lock()
+		page, pageBytes, more = t.collectLocked(opts, &cur, max, dst)
+		t.mu.Unlock()
+		if !shared {
+			arenaCopyValues(page, pageBytes)
+		}
+		returned += len(page)
+		total += pageBytes
+		if opts.Limit > 0 && returned >= opts.Limit {
+			more = false
+		}
+		err = fn(page, !more)
+		if err != nil || !more {
+			break
+		}
+	}
+
+	if pagePtr != nil {
+		page = page[:cap(page)]
+		clear(page) // drop value references so the pool does not pin them
+		*pagePtr = page[:0]
+		scanPagePool.Put(pagePtr)
+	}
+	if ins != nil {
+		ins.scans.Inc()
+		ins.scanCells.Add(uint64(returned))
+	}
+	if sp != nil {
+		sp.SetBytes(total)
+		if err != nil {
+			sp.EndErr(err)
+		} else {
+			sp.End()
+		}
+	}
+	return err
+}

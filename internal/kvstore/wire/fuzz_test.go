@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"smartflux/internal/kvstore"
+)
+
+// FuzzReadFrame throws raw bytes at the frame reader + both decoders: no
+// input may panic, over-allocate past MaxPayload, or decode into a request
+// that re-encodes to something that decodes differently.
+func FuzzReadFrame(f *testing.F) {
+	b := GetBuffer()
+	AppendHello(b, 1)
+	f.Add(append([]byte(nil), b.Bytes()...))
+	b.Reset()
+	AppendRequest(b, &Request{Op: OpPut, Seq: 2, Table: "t", Row: "r", Column: "c", Value: []byte("v")})
+	f.Add(append([]byte(nil), b.Bytes()...))
+	b.Reset()
+	AppendRequest(b, &Request{Op: OpApply, Seq: 3, Table: "t", Ops: []kvstore.Op{{Row: "r", Column: "c", Delete: true}}})
+	f.Add(append([]byte(nil), b.Bytes()...))
+	b.Reset()
+	AppendScanChunk(b, 4, []kvstore.Cell{{Row: "r", Column: "c", Version: kvstore.Version{Timestamp: 9, Value: []byte("x")}}}, true)
+	f.Add(append([]byte(nil), b.Bytes()...))
+	b.Reset()
+	AppendErrResponse(b, OpGet, 5, "nope")
+	f.Add(append([]byte(nil), b.Bytes()...))
+	b.Release()
+	f.Add([]byte{0x57, 0xFA, 1, OpGet, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte("garbage that is definitely not a frame"))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		buf := GetBuffer()
+		defer buf.Release()
+		h, payload, err := ReadFrame(bytes.NewReader(raw), buf)
+		if err != nil {
+			return // malformed input must fail cleanly, which it just did
+		}
+		if req, derr := DecodeRequest(h, payload); derr == nil {
+			// Decoded OK: re-encoding and re-decoding must be stable.
+			out := GetBuffer()
+			AppendRequest(out, &req)
+			h2, p2, err2 := ReadFrame(bytes.NewReader(out.Bytes()), GetBuffer())
+			if err2 != nil {
+				t.Fatalf("re-read of re-encoded request failed: %v", err2)
+			}
+			req2, derr2 := DecodeRequest(h2, p2)
+			if derr2 != nil {
+				t.Fatalf("re-decode of re-encoded request failed: %v", derr2)
+			}
+			if req2.Op != req.Op || req2.Seq != req.Seq || req2.Table != req.Table ||
+				req2.Row != req.Row || req2.Column != req.Column ||
+				!bytes.Equal(req2.Value, req.Value) || len(req2.Ops) != len(req.Ops) {
+				t.Fatalf("request round trip unstable:\n in  %+v\n out %+v", req, req2)
+			}
+			out.Release()
+		}
+		// Response decoding on the same frame must also be panic-free.
+		_, _ = DecodeResponse(h, payload)
+	})
+}
+
+// FuzzReader hammers the sticky-error payload reader with arbitrary bytes
+// and read sequences: it must never panic or hand out out-of-bounds slices.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{1, 0, 0, 0, 'x'}, uint8(3))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3}, uint8(5))
+	f.Fuzz(func(t *testing.T, payload []byte, plan uint8) {
+		r := NewReader(payload)
+		for i := 0; i < 8; i++ {
+			switch (plan >> uint(i%8)) % 6 {
+			case 0:
+				r.U8()
+			case 1:
+				r.U32()
+			case 2:
+				r.U64()
+			case 3:
+				r.Bool()
+			case 4:
+				if s := r.Bytes(); len(s) > len(payload) {
+					t.Fatalf("Bytes returned %d bytes from a %d-byte payload", len(s), len(payload))
+				}
+			case 5:
+				if s := r.String(); len(s) > len(payload) {
+					t.Fatalf("String returned %d bytes from a %d-byte payload", len(s), len(payload))
+				}
+			}
+		}
+		_ = r.Done()
+	})
+}
