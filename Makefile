@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-report check chaos chaos-crash chaos-trace bench wirebench wirebench-smoke
+.PHONY: all build test race vet fmt-check lint lint-report lint-diff check chaos chaos-crash chaos-trace bench wirebench wirebench-smoke fuzz
 
 all: check
 
@@ -20,9 +20,19 @@ race:
 vet:
 	$(GO) vet ./...
 
+## fmt-check: fail when any file is not gofmt-clean (prints the offenders)
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
 ## lint: sflint, the project-specific determinism and concurrency analyzers
 lint:
 	$(GO) run ./cmd/sflint ./...
+
+## lint-diff: sflint restricted to packages changed vs origin/main (or REF=...)
+## — the fast inner-loop variant of `make lint`
+REF ?= origin/main
+lint-diff:
+	$(GO) run ./cmd/sflint -diff $(REF) ./...
 
 ## lint-report: machine-readable sflint report (schema v1) for CI artifacts.
 ## Written even when findings exist; the lint target is what gates.
@@ -64,9 +74,16 @@ wirebench:
 wirebench-smoke:
 	$(GO) run ./cmd/wirebench -smoke -force -out /tmp/wirebench-smoke.json
 
-## check: the pre-PR gate — build, vet, lint, tests, race, chaos, chaos-crash,
-## and a wirebench smoke pass
-check: build vet lint test race chaos chaos-crash wirebench-smoke
+## fuzz: run the wire-protocol fuzzers for 30s each (nightly CI job; crashers
+## land in internal/kvstore/wire/testdata/fuzz and are uploaded as artifacts).
+## Separate invocations: `go test -fuzz` accepts only one target at a time.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzReadFrame -fuzztime 30s ./internal/kvstore/wire
+	$(GO) test -run xxx -fuzz 'FuzzReader$$' -fuzztime 30s ./internal/kvstore/wire
+
+## check: the pre-PR gate — build, vet, gofmt, lint, tests, race, chaos,
+## chaos-crash, and a wirebench smoke pass
+check: build vet fmt-check lint test race chaos chaos-crash wirebench-smoke
 
 ## bench: overhead microbenchmarks (§5.3 + instrumentation overhead), the
 ## serial-vs-parallel comparison (BENCH_PR2.json) and the WAL-on vs WAL-off

@@ -11,6 +11,8 @@
 //	sflint -suppressions ./...       # audit every //sflint:ignore in the tree
 //	sflint -disable locks ./...      # drop an analyzer
 //	sflint -enable maporder ./...    # run only the named analyzers
+//	sflint -only ./internal/... ./...# analyze only matching packages
+//	sflint -diff origin/main ./...   # analyze only packages changed vs a ref
 //	sflint -list                     # describe the suite
 //
 // Exit status: 0 when clean, 1 when diagnostics were reported, 2 on a
@@ -18,10 +20,15 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"smartflux/internal/analysis"
 )
@@ -41,7 +48,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		enable   = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
 		disable  = fs.String("disable", "", "comma-separated analyzers to skip")
 		chdir    = fs.String("C", "", "resolve package patterns in this directory")
+		only     = fs.String("only", "", "comma-separated package patterns; analyze only matching packages\n(import path or ./dir form; exact, p/... prefix, or glob)")
+		diffRef  = fs.String("diff", "", "analyze only packages with .go files changed vs this git ref\n(includes untracked files; combines with -only as a union)")
 	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, `usage: sflint [flags] [packages]
+
+Runs SmartFlux's project-specific static analyzers over the given package
+patterns (default "./..."). Diagnostics print as file:line:col [analyzer] msg.
+
+Flags:
+`)
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, `
+Exit status:
+  0  no diagnostics (clean, or every finding suppressed with a reason)
+  1  one or more diagnostics were reported
+  2  load, typecheck, git, or usage error
+`)
+	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -88,11 +113,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	var onlyPatterns []string
+	for _, p := range strings.Split(*only, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			onlyPatterns = append(onlyPatterns, p)
+		}
+	}
+	if *diffRef != "" {
+		changed, err := changedPackagePatterns(*chdir, *diffRef)
+		if err != nil {
+			fmt.Fprintln(stderr, "sflint:", err)
+			return 2
+		}
+		if len(changed) == 0 && len(onlyPatterns) == 0 {
+			fmt.Fprintf(stdout, "sflint: no Go packages changed vs %s\n", *diffRef)
+			return 0
+		}
+		onlyPatterns = append(onlyPatterns, changed...)
+	}
+
 	report, err := analysis.Run(analysis.Options{
 		Dir:          *chdir,
 		Patterns:     fs.Args(),
 		Analyzers:    analyzers,
 		IncludeTests: *tests,
+		Only:         onlyPatterns,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "sflint:", err)
@@ -121,6 +166,58 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// changedPackagePatterns maps the .go files changed versus ref — plus any
+// untracked ones — to "./dir" package patterns for LoadConfig.Only. Paths
+// come back relative to dir (git's --relative; ls-files is cwd-relative by
+// default), so the patterns line up with the loader's Dir-relative matching.
+// Deleted files still contribute their directory: the surviving files of
+// that package must be re-analyzed. A directory that no longer holds a
+// package simply matches nothing.
+func changedPackagePatterns(dir, ref string) ([]string, error) {
+	git := func(args ...string) ([]string, error) {
+		cmd := exec.Command("git", args...)
+		cmd.Dir = dir
+		var stdout, stderrB bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &stdout, &stderrB
+		if err := cmd.Run(); err != nil {
+			return nil, fmt.Errorf("git %s: %v: %s", strings.Join(args, " "), err, strings.TrimSpace(stderrB.String()))
+		}
+		var lines []string
+		for _, l := range strings.Split(stdout.String(), "\n") {
+			if l = strings.TrimSpace(l); l != "" {
+				lines = append(lines, l)
+			}
+		}
+		return lines, nil
+	}
+	tracked, err := git("diff", "--name-only", "--relative", ref, "--")
+	if err != nil {
+		return nil, err
+	}
+	untracked, err := git("ls-files", "--others", "--exclude-standard")
+	if err != nil {
+		return nil, err
+	}
+	dirs := make(map[string]bool)
+	for _, f := range append(tracked, untracked...) {
+		if !strings.HasSuffix(f, ".go") {
+			continue
+		}
+		d := filepath.ToSlash(filepath.Dir(f))
+		if d == "." {
+			dirs["."] = true
+		} else {
+			dirs["./"+d] = true
+		}
+	}
+	patterns := make([]string, 0, len(dirs))
+	for d := range dirs {
+		patterns = append(patterns, d)
+	}
+	sort.Strings(patterns)
+	return patterns, nil
 }
 
 // printSuppressions renders the //sflint:ignore audit. The audit always

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -124,6 +126,133 @@ func TestEnableDisableFlags(t *testing.T) {
 	code, _, stderr := runCLI(t, "-enable", "nosuch", "-C", mod(t), "./dirty")
 	if code != 2 || !strings.Contains(stderr, "unknown analyzer") {
 		t.Errorf("unknown analyzer name: exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestOnlyFlagImportPath(t *testing.T) {
+	// The pattern set covers the whole module, but -only restricts analysis
+	// to the flow package: dirty's findings must not appear.
+	code, stdout, stderr := runCLI(t, "-C", mod(t), "-only", "sflintmod/flow", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if strings.Contains(stdout, "[maporder]") || strings.Contains(stdout, "dirty.go") {
+		t.Errorf("-only sflintmod/flow leaked findings from other packages:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "[poolescape]") || !strings.Contains(stdout, "[ctxflow]") {
+		t.Errorf("-only sflintmod/flow missing the flow package's findings:\n%s", stdout)
+	}
+}
+
+func TestOnlyFlagDirPattern(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-C", mod(t), "-only", "./dirty", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "[maporder]") || strings.Contains(stdout, "flow.go") {
+		t.Errorf("-only ./dirty analyzed the wrong packages:\n%s", stdout)
+	}
+}
+
+func TestOnlyFlagNoMatchIsClean(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-C", mod(t), "-only", "sflintmod/nosuch", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d with no matching packages, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+}
+
+// gitDiffRepo builds a throwaway module under git: package a (untouched,
+// carries a finding), package b (modified after the commit, carries a
+// finding), and later an untracked package c.
+func gitDiffRepo(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	poolSrc := func(pkg string) string {
+		return "package " + pkg + "\n\nimport \"sync\"\n\nvar p sync.Pool\n\n// Use returns a pooled value after recycling it.\nfunc Use() interface{} {\n\tv := p.Get()\n\tp.Put(v)\n\treturn v\n}\n"
+	}
+	files := map[string]string{
+		"go.mod":   "module diffmod\n\ngo 1.24\n",
+		"a/a.go":   poolSrc("a"),
+		"b/b.go":   poolSrc("b"),
+		"note.txt": "not a go file\n",
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, args := range [][]string{
+		{"init", "-q"},
+		{"add", "."},
+		{"-c", "user.name=test", "-c", "user.email=test@test", "commit", "-q", "-m", "seed"},
+	} {
+		cmd := exec.Command("git", args...)
+		cmd.Dir = dir
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("git %v: %v\n%s", args, err, out)
+		}
+	}
+	return dir
+}
+
+func TestDiffFlag(t *testing.T) {
+	dir := gitDiffRepo(t)
+
+	// Nothing changed since the commit: exit 0 without loading anything.
+	code, stdout, stderr := runCLI(t, "-C", dir, "-diff", "HEAD", "./...")
+	if code != 0 || !strings.Contains(stdout, "no Go packages changed") {
+		t.Fatalf("clean tree: exit %d, stdout %q, stderr %q", code, stdout, stderr)
+	}
+
+	// Touch b and drop an untracked package c: both are analyzed, the
+	// untouched (and equally guilty) package a is not.
+	b := filepath.Join(dir, "b", "b.go")
+	src, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, append(src, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "c"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cSrc := "package c\n\nimport \"sync\"\n\nvar p sync.Pool\n\nfunc Use() interface{} {\n\tv := p.Get()\n\tp.Put(v)\n\treturn v\n}\n"
+	if err := os.WriteFile(filepath.Join(dir, "c", "c.go"), []byte(cSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, stdout, stderr = runCLI(t, "-C", dir, "-diff", "HEAD", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "b.go") || !strings.Contains(stdout, "c.go") {
+		t.Errorf("-diff missed a changed or untracked package:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "a.go") {
+		t.Errorf("-diff analyzed the untouched package a:\n%s", stdout)
+	}
+
+	// A bad ref is a usage error, not a silent pass.
+	code, _, stderr = runCLI(t, "-C", dir, "-diff", "nosuchref", "./...")
+	if code != 2 || !strings.Contains(stderr, "git") {
+		t.Errorf("bad ref: exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestUsageDocumentsExitCodes(t *testing.T) {
+	code, _, stderr := runCLI(t, "-h")
+	if code != 2 {
+		t.Fatalf("-h exit = %d, want 2 (flag package convention)", code)
+	}
+	for _, want := range []string{"Exit status", "0  no diagnostics", "1  one or more diagnostics", "2  load", "-only", "-diff"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("usage output missing %q:\n%s", want, stderr)
+		}
 	}
 }
 

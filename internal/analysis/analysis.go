@@ -80,7 +80,7 @@ func (d Diagnostic) String() string {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Maporder, Nondeterm, Locks, Errdrop, Goroleak, Spanleak}
+	return []*Analyzer{Maporder, Nondeterm, Locks, Errdrop, Goroleak, Spanleak, Poolescape, Ctxflow, Detflow}
 }
 
 // ByName resolves a comma-separated analyzer name list against the suite.

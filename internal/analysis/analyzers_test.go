@@ -63,6 +63,29 @@ func TestSpanleakCorpus(t *testing.T) {
 	runWant(t, "spanleak", Spanleak)
 }
 
+func TestPoolescapeCorpus(t *testing.T) {
+	runWant(t, "poolescape", Poolescape)
+}
+
+func TestCtxflowCorpus(t *testing.T) {
+	runWant(t, "ctxflow", Ctxflow)
+}
+
+func TestDetflowCorpus(t *testing.T) {
+	// Positives live under the scoped fake path smartflux/internal/engine.
+	runWant(t, "smartflux/internal/engine/dfcorpus", Detflow)
+}
+
+func TestDetflowUnscopedIsClean(t *testing.T) {
+	// The same sources outside the determinism scope produce nothing; the
+	// unscoped corpus reads wall clocks and global rand freely.
+	runWant(t, "unscoped", Detflow)
+}
+
+func TestDetflowAllowlistedObsIsClean(t *testing.T) {
+	runWant(t, "smartflux/internal/obs/timing", Detflow)
+}
+
 func TestSpanleakObsPackageExempt(t *testing.T) {
 	// The obs implementation package itself must never be flagged, even
 	// though its constructors hand out spans nobody in-package ends.

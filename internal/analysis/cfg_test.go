@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+func TestCFGShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		// wantExitReach: some path reaches exit
+		wantExitReach bool
+		// minBlocks sanity-checks the lowering produced real structure.
+		minBlocks int
+	}{
+		{"straightline", "x := 1\n_ = x", true, 2},
+		{"if-else", "x := 1\nif x > 0 {\n x = 2\n} else {\n x = 3\n}\n_ = x", true, 4},
+		{"for-loop", "for i := 0; i < 10; i++ {\n _ = i\n}", true, 4},
+		{"range-loop", "for k := range map[int]int{} {\n _ = k\n}", true, 3},
+		{"switch", "switch x := 1; x {\ncase 1:\n _ = x\ncase 2:\n _ = x\ndefault:\n}", true, 4},
+		{"select-empty", "select {}", true, 2},
+		{"infinite-loop", "for {\n}", false, 3},
+		{"panic-terminates", "panic(\"x\")", true, 2},
+		{"return-early", "if true {\n return\n}\nreturn", true, 3},
+		{"goto-forward", "goto done\ndone:\nreturn", true, 3},
+		{"labeled-break", "outer:\nfor {\n for {\n  break outer\n }\n}", true, 4},
+		{"fallthrough", "switch 1 {\ncase 1:\n fallthrough\ncase 2:\n}", true, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := buildCFGFromSrc(t, tc.src)
+			if got := reachesExit(g); got != tc.wantExitReach {
+				t.Fatalf("exit reachable = %v, want %v\n%s", got, tc.wantExitReach, dumpCFG(g))
+			}
+			if len(g.blocks) < tc.minBlocks {
+				t.Fatalf("got %d blocks, want >= %d\n%s", len(g.blocks), tc.minBlocks, dumpCFG(g))
+			}
+			// Invariants: indexes are dense and in order; exit has no succs;
+			// terminated blocks never carry a fallthrough edge past a return.
+			for i, b := range g.blocks {
+				if b.index != i {
+					t.Fatalf("block %d has index %d", i, b.index)
+				}
+			}
+			if len(g.exit.succs) != 0 {
+				t.Fatalf("exit block has successors")
+			}
+		})
+	}
+}
+
+func TestCFGRangeStack(t *testing.T) {
+	src := `m := map[string]int{}
+for k := range m {
+	for range m {
+		_ = k
+	}
+	_ = k
+}
+_ = m`
+	g := buildCFGFromSrc(t, src)
+	// The innermost body block must record two enclosing ranges; the
+	// statement after both loops none.
+	var max int
+	for _, b := range g.blocks {
+		if len(b.ranges) > max {
+			max = len(b.ranges)
+		}
+	}
+	if max != 2 {
+		t.Fatalf("max range nesting recorded = %d, want 2\n%s", max, dumpCFG(g))
+	}
+	if len(g.entry.ranges) != 0 {
+		t.Fatalf("entry block inside a range?")
+	}
+}
+
+func TestCFGDeferAndGoAreNodes(t *testing.T) {
+	g := buildCFGFromSrc(t, "defer println(1)\ngo println(2)\nreturn")
+	var defers, gos int
+	for _, b := range g.blocks {
+		for _, n := range b.nodes {
+			switch n.(type) {
+			case *ast.DeferStmt:
+				defers++
+			case *ast.GoStmt:
+				gos++
+			}
+		}
+	}
+	if defers != 1 || gos != 1 {
+		t.Fatalf("defers=%d gos=%d, want 1/1", defers, gos)
+	}
+}
+
+func TestStmtScanSkipsFuncLitAndRangeBody(t *testing.T) {
+	g := buildCFGFromSrc(t, `x := func() { println("inner") }
+_ = x
+for k := range map[int]int{7: 7} {
+	_ = k
+}`)
+	sawInner := false
+	sawRanged := false
+	for _, b := range g.blocks {
+		for _, n := range b.nodes {
+			stmtScan(n, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.BasicLit); ok {
+					if lit.Value == `"inner"` {
+						sawInner = true
+					}
+				}
+				if _, ok := n.(*ast.CompositeLit); ok {
+					sawRanged = true
+				}
+				return true
+			})
+		}
+	}
+	if sawInner {
+		t.Fatalf("stmtScan descended into a FuncLit body")
+	}
+	if !sawRanged {
+		t.Fatalf("stmtScan skipped the ranged expression")
+	}
+}
+
+// --- reaching definitions --------------------------------------------------
+
+func TestReachingDefs(t *testing.T) {
+	src := `package p
+
+func f(cond bool) int {
+	x := 1
+	if cond {
+		x = 2
+	}
+	y := x
+	for i := 0; i < 3; i++ {
+		y = i
+	}
+	return y
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "rd.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	body := f.Decls[0].(*ast.FuncDecl).Body
+	g := buildCFG(body)
+	in := reachingDefs(g, info)
+
+	// Find the block whose nodes contain `return y` — both defs of x (the
+	// := and the if-branch =) and both defs of y (the := and the loop =)
+	// must reach it.
+	var retIn defsState
+	for _, b := range g.blocks {
+		for _, n := range b.nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				retIn = in[b.index]
+			}
+		}
+	}
+	if retIn == nil {
+		t.Fatalf("no return block found\n%s", dumpCFG(g))
+	}
+	counts := map[string]int{}
+	for obj, defs := range retIn {
+		counts[obj.Name()] = len(defs)
+	}
+	if counts["x"] != 2 {
+		t.Errorf("defs of x reaching return = %d, want 2 (init + if-branch)", counts["x"])
+	}
+	if counts["y"] != 2 {
+		t.Errorf("defs of y reaching return = %d, want 2 (init + loop body)", counts["y"])
+	}
+	// i's loop-scoped defs also flow around the back edge: init + i++.
+	if counts["i"] != 2 {
+		t.Errorf("defs of i reaching return = %d, want 2 (init + inc)", counts["i"])
+	}
+}
+
+func TestReachingDefsStrongUpdate(t *testing.T) {
+	src := `package p
+
+func f() int {
+	x := 1
+	x = 2
+	return x
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "rd2.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	body := f.Decls[0].(*ast.FuncDecl).Body
+	g := buildCFG(body)
+	in := reachingDefs(g, info)
+	// Straight-line: at exit, only the second def of x survives.
+	st := in[g.exit.index]
+	for obj, defs := range st {
+		if obj.Name() == "x" && len(defs) != 1 {
+			t.Fatalf("defs of x at exit = %d, want 1 (strong update)", len(defs))
+		}
+	}
+}
+
+// --- helpers ---------------------------------------------------------------
+
+func buildCFGFromSrc(t *testing.T, body string) *funcCFG {
+	t.Helper()
+	file := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfgsrc.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return buildCFG(fd.Body)
+}
+
+func reachesExit(g *funcCFG) bool {
+	seen := make([]bool, len(g.blocks))
+	var walk func(b *block) bool
+	walk = func(b *block) bool {
+		if b == g.exit {
+			return true
+		}
+		if seen[b.index] {
+			return false
+		}
+		seen[b.index] = true
+		for _, s := range b.succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(g.entry)
+}
+
+func dumpCFG(g *funcCFG) string {
+	var sb strings.Builder
+	for _, b := range g.blocks {
+		tag := ""
+		if b == g.entry {
+			tag = " (entry)"
+		}
+		if b == g.exit {
+			tag = " (exit)"
+		}
+		succs := make([]string, 0, len(b.succs))
+		for _, s := range b.succs {
+			succs = append(succs, fmt.Sprint(s.index))
+		}
+		fmt.Fprintf(&sb, "b%d%s: %d nodes -> [%s]\n", b.index, tag, len(b.nodes), strings.Join(succs, " "))
+	}
+	return sb.String()
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

@@ -1,0 +1,441 @@
+package analysis
+
+// ctxflow: flow-sensitive leak detection for cancellation obligations.
+//
+// Two obligations are tracked, both created locally and both cheap to leak
+// on an early-return path:
+//
+//  1. Cancel functions from context.WithCancel / WithTimeout / WithDeadline
+//     (and their *Cause variants). Leaking one keeps the context's timer and
+//     goroutine alive; the classic bug is `ctx, cancel := ...` followed by
+//     `if err != nil { return err }` before the cancel() call.
+//  2. I/O deadlines armed with SetDeadline / SetReadDeadline /
+//     SetWriteDeadline on a connection this function OWNS (assigned from a
+//     call like net.Dial, not received as a parameter or read from a
+//     field). An armed deadline must be disarmed (Set*Deadline(time.Time{}))
+//     or the conn closed before every exit, or the next reader inherits a
+//     stale timeout — exactly the hazard around kvnet's ioDeadline.
+//
+// An obligation is waived when its value escapes: a cancel func passed,
+// stored, returned, or captured by a closure is someone else's to call, and
+// a conn handed to another function is presumed managed there. The analysis
+// is a forward may-analysis of the pending-obligation set over the CFG: a
+// creation gens its obligation, a discharge (cancel() call, deferred or
+// direct; zero-Time disarm; Close) kills it, and anything still pending in
+// the join at the exit block — pending on SOME path — is reported at its
+// creation site. `ctx, _ := context.WithTimeout(...)` is reported outright.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Ctxflow reports deadline/cancellation obligations that some path neither
+// discharges nor propagates.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "a context cancel func or locally-armed I/O deadline is leaked on some path: " +
+		"neither canceled/disarmed/closed nor handed off before the function returns",
+	Run: runCtxflow,
+}
+
+// ctxWithFuncs are the context constructors returning (Context, CancelFunc).
+var ctxWithFuncs = map[string]bool{
+	"WithCancel": true, "WithTimeout": true, "WithDeadline": true,
+	"WithCancelCause": true, "WithTimeoutCause": true, "WithDeadlineCause": true,
+}
+
+// deadlineMethods are the conn methods that arm (non-zero arg) or disarm
+// (time.Time{} arg) an I/O deadline.
+var deadlineMethods = map[string]bool{
+	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+}
+
+func runCtxflow(pass *Pass) {
+	for _, f := range pass.Files {
+		funcBodies(f, func(name string, body *ast.BlockStmt) {
+			runCtxflowBody(pass, name, body)
+		})
+	}
+}
+
+// A ctxObligation is one pending duty, keyed by the position of the call
+// that created it.
+type ctxObligation struct {
+	pos  token.Pos
+	obj  types.Object // the cancel func or the conn
+	kind string       // "cancel func" or "deadline"
+	what string       // human rendering for the report
+}
+
+func runCtxflowBody(pass *Pass, name string, body *ast.BlockStmt) {
+	info := pass.Info
+
+	// Phase 1: collect candidate obligations syntactically.
+	var obls []*ctxObligation
+	owned := ownedLocals(info, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested bodies get their own pass
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 || len(n.Lhs) != 2 {
+				return true
+			}
+			call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			if !ok || !isCtxWithCall(info, call) {
+				return true
+			}
+			cancelIdent, ok := ast.Unparen(n.Lhs[1]).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if cancelIdent.Name == "_" {
+				pass.Reportf(call.Pos(),
+					"%s discards its cancel func; the context can never be released early (assign and defer cancel())",
+					exprString(call.Fun))
+				return true
+			}
+			obj := identObject(info, cancelIdent)
+			if obj == nil {
+				return true
+			}
+			obls = append(obls, &ctxObligation{
+				pos:  call.Pos(),
+				obj:  obj,
+				kind: "cancel func",
+				what: exprString(call.Fun),
+			})
+		case *ast.CallExpr:
+			// Deadline arming on an owned conn.
+			callee := staticCallee(info, n)
+			if callee == nil || !deadlineMethods[callee.Name()] || len(n.Args) != 1 || isZeroTime(n.Args[0]) {
+				return true
+			}
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := identObject(info, id)
+			if obj == nil || !owned[obj] {
+				return true
+			}
+			obls = append(obls, &ctxObligation{
+				pos:  n.Pos(),
+				obj:  obj,
+				kind: "deadline",
+				what: id.Name + "." + callee.Name(),
+			})
+		}
+		return true
+	})
+	if len(obls) == 0 {
+		return
+	}
+
+	// Phase 2: drop obligations whose value escapes — it is then someone
+	// else's to discharge — and obligations covered by a deferred discharge.
+	// A `defer conn.Close()` or `defer cancel()` runs at every exit once
+	// registered, regardless of where the arming happens relative to it in
+	// source order; treating it flow-sensitively would flag the standard
+	// dial-then-defer-Close idiom. (The cost is a known false negative: a
+	// defer registered only on some paths is credited to all of them.)
+	byObj := map[types.Object][]*ctxObligation{}
+	for _, o := range obls {
+		byObj[o.obj] = append(byObj[o.obj], o)
+	}
+	escaped := map[types.Object]bool{}
+	for obj := range byObj {
+		if obligationEscapes(info, body, obj, byObj[obj][0].kind) {
+			escaped[obj] = true
+		}
+	}
+	deferDischarged := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			for _, o := range obls {
+				if ctxDischarges(info, ds.Call, o) {
+					deferDischarged[o.obj] = true
+				}
+			}
+		}
+		return true
+	})
+	kept := obls[:0]
+	for _, o := range obls {
+		if !escaped[o.obj] && !deferDischarged[o.obj] {
+			kept = append(kept, o)
+		}
+	}
+	obls = kept
+	if len(obls) == 0 {
+		return
+	}
+
+	// Phase 3: may-analysis of pending obligations over the CFG.
+	oblAt := map[token.Pos]*ctxObligation{}
+	for _, o := range obls {
+		oblAt[o.pos] = o
+	}
+	g := buildCFG(body)
+	type pending = map[token.Pos]bool
+	spec := flowSpec[pending]{
+		entry: func() pending { return pending{} },
+		clone: func(s pending) pending {
+			c := make(pending, len(s))
+			for p := range s {
+				c[p] = true
+			}
+			return c
+		},
+		join: func(dst, src pending) bool {
+			changed := false
+			for p := range src {
+				if !dst[p] {
+					dst[p] = true
+					changed = true
+				}
+			}
+			return changed
+		},
+		transfer: func(b *block, st pending) {
+			for _, n := range b.nodes {
+				stmtScan(n, func(sub ast.Node) bool {
+					call, ok := sub.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if o, created := oblAt[call.Pos()]; created {
+						st[o.pos] = true
+						return true
+					}
+					for _, o := range obls {
+						if ctxDischarges(info, call, o) {
+							delete(st, o.pos)
+						}
+					}
+					return true
+				})
+			}
+		},
+	}
+	in := solveForward(g, spec)
+	exitIn := in[g.exit.index]
+	if exitIn == nil {
+		return // no path reaches exit (server loop); nothing ever leaks past it
+	}
+	// Report in creation order for determinism.
+	for _, o := range obls {
+		if !exitIn[o.pos] {
+			continue
+		}
+		switch o.kind {
+		case "cancel func":
+			pass.Reportf(o.pos,
+				"%s: cancel func %q is not called on every path to return (add defer %s())",
+				o.what, o.obj.Name(), o.obj.Name())
+		case "deadline":
+			pass.Reportf(o.pos,
+				"%s arms an I/O deadline that is neither disarmed (zero time.Time) nor closed on every path to return",
+				o.what)
+		}
+	}
+}
+
+// ownedLocals returns the set of local variables assigned from a call
+// expression somewhere in the body — the "this function produced it"
+// heuristic for conns. Parameters, fields and values copied from elsewhere
+// are excluded, so arming a deadline on a conn someone handed in never
+// creates an obligation here.
+func ownedLocals(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	owned := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		if _, isCall := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); !isCall {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+				if obj := identObject(info, id); obj != nil {
+					owned[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return owned
+}
+
+// isCtxWithCall reports whether call is context.With{Cancel,Timeout,Deadline}[Cause].
+func isCtxWithCall(info *types.Info, call *ast.CallExpr) bool {
+	callee := staticCallee(info, call)
+	return callee != nil && callee.Pkg() != nil &&
+		callee.Pkg().Path() == "context" && ctxWithFuncs[callee.Name()]
+}
+
+// isZeroTime reports whether e is literally time.Time{} — the disarm value.
+func isZeroTime(e ast.Expr) bool {
+	cl, ok := ast.Unparen(e).(*ast.CompositeLit)
+	if !ok || len(cl.Elts) != 0 {
+		return false
+	}
+	sel, ok := cl.Type.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Time" {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "time"
+}
+
+// ctxDischarges reports whether call fulfils obligation o: calling the
+// cancel func, disarming with a zero deadline, or closing the conn.
+func ctxDischarges(info *types.Info, call *ast.CallExpr, o *ctxObligation) bool {
+	switch o.kind {
+	case "cancel func":
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && identObject(info, id) == o.obj
+	case "deadline":
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || identObject(info, id) != o.obj {
+			return false
+		}
+		name := sel.Sel.Name
+		if name == "Close" {
+			return true
+		}
+		return deadlineMethods[name] && len(call.Args) == 1 && isZeroTime(call.Args[0])
+	}
+	return false
+}
+
+// obligationEscapes reports whether obj is used in a way that hands the
+// obligation to someone else: passed as an argument, returned, stored into
+// anything, sent on a channel, or captured by a function literal. For
+// cancel funcs the ONLY non-escaping uses are direct calls `cancel()`
+// (including deferred); for conns, method calls on the conn and nil
+// comparisons also stay local.
+func obligationEscapes(info *types.Info, body *ast.BlockStmt, obj types.Object, kind string) bool {
+	escaped := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			// A literal mentioning the object captures it.
+			if mentionsObjectNode(info, n, obj) {
+				escaped = true
+			}
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || identObject(info, id) != obj {
+			return true
+		}
+		if !ctxUseStaysLocal(info, body, id, obj, kind) {
+			escaped = true
+		}
+		return true
+	})
+	return escaped
+}
+
+// ctxUseStaysLocal classifies one identifier occurrence of the obligated
+// object.
+func ctxUseStaysLocal(info *types.Info, body *ast.BlockStmt, id *ast.Ident, obj types.Object, kind string) bool {
+	path := enclosingPath(body, id)
+	if len(path) < 2 {
+		return true
+	}
+	parent := path[len(path)-2]
+	switch p := parent.(type) {
+	case *ast.CallExpr:
+		if ast.Unparen(p.Fun) == ast.Expr(id) {
+			return true // cancel() — the discharge itself
+		}
+		return false // passed as an argument: handed off
+	case *ast.SelectorExpr:
+		if kind == "deadline" && p.X == ast.Expr(id) {
+			return true // conn.Method(...) — local use
+		}
+		return false
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if ast.Unparen(lhs) == ast.Expr(id) {
+				return true // (re)definition, not a read
+			}
+		}
+		return false // read on an RHS: copied somewhere
+	case *ast.ValueSpec:
+		for _, name := range p.Names {
+			if name == id {
+				return true
+			}
+		}
+		return false
+	case *ast.BinaryExpr:
+		// nil comparison stays local.
+		other := p.X
+		if other == ast.Expr(id) {
+			other = p.Y
+		}
+		if lit, ok := ast.Unparen(other).(*ast.Ident); ok && lit.Name == "nil" {
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// enclosingPath returns the node path from body down to target (inclusive),
+// or nil if target is not under body.
+func enclosingPath(body *ast.BlockStmt, target ast.Node) []ast.Node {
+	var path []ast.Node
+	var found []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if n == nil {
+			path = path[:len(path)-1]
+			return false
+		}
+		path = append(path, n)
+		if n == target {
+			found = append([]ast.Node(nil), path...)
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsObjectNode reports whether obj is referenced anywhere under n.
+func mentionsObjectNode(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(sub ast.Node) bool {
+		if id, ok := sub.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

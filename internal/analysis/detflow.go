@@ -1,0 +1,537 @@
+package analysis
+
+// detflow: taint tracking from nondeterminism sources to durable sinks.
+//
+// PR 3's nondeterm and maporder analyzers are syntactic: they flag every
+// wall-clock read in scope and every order-sensitive accumulation over a
+// map, regardless of where the value goes. detflow upgrades the contract to
+// real dataflow: it only reports when a value DERIVED from a
+// nondeterministic source actually reaches state that must be reproducible —
+// a kvstore write, a WAL begin/commit payload, or a decision-trace field.
+// That is the precise statement of the determinism contract: wall clocks may
+// be read (metrics need them), randomness may exist (seeded RNGs are fine),
+// but none of it may flow into a result.
+//
+// Sources (each tagged with a kind and its position):
+//   - wall-clock: time.Now / time.Since / time.Until
+//   - global-rand: package-level math/rand and math/rand/v2 draws (seeded
+//     constructor calls like rand.New(rand.NewSource(seed)) are exempt,
+//     matching nondeterm)
+//   - map-order: order-sensitive accumulation inside a `range` over a map —
+//     float/string op-assign or append into a variable declared outside the
+//     loop. A sort.*/slices.Sort* call over the accumulator clears this
+//     taint (sorting launders iteration order).
+//
+// Taint propagates through assignments, arithmetic, conversions, and call
+// results when an argument or receiver is tainted (an intraprocedural
+// approximation: unknown callees are assumed to propagate). Reassignment is
+// a strong update.
+//
+// Sinks:
+//   - kvstore mutation methods (Put, PutFloat, Delete, Apply, ReplayPut,
+//     ReplayDelete, CreateTable, EnsureTable, SetClock) on types from
+//     smartflux/internal/kvstore
+//   - durable Manager.Begin / Manager.Commit payloads
+//   - obs.DecisionEvent fields (assignment or composite literal)
+//   - any of the above called lexically inside a map range: even untainted
+//     per-item writes commit in iteration order, which reorders the WAL
+//
+// Scope matches nondeterm plus the storage layer (kvstore, durable); obs
+// itself is allowlisted and _test.go files are skipped.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Detflow reports nondeterministic values flowing into stored state.
+var Detflow = &Analyzer{
+	Name: "detflow",
+	Doc: "taint from time.Now/global rand/map-iteration order reaching kvstore writes, " +
+		"WAL payloads, or decision-trace fields in determinism-scoped packages",
+	Run: runDetflow,
+}
+
+// detflowScope is nondeterm's scope plus the storage layer, where a tainted
+// write is durable.
+var detflowScope = append([]string{
+	"smartflux/internal/kvstore",
+	"smartflux/internal/durable",
+}, nondetermScope...)
+
+// kvWriteMethods are the kvstore mutations whose arguments become stored
+// state.
+var kvWriteMethods = map[string]bool{
+	"Put": true, "PutFloat": true, "Delete": true, "Apply": true,
+	"ReplayPut": true, "ReplayDelete": true, "CreateTable": true,
+	"EnsureTable": true, "SetClock": true,
+}
+
+// durableSinkMethods take WAL payloads.
+var durableSinkMethods = map[string]bool{"Begin": true, "Commit": true}
+
+func runDetflow(pass *Pass) {
+	if !pathInScope(pass.Path, detflowScope) || pathInScope(pass.Path, nondetermAllow) {
+		return
+	}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		funcBodies(f, func(fname string, body *ast.BlockStmt) {
+			df := &dfFunc{pass: pass, reported: map[token.Pos]bool{}}
+			g := buildCFG(body)
+			spec := flowSpec[dtState]{
+				entry: func() dtState { return dtState{} },
+				clone: cloneDT,
+				join:  joinDT,
+				transfer: func(b *block, st dtState) {
+					for _, n := range b.nodes {
+						df.applyNode(b, n, st, false)
+					}
+				},
+			}
+			in := solveForward(g, spec)
+			for _, b := range g.blocks {
+				st := in[b.index]
+				if st == nil {
+					continue
+				}
+				st = cloneDT(st)
+				for _, n := range b.nodes {
+					df.applyNode(b, n, st, true)
+				}
+			}
+		})
+	}
+}
+
+// dtState maps each tainted local to its taint kinds and the position of
+// the first source that produced each kind.
+type dtState map[types.Object]map[string]token.Pos
+
+func cloneDT(s dtState) dtState {
+	c := make(dtState, len(s))
+	for obj, kinds := range s {
+		k := make(map[string]token.Pos, len(kinds))
+		for kind, pos := range kinds {
+			k[kind] = pos
+		}
+		c[obj] = k
+	}
+	return c
+}
+
+func joinDT(dst, src dtState) bool {
+	changed := false
+	for obj, kinds := range src {
+		d := dst[obj]
+		if d == nil {
+			d = map[string]token.Pos{}
+			dst[obj] = d
+		}
+		for kind, pos := range kinds {
+			if old, ok := d[kind]; !ok || pos < old {
+				// Keep the earliest source position for deterministic
+				// messages regardless of visit order.
+				d[kind] = pos
+				changed = changed || !ok || pos < old
+			}
+		}
+	}
+	return changed
+}
+
+// dfFunc carries per-function reporting state.
+type dfFunc struct {
+	pass     *Pass
+	reported map[token.Pos]bool
+}
+
+// applyNode is the transfer function and (report=true) the diagnostic replay.
+func (df *dfFunc) applyNode(b *block, n ast.Node, st dtState, report bool) {
+	info := df.pass.Info
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		df.checkSinksIn(b, n, st, report)
+		// Map-order accumulation: op-assign or self-append inside a map
+		// range into a variable from outside the loop.
+		if mr := enclosingMapRange(info, b); mr != nil {
+			df.taintAccumulation(n, mr, st)
+		}
+		df.bindAssign(n, st, report)
+
+	case *ast.DeclStmt:
+		df.checkSinksIn(b, n, st, report)
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var t map[string]token.Pos
+					if len(vs.Values) == 1 && len(vs.Names) > 1 {
+						t = df.exprTaint(vs.Values[0], st)
+					} else if i < len(vs.Values) {
+						t = df.exprTaint(vs.Values[i], st)
+					}
+					df.setTaint(st, name, t)
+				}
+			}
+		}
+
+	case *ast.RangeStmt:
+		// Ranged expression may itself be tainted; key/value inherit it.
+		t := df.exprTaint(n.X, st)
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if e == nil {
+				continue
+			}
+			if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+				df.setTaint(st, id, t)
+			}
+		}
+
+	default:
+		df.checkSinksIn(b, n, st, report)
+		df.applyKills(n, st)
+	}
+}
+
+// bindAssign applies an assignment's taint flow.
+func (df *dfFunc) bindAssign(n *ast.AssignStmt, st dtState, report bool) {
+	info := df.pass.Info
+	// Single multi-value RHS: every LHS slot gets the call's taint.
+	var perSlot []map[string]token.Pos
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		t := df.exprTaint(n.Rhs[0], st)
+		perSlot = make([]map[string]token.Pos, len(n.Lhs))
+		for i := range perSlot {
+			perSlot[i] = t
+		}
+	} else {
+		perSlot = make([]map[string]token.Pos, len(n.Lhs))
+		for i := range n.Rhs {
+			if i < len(perSlot) {
+				perSlot[i] = df.exprTaint(n.Rhs[i], st)
+			}
+		}
+	}
+	opAssign := n.Tok != token.ASSIGN && n.Tok != token.DEFINE
+	for i, lhs := range n.Lhs {
+		// DecisionEvent field sink: ev.Field = tainted.
+		if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok && report {
+			if isDecisionEventExpr(info, sel.X) && len(perSlot[i]) > 0 {
+				df.reportSink(lhs.Pos(), perSlot[i], "decision-trace field "+exprString(lhs))
+			}
+		}
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := identObject(info, id)
+		if obj == nil {
+			continue
+		}
+		if opAssign {
+			if len(perSlot[i]) > 0 {
+				mergeTaint(st, obj, perSlot[i])
+			}
+			continue
+		}
+		df.setTaint(st, id, perSlot[i])
+	}
+	df.applyKills(n, st)
+}
+
+// setTaint strong-updates an identifier's taint.
+func (df *dfFunc) setTaint(st dtState, id *ast.Ident, t map[string]token.Pos) {
+	if id.Name == "_" {
+		return
+	}
+	obj := identObject(df.pass.Info, id)
+	if obj == nil {
+		return
+	}
+	if len(t) == 0 {
+		delete(st, obj)
+		return
+	}
+	fresh := make(map[string]token.Pos, len(t))
+	for k, p := range t {
+		fresh[k] = p
+	}
+	st[obj] = fresh
+}
+
+func mergeTaint(st dtState, obj types.Object, t map[string]token.Pos) {
+	d := st[obj]
+	if d == nil {
+		d = map[string]token.Pos{}
+		st[obj] = d
+	}
+	for k, p := range t {
+		if old, ok := d[k]; !ok || p < old {
+			d[k] = p
+		}
+	}
+}
+
+// exprTaint computes the taint kinds an expression's value carries: sources
+// it invokes plus tainted locals it reads, propagated through calls.
+func (df *dfFunc) exprTaint(e ast.Expr, st dtState) map[string]token.Pos {
+	info := df.pass.Info
+	out := map[string]token.Pos{}
+	add := func(kind string, pos token.Pos) {
+		if old, ok := out[kind]; !ok || pos < old {
+			out[kind] = pos
+		}
+	}
+	stmtScan(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if kinds := st[identObject(info, n)]; kinds != nil {
+				for k, p := range kinds {
+					add(k, p)
+				}
+			}
+		case *ast.CallExpr:
+			if kind := sourceKind(info, n); kind != "" {
+				add(kind, n.Pos())
+			}
+		}
+		return true
+	})
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// sourceKind classifies a call as a taint source.
+func sourceKind(info *types.Info, call *ast.CallExpr) string {
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+	switch fn.Pkg().Path() {
+	case "time":
+		if !isMethod && (fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until") {
+			return "wall-clock"
+		}
+	case "math/rand", "math/rand/v2":
+		if !isMethod && !globalRandExempt[fn.Name()] {
+			return "global-rand"
+		}
+	}
+	return ""
+}
+
+// applyKills clears map-order taint from values laundered by sorting.
+func (df *dfFunc) applyKills(n ast.Node, st dtState) {
+	info := df.pass.Info
+	stmtScan(n, func(sub ast.Node) bool {
+		call, ok := sub.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := staticCallee(info, call)
+		if fn == nil || fn.Pkg() == nil || len(call.Args) == 0 {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if obj := identObject(info, call.Args[0]); obj != nil {
+			if kinds := st[obj]; kinds != nil {
+				delete(kinds, "map-order")
+				if len(kinds) == 0 {
+					delete(st, obj)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// taintAccumulation marks order-sensitive accumulation inside a map range:
+// `acc += x`, `acc = acc + x` (float/string), or `acc = append(acc, x)`
+// where acc was declared before the range statement.
+func (df *dfFunc) taintAccumulation(n *ast.AssignStmt, mr *ast.RangeStmt, st dtState) {
+	info := df.pass.Info
+	if len(n.Lhs) != 1 {
+		return
+	}
+	id, ok := ast.Unparen(n.Lhs[0]).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := identObject(info, id)
+	if obj == nil || obj.Pos() >= mr.Pos() {
+		return // loop-local accumulator: dies with the iteration order intact
+	}
+	t := info.TypeOf(id)
+	orderSensitive := false
+	switch {
+	case n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN:
+		orderSensitive = t != nil && (isFloat(t) || isString(t))
+	case n.Tok == token.ASSIGN && len(n.Rhs) == 1:
+		if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+			if fid, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && fid.Name == "append" &&
+				len(call.Args) > 0 && mentionsObject(info, call.Args[0], obj) {
+				orderSensitive = true
+			}
+		}
+		if be, ok := ast.Unparen(n.Rhs[0]).(*ast.BinaryExpr); ok && mentionsObject(info, be, obj) {
+			orderSensitive = t != nil && (isFloat(t) || isString(t))
+		}
+	}
+	if orderSensitive {
+		mergeTaint(st, obj, map[string]token.Pos{"map-order": mr.Pos()})
+	}
+}
+
+// checkSinksIn reports sink calls under n whose arguments are tainted, and
+// sink calls issued lexically inside a map range.
+func (df *dfFunc) checkSinksIn(b *block, n ast.Node, st dtState, report bool) {
+	if !report {
+		return
+	}
+	info := df.pass.Info
+	stmtScan(n, func(sub ast.Node) bool {
+		switch sub := sub.(type) {
+		case *ast.CallExpr:
+			sink := sinkName(info, sub)
+			if sink == "" {
+				return true
+			}
+			for _, arg := range sub.Args {
+				if t := df.exprTaint(arg, st); len(t) > 0 {
+					df.reportSink(arg.Pos(), t, sink)
+				}
+			}
+			if mr := enclosingMapRange(info, b); mr != nil {
+				if !df.reported[sub.Pos()] {
+					df.reported[sub.Pos()] = true
+					df.pass.Reportf(sub.Pos(),
+						"%s executes inside a range over a map (at %s): writes commit in iteration order, which is not reproducible",
+						sink, df.pass.Fset.Position(mr.Pos()))
+				}
+			}
+		case *ast.CompositeLit:
+			if !isDecisionEventType(info.TypeOf(sub)) {
+				return true
+			}
+			for _, elt := range sub.Elts {
+				val := elt
+				field := "decision-trace field"
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+					if kid, ok := kv.Key.(*ast.Ident); ok {
+						field = "decision-trace field " + kid.Name
+					}
+				}
+				if t := df.exprTaint(val, st); len(t) > 0 {
+					df.reportSink(val.Pos(), t, field)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportSink emits one deduplicated diagnostic per sink position, naming
+// the taint kinds in sorted order.
+func (df *dfFunc) reportSink(pos token.Pos, t map[string]token.Pos, sink string) {
+	if df.reported[pos] {
+		return
+	}
+	df.reported[pos] = true
+	kinds := make([]string, 0, len(t))
+	for k := range t {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, k+" (from "+df.pass.Fset.Position(t[k]).String()+")")
+	}
+	df.pass.Reportf(pos, "nondeterministic value flows into %s: tainted by %s",
+		sink, strings.Join(parts, ", "))
+}
+
+// sinkName classifies a call as a durable sink, returning a human label or "".
+func sinkName(info *types.Info, call *ast.CallExpr) string {
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	path := fn.Pkg().Path()
+	switch {
+	case kvWriteMethods[fn.Name()] && pkgPathHasSuffix(path, "internal/kvstore"):
+		return "kvstore write " + exprString(call.Fun)
+	case durableSinkMethods[fn.Name()] && pkgPathHasSuffix(path, "internal/durable"):
+		return "WAL payload via " + exprString(call.Fun)
+	}
+	return ""
+}
+
+// enclosingMapRange returns the innermost range-over-a-map enclosing block
+// b, or nil.
+func enclosingMapRange(info *types.Info, b *block) *ast.RangeStmt {
+	for i := len(b.ranges) - 1; i >= 0; i-- {
+		t := info.TypeOf(b.ranges[i].X)
+		if t == nil {
+			continue
+		}
+		if _, ok := t.Underlying().(*types.Map); ok {
+			return b.ranges[i]
+		}
+	}
+	return nil
+}
+
+// isDecisionEventExpr reports whether e denotes an obs.DecisionEvent value
+// (or pointer to one).
+func isDecisionEventExpr(info *types.Info, e ast.Expr) bool {
+	return isDecisionEventType(info.TypeOf(e))
+}
+
+func isDecisionEventType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "DecisionEvent" && obj.Pkg() != nil &&
+		pkgPathHasSuffix(obj.Pkg().Path(), "internal/obs")
+}
+
+// pkgPathHasSuffix matches a package path against a path suffix on path
+// component boundaries.
+func pkgPathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// isString reports whether t's underlying type is string.
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -15,6 +15,9 @@ type Options struct {
 	Analyzers []*Analyzer
 	// IncludeTests also analyzes in-package _test.go files.
 	IncludeTests bool
+	// Only restricts analysis to packages matching these patterns; see
+	// LoadConfig.Only. Empty means every loaded package is analyzed.
+	Only []string
 }
 
 // A SuppressedDiagnostic pairs a diagnostic with the justification that
@@ -40,7 +43,7 @@ func Run(opts Options) (*Report, error) {
 	if len(analyzers) == 0 {
 		analyzers = All()
 	}
-	pkgs, err := Load(LoadConfig{Dir: opts.Dir, Patterns: opts.Patterns, IncludeTests: opts.IncludeTests})
+	pkgs, err := Load(LoadConfig{Dir: opts.Dir, Patterns: opts.Patterns, IncludeTests: opts.IncludeTests, Only: opts.Only})
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ import (
 	"go/token"
 	"go/types"
 	"os/exec"
+	"path"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -47,6 +48,45 @@ type LoadConfig struct {
 	// IncludeTests adds in-package _test.go files to the analyzed file set.
 	// External (package foo_test) test files are never loaded.
 	IncludeTests bool
+	// Only, when non-empty, restricts the returned (analyzed) packages to
+	// those matching at least one pattern. Module-local dependencies of a
+	// matched package are still type-checked — import resolution needs them —
+	// but are not returned, so they produce no diagnostics. A pattern matches
+	// the import path exactly, as a "p/..." prefix, or as a path.Match glob;
+	// patterns starting with "./" match the package directory relative to Dir
+	// instead (same three forms).
+	Only []string
+}
+
+// onlyMatch reports whether pattern matches target under the three supported
+// forms: exact, "p/..." prefix, path.Match glob.
+func onlyMatch(pattern, target string) bool {
+	if pattern == target {
+		return true
+	}
+	if prefix, ok := strings.CutSuffix(pattern, "/..."); ok {
+		if target == prefix || strings.HasPrefix(target, prefix+"/") {
+			return true
+		}
+	}
+	ok, err := path.Match(pattern, target)
+	return err == nil && ok
+}
+
+// matchesOnly reports whether the listed package matches any Only pattern.
+// relDir is the package directory relative to the load dir, slash-separated
+// and "./"-prefixed (e.g. "./internal/kvstore").
+func matchesOnly(patterns []string, importPath, relDir string) bool {
+	for _, pat := range patterns {
+		target := importPath
+		if strings.HasPrefix(pat, "./") || pat == "." {
+			target = relDir
+		}
+		if onlyMatch(pat, target) {
+			return true
+		}
+	}
+	return false
 }
 
 // goList discovers packages with `go list -json`, the only piece of package
@@ -163,6 +203,50 @@ func Load(cfg LoadConfig) ([]*Package, error) {
 		}
 	}
 
+	// With Only patterns, analysis is restricted to the matched packages but
+	// their module-local dependency closure must still be type-checked so the
+	// chain importer can resolve local imports. Everything else is skipped
+	// entirely — that skip is what makes -only/-diff runs fast.
+	var matched, needed map[string]bool
+	if len(cfg.Only) > 0 {
+		absDir, err := filepath.Abs(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		matched = make(map[string]bool)
+		needed = make(map[string]bool)
+		var need func(lp *listedPackage)
+		need = func(lp *listedPackage) {
+			if needed[lp.ImportPath] {
+				return
+			}
+			needed[lp.ImportPath] = true
+			deps := append([]string(nil), lp.Imports...)
+			if cfg.IncludeTests {
+				deps = append(deps, lp.TestImports...)
+			}
+			for _, imp := range deps {
+				if dep, ok := byPath[imp]; ok && imp != lp.ImportPath {
+					need(dep)
+				}
+			}
+		}
+		for _, lp := range order {
+			rel, err := filepath.Rel(absDir, lp.Dir)
+			if err != nil {
+				continue
+			}
+			relDir := "./" + filepath.ToSlash(rel)
+			if rel == "." {
+				relDir = "."
+			}
+			if matchesOnly(cfg.Only, lp.ImportPath, relDir) {
+				matched[lp.ImportPath] = true
+				need(lp)
+			}
+		}
+	}
+
 	// The source importer compiles stdlib dependencies from GOROOT source;
 	// with cgo disabled it takes the pure-Go paths everywhere, which is all
 	// type checking needs.
@@ -175,6 +259,9 @@ func Load(cfg LoadConfig) ([]*Package, error) {
 
 	var out []*Package
 	for _, lp := range order {
+		if needed != nil && !needed[lp.ImportPath] {
+			continue
+		}
 		if len(lp.CgoFiles) > 0 {
 			return nil, fmt.Errorf("%s: cgo packages are not supported", lp.ImportPath)
 		}
@@ -200,6 +287,9 @@ func Load(cfg LoadConfig) ([]*Package, error) {
 			return nil, fmt.Errorf("typecheck %s: %v", lp.ImportPath, err)
 		}
 		imp.local[lp.ImportPath] = tpkg
+		if matched != nil && !matched[lp.ImportPath] {
+			continue // type-checked as a dependency only
+		}
 		out = append(out, &Package{
 			Path:  lp.ImportPath,
 			Dir:   lp.Dir,

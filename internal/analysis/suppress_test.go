@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// suppressionsFromSrc parses src and extracts its directives, returning the
+// suppressions plus any malformed-directive diagnostics.
+func suppressionsFromSrc(t *testing.T, src string) ([]Suppression, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "supp.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var diags []Diagnostic
+	supps := fileSuppressions(fset, f, All(), func(d Diagnostic) { diags = append(diags, d) })
+	return supps, diags
+}
+
+// TestSuppressionWrongLineDoesNotCover pins the two-line coverage window: a
+// directive silences its own line and the line directly below, never a
+// diagnostic two or more lines away. A comment stranded above a blank line
+// (or pushed up by an edit) must stop suppressing rather than silently
+// covering whatever drifted into range.
+func TestSuppressionWrongLineDoesNotCover(t *testing.T) {
+	src := `package p
+
+//sflint:ignore maporder order proven stable
+
+func f() {} // the directive is two lines up: not covered
+`
+	supps, diags := suppressionsFromSrc(t, src)
+	if len(diags) != 0 {
+		t.Fatalf("well-formed directive reported as malformed: %v", diags)
+	}
+	if len(supps) != 1 {
+		t.Fatalf("want 1 suppression, got %d", len(supps))
+	}
+	s := supps[0]
+	if !s.covers("maporder", s.Position.Line) || !s.covers("maporder", s.Position.Line+1) {
+		t.Errorf("suppression does not cover its own line and the next")
+	}
+	if s.covers("maporder", s.Position.Line+2) {
+		t.Errorf("suppression covers a diagnostic two lines below the directive")
+	}
+	if s.covers("maporder", s.Position.Line-1) {
+		t.Errorf("suppression covers the line above the directive")
+	}
+}
+
+// TestSuppressionMissingReason pins the mandatory-justification rule: an
+// ignore without a reason is itself a diagnostic and suppresses nothing.
+func TestSuppressionMissingReason(t *testing.T) {
+	src := `package p
+
+//sflint:ignore maporder
+func f() {}
+`
+	supps, diags := suppressionsFromSrc(t, src)
+	if len(supps) != 0 {
+		t.Fatalf("reason-less directive produced a live suppression: %+v", supps)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "sflint" || !strings.Contains(diags[0].Message, "missing reason") {
+		t.Fatalf("want one sflint missing-reason diagnostic, got %v", diags)
+	}
+}
+
+// TestSuppressionBareDirective covers the degenerate form with no analyzer
+// name at all.
+func TestSuppressionBareDirective(t *testing.T) {
+	src := `package p
+
+//sflint:ignore
+func f() {}
+`
+	supps, diags := suppressionsFromSrc(t, src)
+	if len(supps) != 0 {
+		t.Fatalf("bare directive produced a live suppression: %+v", supps)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "missing analyzer name and reason") {
+		t.Fatalf("want one missing-analyzer diagnostic, got %v", diags)
+	}
+}
+
+// TestSuppressionUnknownAnalyzerInList pins that one bad name poisons the
+// whole directive: maporder,nosuch suppresses neither analyzer.
+func TestSuppressionUnknownAnalyzerInList(t *testing.T) {
+	src := `package p
+
+//sflint:ignore maporder,nosuch half-valid lists must not half-apply
+func f() {}
+`
+	supps, diags := suppressionsFromSrc(t, src)
+	if len(supps) != 0 {
+		t.Fatalf("directive with an unknown analyzer produced a live suppression: %+v", supps)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "unknown analyzer nosuch") {
+		t.Fatalf("want one unknown-analyzer diagnostic, got %v", diags)
+	}
+}
+
+// TestSuppressionMultiAnalyzerOneLine pins the comma-list form: one directive
+// covering two analyzers on the same line, and only those two.
+func TestSuppressionMultiAnalyzerOneLine(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 0 //sflint:ignore maporder,errdrop both proven benign here
+}
+`
+	supps, diags := suppressionsFromSrc(t, src)
+	if len(diags) != 0 {
+		t.Fatalf("multi-analyzer directive reported as malformed: %v", diags)
+	}
+	if len(supps) != 1 {
+		t.Fatalf("want 1 suppression, got %d", len(supps))
+	}
+	s := supps[0]
+	if len(s.Analyzers) != 2 || s.Analyzers[0] != "maporder" || s.Analyzers[1] != "errdrop" {
+		t.Errorf("analyzers = %v, want [maporder errdrop]", s.Analyzers)
+	}
+	if s.Reason != "both proven benign here" {
+		t.Errorf("reason = %q", s.Reason)
+	}
+	for _, a := range []string{"maporder", "errdrop"} {
+		if !s.covers(a, s.Position.Line) {
+			t.Errorf("directive does not cover %s on its own line", a)
+		}
+	}
+	if s.covers("locks", s.Position.Line) {
+		t.Errorf("directive covers an analyzer it does not name")
+	}
+}

@@ -111,7 +111,7 @@ func dropWireDone(r *wire.Reader) {
 // dropWireReadFrame discards a frame-read error: the stream is now
 // misaligned and every later frame decodes garbage.
 func dropWireReadFrame(b *wire.Buffer) {
-	wire.ReadFrame(b) // want `call discards the error from wire.ReadFrame`
+	wire.ReadFrame(nil, b) // want `call discards the error from wire.ReadFrame`
 }
 
 // checkedWireDone propagates the codec error.
@@ -121,7 +121,7 @@ func checkedWireDone(r *wire.Reader) error {
 
 // ackWireReadFrame acknowledges the discard explicitly and visibly.
 func ackWireReadFrame(b *wire.Buffer) {
-	_ = wire.ReadFrame(b)
+	_, _, _ = wire.ReadFrame(nil, b)
 }
 
 // bareWireNoError exercises pooled-buffer recycling, which carries no

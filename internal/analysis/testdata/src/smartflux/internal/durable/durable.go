@@ -7,6 +7,9 @@ package durable
 // Manager is a minimal stand-in for the WAL/snapshot manager.
 type Manager struct{}
 
+// Begin appends a wave-begin record, possibly failing.
+func (m *Manager) Begin(wave int, payload []byte) error { return nil }
+
 // Commit appends a commit record, possibly failing.
 func (m *Manager) Commit(wave int, payload []byte) error { return nil }
 

@@ -1,0 +1,122 @@
+// Package dfcorpus is the corpus for the detflow taint analyzer. It lives
+// under the fake smartflux/internal/engine path because detflow, like
+// nondeterm, only runs inside the determinism scope. Positives route
+// wall-clock, global-rand and map-iteration-order taint into store writes,
+// WAL payloads and decision-trace fields; negatives pin metrics-only clocks,
+// seeded RNGs, sorted iteration and strong-update laundering as clean.
+package dfcorpus
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"smartflux/internal/durable"
+	"smartflux/internal/kvstore"
+	"smartflux/internal/obs"
+)
+
+// --- positives -------------------------------------------------------------
+
+// clockIntoPut stores a wall-clock reading: replaying the run cannot
+// reproduce the value.
+func clockIntoPut(t *kvstore.Table) error {
+	now := time.Now().UnixNano()
+	return t.Put("r", "c", []byte{byte(now)}) // want `nondeterministic value flows into kvstore write .* wall-clock`
+}
+
+// randIntoPutFloat stores a draw from the shared unseeded RNG.
+func randIntoPutFloat(t *kvstore.Table) error {
+	v := rand.Float64()
+	return t.PutFloat("r", "c", v) // want `nondeterministic value flows into kvstore write .* global-rand`
+}
+
+// mapSumIntoPutFloat accumulates floats in map-iteration order and stores
+// the order-dependent sum.
+func mapSumIntoPutFloat(t *kvstore.Table, m map[string]float64) error {
+	sum := 0.0
+	for _, v := range m {
+		sum += v
+	}
+	return t.PutFloat("r", "c", sum) // want `nondeterministic value flows into kvstore write .* map-order`
+}
+
+// clockIntoWAL commits a wall-clock-derived payload to the WAL.
+func clockIntoWAL(m *durable.Manager, wave int) error {
+	stamp := time.Now().String()
+	return m.Commit(wave, []byte(stamp)) // want `nondeterministic value flows into WAL payload .* wall-clock`
+}
+
+// clockIntoTraceField assigns elapsed wall time into a decision-trace field.
+func clockIntoTraceField(ev *obs.DecisionEvent, t0 time.Time) {
+	elapsed := time.Since(t0).Nanoseconds()
+	ev.DecisionNanos = elapsed // want `nondeterministic value flows into decision-trace field .* wall-clock`
+}
+
+// clockIntoTraceLiteral builds a decision event with a tainted field value.
+func clockIntoTraceLiteral(tr *obs.Tracer, wave int) {
+	nanos := time.Now().UnixNano()
+	ev := obs.DecisionEvent{
+		Wave:          wave,
+		DecisionNanos: nanos, // want `nondeterministic value flows into decision-trace field DecisionNanos.* wall-clock`
+	}
+	tr.Emit(ev)
+}
+
+// putInMapRange commits writes in map-iteration order: even untainted
+// per-key values reorder the WAL between runs.
+func putInMapRange(t *kvstore.Table, m map[string][]byte) {
+	for k, v := range m {
+		t.Put(k, "c", v) // want `executes inside a range over a map`
+	}
+}
+
+// --- negatives -------------------------------------------------------------
+
+// clockForMetricsOnly reads the wall clock but the value never reaches a
+// sink; detflow (unlike the syntactic nondeterm) stays quiet.
+func clockForMetricsOnly(t *kvstore.Table, data []byte) (time.Duration, error) {
+	start := time.Now()
+	err := t.Put("r", "c", data)
+	return time.Since(start), err
+}
+
+// seededRandIntoPut draws from an explicitly seeded RNG: reproducible by
+// construction.
+func seededRandIntoPut(t *kvstore.Table) error {
+	rng := rand.New(rand.NewSource(7))
+	return t.PutFloat("r", "c", rng.Float64())
+}
+
+// sortedKeysLaunderOrder collects keys from a map range, sorts them, and
+// writes in the sorted order: deterministic.
+func sortedKeysLaunderOrder(t *kvstore.Table, m map[string][]byte) error {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := t.Put(k, "c", m[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// strongUpdateLaunders overwrites the tainted value before the write.
+func strongUpdateLaunders(t *kvstore.Table) error {
+	x := time.Now().UnixNano()
+	x = 42
+	return t.Put("r", "c", []byte{byte(x)})
+}
+
+// intCountInMapRange accumulates an exact commutative count; storing it is
+// order-independent and detflow's accumulation rule ignores int += 1.
+func intCountInMapRange(t *kvstore.Table, m map[string]float64) error {
+	n := 0
+	for range m {
+		n++
+	}
+	return t.Put("r", "c", []byte{byte(n)})
+}

@@ -8,6 +8,9 @@ type Table struct{}
 // Put writes a cell.
 func (t *Table) Put(row, column string, value []byte) error { return nil }
 
+// PutFloat writes a float cell.
+func (t *Table) PutFloat(row, column string, v float64) error { return nil }
+
 // Delete removes a cell.
 func (t *Table) Delete(row, column string) error { return nil }
 

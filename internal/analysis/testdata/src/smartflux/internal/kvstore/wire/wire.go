@@ -1,10 +1,22 @@
-// Package wire is a want-harness stand-in for the binary framed codec:
-// the errdrop analyzer matches its callees by this import path (covered
-// by the smartflux/internal/kvstore prefix).
+// Package wire is a want-harness stand-in for the binary framed codec. It
+// mirrors the real package's API shape: errdrop matches its callees by
+// import path, and poolescape models GetBuffer/Release/Reset/ReadFrame and
+// the zero-copy aliasing of Bytes/DecodeResponse results.
 package wire
 
+import "io"
+
+// Header is the decoded fixed frame header. All fields are scalars, so a
+// Header value never carries an alias to pooled memory.
+type Header struct {
+	Op    byte
+	Flags uint16
+	Seq   uint64
+	Len   uint32
+}
+
 // Buffer is a pooled frame buffer.
-type Buffer struct{}
+type Buffer struct{ b []byte }
 
 // GetBuffer takes a buffer from the pool; no error result, safe bare.
 func GetBuffer() *Buffer { return &Buffer{} }
@@ -12,14 +24,47 @@ func GetBuffer() *Buffer { return &Buffer{} }
 // Release returns the buffer to the pool; no error result, safe bare.
 func (b *Buffer) Release() {}
 
-// Reader decodes a frame payload with a sticky error.
-type Reader struct{}
+// Reset truncates the buffer in place; previous views over it are stale.
+func (b *Buffer) Reset() { b.b = b.b[:0] }
 
-// NewReader wraps a payload.
-func NewReader(payload []byte) *Reader { return &Reader{} }
+// Len reports the buffered byte count.
+func (b *Buffer) Len() int { return len(b.b) }
+
+// Bytes returns the buffered bytes WITHOUT copying.
+func (b *Buffer) Bytes() []byte { return b.b }
+
+// ReadFrame resets buf and reads one frame into it; the payload aliases
+// buf's storage.
+func ReadFrame(r io.Reader, buf *Buffer) (Header, []byte, error) {
+	buf.Reset()
+	return Header{}, buf.b, nil
+}
+
+// Reader decodes a frame payload with a sticky error.
+type Reader struct{ b []byte }
+
+// NewReader wraps a payload without copying.
+func NewReader(payload []byte) Reader { return Reader{b: payload} }
+
+// U64 decodes a scalar.
+func (r *Reader) U64() uint64 { return 0 }
+
+// Bytes returns the next length-prefixed byte string WITHOUT copying.
+func (r *Reader) Bytes() []byte { return r.b }
+
+// String returns the next length-prefixed string; strings copy.
+func (r *Reader) String() string { return string(r.b) }
 
 // Done reports the reader's sticky decode error and rejects trailing bytes.
 func (r *Reader) Done() error { return nil }
 
-// ReadFrame reads one frame into buf.
-func ReadFrame(buf *Buffer) error { return nil }
+// Response is a decoded response; Value aliases the frame payload.
+type Response struct {
+	Seq   uint64
+	Value []byte
+}
+
+// DecodeResponse decodes a response; the result's Value aliases payload.
+func DecodeResponse(h Header, payload []byte) (Response, error) {
+	return Response{Seq: h.Seq, Value: payload}, nil
+}

@@ -31,3 +31,18 @@ func (s *Span) End() {}
 
 // EndErr emits the span with a failure.
 func (s *Span) EndErr(err error) {}
+
+// DecisionEvent mirrors the real decision-trace record: detflow treats its
+// fields as sinks because traces must replay bit-identically.
+type DecisionEvent struct {
+	Wave          int
+	Step          string
+	DecisionNanos int64
+	Note          string
+}
+
+// Tracer emits decision events.
+type Tracer struct{}
+
+// Emit records one decision event.
+func (t *Tracer) Emit(ev DecisionEvent) {}

@@ -13,6 +13,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"smartflux/internal/kvstore"
@@ -131,8 +132,18 @@ func (in *Instance) saveOutputs(step *workflow.Step) (outputSnapshot, error) {
 // Restoration appends versions rather than rewinding history, so the latest
 // values — everything metrics and processors read — match the snapshot
 // exactly while the version log keeps a trace of the undone writes.
+//
+// Tables and vanished cells are restored in sorted order, never map order:
+// the undo writes land in the version log and WAL, and two runs rolling back
+// the same wave must produce byte-identical logs.
 func (in *Instance) rollbackOutputs(snap outputSnapshot) error {
-	for name, t := range snap.tables {
+	names := make([]string, 0, len(snap.tables))
+	for name := range snap.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := snap.tables[name]
 		saved := snap.saved[name]
 		batch := kvstore.NewBatch()
 		current := t.Scan(kvstore.ScanOptions{})
@@ -148,10 +159,20 @@ func (in *Instance) rollbackOutputs(snap outputSnapshot) error {
 				batch.Put(c.Row, c.Column, old)
 			}
 		}
-		for key, old := range saved {
+		vanished := make([]cellKey, 0, len(saved))
+		for key := range saved {
 			if _, still := seen[key]; !still {
-				batch.Put(key.row, key.col, old)
+				vanished = append(vanished, key)
 			}
+		}
+		sort.Slice(vanished, func(i, j int) bool {
+			if vanished[i].row != vanished[j].row {
+				return vanished[i].row < vanished[j].row
+			}
+			return vanished[i].col < vanished[j].col
+		})
+		for _, key := range vanished {
+			batch.Put(key.row, key.col, saved[key])
 		}
 		if err := t.Apply(batch); err != nil {
 			return err

@@ -394,3 +394,66 @@ func TestDegradeParallelEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestRollbackOutputsDeterministicOrder pins the rollbackOutputs ordering
+// contract behind the detflow findings this analyzer fix resolved: restoring
+// several tables with deleted, changed and extra cells must stamp identical
+// logical timestamps on identical stores, because the undo writes land in
+// the version log (and WAL, when attached) in sorted rather than map order.
+func TestRollbackOutputsDeterministicOrder(t *testing.T) {
+	run := func() map[string]uint64 {
+		store := kvstore.New()
+		snap := outputSnapshot{
+			tables: make(map[string]*kvstore.Table),
+			saved:  make(map[string]map[cellKey][]byte),
+		}
+		for _, name := range []string{"alpha", "beta", "delta", "gamma"} {
+			tb, err := store.EnsureTable(name, kvstore.TableOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			saved := map[cellKey][]byte{}
+			for _, key := range []cellKey{{"r1", "a"}, {"r1", "b"}, {"r2", "a"}} {
+				val := []byte(name + "/" + key.row + "/" + key.col)
+				if err := tb.Put(key.row, key.col, val); err != nil {
+					t.Fatal(err)
+				}
+				saved[key] = val
+			}
+			snap.tables[name] = tb
+			snap.saved[name] = saved
+			// Post-snapshot damage: one saved cell vanishes, one changes,
+			// one appears from nowhere.
+			if err := tb.Delete("r1", "a"); err != nil {
+				t.Fatal(err)
+			}
+			if err := tb.Put("r1", "b", []byte("changed")); err != nil {
+				t.Fatal(err)
+			}
+			if err := tb.Put("r9", "x", []byte("extra")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// rollbackOutputs reads nothing from the instance; a zero receiver
+		// keeps the scenario free of workflow scaffolding.
+		if err := (&Instance{}).rollbackOutputs(snap); err != nil {
+			t.Fatal(err)
+		}
+		stamps := make(map[string]uint64)
+		for name, tb := range snap.tables {
+			for _, c := range tb.Scan(kvstore.ScanOptions{}) {
+				stamps[name+"/"+c.Row+"/"+c.Column] = c.Version.Timestamp
+			}
+		}
+		return stamps
+	}
+	first, second := run(), run()
+	if len(first) != len(second) {
+		t.Fatalf("rollback left different cell sets: %d vs %d", len(first), len(second))
+	}
+	for cell, ts := range first {
+		if second[cell] != ts {
+			t.Errorf("cell %s stamped %d then %d: rollback order is not deterministic", cell, ts, second[cell])
+		}
+	}
+}
