@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check lint lint-report lint-diff check chaos chaos-crash chaos-trace bench wirebench wirebench-smoke fuzz
+.PHONY: all build test race vet fmt-check lint lint-report lint-diff check chaos chaos-crash chaos-cluster chaos-trace bench wirebench wirebench-smoke clusterbench clusterbench-smoke fuzz
 
 all: check
 
@@ -52,6 +52,15 @@ chaos:
 chaos-crash:
 	$(GO) test -race -run 'TestCrashChaos' -v .
 
+## chaos-cluster: the shard-kill chaos suite under the race detector — a
+## seeded kill partitions one primary of a 3-shard replicated cluster mid-run,
+## the replica is promoted, the dead node rejoins and catches up, and the
+## merged cluster dump must stay bit-identical to a single-store run
+## (DESIGN.md §14). Failover spans land in cluster-spans.jsonl (CI artifact).
+chaos-cluster:
+	rm -f cluster-spans.jsonl
+	SMARTFLUX_CHAOS_SPAN_OUT=$(CURDIR)/cluster-spans.jsonl $(GO) test -race -run 'TestClusterChaos' -v .
+
 ## chaos-trace: the chaos suite with span emission enabled — every run
 ## appends causal spans + decision events to chaos-spans.jsonl (several runs
 ## share the stream; sftrace's last-wins duplicate handling absorbs the ID
@@ -74,6 +83,18 @@ wirebench:
 wirebench-smoke:
 	$(GO) run ./cmd/wirebench -smoke -force -out /tmp/wirebench-smoke.json
 
+## clusterbench: sharded-vs-single throughput and failover-blip latency for
+## the kvstore cluster (1 vs 3 shards, plus a seeded shard-kill run measuring
+## the promotion blip and checking no acked write was lost), writing
+## BENCH_PR9.json (DESIGN.md §14)
+clusterbench:
+	$(GO) run ./cmd/clusterbench -out BENCH_PR9.json
+
+## clusterbench-smoke: tiny-op-count clusterbench pass — a correctness smoke
+## for the cluster bench harness (numbers meaningless); part of make check
+clusterbench-smoke:
+	$(GO) run ./cmd/clusterbench -smoke -out /tmp/clusterbench-smoke.json
+
 ## fuzz: run the wire-protocol fuzzers for 30s each (nightly CI job; crashers
 ## land in internal/kvstore/wire/testdata/fuzz and are uploaded as artifacts).
 ## Separate invocations: `go test -fuzz` accepts only one target at a time.
@@ -82,8 +103,8 @@ fuzz:
 	$(GO) test -run xxx -fuzz 'FuzzReader$$' -fuzztime 30s ./internal/kvstore/wire
 
 ## check: the pre-PR gate — build, vet, gofmt, lint, tests, race, chaos,
-## chaos-crash, and a wirebench smoke pass
-check: build vet fmt-check lint test race chaos chaos-crash wirebench-smoke
+## chaos-crash, chaos-cluster, and the wirebench/clusterbench smoke passes
+check: build vet fmt-check lint test race chaos chaos-crash chaos-cluster wirebench-smoke clusterbench-smoke
 
 ## bench: overhead microbenchmarks (§5.3 + instrumentation overhead), the
 ## serial-vs-parallel comparison (BENCH_PR2.json) and the WAL-on vs WAL-off
@@ -95,3 +116,5 @@ bench:
 	@cat BENCH_PR2.json
 	$(GO) run ./cmd/durbench -out BENCH_PR5.json
 	@cat BENCH_PR5.json
+	$(GO) run ./cmd/clusterbench -out BENCH_PR9.json
+	@cat BENCH_PR9.json

@@ -1,0 +1,379 @@
+package smartflux_test
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"smartflux"
+	"smartflux/internal/fault"
+	"smartflux/internal/kvstore/cluster"
+	"smartflux/internal/kvstore/kvnet"
+)
+
+// The cluster chaos suite drives an N-shard replicated kvstore cluster
+// through a seeded shard kill and asserts the cluster determinism contract
+// (DESIGN.md §14): the cluster's merged dump — version histories and logical
+// timestamps included — is bit-identical to a single-store run of the same
+// workload, even with a primary killed mid-run by a count-based trigger, its
+// replica promoted, and the dead node rejoined through the catch-up
+// protocol. Run via `make chaos-cluster` (the TestClusterChaos prefix is the
+// filter; deliberately NOT matched by `make chaos`'s TestChaos pattern).
+
+const (
+	clusterChaosShards    = 3
+	clusterChaosSensors   = 12
+	clusterChaosWaves     = 40 // waves before the dead node rejoins
+	clusterChaosPostWaves = 20 // waves after the rejoin
+	// clusterChaosKillAfter is the transport-op count at which the seeded
+	// injector partitions the victim primary — mid-run, while writes are in
+	// flight. Deterministic: the single-threaded workload issues transport
+	// ops in a fixed sequence.
+	clusterChaosKillAfter = 300
+)
+
+// chaosOps is the op surface the workload drives, implemented by both the
+// cluster client and a plain store, so reference and cluster runs share one
+// literal op sequence.
+type chaosOps interface {
+	CreateTable(name string, maxVersions int) error
+	PutFloat(table, row, column string, v float64) error
+	Delete(table, row, column string) error
+}
+
+// localOps adapts a single store to chaosOps.
+type localOps struct{ s *smartflux.Store }
+
+func (l localOps) CreateTable(name string, maxVersions int) error {
+	_, err := l.s.EnsureTable(name, smartflux.TableOptions{MaxVersions: maxVersions})
+	return err
+}
+
+func (l localOps) PutFloat(table, row, column string, v float64) error {
+	t, err := l.s.Table(table)
+	if err != nil {
+		return err
+	}
+	return t.PutFloat(row, column, v)
+}
+
+func (l localOps) Delete(table, row, column string) error {
+	t, err := l.s.Table(table)
+	if err != nil {
+		return err
+	}
+	return t.Delete(row, column)
+}
+
+// clusterChaosWave issues one wave of the workload: a spread of sensor
+// readings (multi-versioned), a rolling delete — including, periodically, of
+// a cell that does not exist, which must burn a clock tick in both worlds —
+// and a running aggregate.
+func clusterChaosWave(ops chaosOps, wave int) error {
+	if wave == 0 {
+		if err := ops.CreateTable("readings", 2); err != nil {
+			return err
+		}
+		if err := ops.CreateTable("agg", 0); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < clusterChaosSensors; i++ {
+		v := 20 + float64(wave)/4 + float64(i)/2
+		if err := ops.PutFloat("readings", "sensor"+fmt.Sprint(i), "temp", v); err != nil {
+			return err
+		}
+	}
+	if err := ops.Delete("readings", "sensor"+fmt.Sprint(wave%(2*clusterChaosSensors)), "temp"); err != nil {
+		return err
+	}
+	return ops.PutFloat("agg", "region", "mean", 20+float64(wave)/4)
+}
+
+// clusterDumpVersions renders the cluster's merged version dump in
+// dumpStore's exact format.
+func clusterDumpVersions(t *testing.T, c *cluster.Client, tables ...string) string {
+	t.Helper()
+	var b strings.Builder
+	for _, name := range tables {
+		cells, err := c.ScanVersions(name, smartflux.ScanOptions{})
+		if err != nil {
+			t.Fatalf("cluster scan %s: %v", name, err)
+		}
+		for _, cell := range cells {
+			fmt.Fprintf(&b, "%s %s/%s @%d = %x\n", name, cell.Row, cell.Column, cell.Version.Timestamp, cell.Version.Value)
+		}
+	}
+	return b.String()
+}
+
+// TestClusterChaosFailoverDeterminism is the headline cluster chaos run:
+// seeded count-based shard kill mid-run, reactive failover to the replica,
+// rejoin of the dead node through Reset + cursor catch-up, and a final
+// bit-identical dump comparison against the single-store reference.
+func TestClusterChaosFailoverDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short mode")
+	}
+
+	// Reference: the whole workload against one plain store.
+	control := smartflux.NewStore()
+	for w := 0; w < clusterChaosWaves+clusterChaosPostWaves; w++ {
+		if err := clusterChaosWave(localOps{control}, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Cluster side. The kill policy needs the victim addresses up front, so
+	// the primaries' ports are bound before the injector exists and the
+	// listeners are fault-wrapped afterwards.
+	lns := make([]net.Listener, clusterChaosShards)
+	addrs := make([]string, clusterChaosShards)
+	for s := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[s] = ln
+		addrs[s] = ln.Addr().String()
+	}
+	inj := fault.New(fault.Policy{
+		Seed:           7,
+		KillShardAddrs: addrs,
+		KillShardAfter: clusterChaosKillAfter,
+	})
+	victim := int(uint64(7) % uint64(clusterChaosShards)) // the policy's choice, spelled out
+
+	var primaries, followers []*cluster.Node
+	defer func() {
+		for _, n := range append(followers, primaries...) {
+			_ = n.Close()
+		}
+	}()
+	for s := 0; s < clusterChaosShards; s++ {
+		n, err := cluster.NewNode(cluster.NodeConfig{Listener: fault.WrapListener(lns[s], inj)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		primaries = append(primaries, n)
+	}
+	m := cluster.NewMap(addrs)
+	for s := 0; s < clusterChaosShards; s++ {
+		f, err := cluster.NewNode(cluster.NodeConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		followers = append(followers, f)
+		if err := primaries[s].AttachFollower(f.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetReplica(s, f.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Failover spans and counters flow into the suite observer (and the
+	// cluster-spans.jsonl artifact when SMARTFLUX_CHAOS_SPAN_OUT is set).
+	reg := smartflux.NewMetricsRegistry()
+	observer := chaosObserver(t, reg)
+	var failovers []string
+	cc, err := cluster.New(cluster.Config{
+		Map:          m,
+		Client:       kvnet.ClientConfig{Dial: fault.Dialer(inj)},
+		Seed:         7,
+		ProbeRetries: 1,
+		ProbeBackoff: time.Millisecond,
+		OnFailover: func(shard int, from, to string) {
+			failovers = append(failovers, fmt.Sprintf("%d:%s->%s", shard, from, to))
+		},
+		Obs: observer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cc.Close() }()
+
+	// Phase 1: waves across the seeded kill. The injector partitions the
+	// victim primary at the KillShardAfter-th transport op; the next op
+	// routed to it probes, promotes the follower and retries.
+	for w := 0; w < clusterChaosWaves; w++ {
+		if err := clusterChaosWave(clusterOps{cc}, w); err != nil {
+			t.Fatalf("wave %d: %v", w, err)
+		}
+	}
+	st := inj.Stats()
+	if st.Partitions != 1 {
+		t.Fatalf("seeded kill did not fire exactly once: %+v", st)
+	}
+	if len(failovers) != 1 || !strings.HasPrefix(failovers[0], fmt.Sprint(victim)) {
+		t.Fatalf("failovers = %v, want exactly one on shard %d", failovers, victim)
+	}
+	if got := cc.Map().Shards[victim].Primary; got != followers[victim].Addr() {
+		t.Fatalf("shard %d primary = %s, want promoted follower %s", victim, got, followers[victim].Addr())
+	}
+
+	// Phase 2: the dead node heals and rejoins as a follower of the promoted
+	// node — Reset (it died holding an un-shipped cursor position and a stale
+	// follower link) then cursor catch-up from zero.
+	inj.Heal(addrs[victim])
+	rejoined := primaries[victim]
+	rejoined.Reset()
+	if err := followers[victim].AttachFollower(rejoined.Addr()); err != nil {
+		t.Fatalf("rejoin catch-up: %v", err)
+	}
+
+	// Phase 3: more waves on the new topology; the rejoined follower tracks
+	// them live.
+	for w := clusterChaosWaves; w < clusterChaosWaves+clusterChaosPostWaves; w++ {
+		if err := clusterChaosWave(clusterOps{cc}, w); err != nil {
+			t.Fatalf("wave %d: %v", w, err)
+		}
+	}
+
+	// The contract: merged cluster dump bit-identical to the single store.
+	want := dumpStore(t, control, "readings", "agg")
+	got := clusterDumpVersions(t, cc, "readings", "agg")
+	if got != want {
+		t.Errorf("cluster dump diverged from single store after kill/failover/rejoin:\ncluster:\n%s\ncontrol:\n%s", got, want)
+	}
+
+	// The rejoined follower converged on the promoted node's exact log.
+	pc, pcrc := followers[victim].Log().Status()
+	rc, rcrc := rejoined.Log().Status()
+	if pc != rc || pcrc != rcrc {
+		t.Errorf("rejoined log head (%d,%x) != promoted (%d,%x)", rc, rcrc, pc, pcrc)
+	}
+
+	// Observability: the failover span/counter surfaced.
+	snap := reg.Snapshot()
+	if n := snap.Counters["smartflux_cluster_failovers_total"]; n != 1 {
+		t.Errorf("failover counter = %d, want 1", n)
+	}
+	t.Logf("killed shard %d at op %d, 1 failover, rejoined and converged at cursor %d over %d transport ops",
+		victim, clusterChaosKillAfter, rc, inj.Stats().Ops)
+}
+
+// clusterOps adapts the cluster client to chaosOps.
+type clusterOps struct{ c *cluster.Client }
+
+func (o clusterOps) CreateTable(name string, maxVersions int) error {
+	return o.c.CreateTable(name, maxVersions)
+}
+
+func (o clusterOps) PutFloat(table, row, column string, v float64) error {
+	return o.c.PutFloat(table, row, column, v)
+}
+
+func (o clusterOps) Delete(table, row, column string) error {
+	return o.c.Delete(table, row, column)
+}
+
+// TestClusterChaosScanAfterSeededKill kills a shard (different seed, so a
+// different victim than the failover test) partway through a 900-row write
+// load, lets the writes ride the failover, then runs a scatter-gather scan
+// against the failed-over topology and checks it cell-for-cell against the
+// reference — no duplicates, no gaps, same timestamps. (Failover between
+// pages of an in-flight scan is covered by the cluster package's
+// mid-scan-failover test, which can steer the kill with a page hook.)
+func TestClusterChaosScanAfterSeededKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short mode")
+	}
+	control := smartflux.NewStore()
+	lns := make([]net.Listener, clusterChaosShards)
+	addrs := make([]string, clusterChaosShards)
+	for s := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[s] = ln
+		addrs[s] = ln.Addr().String()
+	}
+	// Each logical op costs several transport ops (client write/read plus the
+	// server's), so op 2000 lands deep inside the 900-row write load.
+	const rows = 900
+	inj := fault.New(fault.Policy{
+		Seed:           3,
+		KillShardAddrs: addrs,
+		KillShardAfter: 2000,
+	})
+	var primaries, followers []*cluster.Node
+	defer func() {
+		for _, n := range append(followers, primaries...) {
+			_ = n.Close()
+		}
+	}()
+	for s := 0; s < clusterChaosShards; s++ {
+		n, err := cluster.NewNode(cluster.NodeConfig{Listener: fault.WrapListener(lns[s], inj)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		primaries = append(primaries, n)
+	}
+	m := cluster.NewMap(addrs)
+	for s := 0; s < clusterChaosShards; s++ {
+		f, err := cluster.NewNode(cluster.NodeConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		followers = append(followers, f)
+		if err := primaries[s].AttachFollower(f.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetReplica(s, f.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cc, err := cluster.New(cluster.Config{
+		Map:          m,
+		Client:       kvnet.ClientConfig{Dial: fault.Dialer(inj)},
+		Seed:         3,
+		ProbeRetries: 1,
+		ProbeBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cc.Close() }()
+
+	if err := cc.CreateTable("wide", 1); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := control.EnsureTable("wide", smartflux.TableOptions{MaxVersions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		row := fmt.Sprintf("row-%04d", i)
+		v := float64(i) / 8
+		if err := cc.PutFloat("wide", row, "v", v); err != nil {
+			t.Fatal(err)
+		}
+		if err := ct.PutFloat(row, "v", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if st := inj.Stats(); st.Partitions != 1 {
+		t.Fatalf("kill did not fire during the write load: %+v", st)
+	}
+	cells, err := cc.Scan("wide", smartflux.ScanOptions{})
+	if err != nil {
+		t.Fatalf("scan after kill: %v", err)
+	}
+	want := ct.Scan(smartflux.ScanOptions{})
+	if len(cells) != len(want) {
+		t.Fatalf("scan returned %d cells, want %d (duplicates or gaps)", len(cells), len(want))
+	}
+	for i := range cells {
+		if cells[i].Row != want[i].Row || cells[i].Column != want[i].Column ||
+			cells[i].Version.Timestamp != want[i].Version.Timestamp {
+			t.Fatalf("cell %d: got (%s,%s,@%d) want (%s,%s,@%d)",
+				i, cells[i].Row, cells[i].Column, cells[i].Version.Timestamp,
+				want[i].Row, want[i].Column, want[i].Version.Timestamp)
+		}
+	}
+}

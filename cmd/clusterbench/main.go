@@ -1,0 +1,302 @@
+// Command clusterbench measures the sharded kvstore cluster (DESIGN.md §14):
+// replicated write throughput at 1 vs 3 shards, and the latency blip a
+// health-checked failover injects when a primary is killed mid-run. It
+// writes a JSON report (BENCH_PR9.json) recording the perf trajectory
+// ROADMAP asks for.
+//
+//	clusterbench -out BENCH_PR9.json
+//	clusterbench -smoke            # tiny op counts; harness correctness only
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"smartflux/internal/fault"
+	"smartflux/internal/kvstore/cluster"
+)
+
+// listen binds a fresh loopback port for a fault-wrapped node listener.
+func listen() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}
+
+// valueSize matches wirebench's put payload so shard counts are the only
+// variable between the two reports.
+const valueSize = 128
+
+type result struct {
+	Name      string  `json:"name"`
+	Shards    int     `json:"shards"`
+	Ops       int     `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Micros float64 `json:"p50_us"`
+	P95Micros float64 `json:"p95_us"`
+	P99Micros float64 `json:"p99_us"`
+}
+
+type failoverResult struct {
+	Shards int `json:"shards"`
+	Ops    int `json:"ops"`
+	// KillAtOp is the op index after which the victim primary was cut off.
+	KillAtOp  int     `json:"kill_at_op"`
+	Failovers int     `json:"failovers"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// BlipP99Millis is the p99 op latency across the run including the
+	// failover window — the promotion's cost folded into the tail.
+	BlipP99Millis float64 `json:"blip_p99_ms"`
+	// BlipMaxMillis is the single slowest op: the one that paid for the
+	// probe sequence and promotion itself.
+	BlipMaxMillis float64 `json:"blip_max_ms"`
+	// LostWrites must be zero: every acked write survives the promotion.
+	LostWrites int `json:"lost_writes"`
+}
+
+type report struct {
+	GoVersion  string          `json:"go_version"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"num_cpu"`
+	Note       string          `json:"note"`
+	Benchmarks []result        `json:"benchmarks"`
+	Failover   *failoverResult `json:"failover"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "clusterbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	smoke := flag.Bool("smoke", false, "tiny op counts: a correctness smoke for the bench harness, numbers meaningless")
+	out := flag.String("out", "BENCH_PR9.json", "write the JSON report here")
+	flag.Parse()
+
+	ops := 20000
+	if *smoke {
+		ops = 400
+	}
+
+	rep := &report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Note: "replicated cluster puts (synchronous WAL-record shipping to followers); " +
+			"failover run kills a primary mid-stream and folds the promotion blip into the tail",
+	}
+	for _, shards := range []int{1, 3} {
+		res, err := benchPuts(shards, ops)
+		if err != nil {
+			return err
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+		fmt.Printf("%-20s %8.0f ops/sec   p50 %6.0fµs  p95 %6.0fµs  p99 %6.0fµs\n",
+			res.Name, res.OpsPerSec, res.P50Micros, res.P95Micros, res.P99Micros)
+	}
+	fo, err := benchFailover(3, ops)
+	if err != nil {
+		return err
+	}
+	rep.Failover = fo
+	fmt.Printf("%-20s %8.0f ops/sec   blip p99 %6.2fms  max %6.2fms  (%d failover, %d lost writes)\n",
+		"failover-3shard", fo.OpsPerSec, fo.BlipP99Millis, fo.BlipMaxMillis, fo.Failovers, fo.LostWrites)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// rig is a replicated in-process cluster plus its client.
+type rig struct {
+	primaries []*cluster.Node
+	followers []*cluster.Node
+	client    *cluster.Client
+	inj       *fault.Injector
+}
+
+// startRig builds shards primary+follower pairs. When faulty, the primaries'
+// listeners and the client's dials run through a fault injector so a shard
+// can be killed with a partition.
+func startRig(shards int, faulty bool) (*rig, error) {
+	r := &rig{}
+	if faulty {
+		r.inj = fault.New(fault.Policy{})
+	}
+	addrs := make([]string, 0, shards)
+	for s := 0; s < shards; s++ {
+		cfg := cluster.NodeConfig{Label: fmt.Sprintf("shard%d", s)}
+		if r.inj != nil {
+			ln, err := listen()
+			if err != nil {
+				r.close()
+				return nil, err
+			}
+			cfg.Listener = fault.WrapListener(ln, r.inj)
+		}
+		n, err := cluster.NewNode(cfg)
+		if err != nil {
+			r.close()
+			return nil, err
+		}
+		r.primaries = append(r.primaries, n)
+		addrs = append(addrs, n.Addr())
+	}
+	m := cluster.NewMap(addrs)
+	for s := 0; s < shards; s++ {
+		f, err := cluster.NewNode(cluster.NodeConfig{Label: fmt.Sprintf("shard%d-replica", s)})
+		if err != nil {
+			r.close()
+			return nil, err
+		}
+		r.followers = append(r.followers, f)
+		if err := r.primaries[s].AttachFollower(f.Addr()); err != nil {
+			r.close()
+			return nil, err
+		}
+		if err := m.SetReplica(s, f.Addr()); err != nil {
+			r.close()
+			return nil, err
+		}
+	}
+	ccfg := cluster.Config{Map: m, ProbeRetries: 1, ProbeBackoff: time.Millisecond}
+	if r.inj != nil {
+		ccfg.Client.Dial = fault.Dialer(r.inj)
+	}
+	c, err := cluster.New(ccfg)
+	if err != nil {
+		r.close()
+		return nil, err
+	}
+	r.client = c
+	return r, nil
+}
+
+func (r *rig) close() {
+	if r.client != nil {
+		_ = r.client.Close()
+	}
+	for _, n := range r.primaries {
+		_ = n.Close()
+	}
+	for _, n := range r.followers {
+		_ = n.Close()
+	}
+}
+
+// benchPuts times ops sequential replicated puts against a healthy cluster.
+func benchPuts(shards, ops int) (result, error) {
+	r, err := startRig(shards, false)
+	if err != nil {
+		return result{}, err
+	}
+	defer r.close()
+	if err := r.client.CreateTable("bench", 1); err != nil {
+		return result{}, err
+	}
+	value := make([]byte, valueSize)
+	lat := make([]time.Duration, ops)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		opStart := time.Now()
+		if err := r.client.Put("bench", fmt.Sprintf("row-%07d", i), "v", value); err != nil {
+			return result{}, err
+		}
+		lat[i] = time.Since(opStart)
+	}
+	elapsed := time.Since(start)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return result{
+		Name:      fmt.Sprintf("put-%dshard", shards),
+		Shards:    shards,
+		Ops:       ops,
+		OpsPerSec: float64(ops) / elapsed.Seconds(),
+		P50Micros: float64(lat[ops/2]) / float64(time.Microsecond),
+		P95Micros: float64(lat[ops*95/100]) / float64(time.Microsecond),
+		P99Micros: float64(lat[ops*99/100]) / float64(time.Microsecond),
+	}, nil
+}
+
+// benchFailover kills one primary halfway through the op stream and measures
+// the promotion's latency blip plus post-failover data integrity.
+func benchFailover(shards, ops int) (*failoverResult, error) {
+	r, err := startRig(shards, true)
+	if err != nil {
+		return nil, err
+	}
+	defer r.close()
+	if err := r.client.CreateTable("bench", 1); err != nil {
+		return nil, err
+	}
+	value := make([]byte, valueSize)
+	killAt := ops / 2
+	failovers := 0
+	lat := make([]time.Duration, ops)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if i == killAt {
+			r.inj.Partition(r.primaries[0].Addr())
+		}
+		opStart := time.Now()
+		if err := r.client.Put("bench", fmt.Sprintf("row-%07d", i), "v", value); err != nil {
+			return nil, fmt.Errorf("put %d (across failover): %w", i, err)
+		}
+		lat[i] = time.Since(opStart)
+	}
+	elapsed := time.Since(start)
+	if r.client.Map().Shards[0].Primary == r.primaries[0].Addr() {
+		// The victim never served a post-kill op (possible when the hash
+		// sends no post-kill row its way) — force one so the report always
+		// covers a promotion.
+		if _, _, err := r.client.Get("bench", "row-0000000", "v"); err != nil {
+			return nil, err
+		}
+	}
+	m := r.client.Map()
+	for s := range m.Shards {
+		if m.Shards[s].Primary != r.primaries[s].Addr() {
+			failovers++
+		}
+	}
+
+	// Integrity: every acked write must be readable after the promotion.
+	lost := 0
+	checkEvery := ops / 200
+	if checkEvery == 0 {
+		checkEvery = 1
+	}
+	for i := 0; i < ops; i += checkEvery {
+		_, found, err := r.client.Get("bench", fmt.Sprintf("row-%07d", i), "v")
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			lost++
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return &failoverResult{
+		Shards:        shards,
+		Ops:           ops,
+		KillAtOp:      killAt,
+		Failovers:     failovers,
+		OpsPerSec:     float64(ops) / elapsed.Seconds(),
+		BlipP99Millis: float64(lat[ops*99/100]) / float64(time.Millisecond),
+		BlipMaxMillis: float64(lat[ops-1]) / float64(time.Millisecond),
+		LostWrites:    lost,
+	}, nil
+}

@@ -1,0 +1,99 @@
+// Command kvcluster launches a sharded, replicated kvstore cluster
+// (DESIGN.md §14) in one process: N primary nodes, optionally each with an
+// attached follower, and the versioned partition map a cluster client routes
+// by. The map is printed as JSON (and optionally written to a file) so
+// clients in other processes can pick it up, then the cluster serves until
+// SIGINT/SIGTERM.
+//
+//	kvcluster -shards 3 -replicate
+//	kvcluster -shards 3 -replicate -map-out cluster-map.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"smartflux/internal/kvstore/cluster"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "kvcluster:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the cluster and blocks until a signal arrives. ready, when
+// non-nil, receives the encoded partition map once serving (test hook).
+func run(args []string, out io.Writer, ready chan<- []byte) error {
+	fs := flag.NewFlagSet("kvcluster", flag.ContinueOnError)
+	shards := fs.Int("shards", 3, "number of shards (primary nodes)")
+	replicate := fs.Bool("replicate", true, "attach a follower to every primary and record it in the map")
+	mapOut := fs.String("map-out", "", "also write the partition map JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *shards <= 0 {
+		return fmt.Errorf("-shards must be positive, got %d", *shards)
+	}
+
+	var nodes []*cluster.Node
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+	addrs := make([]string, 0, *shards)
+	for s := 0; s < *shards; s++ {
+		n, err := cluster.NewNode(cluster.NodeConfig{Label: fmt.Sprintf("shard%d", s)})
+		if err != nil {
+			return fmt.Errorf("start shard %d: %w", s, err)
+		}
+		nodes = append(nodes, n)
+		addrs = append(addrs, n.Addr())
+		fmt.Fprintf(out, "shard %d primary %s\n", s, n.Addr())
+	}
+	m := cluster.NewMap(addrs)
+	if *replicate {
+		for s := 0; s < *shards; s++ {
+			f, err := cluster.NewNode(cluster.NodeConfig{Label: fmt.Sprintf("shard%d-replica", s)})
+			if err != nil {
+				return fmt.Errorf("start shard %d replica: %w", s, err)
+			}
+			nodes = append(nodes, f)
+			if err := nodes[s].AttachFollower(f.Addr()); err != nil {
+				return fmt.Errorf("attach shard %d replica: %w", s, err)
+			}
+			if err := m.SetReplica(s, f.Addr()); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "shard %d replica %s\n", s, f.Addr())
+		}
+	}
+
+	encoded := m.Encode()
+	// Seed every node with the map so late-joining clients can OpMapGet it
+	// from any member.
+	for s := 0; s < *shards; s++ {
+		nodes[s].SetMap(m)
+	}
+	fmt.Fprintf(out, "partition map: %s\n", encoded)
+	if *mapOut != "" {
+		if err := os.WriteFile(*mapOut, encoded, 0o644); err != nil {
+			return fmt.Errorf("map-out: %w", err)
+		}
+	}
+	if ready != nil {
+		ready <- encoded
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Fprintf(out, "received %s, shutting down\n", s)
+	return nil
+}

@@ -46,6 +46,7 @@ func run(args []string, out io.Writer) error {
 	retryBackoff := fs.Duration("retry-backoff", 10*time.Millisecond, "base delay between step retries (doubles per attempt, seeded jitter)")
 	retryWaves := fs.Int("retry-waves", 0, "times a failed wave is re-run from its pre-wave checkpoint")
 	degrade := fs.Bool("degrade", false, "forcibly skip gated steps that exhaust their retries instead of failing the run")
+	clusterShards := fs.Int("cluster", 0, "mirror the live store into an in-process replicated cluster with this many shards and verify dump equality at the end of the run")
 	walDir := fs.String("wal-dir", "", "enable crash durability: write-ahead log + snapshots in this directory (smartflux policy only)")
 	snapEvery := fs.Int("snapshot-every", 64, "waves between compacting snapshots (with -wal-dir)")
 	fsyncFlag := fs.String("fsync", "commit", "WAL flush policy with -wal-dir: commit, always, never")
@@ -143,6 +144,34 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown workload %q", *workload)
 	}
 
+	// -cluster: start the in-process cluster and wrap the build so the live
+	// instance's store — the harness's first build call — is captured for the
+	// end-of-run dump comparison. The pipeline path mirrors through
+	// PipelineConfig.Cluster; the plain-policy path attaches the mirror here.
+	var rig *clusterRig
+	var liveStore *smartflux.Store
+	if *clusterShards > 0 {
+		var err error
+		if rig, err = startClusterRig(*clusterShards); err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
+		defer rig.Close()
+		inner := build
+		pipeline := *policy == "smartflux"
+		build = func() (*smartflux.Workflow, *smartflux.Store, error) {
+			wf, store, err := inner()
+			if err == nil && liveStore == nil {
+				liveStore = store
+				if !pipeline {
+					if merr := rig.client.Mirror(store); merr != nil {
+						return nil, nil, fmt.Errorf("cluster mirror: %w", merr)
+					}
+				}
+			}
+			return wf, store, err
+		}
+	}
+
 	if *policy == "smartflux" {
 		cfg := smartflux.PipelineConfig{
 			TrainWaves: *train,
@@ -155,6 +184,9 @@ func run(args []string, out io.Writer) error {
 			Obs:         observer,
 			Parallelism: *parallelism,
 			Resilience:  resilience,
+		}
+		if rig != nil {
+			cfg.Cluster = rig.client
 		}
 		var (
 			res  *smartflux.PipelineResult
@@ -187,6 +219,11 @@ func run(args []string, out io.Writer) error {
 		printDurability(out, info)
 		printResult(out, res.Apply, report)
 		printDecisionSummary(out, registry)
+		if rig != nil {
+			if err := rig.verify(out, liveStore); err != nil {
+				return err
+			}
+		}
 		return traceErr(jsonl, spanl)
 	}
 
@@ -210,6 +247,11 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "%s @ %.0f%% bound, policy %s\n", *workload, *bound*100, decider.Name())
 	printResult(out, res, report)
 	printDecisionSummary(out, registry)
+	if rig != nil {
+		if err := rig.verify(out, liveStore); err != nil {
+			return err
+		}
+	}
 	return traceErr(jsonl, spanl)
 }
 

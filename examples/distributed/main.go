@@ -1,15 +1,17 @@
-// Distributed store: the kvnet TCP layer that lets workflow steps in
-// separate processes share data containers, mirroring the paper's deployment
-// where steps interact with a remote HBase cluster through intercepted
-// client libraries (§4.2).
+// Distributed store: a sharded, replicated kvstore cluster that lets
+// workflow steps in separate processes share data containers, mirroring the
+// paper's deployment where steps interact with a remote HBase cluster
+// through intercepted client libraries (§4.2).
 //
-// This example starts an in-process store server, connects two clients that
-// play the roles of a producer step (writing sensor readings) and a consumer
-// step (aggregating them), and shows a mutation observer on the server side
-// — the hook SmartFlux's Monitoring component uses to compute input impacts.
-// Midway through the producer's run the server is killed and restarted on
-// the same address: the producer's retrying client reconnects transparently
-// and no reading is lost or written twice (see DESIGN.md §10).
+// This example starts a 3-shard cluster — each shard a primary node with an
+// attached follower receiving its replication stream — and connects two
+// clients playing the roles of a producer step (writing sensor readings)
+// and a consumer step (aggregating them with a scatter-gather scan merged
+// in key order). Midway through the producer's run one shard's primary is
+// killed: the cluster client probes it, promotes the follower and retries,
+// so no acked reading is lost or written twice. Afterwards the dead node
+// rejoins as a follower of the promoted primary and catches up from its
+// replication-log cursor (see DESIGN.md §14).
 //
 // Run with:
 //
@@ -19,13 +21,17 @@ package main
 import (
 	"fmt"
 	"log"
+	"net"
 	"strconv"
-	"sync/atomic"
 	"time"
 
 	"smartflux"
+	"smartflux/internal/fault"
+	"smartflux/internal/kvstore/cluster"
 	"smartflux/internal/kvstore/kvnet"
 )
+
+const shards = 3
 
 func main() {
 	if err := run(); err != nil {
@@ -33,66 +39,90 @@ func main() {
 	}
 }
 
-// startServer brings up a kvnet server over the shared store.
-func startServer(store *smartflux.Store, addr string) (*kvnet.Server, string, error) {
-	server := kvnet.NewServer(store)
-	got, err := server.Listen(addr)
-	if err != nil {
-		return nil, "", err
-	}
-	return server, got, nil
-}
-
 func run() error {
-	// Server side: the shared store plus a Monitoring-style observer. The
-	// store (and its observer subscription) outlives any one server
-	// process, as the HBase cluster would.
-	store := smartflux.NewStore()
-	table, err := store.EnsureTable("readings", smartflux.TableOptions{})
-	if err != nil {
-		return err
+	// Server side: three primaries behind a fault injector (so one can be
+	// killed on cue) and a follower attached to each — six "processes".
+	inj := fault.New(fault.Policy{})
+	var primaries, followers []*cluster.Node
+	defer func() {
+		// Teardown order mirrors startup in reverse; Close detaches the
+		// replication link before stopping the server, so shutdown never
+		// strands a follower mid-catch-up.
+		for _, n := range followers {
+			_ = n.Close()
+		}
+		for _, n := range primaries {
+			_ = n.Close()
+		}
+	}()
+	addrs := make([]string, 0, shards)
+	for s := 0; s < shards; s++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		n, err := cluster.NewNode(cluster.NodeConfig{Listener: fault.WrapListener(ln, inj)})
+		if err != nil {
+			return err
+		}
+		primaries = append(primaries, n)
+		addrs = append(addrs, n.Addr())
+		fmt.Printf("shard %d primary serving on %s\n", s, n.Addr())
 	}
-	var observed atomic.Int64
-	table.Subscribe(observerFunc(func(m smartflux.Mutation) {
-		observed.Add(1)
-	}))
-	server, addr, err := startServer(store, "127.0.0.1:0")
-	if err != nil {
-		return err
+	m := cluster.NewMap(addrs)
+	for s := 0; s < shards; s++ {
+		f, err := cluster.NewNode(cluster.NodeConfig{})
+		if err != nil {
+			return err
+		}
+		followers = append(followers, f)
+		if err := primaries[s].AttachFollower(f.Addr()); err != nil {
+			return err
+		}
+		if err := m.SetReplica(s, f.Addr()); err != nil {
+			return err
+		}
 	}
-	fmt.Println("store serving on", addr)
 
-	// Both clients retry with backoff and reconnect on failure, so a server
-	// restart between (or during) their requests is invisible to them.
-	clientCfg := kvnet.ClientConfig{
-		DialTimeout:  2 * time.Second,
-		MaxRetries:   20,
-		RetryBackoff: 20 * time.Millisecond,
-		RetrySeed:    1,
+	// Client side: producer and consumer each hold their own cluster client,
+	// as two separate step processes would. Dials go through the injector so
+	// a killed primary refuses their reconnects too.
+	clientCfg := cluster.Config{
+		Map: m,
+		Client: kvnet.ClientConfig{
+			DialTimeout:  2 * time.Second,
+			MaxRetries:   20,
+			RetryBackoff: 20 * time.Millisecond,
+			RetrySeed:    1,
+			Dial:         fault.Dialer(inj),
+		},
+		ProbeRetries: 1,
+		ProbeBackoff: 5 * time.Millisecond,
+		OnFailover: func(shard int, from, to string) {
+			fmt.Printf("cluster: shard %d failed over %s -> %s\n", shard, from, to)
+		},
 	}
-
-	// Producer process: writes a wave of readings over TCP.
-	producer, err := kvnet.DialConfig(addr, clientCfg)
+	producer, err := cluster.New(clientCfg)
 	if err != nil {
 		return err
 	}
 	defer func() { _ = producer.Close() }()
+	if err := producer.CreateTable("readings", 0); err != nil {
+		return err
+	}
+
+	// Producer process: writes waves of readings, sharded by sensor row.
 	for wave := 0; wave < 3; wave++ {
 		if wave == 1 {
-			// Simulate a store-node crash mid-run: kill the server and bring
-			// a fresh one up on the same address over the same backing
-			// store. The producer's next Put fails, reconnects and retries;
-			// server-side request dedup keeps every write exactly-once.
-			if err := server.Close(); err != nil {
-				return err
-			}
-			fmt.Println("server: killed mid-run, restarting on", addr)
-			server, _, err = startServer(store, addr)
-			if err != nil {
-				return err
-			}
+			// Kill shard 0's primary mid-run: live connections drop and
+			// re-dials are refused, exactly like a crashed node. The
+			// producer's next write to that shard probes the primary,
+			// promotes the follower (which holds every acked write — the
+			// primary ships each record before acking) and retries.
+			inj.Partition(primaries[0].Addr())
+			fmt.Printf("shard 0 primary killed mid-run (%s)\n", primaries[0].Addr())
 		}
-		for i := 0; i < 4; i++ {
+		for i := 0; i < 8; i++ {
 			row := "sensor" + strconv.Itoa(i)
 			value := 20 + float64(wave) + float64(i)/2
 			if err := producer.PutFloat("readings", row, "temp", value); err != nil {
@@ -101,10 +131,10 @@ func run() error {
 		}
 		fmt.Printf("producer: wave %d written\n", wave)
 	}
-	defer func() { _ = server.Close() }() // best-effort teardown at exit
 
-	// Consumer process: scans and aggregates over its own connection.
-	consumer, err := kvnet.DialConfig(addr, clientCfg)
+	// Consumer process: a scatter-gather scan over all shards, merged in key
+	// order, on its own client (it discovers the promotion independently).
+	consumer, err := cluster.New(clientCfg)
 	if err != nil {
 		return err
 	}
@@ -122,11 +152,33 @@ func run() error {
 		}
 	}
 	fmt.Printf("consumer: mean of %d readings = %.2f\n", n, sum/float64(n))
-	fmt.Printf("server: observer saw %d mutations (the Monitoring hook)\n", observed.Load())
+
+	// Rejoin: heal the partition and bring the dead node back — not as a
+	// primary (the map moved on) but as a follower of the promoted one. Its
+	// log diverges from nothing (it died as a clean primary), but the
+	// promoted follower has since appended records it never saw, so it
+	// resets and catches up from cursor zero.
+	inj.Heal(primaries[0].Addr())
+	newPrimaryAddr := producer.Map().Shards[0].Primary
+	var newPrimary *cluster.Node
+	for _, f := range followers {
+		if f.Addr() == newPrimaryAddr {
+			newPrimary = f
+		}
+	}
+	if newPrimary == nil {
+		return fmt.Errorf("promoted primary %s not found among followers", newPrimaryAddr)
+	}
+	rejoined := primaries[0]
+	rejoined.Reset()
+	if err := newPrimary.AttachFollower(rejoined.Addr()); err != nil {
+		return err
+	}
+	pc, pcrc := newPrimary.Log().Status()
+	rc, rcrc := rejoined.Log().Status()
+	if pc != rc || pcrc != rcrc {
+		return fmt.Errorf("rejoined node did not catch up: cursor %d/%x vs %d/%x", rc, rcrc, pc, pcrc)
+	}
+	fmt.Printf("shard 0 old primary rejoined as follower and caught up (%d records, crc %08x)\n", rc, rcrc)
 	return nil
 }
-
-// observerFunc adapts a closure to the store Observer interface.
-type observerFunc func(smartflux.Mutation)
-
-func (f observerFunc) OnMutation(m smartflux.Mutation) { f(m) }

@@ -1,0 +1,41 @@
+package core
+
+// Cluster wiring: a pipeline can mirror its live instance's store into a
+// sharded, replicated kvstore cluster (DESIGN.md §14). The harness builds the
+// live instance first and the reference instance second (the contract
+// engine.NewHarness documents), so the wrapper attaches the mirror to the
+// first store the build function produces and leaves the reference store
+// untouched — the reference's hypothetical writes must never pollute the
+// replicated state.
+
+import (
+	"fmt"
+
+	"smartflux/internal/engine"
+	"smartflux/internal/kvstore"
+	"smartflux/internal/kvstore/cluster"
+	"smartflux/internal/workflow"
+)
+
+// clusterMirrorBuild wraps build so the first instance built — the live one —
+// mirrors every mutation into c. With a nil client the build is returned
+// unchanged.
+func clusterMirrorBuild(build engine.BuildFunc, c *cluster.Client) engine.BuildFunc {
+	if c == nil {
+		return build
+	}
+	calls := 0
+	return func() (*workflow.Workflow, *kvstore.Store, error) {
+		wf, store, err := build()
+		if err != nil {
+			return wf, store, err
+		}
+		calls++
+		if calls == 1 {
+			if err := c.Mirror(store); err != nil {
+				return nil, nil, fmt.Errorf("core: cluster mirror: %w", err)
+			}
+		}
+		return wf, store, nil
+	}
+}

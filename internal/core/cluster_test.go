@@ -1,0 +1,118 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"smartflux/internal/kvstore"
+	"smartflux/internal/kvstore/cluster"
+	"smartflux/internal/workflow"
+)
+
+// TestPipelineMirrorsLiveStoreToCluster runs the full lifecycle with a
+// 3-shard cluster attached and asserts the cluster's merged dump — version
+// histories and logical timestamps included — is bit-identical to the live
+// instance's store, while the reference instance stays unmirrored.
+func TestPipelineMirrorsLiveStoreToCluster(t *testing.T) {
+	var nodes []*cluster.Node
+	var addrs []string
+	for s := 0; s < 3; s++ {
+		n, err := cluster.NewNode(cluster.NodeConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = n.Close() }()
+		nodes = append(nodes, n)
+		addrs = append(addrs, n.Addr())
+	}
+	cc, err := cluster.New(cluster.Config{Map: cluster.NewMap(addrs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cc.Close() }()
+
+	// Capture the live store: the harness's first build call.
+	var liveStore *kvstore.Store
+	build := miniWorkload()
+	capture := func() (*workflow.Workflow, *kvstore.Store, error) {
+		wf, store, err := build()
+		if err == nil && liveStore == nil {
+			liveStore = store
+		}
+		return wf, store, err
+	}
+
+	res, err := RunPipeline(capture, nil, PipelineConfig{
+		TrainWaves: 40,
+		ApplyWaves: 30,
+		Session:    Config{Seed: 3, Thresholds: []float64{0.2}, PositiveWeight: 6},
+		Cluster:    cc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Apply == nil || res.Apply.Waves != 30 {
+		t.Fatalf("apply result: %+v", res.Apply)
+	}
+	if err := cc.Err(); err != nil {
+		t.Fatalf("mirror ship error: %v", err)
+	}
+	if liveStore == nil {
+		t.Fatal("build never ran")
+	}
+
+	want := localVersionDump(t, liveStore)
+	if want == "" {
+		t.Fatal("live store is empty; the workload wrote nothing")
+	}
+	got := clusterVersionDump(t, cc, liveStore.TableNames())
+	if got != want {
+		t.Fatalf("cluster dump differs from live store:\nlive:\n%scluster:\n%s", want, got)
+	}
+}
+
+// localVersionDump renders every retained version of every cell of every
+// table, in table and key order.
+func localVersionDump(t *testing.T, s *kvstore.Store) string {
+	t.Helper()
+	var b bytes.Buffer
+	for _, name := range s.TableNames() {
+		tbl, err := s.Table(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range tbl.Scan(kvstore.ScanOptions{}) {
+			for _, v := range tbl.GetVersions(c.Row, c.Column, 0) {
+				fmt.Fprintf(&b, "%s %s/%s @%d = %x\n", name, c.Row, c.Column, v.Timestamp, v.Value)
+			}
+		}
+	}
+	return b.String()
+}
+
+// clusterVersionDump renders the same format through the cluster's
+// scatter-gather version scan.
+func clusterVersionDump(t *testing.T, c *cluster.Client, tables []string) string {
+	t.Helper()
+	var b bytes.Buffer
+	for _, name := range tables {
+		cells, err := c.ScanVersions(name, kvstore.ScanOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cell := range cells {
+			fmt.Fprintf(&b, "%s %s/%s @%d = %x\n", name, cell.Row, cell.Column, cell.Version.Timestamp, cell.Version.Value)
+		}
+	}
+	return b.String()
+}
+
+// TestClusterMirrorBuildNilPassthrough leaves the build untouched without a
+// client.
+func TestClusterMirrorBuildNilPassthrough(t *testing.T) {
+	build := miniWorkload()
+	if got := clusterMirrorBuild(build, nil); fmt.Sprintf("%p", got) != fmt.Sprintf("%p", build) {
+		t.Fatal("nil cluster must return the original build func")
+	}
+}

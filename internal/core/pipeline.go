@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"smartflux/internal/engine"
+	"smartflux/internal/kvstore/cluster"
 	"smartflux/internal/obs"
 	"smartflux/internal/workflow"
 )
@@ -30,6 +31,14 @@ type PipelineConfig struct {
 	// both engine instances (see engine.HarnessConfig; the Parallelism
 	// field inside it is overridden by the pipeline's own).
 	Resilience engine.HarnessConfig
+	// Cluster, when non-nil, mirrors the live instance's store into a
+	// sharded, replicated kvstore cluster: existing state syncs when the
+	// instance is built and every subsequent mutation ships as a
+	// timestamped replication record, so the cluster's merged dump stays
+	// bit-identical to the live store (DESIGN.md §14). The reference
+	// instance is never mirrored. Asynchronous ship failures surface
+	// through the client's Err method, not the pipeline result.
+	Cluster *cluster.Client
 }
 
 // PipelineResult aggregates an end-to-end run.
@@ -51,7 +60,7 @@ func buildPipeline(build engine.BuildFunc, reportSteps []workflow.StepID, cfg Pi
 	harnessCfg := cfg.Resilience
 	harnessCfg.Parallelism = cfg.Parallelism
 	harnessCfg.Committer = committer
-	harness, err := engine.NewHarnessWithConfig(build, reportSteps, harnessCfg)
+	harness, err := engine.NewHarnessWithConfig(clusterMirrorBuild(build, cfg.Cluster), reportSteps, harnessCfg)
 	if err != nil {
 		return nil, nil, err
 	}

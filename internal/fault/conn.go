@@ -17,24 +17,50 @@ import (
 //     delivering anything; reads starve on the underlying connection and
 //     surface through read deadlines, exactly like a hung peer.
 //
+// A partitioned shard address (partition.go) additionally fails every
+// operation on connections counted against it, tearing the transport down —
+// the wire-level face of a dead shard.
+//
 // Deadlines, addresses and Close pass through untouched.
 type Conn struct {
 	net.Conn
 	inj *Injector
+	// addr is the shard address this connection counts against for
+	// partition checks: the dialed address for client conns, the listener's
+	// address for accepted conns. Empty opts out of partitioning.
+	addr string
 }
 
-// WrapConn interposes inj on c. A nil injector returns c unchanged.
+// WrapConn interposes inj on c, counting it against its remote address for
+// partition checks. A nil injector returns c unchanged.
 func WrapConn(c net.Conn, inj *Injector) net.Conn {
 	if inj == nil {
 		return c
 	}
-	return &Conn{Conn: c, inj: inj}
+	return &Conn{Conn: c, inj: inj, addr: c.RemoteAddr().String()}
+}
+
+// WrapConnAddr is WrapConn with an explicit shard address to count the
+// connection against — the listener side uses its own bound address, since
+// an accepted connection's remote is the client's ephemeral port, not a
+// shard identity.
+func WrapConnAddr(c net.Conn, inj *Injector, addr string) net.Conn {
+	if inj == nil {
+		return c
+	}
+	return &Conn{Conn: c, inj: inj, addr: addr}
 }
 
 // intercept evaluates one I/O operation. It reports whether the caller
 // should swallow the call (blackholed write) and the error to fail with.
 func (c *Conn) intercept(op string) (swallow bool, err error) {
 	d := c.inj.Decide(op)
+	// Partition check runs after Decide so an operation that itself trips a
+	// seeded shard kill already observes the partition.
+	if c.addr != "" && c.inj.Partitioned(c.addr) {
+		_ = c.Conn.Close()
+		return false, ErrPartitioned
+	}
 	if err := d.apply(); err != nil {
 		if d.Disconnect {
 			_ = c.Conn.Close() // tear the transport down, surface the cause
@@ -98,7 +124,9 @@ func (l *Listener) Accept() (net.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return WrapConn(c, l.inj), nil
+	// Accepted connections count against the listener's own address: a
+	// partition of this server severs every connection it serves.
+	return WrapConnAddr(c, l.inj, l.Listener.Addr().String()), nil
 }
 
 // Dialer returns a dial function that wraps every established connection
@@ -107,6 +135,9 @@ func (l *Listener) Accept() (net.Conn, error) {
 // fault layer.
 func Dialer(inj *Injector) func(addr string, timeout time.Duration) (net.Conn, error) {
 	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		if inj != nil && inj.Partitioned(addr) {
+			return nil, ErrPartitioned
+		}
 		var c net.Conn
 		var err error
 		if timeout > 0 {

@@ -117,6 +117,14 @@ type Policy struct {
 	// modeling: how many bytes of the in-flight record survive the crash.
 	// 0 means the record is lost whole.
 	CrashTornBytes int
+
+	// KillShardAddrs lists shard addresses eligible for a seeded kill.
+	// KillShardAfter, when positive, partitions exactly one of them — the
+	// victim picked deterministically by Seed — at the Nth eligible
+	// operation (counted like DisconnectAfter, after the Ops filter). See
+	// partition.go; Heal lifts the partition.
+	KillShardAddrs []string
+	KillShardAfter int
 }
 
 // Decision is the injector's verdict for one operation, in application
@@ -136,18 +144,20 @@ type Stats struct {
 	Latencies   int // delayed operations
 	Disconnects int // injected disconnects
 	Crashes     int // crash points fired (0 or 1; the injector dies crashing)
+	Partitions  int // addresses partitioned (Partition calls + seeded kills)
 }
 
 // Injector evaluates a Policy operation by operation. It is safe for
 // concurrent use; concurrent callers serialize on an internal lock so the
 // decision sequence stays a pure function of arrival order.
 type Injector struct {
-	mu       sync.Mutex
-	p        Policy
-	rng      *rand.Rand
-	stats    Stats
-	opCounts map[string]int // per-op occurrence counts for crash points
-	crashed  bool
+	mu          sync.Mutex
+	p           Policy
+	rng         *rand.Rand
+	stats       Stats
+	opCounts    map[string]int  // per-op occurrence counts for crash points
+	partitioned map[string]bool // addresses currently cut off (partition.go)
+	crashed     bool
 
 	errs    *obs.Counter // nil when no observer is attached
 	delays  *obs.Counter
@@ -206,6 +216,7 @@ func (i *Injector) Decide(op string) Decision {
 		return Decision{}
 	}
 	i.stats.Ops++
+	i.maybeKillShard()
 	var d Decision
 	if i.p.Latency > 0 && i.p.LatencyRate > 0 && i.rng.Float64() < i.p.LatencyRate {
 		d.Latency = i.p.Latency

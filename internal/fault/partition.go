@@ -1,0 +1,70 @@
+package fault
+
+// Network partitions and shard kills. A partition is injector state, not a
+// probability: while an address is partitioned, every wrapped connection
+// counted against it fails (and is torn down) and every Dialer attempt to it
+// is refused, so the address looks exactly like a dead shard to clients and
+// cluster health checkers. Heal lifts the partition, modeling the shard
+// rejoining the network.
+//
+// Partitions can be imposed two ways: directly (Partition / Heal, for
+// controller-driven chaos where the test decides the moment) or by policy
+// (KillShardAddrs + KillShardAfter, where the Nth eligible operation kills a
+// victim picked deterministically by the seed — "somewhere mid-run, one
+// shard dies", reproducibly).
+
+import "fmt"
+
+// ErrPartitioned marks an operation refused because its peer address is
+// partitioned. It wraps ErrInjected, so errors.Is(err, ErrInjected) holds.
+var ErrPartitioned = fmt.Errorf("%w: partitioned address", ErrInjected)
+
+// Partition cuts addr off: connections to (or accepted at) addr fail on
+// their next operation and new dials to it are refused, until Heal.
+// Partitioning an already-partitioned address is a no-op.
+func (i *Injector) Partition(addr string) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.partitionLocked(addr)
+}
+
+// partitionLocked is Partition's body; callers hold i.mu.
+func (i *Injector) partitionLocked(addr string) {
+	if i.partitioned[addr] {
+		return
+	}
+	if i.partitioned == nil {
+		i.partitioned = make(map[string]bool)
+	}
+	i.partitioned[addr] = true
+	i.stats.Partitions++
+	i.dropped.Inc() // nil-safe no-op when uninstrumented
+}
+
+// Heal lifts the partition on addr. New connections to it succeed again;
+// connections torn down while it was partitioned stay dead (reconnecting is
+// the client's job, as after any disconnect).
+func (i *Injector) Heal(addr string) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	delete(i.partitioned, addr)
+}
+
+// Partitioned reports whether addr is currently cut off.
+func (i *Injector) Partitioned(addr string) bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.partitioned[addr]
+}
+
+// maybeKillShard fires the policy's seeded shard kill when the Nth eligible
+// operation arrives; callers hold i.mu. The victim is picked from
+// KillShardAddrs by the seed alone, so a test sweeping seeds kills different
+// shards while each individual run stays reproducible.
+func (i *Injector) maybeKillShard() {
+	if i.p.KillShardAfter <= 0 || i.stats.Ops != i.p.KillShardAfter || len(i.p.KillShardAddrs) == 0 {
+		return
+	}
+	victim := int(uint64(i.p.Seed) % uint64(len(i.p.KillShardAddrs)))
+	i.partitionLocked(i.p.KillShardAddrs[victim])
+}

@@ -1,0 +1,755 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"smartflux/internal/fault"
+	"smartflux/internal/kvstore"
+	"smartflux/internal/kvstore/kvnet"
+)
+
+// --- harness ---------------------------------------------------------------
+
+// testCluster is N primaries, optionally N followers, and the partition map
+// over them. All nodes run in-process; the injector (when non-nil) wraps
+// every primary's listener and the client dial path, so fault.Partition of a
+// primary address looks like a dead shard from everywhere.
+type testCluster struct {
+	t        *testing.T
+	primary  []*Node
+	follower []*Node
+	m        *Map
+	inj      *fault.Injector
+}
+
+func startCluster(t *testing.T, shards int, replicated bool, inj *fault.Injector) *testCluster {
+	t.Helper()
+	tc := &testCluster{t: t, inj: inj}
+	addrs := make([]string, shards)
+	for s := 0; s < shards; s++ {
+		cfg := NodeConfig{}
+		if inj != nil {
+			ln := rawListener(t)
+			cfg.Listener = fault.WrapListener(ln, inj)
+		}
+		n, err := NewNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.primary = append(tc.primary, n)
+		addrs[s] = n.Addr()
+	}
+	tc.m = NewMap(addrs)
+	if replicated {
+		for s := 0; s < shards; s++ {
+			f, err := NewNode(NodeConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.follower = append(tc.follower, f)
+			if err := tc.primary[s].AttachFollower(f.Addr()); err != nil {
+				t.Fatal(err)
+			}
+			if err := tc.m.SetReplica(s, f.Addr()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	t.Cleanup(func() {
+		for _, n := range tc.primary {
+			_ = n.Close()
+		}
+		for _, n := range tc.follower {
+			_ = n.Close()
+		}
+	})
+	return tc
+}
+
+func rawListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
+}
+
+// client builds a cluster client over the cluster's map, dialing through the
+// injector when one is installed.
+func (tc *testCluster) client(cfg Config) *Client {
+	tc.t.Helper()
+	cfg.Map = tc.m
+	if tc.inj != nil && cfg.Client.Dial == nil {
+		cfg.Client.Dial = fault.Dialer(tc.inj)
+	}
+	if cfg.ProbeBackoff == 0 {
+		cfg.ProbeBackoff = time.Millisecond
+	}
+	c, err := New(cfg)
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	tc.t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+// dumpCells formats version-expanded cells the way the chaos suite dumps a
+// store: one line per retained version, in key order, newest first per cell.
+func dumpCells(table string, cells []kvstore.Cell) string {
+	var b bytes.Buffer
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%s %s/%s @%d = %x\n", table, c.Row, c.Column, c.Version.Timestamp, c.Version.Value)
+	}
+	return b.String()
+}
+
+// clusterDump merges every shard's version history for the tables.
+func clusterDump(t *testing.T, c *Client, tables ...string) string {
+	t.Helper()
+	var b bytes.Buffer
+	for _, table := range tables {
+		cells, err := c.ScanVersions(table, kvstore.ScanOptions{})
+		if err != nil {
+			t.Fatalf("ScanVersions(%s): %v", table, err)
+		}
+		b.WriteString(dumpCells(table, cells))
+	}
+	return b.String()
+}
+
+// storeDump produces the identical format from a local store.
+func storeDump(t *testing.T, s *kvstore.Store, tables ...string) string {
+	t.Helper()
+	var b bytes.Buffer
+	for _, table := range tables {
+		tbl, err := s.Table(table)
+		if err != nil {
+			continue
+		}
+		for _, c := range tbl.Scan(kvstore.ScanOptions{}) {
+			for _, v := range tbl.GetVersions(c.Row, c.Column, 0) {
+				fmt.Fprintf(&b, "%s %s/%s @%d = %x\n", table, c.Row, c.Column, v.Timestamp, v.Value)
+			}
+		}
+	}
+	return b.String()
+}
+
+// workload drives an identical op sequence against the cluster client and a
+// reference single store: multi-version overwrites, deletes (including of
+// missing cells — they must burn a clock tick in both worlds), and batches.
+func workload(t *testing.T, c *Client, ref *kvstore.Store) {
+	t.Helper()
+	if err := c.CreateTable("alpha", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.EnsureTable("alpha", kvstore.TableOptions{MaxVersions: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable("beta", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.EnsureTable("beta", kvstore.TableOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	refA, _ := ref.Table("alpha")
+	refB, _ := ref.Table("beta")
+
+	for i := 0; i < 40; i++ {
+		row := fmt.Sprintf("row-%02d", i%20)
+		col := fmt.Sprintf("c%d", i%3)
+		val := []byte(fmt.Sprintf("v%d", i))
+		if err := c.Put("alpha", row, col, val); err != nil {
+			t.Fatal(err)
+		}
+		if err := refA.Put(row, col, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Deletes: one real, one of a missing cell (tick parity).
+	for _, k := range [][2]string{{"row-03", "c0"}, {"never", "c9"}} {
+		if err := c.Delete("alpha", k[0], k[1]); err != nil {
+			t.Fatal(err)
+		}
+		if err := refA.Delete(k[0], k[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A batch spanning many rows (hence shards).
+	b := kvstore.NewBatch()
+	for i := 0; i < 10; i++ {
+		b.PutFloat(fmt.Sprintf("m-%02d", i), "value", float64(i)*1.5)
+	}
+	b.Delete("m-04", "value")
+	if err := c.Apply("beta", b.Ops()); err != nil {
+		t.Fatal(err)
+	}
+	if err := refB.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- ring / map ------------------------------------------------------------
+
+func TestRingDeterministicAndCovering(t *testing.T) {
+	r1, r2 := newRing(3, 0), newRing(3, 0)
+	counts := make([]int, 3)
+	for i := 0; i < 1000; i++ {
+		row := fmt.Sprintf("row-%04d", i)
+		s := r1.shardFor(row)
+		if s != r2.shardFor(row) {
+			t.Fatalf("row %q routed differently by identical rings", row)
+		}
+		if s < 0 || s >= 3 {
+			t.Fatalf("row %q routed to shard %d", row, s)
+		}
+		counts[s]++
+	}
+	for s, n := range counts {
+		if n == 0 {
+			t.Fatalf("shard %d owns no rows of 1000 (distribution: %v)", s, counts)
+		}
+	}
+	// Single shard: everything routes to 0.
+	one := newRing(1, 0)
+	if one.shardFor("anything") != 0 {
+		t.Fatal("single-shard ring routed off shard 0")
+	}
+}
+
+func TestMapEncodePromoteStaleness(t *testing.T) {
+	m := NewMap([]string{"a:1", "b:2"})
+	if err := m.SetReplica(0, "a-rep:1"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMap(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != m.Version || len(got.Shards) != 2 || got.Shards[0].Replica != "a-rep:1" {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", got, m)
+	}
+	v := m.Version
+	if err := m.Promote(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards[0].Primary != "a-rep:1" || m.Shards[0].Replica != "a:1" || m.Version != v+1 {
+		t.Fatalf("promote result: %+v version %d", m.Shards[0], m.Version)
+	}
+	if err := m.Promote(1); err == nil {
+		t.Fatal("promote of replica-less shard succeeded")
+	}
+	if err := m.Promote(9); err == nil {
+		t.Fatal("promote of unknown shard succeeded")
+	}
+	if _, err := DecodeMap([]byte(`{"version":1}`)); err == nil {
+		t.Fatal("shardless map decoded")
+	}
+}
+
+// --- determinism: cluster state ≡ single store -----------------------------
+
+func TestClusterDumpBitIdenticalToSingleStore(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		t.Run(fmt.Sprintf("%d-shards", shards), func(t *testing.T) {
+			tc := startCluster(t, shards, false, nil)
+			c := tc.client(Config{})
+			ref := kvstore.New()
+			workload(t, c, ref)
+
+			want := storeDump(t, ref, "alpha", "beta")
+			got := clusterDump(t, c, "alpha", "beta")
+			if want == "" {
+				t.Fatal("empty reference dump; workload broken")
+			}
+			if got != want {
+				t.Fatalf("cluster dump differs from single store:\nwant:\n%sgot:\n%s", want, got)
+			}
+
+			// Plain scans agree with the reference store too.
+			refA, _ := ref.Table("alpha")
+			wantCells := refA.Scan(kvstore.ScanOptions{RowPrefix: "row-0"})
+			gotCells, err := c.Scan("alpha", kvstore.ScanOptions{RowPrefix: "row-0"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(gotCells) != len(wantCells) {
+				t.Fatalf("scan lengths: got %d want %d", len(gotCells), len(wantCells))
+			}
+			for i := range gotCells {
+				if gotCells[i].Row != wantCells[i].Row || gotCells[i].Column != wantCells[i].Column ||
+					gotCells[i].Version.Timestamp != wantCells[i].Version.Timestamp ||
+					!bytes.Equal(gotCells[i].Version.Value, wantCells[i].Version.Value) {
+					t.Fatalf("scan cell %d: got %+v want %+v", i, gotCells[i], wantCells[i])
+				}
+			}
+
+			// Gets route correctly and see latest values.
+			v, found, err := c.Get("alpha", "row-07", "c1")
+			if err != nil || !found {
+				t.Fatalf("Get: %v found=%v", err, found)
+			}
+			wv, _ := refA.Get("row-07", "c1")
+			if !bytes.Equal(v, wv) {
+				t.Fatalf("Get = %q want %q", v, wv)
+			}
+			if _, found, err := c.Get("alpha", "row-03", "c0"); err != nil || found {
+				t.Fatalf("deleted cell: found=%v err=%v", found, err)
+			}
+		})
+	}
+}
+
+// --- replication / catch-up ------------------------------------------------
+
+func TestFollowerMirrorsPrimary(t *testing.T) {
+	tc := startCluster(t, 2, true, nil)
+	c := tc.client(Config{})
+	ref := kvstore.New()
+	workload(t, c, ref)
+
+	want := storeDump(t, ref, "alpha", "beta")
+	var merged string
+	for _, set := range [][]*Node{tc.primary, tc.follower} {
+		var b bytes.Buffer
+		for _, table := range []string{"alpha", "beta"} {
+			cells := mergeNodeVersions(t, set, table)
+			b.WriteString(dumpCells(table, cells))
+		}
+		merged = b.String()
+		if merged != want {
+			t.Fatalf("node-set dump differs from reference:\nwant:\n%sgot:\n%s", want, merged)
+		}
+	}
+	// Log heads agree pairwise: follower logs are checksum-prefixes of
+	// their primaries'.
+	for s := range tc.primary {
+		pc, pcrc := tc.primary[s].Log().Status()
+		fc, fcrc := tc.follower[s].Log().Status()
+		if pc != fc || pcrc != fcrc {
+			t.Fatalf("shard %d log heads differ: primary (%d,%x) follower (%d,%x)", s, pc, pcrc, fc, fcrc)
+		}
+	}
+}
+
+// mergeNodeVersions merges the version-expanded contents of a node set's
+// stores directly (no client), in key order.
+func mergeNodeVersions(t *testing.T, nodes []*Node, table string) []kvstore.Cell {
+	t.Helper()
+	var all []kvstore.Cell
+	for _, n := range nodes {
+		tbl, err := n.Store().Table(table)
+		if err != nil {
+			continue
+		}
+		for _, c := range tbl.Scan(kvstore.ScanOptions{}) {
+			for _, v := range tbl.GetVersions(c.Row, c.Column, 0) {
+				all = append(all, kvstore.Cell{Row: c.Row, Column: c.Column, Version: v})
+			}
+		}
+	}
+	// Insertion sort by (row, col) keeping per-cell version runs stable.
+	sorted := make([]kvstore.Cell, 0, len(all))
+	for _, c := range all {
+		i := len(sorted)
+		for i > 0 && keyLess(c, sorted[i-1]) {
+			i--
+		}
+		sorted = append(sorted, kvstore.Cell{})
+		copy(sorted[i+1:], sorted[i:])
+		sorted[i] = c
+	}
+	return sorted
+}
+
+func TestCatchUpFromCursor(t *testing.T) {
+	tc := startCluster(t, 1, true, nil)
+	c := tc.client(Config{})
+	if err := c.CreateTable("t", 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := c.Put("t", fmt.Sprintf("r%02d", i), "c", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Follower goes away; primary keeps writing.
+	tc.primary[0].DetachFollower()
+	for i := 10; i < 25; i++ {
+		if err := c.Put("t", fmt.Sprintf("r%02d", i), "c", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fcur, _ := tc.follower[0].Log().Status()
+	pcur, _ := tc.primary[0].Log().Status()
+	if fcur >= pcur {
+		t.Fatalf("follower cursor %d not behind primary %d", fcur, pcur)
+	}
+	// Re-attach: catch-up streams Since(cursor), then live shipping resumes.
+	if err := tc.primary[0].AttachFollower(tc.follower[0].Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("t", "r99", "c", []byte("live")); err != nil {
+		t.Fatal(err)
+	}
+	pd := storeDump(t, tc.primary[0].Store(), "t")
+	fd := storeDump(t, tc.follower[0].Store(), "t")
+	if pd != fd {
+		t.Fatalf("follower diverged after catch-up:\nprimary:\n%sfollower:\n%s", pd, fd)
+	}
+	fc, fcrc := tc.follower[0].Log().Status()
+	pc, pcrc := tc.primary[0].Log().Status()
+	if fc != pc || fcrc != pcrc {
+		t.Fatalf("log heads differ after catch-up: follower (%d,%x) primary (%d,%x)", fc, fcrc, pc, pcrc)
+	}
+}
+
+func TestDivergedFollowerRequiresReset(t *testing.T) {
+	tc := startCluster(t, 1, false, nil)
+	c := tc.client(Config{})
+	if err := c.CreateTable("t", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("t", "r1", "c", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// A would-be follower with its own history (a demoted primary's un-acked
+	// tail): direct writes it never shipped anywhere.
+	stray, err := NewNode(NodeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = stray.Close() })
+	st, err := stray.Store().EnsureTable("t", kvstore.TableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("ghost", "c", []byte("unacked")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.primary[0].AttachFollower(stray.Addr()); !errors.Is(err, ErrDivergedFollower) {
+		t.Fatalf("attach of diverged follower = %v, want ErrDivergedFollower", err)
+	}
+	// Reset wipes it back to a clean slate; the attach then resyncs from 0.
+	stray.Reset()
+	if err := tc.primary[0].AttachFollower(stray.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if pd, sd := storeDump(t, tc.primary[0].Store(), "t"), storeDump(t, stray.Store(), "t"); pd != sd {
+		t.Fatalf("resynced follower differs:\nprimary:\n%sfollower:\n%s", pd, sd)
+	}
+}
+
+// --- failover --------------------------------------------------------------
+
+func TestFailoverPromotesReplica(t *testing.T) {
+	inj := fault.New(fault.Policy{})
+	tc := startCluster(t, 2, true, inj)
+	var failed []string
+	c := tc.client(Config{
+		ProbeRetries: 1,
+		OnFailover: func(shard int, from, to string) {
+			failed = append(failed, fmt.Sprintf("%d:%s->%s", shard, from, to))
+		},
+	})
+	ref := kvstore.New()
+	workload(t, c, ref)
+
+	// Kill shard 0's primary: all conns to it drop, dials are refused.
+	victim := tc.primary[0].Addr()
+	inj.Partition(victim)
+
+	// Every op keeps working; ops routed to shard 0 go through failover.
+	for i := 0; i < 20; i++ {
+		row := fmt.Sprintf("row-%02d", i%20)
+		val := []byte(fmt.Sprintf("after-kill-%d", i))
+		if err := c.Put("alpha", row, "c9", val); err != nil {
+			t.Fatalf("Put after kill: %v", err)
+		}
+		refA, _ := ref.Table("alpha")
+		if err := refA.Put(row, "c9", val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(failed) != 1 {
+		t.Fatalf("failovers = %v, want exactly one", failed)
+	}
+	m := c.Map()
+	if m.Shards[0].Primary != tc.follower[0].Addr() {
+		t.Fatalf("map primary = %s, want promoted follower %s", m.Shards[0].Primary, tc.follower[0].Addr())
+	}
+	if m.Version != tc.m.Version+1 {
+		t.Fatalf("map version = %d, want %d", m.Version, tc.m.Version+1)
+	}
+
+	// The merged dump still matches the reference bit-for-bit: the replica
+	// held every acked write at promotion time.
+	want := storeDump(t, ref, "alpha", "beta")
+	got := clusterDump(t, c, "alpha", "beta")
+	if got != want {
+		t.Fatalf("post-failover dump differs:\nwant:\n%sgot:\n%s", want, got)
+	}
+
+	// The surviving other-shard primary learned the new map.
+	cl, err := kvnet.Dial(tc.primary[1].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cl.Close() }()
+	mb, err := cl.MapGet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushed, err := DecodeMap(mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pushed.Version != m.Version {
+		t.Fatalf("pushed map version %d, want %d", pushed.Version, m.Version)
+	}
+}
+
+func TestHealthLoopPromotesProactively(t *testing.T) {
+	inj := fault.New(fault.Policy{})
+	tc := startCluster(t, 1, true, inj)
+	promoted := make(chan string, 1)
+	c := tc.client(Config{
+		ProbeRetries: 1,
+		OnFailover:   func(_ int, _, to string) { promoted <- to },
+	})
+	if err := c.CreateTable("t", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("t", "r", "c", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.StartHealthLoop(5 * time.Millisecond) {
+		t.Fatal("StartHealthLoop returned false")
+	}
+	if c.StartHealthLoop(5 * time.Millisecond) {
+		t.Fatal("second StartHealthLoop returned true")
+	}
+	inj.Partition(tc.primary[0].Addr())
+	select {
+	case to := <-promoted:
+		if to != tc.follower[0].Addr() {
+			t.Fatalf("promoted to %s, want %s", to, tc.follower[0].Addr())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("health loop never promoted the replica")
+	}
+	// Reads work without any op ever tripping over the dead primary.
+	if v, found, err := c.Get("t", "r", "c"); err != nil || !found || string(v) != "x" {
+		t.Fatalf("Get after proactive failover = %q %v %v", v, found, err)
+	}
+	if err := c.Close(); err != nil { // stops the loop; must not hang or leak
+		t.Fatal(err)
+	}
+}
+
+// TestRejoinAfterFailover runs the full node lifecycle: primary killed,
+// replica promoted, dead node healed, Reset, re-attached as the promoted
+// node's follower, catch-up to an identical log head. Reset must also drop
+// the dead primary's own stale follower link (it still points at the node
+// that was promoted over it); keeping it would forward the catch-up stream
+// back to its source and deadlock the attach.
+func TestRejoinAfterFailover(t *testing.T) {
+	inj := fault.New(fault.Policy{})
+	tc := startCluster(t, 1, true, inj)
+	c := tc.client(Config{ProbeRetries: 1})
+	if err := c.CreateTable("t", 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := c.Put("t", fmt.Sprintf("r%02d", i), "c", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inj.Partition(tc.primary[0].Addr())
+	for i := 10; i < 20; i++ {
+		if err := c.Put("t", fmt.Sprintf("r%02d", i), "c", []byte{byte(i)}); err != nil {
+			t.Fatalf("put %d across failover: %v", i, err)
+		}
+	}
+	promoted := tc.follower[0]
+	if c.Map().Shards[0].Primary != promoted.Addr() {
+		t.Fatal("replica was not promoted")
+	}
+
+	// Rejoin: the dead node heals, resets (dropping its stale follower link
+	// to the promoted node) and catches up as the new follower.
+	inj.Heal(tc.primary[0].Addr())
+	rejoined := tc.primary[0]
+	rejoined.Reset()
+	if got := rejoined.FollowerAddr(); got != "" {
+		t.Fatalf("Reset left follower link to %s attached", got)
+	}
+	done := make(chan error, 1)
+	go func() { done <- promoted.AttachFollower(rejoined.Addr()) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("re-attach after reset: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("AttachFollower deadlocked (replication cycle)")
+	}
+	// Live replication works on the new topology too.
+	if err := c.Put("t", "r99", "c", []byte("post-rejoin")); err != nil {
+		t.Fatal(err)
+	}
+	pd := storeDump(t, promoted.Store(), "t")
+	rd := storeDump(t, rejoined.Store(), "t")
+	if pd != rd {
+		t.Fatalf("rejoined follower differs:\npromoted:\n%srejoined:\n%s", pd, rd)
+	}
+	pc, pcrc := promoted.Log().Status()
+	rc, rcrc := rejoined.Log().Status()
+	if pc != rc || pcrc != rcrc {
+		t.Fatalf("log heads differ after rejoin: promoted (%d,%x) rejoined (%d,%x)", pc, pcrc, rc, rcrc)
+	}
+}
+
+// --- scatter-gather under failover (satellite) -----------------------------
+
+// TestScanMergeMidScanFailover kills a shard's primary between page fetches
+// of an in-flight scatter-gather scan and asserts the merged result is
+// byte-identical to the pre-kill truth: resumed from the last merged key,
+// no duplicates, no gaps.
+func TestScanMergeMidScanFailover(t *testing.T) {
+	inj := fault.New(fault.Policy{})
+	tc := startCluster(t, 3, true, inj)
+	c := tc.client(Config{ProbeRetries: 1})
+	if err := c.CreateTable("t", 3); err != nil {
+		t.Fatal(err)
+	}
+	// Enough rows that every shard needs several pages; some multi-cell rows.
+	ref := kvstore.New()
+	rt, _ := ref.EnsureTable("t", kvstore.TableOptions{MaxVersions: 3})
+	for i := 0; i < 2000; i++ {
+		row := fmt.Sprintf("row-%04d", i)
+		col := fmt.Sprintf("c%d", i%2)
+		val := []byte(fmt.Sprintf("v%d", i))
+		if err := c.Put("t", row, col, val); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Put(row, col, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := rt.Scan(kvstore.ScanOptions{})
+
+	// Kill shard 1's primary right before its second page fetch.
+	killed := false
+	c.onScanPage = func(shard, page int) {
+		if shard == 1 && page == 1 && !killed {
+			killed = true
+			inj.Partition(tc.primary[1].Addr())
+		}
+	}
+	got, err := c.Scan("t", kvstore.ScanOptions{})
+	if err != nil {
+		t.Fatalf("scan across mid-scan failover: %v", err)
+	}
+	if !killed {
+		t.Fatal("kill hook never fired; shard 1 needed no second page — grow the dataset")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("merged scan has %d cells, want %d (duplicates or gaps)", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Row != want[i].Row || got[i].Column != want[i].Column ||
+			got[i].Version.Timestamp != want[i].Version.Timestamp ||
+			!bytes.Equal(got[i].Version.Value, want[i].Version.Value) {
+			t.Fatalf("cell %d: got (%s,%s,@%d,%q) want (%s,%s,@%d,%q)",
+				i, got[i].Row, got[i].Column, got[i].Version.Timestamp, got[i].Version.Value,
+				want[i].Row, want[i].Column, want[i].Version.Timestamp, want[i].Version.Value)
+		}
+	}
+	if c.Map().Shards[1].Primary != tc.follower[1].Addr() {
+		t.Fatal("shard 1 was not failed over during the scan")
+	}
+}
+
+// --- mirror mode -----------------------------------------------------------
+
+func TestMirrorShipsExistingAndLiveState(t *testing.T) {
+	tc := startCluster(t, 3, false, nil)
+	c := tc.client(Config{})
+
+	local := kvstore.New()
+	lt, err := local.CreateTable("pre", kvstore.TableOptions{MaxVersions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-existing state, including multi-version cells, before Mirror.
+	for i := 0; i < 30; i++ {
+		if err := lt.Put(fmt.Sprintf("r%02d", i%10), "c", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Mirror(local); err != nil {
+		t.Fatal(err)
+	}
+	// Live writes after attach, on old and brand-new tables.
+	for i := 0; i < 10; i++ {
+		if err := lt.Put(fmt.Sprintf("r%02d", i), "c2", []byte("live")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nt, err := local.CreateTable("post", kvstore.TableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nt.PutFloat("k", "v", 4.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Delete("r03", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("mirror ship error: %v", err)
+	}
+	want := storeDump(t, local, "pre", "post")
+	got := clusterDump(t, c, "pre", "post")
+	if got != want {
+		t.Fatalf("mirrored cluster differs from local store:\nwant:\n%sgot:\n%s", want, got)
+	}
+}
+
+// --- adapter ---------------------------------------------------------------
+
+func TestStoreAdapter(t *testing.T) {
+	tc := startCluster(t, 2, false, nil)
+	c := tc.client(Config{})
+	s := c.AsStore()
+	tbl, err := s.EnsureTable("t", kvstore.TableOptions{MaxVersions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.PutFloat("r", "f", 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if v, found, err := tbl.GetFloat("r", "f"); err != nil || !found || v != 1.5 {
+		t.Fatalf("GetFloat = %v %v %v", v, found, err)
+	}
+	if err := tbl.Apply(kvstore.NewBatch().Put("r2", "c", []byte("b")).Delete("r", "f")); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, err := tbl.Get("r", "f"); err != nil || found {
+		t.Fatalf("deleted cell: found=%v err=%v", found, err)
+	}
+	cells, err := tbl.Scan(kvstore.ScanOptions{})
+	if err != nil || len(cells) != 1 || cells[0].Row != "r2" {
+		t.Fatalf("Scan = %+v, %v", cells, err)
+	}
+	if _, err := s.Table(""); err == nil {
+		t.Fatal("empty table name accepted")
+	}
+}

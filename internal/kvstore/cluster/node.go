@@ -1,0 +1,328 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"smartflux/internal/durable"
+	"smartflux/internal/kvstore"
+	"smartflux/internal/kvstore/kvnet"
+	"smartflux/internal/obs"
+)
+
+// replSegment bounds how many records one catch-up Repl frame carries, so a
+// long history streams as many small frames instead of one giant one.
+const replSegment = 256
+
+// ErrDivergedFollower reports a follower whose replication log does not
+// checksum-match a prefix of the primary's: its history contains records the
+// primary never shipped (e.g. a demoted primary's un-acked tail), so a
+// cursor-based catch-up would silently fork state. The follower must Reset
+// and resync from zero.
+var ErrDivergedFollower = errors.New("cluster: follower history diverged; reset and resync required")
+
+// NodeConfig configures one cluster node.
+type NodeConfig struct {
+	// Addr is the TCP listen address; empty means "127.0.0.1:0".
+	Addr string
+	// Listener, when non-nil, serves on this pre-bound listener instead of
+	// Addr — the hook for fault-injecting wrappers.
+	Listener net.Listener
+	// Follower configures the replication-link client this node dials when
+	// AttachFollower is called (retry budget, fault dialer, ...).
+	Follower kvnet.ClientConfig
+	// Label tags this node's obs counters (smartflux_cluster_*_total
+	// {node=Label}); empty leaves them unlabeled. Obs nil disables them.
+	Label string
+	Obs   *obs.Observer
+}
+
+// Node is one cluster member: a kvstore served over kvnet, a replication log
+// of every record it has originated or applied, and (when this node acts as
+// a primary) a link shipping that log to a follower. A node has no fixed
+// role — the partition map decides who is primary; a follower becomes one
+// the moment clients start writing to it.
+type Node struct {
+	cfg   NodeConfig
+	store *kvstore.Store
+	srv   *kvnet.Server
+	log   *durable.ReplLog
+	addr  string
+
+	// applying counts in-flight replication applications. While positive,
+	// table creates observed on the store came from the replication stream
+	// itself and must not be re-logged (the record is already in the log).
+	applying atomic.Int32
+
+	// shipMu serializes append-and-ship so the follower receives records in
+	// exactly this node's log order — the invariant the cursor/checksum
+	// catch-up handshake rests on. AttachFollower holds it while streaming
+	// history, briefly pausing writes instead of losing records appended
+	// between the stream snapshot and the attach.
+	shipMu       sync.Mutex
+	follower     *kvnet.Client
+	followerAddr string
+
+	mapMu    sync.Mutex
+	mapBytes []byte
+
+	replApplied *obs.Counter // nil-safe when uninstrumented
+	replShipped *obs.Counter
+	shipErrs    *obs.Counter
+}
+
+// NewNode creates a node and starts its server.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	n := &Node{
+		cfg:   cfg,
+		store: kvstore.New(),
+		log:   durable.NewReplLog(),
+	}
+	if cfg.Obs != nil {
+		label := ""
+		if cfg.Label != "" {
+			label = fmt.Sprintf("{node=%q}", cfg.Label)
+		}
+		n.replApplied = cfg.Obs.Counter("smartflux_cluster_repl_applied_total" + label)
+		n.replShipped = cfg.Obs.Counter("smartflux_cluster_repl_shipped_total" + label)
+		n.shipErrs = cfg.Obs.Counter("smartflux_cluster_ship_errors_total" + label)
+	}
+	n.store.OnTableCreate(n.onTableCreate)
+	n.srv = kvnet.NewServer(n.store)
+	n.srv.SetReplHandler(n.applyRepl)
+	n.srv.SetStatusHandler(n.status)
+	n.srv.SetMapHandlers(n.mapGet, n.mapSet)
+	if cfg.Obs != nil {
+		n.srv.Instrument(cfg.Obs)
+	}
+	var (
+		addr string
+		err  error
+	)
+	if cfg.Listener != nil {
+		addr, err = n.srv.ServeListener(cfg.Listener)
+	} else {
+		listen := cfg.Addr
+		if listen == "" {
+			listen = "127.0.0.1:0"
+		}
+		addr, err = n.srv.Listen(listen)
+	}
+	if err != nil {
+		return nil, err
+	}
+	n.addr = addr
+	return n, nil
+}
+
+// Addr returns the node's bound serving address.
+func (n *Node) Addr() string { return n.addr }
+
+// Store exposes the node's store for verification (dumps, direct reads).
+func (n *Node) Store() *kvstore.Store { return n.store }
+
+// Log exposes the node's replication log.
+func (n *Node) Log() *durable.ReplLog { return n.log }
+
+// onTableCreate runs for every table created on the store, from any path.
+// It always subscribes the mutation observer (a promoted follower's direct
+// writes must be logged and shipped too), but logs a create record only for
+// local creates — replicated creates are already in the stream being
+// applied, and re-logging them would fork this log from the primary's.
+func (n *Node) onTableCreate(t *kvstore.Table) {
+	local := n.applying.Load() == 0
+	t.Subscribe(kvstore.ObserverFunc(n.onMutation))
+	if local {
+		n.appendAndShip([][]byte{durable.EncodeCreateRecord(t.Name(), t.MaxVersions())})
+	}
+}
+
+// onMutation logs and ships every live mutation (direct kvnet Put/Delete/
+// Apply or in-process writes). Replication applications never reach here —
+// the replay operations do not notify observers — so there is no loop.
+func (n *Node) onMutation(m kvstore.Mutation) {
+	n.appendAndShip([][]byte{durable.EncodeMutationRecord(m)})
+}
+
+// appendAndShip appends records to the log and synchronously forwards them
+// to the attached follower. Shipping before the originating operation
+// returns means every write acked by this node has reached its follower — a
+// promotion can lose only writes that were never acknowledged, and those
+// retry idempotently. A ship failure detaches the follower (it will catch
+// up from its cursor when re-attached) and never fails the local write: the
+// primary remains authoritative.
+func (n *Node) appendAndShip(recs [][]byte) {
+	n.shipMu.Lock()
+	defer n.shipMu.Unlock()
+	for _, rec := range recs {
+		n.log.Append(rec)
+	}
+	if n.follower == nil {
+		return
+	}
+	if err := n.follower.Repl(recs); err != nil {
+		n.shipErrs.Inc()
+		_ = n.follower.Close()
+		n.follower = nil
+		n.followerAddr = ""
+		return
+	}
+	n.replShipped.Add(uint64(len(recs)))
+}
+
+// applyRepl answers OpRepl frames: apply each record to the store, append it
+// to this node's log, and forward the batch to this node's own follower (so
+// a primary that is itself replicated passes client writes down the chain).
+func (n *Node) applyRepl(records [][]byte) error {
+	n.applying.Add(1)
+	for _, rec := range records {
+		if err := durable.ApplyRecord(n.store, rec); err != nil {
+			n.applying.Add(-1)
+			return err
+		}
+	}
+	n.applying.Add(-1)
+	n.replApplied.Add(uint64(len(records)))
+	n.appendAndShip(records)
+	return nil
+}
+
+// status answers OpStatus frames: the store clock and the replication log
+// head as a (cursor, checksum) pair.
+func (n *Node) status() (clock, cursor uint64, crc uint32) {
+	cursor, crc = n.log.Status()
+	return n.store.Clock(), cursor, crc
+}
+
+// mapGet answers OpMapGet frames with the last partition map this node saw.
+func (n *Node) mapGet() []byte {
+	n.mapMu.Lock()
+	defer n.mapMu.Unlock()
+	return n.mapBytes
+}
+
+// mapSet answers OpMapSet frames, validating before accepting. Stale
+// versions are rejected so a delayed push cannot roll the node's view back.
+func (n *Node) mapSet(b []byte) error {
+	m, err := DecodeMap(b)
+	if err != nil {
+		return err
+	}
+	n.mapMu.Lock()
+	defer n.mapMu.Unlock()
+	if n.mapBytes != nil {
+		if cur, err := DecodeMap(n.mapBytes); err == nil && m.Version < cur.Version {
+			return fmt.Errorf("cluster: stale partition map version %d < %d", m.Version, cur.Version)
+		}
+	}
+	n.mapBytes = append([]byte(nil), b...)
+	return nil
+}
+
+// SetMap installs a partition map locally (the in-process equivalent of an
+// OpMapSet push).
+func (n *Node) SetMap(m *Map) {
+	n.mapMu.Lock()
+	defer n.mapMu.Unlock()
+	n.mapBytes = m.Encode()
+}
+
+// AttachFollower makes this node ship its replication stream to the node at
+// addr, catching the follower up first. The handshake: read the follower's
+// (cursor, checksum) status, verify its log is checksum-identical to our
+// first cursor records, stream everything after the cursor in segments, and
+// only then attach it for synchronous shipping. A checksum mismatch (or a
+// follower ahead of us) returns ErrDivergedFollower — the follower holds
+// history we never shipped and must Reset before re-attaching.
+func (n *Node) AttachFollower(addr string) error {
+	cl, err := kvnet.DialConfig(addr, n.cfg.Follower)
+	if err != nil {
+		return fmt.Errorf("cluster: attach follower %s: %w", addr, err)
+	}
+	_, cursor, crc, err := cl.Status()
+	if err != nil {
+		_ = cl.Close()
+		return fmt.Errorf("cluster: follower %s status: %w", addr, err)
+	}
+	ours, ok := n.log.Checksum(cursor)
+	if !ok || ours != crc {
+		_ = cl.Close()
+		return fmt.Errorf("%w (follower %s at cursor %d)", ErrDivergedFollower, addr, cursor)
+	}
+
+	// Stream history and attach under shipMu: writes pause briefly instead
+	// of slipping between the end of the stream and the first live ship.
+	n.shipMu.Lock()
+	defer n.shipMu.Unlock()
+	if n.follower != nil {
+		_ = n.follower.Close()
+		n.follower = nil
+		n.followerAddr = ""
+	}
+	backlog := n.log.Since(cursor)
+	for len(backlog) > 0 {
+		seg := backlog
+		if len(seg) > replSegment {
+			seg = seg[:replSegment]
+		}
+		if err := cl.Repl(seg); err != nil {
+			_ = cl.Close()
+			return fmt.Errorf("cluster: catch-up to %s: %w", addr, err)
+		}
+		n.replShipped.Add(uint64(len(seg)))
+		backlog = backlog[len(seg):]
+	}
+	n.follower = cl
+	n.followerAddr = addr
+	return nil
+}
+
+// DetachFollower stops shipping and closes the replication link, if any.
+func (n *Node) DetachFollower() {
+	n.shipMu.Lock()
+	defer n.shipMu.Unlock()
+	if n.follower != nil {
+		_ = n.follower.Close()
+		n.follower = nil
+		n.followerAddr = ""
+	}
+}
+
+// FollowerAddr returns the currently attached follower's address, or "".
+func (n *Node) FollowerAddr() string {
+	n.shipMu.Lock()
+	defer n.shipMu.Unlock()
+	return n.followerAddr
+}
+
+// Reset wipes the node back to empty — tables, clock, replication log and
+// the outgoing follower link — so a node with diverged history (a demoted
+// primary rejoining after failover) can re-attach as a follower and resync
+// from cursor zero. Dropping the follower link matters: a demoted primary
+// usually still ships to the very node that was promoted over it, and
+// keeping that link alive would forward the catch-up stream back to its
+// source — a replication cycle. The caller must ensure no traffic is being
+// served during the reset.
+func (n *Node) Reset() {
+	n.shipMu.Lock()
+	defer n.shipMu.Unlock()
+	if n.follower != nil {
+		_ = n.follower.Close()
+		n.follower = nil
+		n.followerAddr = ""
+	}
+	for _, name := range n.store.TableNames() {
+		_ = n.store.DropTable(name)
+	}
+	n.store.SetClock(0)
+	n.log.Reset()
+}
+
+// Close detaches the follower link and shuts the server down.
+func (n *Node) Close() error {
+	n.DetachFollower()
+	return n.srv.Close()
+}

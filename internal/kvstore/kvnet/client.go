@@ -118,13 +118,16 @@ type Client struct {
 // call is one public-API operation in flight: its request, its span and its
 // completion state.
 type call struct {
-	req   wire.Request
-	sp    *obs.Span
-	done  chan struct{}
-	err   error
-	value []byte
-	found bool
-	cells []kvstore.Cell
+	req    wire.Request
+	sp     *obs.Span
+	done   chan struct{}
+	err    error
+	value  []byte
+	found  bool
+	cells  []kvstore.Cell
+	clock  uint64 // OpStatus
+	cursor uint64 // OpStatus
+	crc    uint32 // OpStatus
 }
 
 // wframe is one wire frame's worth of work: usually a single call, or
@@ -286,6 +289,15 @@ func (e *opError) Unwrap() []error {
 	default:
 		return []error{e.err}
 	}
+}
+
+// IsTransport reports whether err is a kvnet transport-level failure (dial,
+// send or recv — the op may or may not have executed server-side) rather
+// than an application error returned by the server (the op executed). The
+// cluster layer uses it to decide whether a failure is worth a health probe.
+func IsTransport(err error) bool {
+	var oe *opError
+	return errors.As(err, &oe)
 }
 
 // wrapIOErr classifies one send/recv failure: concurrent Close becomes
@@ -803,6 +815,11 @@ func (f *wframe) complete(resp *wire.Response) {
 				}
 			case wire.OpScan:
 				cl.cells = f.cells
+			case wire.OpStatus:
+				cl.clock, cl.cursor, cl.crc = resp.Clock, resp.Cursor, resp.Crc
+			case wire.OpMapGet:
+				// Copy: resp.Map aliases the reader's frame buffer.
+				cl.value = append([]byte(nil), resp.Map...)
 			}
 		}
 		if cl.sp != nil {
@@ -900,4 +917,55 @@ func (c *Client) Scan(table string, opts kvstore.ScanOptions) ([]kvstore.Cell, e
 func (c *Client) Apply(table string, ops []kvstore.Op) error {
 	_, err := c.do(wire.Request{Op: wire.OpApply, Table: table, Ops: ops})
 	return err
+}
+
+// Ping round-trips an empty frame — the health checker's liveness probe.
+func (c *Client) Ping() error {
+	_, err := c.do(wire.Request{Op: wire.OpPing})
+	return err
+}
+
+// Status reports the server's replication status: its store clock, its
+// replication-log cursor (records appended so far) and the rolling checksum
+// of the log prefix up to that cursor.
+func (c *Client) Status() (clock, cursor uint64, crc uint32, err error) {
+	cl, err := c.do(wire.Request{Op: wire.OpStatus})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return cl.clock, cl.cursor, cl.crc, nil
+}
+
+// Repl ships a batch of replication records to the server. Records carry
+// explicit timestamps and apply idempotently, so retried batches are safe.
+func (c *Client) Repl(records [][]byte) error {
+	_, err := c.do(wire.Request{Op: wire.OpRepl, Records: records})
+	return err
+}
+
+// MapGet fetches the server's current encoded partition map (nil when the
+// node has none yet).
+func (c *Client) MapGet() ([]byte, error) {
+	cl, err := c.do(wire.Request{Op: wire.OpMapGet})
+	if err != nil {
+		return nil, err
+	}
+	return cl.value, nil
+}
+
+// MapSet replaces the server's partition map with the encoded m.
+func (c *Client) MapSet(m []byte) error {
+	_, err := c.do(wire.Request{Op: wire.OpMapSet, Map: m})
+	return err
+}
+
+// ScanVersions returns every retained version of every matching cell —
+// newest first per cell, cells in key order — streamed back in chunks like a
+// plain Scan. This is the cluster dump path.
+func (c *Client) ScanVersions(table string, opts kvstore.ScanOptions) ([]kvstore.Cell, error) {
+	cl, err := c.do(wire.Request{Op: wire.OpScan, Flags: wire.FlagVersions, Table: table, Scan: opts})
+	if err != nil {
+		return nil, err
+	}
+	return cl.cells, nil
 }

@@ -91,6 +91,16 @@ type Server struct {
 	dedupMu sync.Mutex
 	dedup   map[uint64]*dedupWindow
 
+	// Cluster control-plane hooks (DESIGN.md §14), installed by
+	// kvstore/cluster before Listen. All are optional: without a repl
+	// handler OpRepl frames are rejected, without map handlers OpMapGet /
+	// OpMapSet are, and without a status handler OpStatus reports the
+	// store's clock with a zero log cursor.
+	replApply func(records [][]byte) error
+	statusFn  func() (clock, cursor uint64, crc uint32)
+	mapGetFn  func() []byte
+	mapSetFn  func(m []byte) error
+
 	obs *serverObs
 }
 
@@ -124,7 +134,7 @@ func (w *dedupWindow) record(seq uint64, msg string) {
 // serverObs carries the server's pre-resolved instruments.
 type serverObs struct {
 	o          *obs.Observer
-	requests   [int(wire.OpApply) + 1]*obs.Counter
+	requests   [wire.NumOps]*obs.Counter
 	reqDur     *obs.Histogram
 	decodeErrs *obs.Counter
 	encodeErrs *obs.Counter
@@ -180,10 +190,39 @@ func (s *Server) Instrument(o *obs.Observer) {
 	}
 	// The hello preamble is connection plumbing, not a request: it gets no
 	// counter and no latency sample.
-	for op := wire.OpCreateTable; op <= wire.OpApply; op++ {
+	for op := wire.OpCreateTable; int(op) < wire.NumOps; op++ {
 		so.requests[op] = o.Counter(fmt.Sprintf("smartflux_kvnet_requests_total{op=%q}", wire.OpName(op)))
 	}
 	s.obs = so
+}
+
+// SetReplHandler installs the callback answering OpRepl frames: a batch of
+// replication records to apply (idempotently — records carry explicit
+// timestamps) to this node's store. Call before Listen; without a handler
+// replication frames are rejected with an application error.
+func (s *Server) SetReplHandler(fn func(records [][]byte) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.replApply = fn
+}
+
+// SetStatusHandler installs the callback answering OpStatus frames with the
+// node's replication status (clock, log cursor, cursor checksum). Call
+// before Listen; without a handler OpStatus reports the store clock and a
+// zero cursor.
+func (s *Server) SetStatusHandler(fn func() (clock, cursor uint64, crc uint32)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.statusFn = fn
+}
+
+// SetMapHandlers installs the callbacks answering partition-map frames:
+// get returns the node's current encoded map (nil = none yet), set replaces
+// it. Call before Listen; without handlers map frames are rejected.
+func (s *Server) SetMapHandlers(get func() []byte, set func(m []byte) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mapGetFn, s.mapSetFn = get, set
 }
 
 // SetErrorHandler registers a callback invoked (from the serving goroutines)
@@ -424,6 +463,35 @@ func (s *Server) serveRequest(req *wire.Request, clientID uint64, bw *bufio.Writ
 	}
 	out.Reset()
 	switch {
+	case req.Op == wire.OpPing:
+		wire.AppendOKResponse(out, wire.OpPing, req.Seq)
+	case req.Op == wire.OpStatus:
+		if s.statusFn != nil {
+			clock, cursor, crc := s.statusFn()
+			wire.AppendStatusResponse(out, req.Seq, clock, cursor, crc)
+		} else {
+			wire.AppendStatusResponse(out, req.Seq, s.store.Clock(), 0, 0)
+		}
+	case req.Op == wire.OpRepl:
+		if s.replApply == nil {
+			wire.AppendErrResponse(out, wire.OpRepl, req.Seq, "kvnet: node accepts no replication stream")
+			break
+		}
+		// No dedup entry: replication records replay idempotently by
+		// explicit timestamp, so a retried batch is harmless by design.
+		appendResult(out, wire.OpRepl, req.Seq, errString(s.replApply(req.Records)))
+	case req.Op == wire.OpMapGet:
+		if s.mapGetFn == nil {
+			wire.AppendErrResponse(out, wire.OpMapGet, req.Seq, "kvnet: node serves no partition map")
+			break
+		}
+		wire.AppendMapResponse(out, req.Seq, s.mapGetFn())
+	case req.Op == wire.OpMapSet:
+		if s.mapSetFn == nil {
+			wire.AppendErrResponse(out, wire.OpMapSet, req.Seq, "kvnet: node accepts no partition map")
+			break
+		}
+		appendResult(out, wire.OpMapSet, req.Seq, errString(s.mapSetFn(req.Map)))
 	case req.Op == wire.OpGet:
 		t, err := s.store.Table(req.Table)
 		if err != nil {
@@ -464,11 +532,40 @@ func (s *Server) serveScan(req *wire.Request, bw *bufio.Writer, out *wire.Buffer
 		wire.AppendErrResponse(out, wire.OpScan, req.Seq, err.Error())
 		return s.writeFrames(bw, out)
 	}
+	if req.Flags&wire.FlagVersions != 0 {
+		return s.serveScanVersions(t, req, bw, out)
+	}
 	return t.ScanPagesShared(req.Scan, wire.ScanChunkCells, func(cells []kvstore.Cell, final bool) error {
 		out.Reset()
 		wire.AppendScanChunk(out, req.Seq, cells, final)
 		return s.writeFrames(bw, out)
 	})
+}
+
+// serveScanVersions streams every retained version of every matching cell
+// (newest first per cell, cells in key order) — the cluster dump path. It
+// is not a hot path: the cell list is materialized up front and versions
+// are re-read per cell, trading a lock acquisition per cell for simplicity.
+func (s *Server) serveScanVersions(t *kvstore.Table, req *wire.Request, bw *bufio.Writer, out *wire.Buffer) error {
+	cells := t.Scan(req.Scan)
+	chunk := make([]kvstore.Cell, 0, wire.ScanChunkCells)
+	flush := func(final bool) error {
+		out.Reset()
+		wire.AppendScanChunk(out, req.Seq, chunk, final)
+		chunk = chunk[:0]
+		return s.writeFrames(bw, out)
+	}
+	for i := range cells {
+		for _, v := range t.GetVersions(cells[i].Row, cells[i].Column, 0) {
+			chunk = append(chunk, kvstore.Cell{Row: cells[i].Row, Column: cells[i].Column, Version: v})
+			if len(chunk) == wire.ScanChunkCells {
+				if err := flush(false); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return flush(true)
 }
 
 // writeFrames copies one encoded response (or chunk) into the buffered

@@ -9,6 +9,19 @@ package kvstore
 // MaxVersions returns the per-cell version bound the table was created with.
 func (t *Table) MaxVersions() int { return t.maxVersions }
 
+// AdvanceClock raises the store's logical clock to ts if it is currently
+// behind it; a ts at or below the clock is a no-op. Replication followers use
+// it while applying shipped records, which may arrive out of timestamp order:
+// taking the max keeps the clock equal to the highest timestamp applied, so a
+// promoted follower resumes the exact timestamp sequence of its dead primary.
+func (s *Store) AdvanceClock(ts uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ts > s.clock {
+		s.clock = ts
+	}
+}
+
 // ReplayPut inserts a version with an explicit timestamp at (row, column).
 // Versions are kept ordered by timestamp, a version whose timestamp already
 // exists in the cell is skipped, and the cell is trimmed to MaxVersions

@@ -48,7 +48,10 @@ const (
 
 // Frame ops. OpHello is the one-way connection preamble (client id +
 // implicit version check); the rest mirror kvnet's request set. Responses
-// reuse the request's op byte.
+// reuse the request's op byte. OpPing through OpMapSet are the cluster
+// control plane (DESIGN.md §14): liveness probes, replication status
+// (clock + log cursor + cursor checksum), timestamped replication record
+// batches, and partition-map exchange.
 const (
 	OpHello byte = iota + 1
 	OpCreateTable
@@ -57,9 +60,18 @@ const (
 	OpDelete
 	OpScan
 	OpApply
+	OpPing
+	OpStatus
+	OpRepl
+	OpMapGet
+	OpMapSet
 
 	opMax // one past the last valid op
 )
+
+// NumOps is the number of valid op bytes plus one — the size of any array
+// indexed directly by op byte (op 0 is invalid and unused).
+const NumOps = int(opMax)
 
 // Frame flags.
 const (
@@ -74,6 +86,11 @@ const (
 	// micro-batching (observability only; the server applies it like any
 	// other batch).
 	FlagBatch
+	// FlagVersions marks an OpScan request asking for every retained
+	// version of each matching cell (newest first per cell) instead of only
+	// the latest — the cluster dump path. Response chunks reuse the plain
+	// scan cell encoding, repeating row/column per version.
+	FlagVersions
 )
 
 // Protocol errors. ErrBadMagic and ErrVersion are terminal for a
@@ -105,13 +122,27 @@ func OpName(op byte) string {
 		return "scan"
 	case OpApply:
 		return "apply"
+	case OpPing:
+		return "ping"
+	case OpStatus:
+		return "status"
+	case OpRepl:
+		return "repl"
+	case OpMapGet:
+		return "map_get"
+	case OpMapSet:
+		return "map_set"
 	default:
 		return "unknown"
 	}
 }
 
 // Mutating reports whether the op changes store state (and therefore
-// participates in the server's exactly-once dedup window).
+// participates in the server's exactly-once dedup window). OpRepl and
+// OpMapSet mutate but stay out of the window deliberately: replication
+// records carry explicit timestamps and replay idempotently
+// (kvstore.ReplayPut skips duplicate timestamps), and a partition map is
+// replaced whole — retrying either is safe without dedup state.
 func Mutating(op byte) bool {
 	switch op {
 	case OpCreateTable, OpPut, OpDelete, OpApply:
@@ -387,6 +418,8 @@ type Request struct {
 	MaxVers  int    // OpCreateTable
 	Scan     kvstore.ScanOptions
 	Ops      []kvstore.Op // OpApply; values alias the frame payload on decode
+	Records  [][]byte     // OpRepl; records alias the frame payload on decode
+	Map      []byte       // OpMapSet; aliases the frame payload on decode
 }
 
 // AppendRequest encodes req as one frame into b.
@@ -426,6 +459,15 @@ func AppendRequest(b *Buffer, req *Request) {
 				b.Bytes32(op.Value)
 			}
 		}
+	case OpPing, OpStatus, OpMapGet:
+		// Empty payloads.
+	case OpRepl:
+		b.U32(uint32(len(req.Records)))
+		for _, rec := range req.Records {
+			b.Bytes32(rec)
+		}
+	case OpMapSet:
+		b.Bytes32(req.Map)
 	}
 	b.EndFrame()
 }
@@ -474,6 +516,19 @@ func DecodeRequest(h Header, payload []byte) (Request, error) {
 				op.Value = r.Bytes()
 			}
 		}
+	case OpPing, OpStatus, OpMapGet:
+		// Empty payloads.
+	case OpRepl:
+		n := int(r.U32())
+		if n < 0 || n > len(payload)/4 { // each record encodes to ≥4 bytes
+			return req, fmt.Errorf("%w: %d repl records declared in %d-byte payload", ErrTruncated, n, len(payload))
+		}
+		req.Records = make([][]byte, n)
+		for i := range req.Records {
+			req.Records[i] = r.Bytes()
+		}
+	case OpMapSet:
+		req.Map = r.Bytes()
 	default:
 		return req, fmt.Errorf("%w: 0x%02x", ErrBadOp, h.Op)
 	}
@@ -482,14 +537,18 @@ func DecodeRequest(h Header, payload []byte) (Request, error) {
 
 // Response is the decoded form of every server→client frame.
 type Response struct {
-	Op    byte
-	Flags uint16
-	Seq   uint64
-	Err   string
-	Value []byte // OpGet; aliases the frame payload
-	Found bool
-	Cells []Cell // one OpScan chunk; values alias the frame payload
-	Chunk bool   // more scan chunks follow for this seq
+	Op     byte
+	Flags  uint16
+	Seq    uint64
+	Err    string
+	Value  []byte // OpGet; aliases the frame payload
+	Found  bool
+	Cells  []Cell // one OpScan chunk; values alias the frame payload
+	Chunk  bool   // more scan chunks follow for this seq
+	Clock  uint64 // OpStatus: the store's logical clock
+	Cursor uint64 // OpStatus: the node's replication-log length
+	Crc    uint32 // OpStatus: rolling checksum of the log prefix at Cursor
+	Map    []byte // OpMapGet; aliases the frame payload
 }
 
 // Cell is a scan result cell on the wire. It mirrors the visible fields of
@@ -548,6 +607,26 @@ func AppendScanChunk(b *Buffer, seq uint64, cells []kvstore.Cell, final bool) {
 	b.EndFrame()
 }
 
+// AppendStatusResponse encodes an OpStatus response: the store's logical
+// clock plus the node's replication-log cursor and its rolling checksum —
+// everything a primary needs to resume shipping to a rejoining follower
+// (or to detect that the follower's log diverged and needs a reset).
+func AppendStatusResponse(b *Buffer, seq uint64, clock, cursor uint64, crc uint32) {
+	b.BeginFrame(OpStatus, 0, seq)
+	b.U64(clock)
+	b.U64(cursor)
+	b.U32(crc)
+	b.EndFrame()
+}
+
+// AppendMapResponse encodes an OpMapGet response carrying an opaque
+// encoded partition map.
+func AppendMapResponse(b *Buffer, seq uint64, m []byte) {
+	b.BeginFrame(OpMapGet, 0, seq)
+	b.Bytes32(m)
+	b.EndFrame()
+}
+
 // AppendHello encodes the one-way connection preamble. It carries the
 // client's dedup identity and, implicitly, the protocol version; the
 // server never acknowledges it (the first thing a client reads on any
@@ -589,6 +668,12 @@ func DecodeResponse(h Header, payload []byte) (Response, error) {
 			c.Timestamp = r.U64()
 			c.Value = r.Bytes()
 		}
+	case OpStatus:
+		resp.Clock = r.U64()
+		resp.Cursor = r.U64()
+		resp.Crc = r.U32()
+	case OpMapGet:
+		resp.Map = r.Bytes()
 	}
 	return resp, r.Done()
 }

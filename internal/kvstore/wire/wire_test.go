@@ -51,6 +51,13 @@ func sampleRequests() []Request {
 			{Row: "", Column: "", Value: []byte{}},
 		}},
 		{Op: OpApply, Seq: 10, Table: "t", Flags: FlagBatch},
+		{Op: OpPing, Seq: 11},
+		{Op: OpStatus, Seq: 12},
+		{Op: OpRepl, Seq: 13, Records: [][]byte{[]byte("rec-one"), {}, []byte("rec-three")}},
+		{Op: OpRepl, Seq: 14},
+		{Op: OpMapGet, Seq: 15},
+		{Op: OpMapSet, Seq: 16, Map: []byte(`{"version":3}`)},
+		{Op: OpScan, Seq: 17, Table: "t", Flags: FlagVersions},
 	}
 }
 
@@ -66,6 +73,14 @@ func requestsEquivalent(a, b *Request) bool {
 	for i := range a.Ops {
 		x, y := a.Ops[i], b.Ops[i]
 		if x.Row != y.Row || x.Column != y.Column || x.Delete != y.Delete || !bytes.Equal(x.Value, y.Value) {
+			return false
+		}
+	}
+	if len(a.Records) != len(b.Records) || !bytes.Equal(a.Map, b.Map) {
+		return false
+	}
+	for i := range a.Records {
+		if !bytes.Equal(a.Records[i], b.Records[i]) {
 			return false
 		}
 	}
@@ -139,6 +154,50 @@ func TestResponseRoundTrip(t *testing.T) {
 	}
 	if _, _, err := ReadFrame(r, scratch); err != io.EOF {
 		t.Errorf("trailing read = %v, want io.EOF", err)
+	}
+}
+
+// TestClusterResponseRoundTrip covers the cluster control-plane responses:
+// status (clock + log cursor + cursor checksum) and partition-map payloads.
+func TestClusterResponseRoundTrip(t *testing.T) {
+	buf := GetBuffer()
+	defer buf.Release()
+	AppendOKResponse(buf, OpPing, 1)
+	AppendStatusResponse(buf, 2, 12345, 678, 0xdeadbeef)
+	AppendMapResponse(buf, 3, []byte(`{"version":9,"shards":[]}`))
+	AppendMapResponse(buf, 4, nil)
+	AppendOKResponse(buf, OpRepl, 5)
+
+	r := bytes.NewReader(buf.Bytes())
+	scratch := GetBuffer()
+	defer scratch.Release()
+	next := func() Response {
+		t.Helper()
+		h, payload, err := ReadFrame(r, scratch)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		resp, err := DecodeResponse(h, payload)
+		if err != nil {
+			t.Fatalf("DecodeResponse: %v", err)
+		}
+		return resp
+	}
+
+	if resp := next(); resp.Op != OpPing || resp.Err != "" || resp.Seq != 1 {
+		t.Errorf("ping response mismatch: %+v", resp)
+	}
+	if resp := next(); resp.Op != OpStatus || resp.Clock != 12345 || resp.Cursor != 678 || resp.Crc != 0xdeadbeef {
+		t.Errorf("status response mismatch: %+v", resp)
+	}
+	if resp := next(); resp.Op != OpMapGet || string(resp.Map) != `{"version":9,"shards":[]}` {
+		t.Errorf("map response mismatch: %+v", resp)
+	}
+	if resp := next(); resp.Op != OpMapGet || len(resp.Map) != 0 {
+		t.Errorf("empty map response mismatch: %+v", resp)
+	}
+	if resp := next(); resp.Op != OpRepl || resp.Err != "" {
+		t.Errorf("repl ok response mismatch: %+v", resp)
 	}
 }
 
