@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check lint lint-report lint-diff check chaos chaos-crash chaos-cluster chaos-trace bench wirebench wirebench-smoke clusterbench clusterbench-smoke fuzz
+.PHONY: all build test race vet fmt-check lint lint-report lint-diff check chaos chaos-crash chaos-cluster chaos-partition chaos-trace bench wirebench wirebench-smoke clusterbench clusterbench-smoke fuzz
 
 all: check
 
@@ -61,6 +61,17 @@ chaos-cluster:
 	rm -f cluster-spans.jsonl
 	SMARTFLUX_CHAOS_SPAN_OUT=$(CURDIR)/cluster-spans.jsonl $(GO) test -race -run 'TestClusterChaos' -v .
 
+## chaos-partition: the partition chaos suite under the race detector —
+## seeded symmetric and asymmetric (one-way link) partitions cut primaries
+## off mid-run, replicas are promoted under bumped epochs, stale-timeline
+## primaries fence themselves and ack nothing until Reset + rejoin, and the
+## healed merged dump must stay bit-identical to a single-store run with
+## deterministic fencing/breaker counters across reruns (DESIGN.md §15).
+## Fencing and breaker spans land in partition-spans.jsonl (CI artifact).
+chaos-partition:
+	rm -f partition-spans.jsonl
+	SMARTFLUX_CHAOS_SPAN_OUT=$(CURDIR)/partition-spans.jsonl $(GO) test -race -run 'TestPartitionChaos' -v .
+
 ## chaos-trace: the chaos suite with span emission enabled — every run
 ## appends causal spans + decision events to chaos-spans.jsonl (several runs
 ## share the stream; sftrace's last-wins duplicate handling absorbs the ID
@@ -84,11 +95,12 @@ wirebench-smoke:
 	$(GO) run ./cmd/wirebench -smoke -force -out /tmp/wirebench-smoke.json
 
 ## clusterbench: sharded-vs-single throughput and failover-blip latency for
-## the kvstore cluster (1 vs 3 shards, plus a seeded shard-kill run measuring
-## the promotion blip and checking no acked write was lost), writing
-## BENCH_PR9.json (DESIGN.md §14)
+## the kvstore cluster (1 vs 3 shards, a seeded shard-kill run measuring the
+## probe-driven promotion blip, and an asymmetric link-cut run measuring the
+## fenced-failover blip — both checking no acked write was lost), writing
+## BENCH_PR10.json (DESIGN.md §14–15)
 clusterbench:
-	$(GO) run ./cmd/clusterbench -out BENCH_PR9.json
+	$(GO) run ./cmd/clusterbench -out BENCH_PR10.json
 
 ## clusterbench-smoke: tiny-op-count clusterbench pass — a correctness smoke
 ## for the cluster bench harness (numbers meaningless); part of make check
@@ -103,8 +115,9 @@ fuzz:
 	$(GO) test -run xxx -fuzz 'FuzzReader$$' -fuzztime 30s ./internal/kvstore/wire
 
 ## check: the pre-PR gate — build, vet, gofmt, lint, tests, race, chaos,
-## chaos-crash, chaos-cluster, and the wirebench/clusterbench smoke passes
-check: build vet fmt-check lint test race chaos chaos-crash chaos-cluster wirebench-smoke clusterbench-smoke
+## chaos-crash, chaos-cluster, chaos-partition, and the
+## wirebench/clusterbench smoke passes
+check: build vet fmt-check lint test race chaos chaos-crash chaos-cluster chaos-partition wirebench-smoke clusterbench-smoke
 
 ## bench: overhead microbenchmarks (§5.3 + instrumentation overhead), the
 ## serial-vs-parallel comparison (BENCH_PR2.json) and the WAL-on vs WAL-off
@@ -116,5 +129,5 @@ bench:
 	@cat BENCH_PR2.json
 	$(GO) run ./cmd/durbench -out BENCH_PR5.json
 	@cat BENCH_PR5.json
-	$(GO) run ./cmd/clusterbench -out BENCH_PR9.json
-	@cat BENCH_PR9.json
+	$(GO) run ./cmd/clusterbench -out BENCH_PR10.json
+	@cat BENCH_PR10.json

@@ -1,10 +1,12 @@
 // Command clusterbench measures the sharded kvstore cluster (DESIGN.md §14):
-// replicated write throughput at 1 vs 3 shards, and the latency blip a
-// health-checked failover injects when a primary is killed mid-run. It
-// writes a JSON report (BENCH_PR9.json) recording the perf trajectory
+// replicated write throughput at 1 vs 3 shards, the latency blip a
+// health-checked failover injects when a primary is killed mid-run, and the
+// (smaller) blip of a fenced failover when an asymmetric partition cuts a
+// primary's replication link and it self-demotes mid-write (DESIGN.md §15).
+// It writes a JSON report (BENCH_PR10.json) recording the perf trajectory
 // ROADMAP asks for.
 //
-//	clusterbench -out BENCH_PR9.json
+//	clusterbench -out BENCH_PR10.json
 //	clusterbench -smoke            # tiny op counts; harness correctness only
 package main
 
@@ -20,6 +22,7 @@ import (
 
 	"smartflux/internal/fault"
 	"smartflux/internal/kvstore/cluster"
+	"smartflux/internal/kvstore/kvnet"
 )
 
 // listen binds a fresh loopback port for a fault-wrapped node listener.
@@ -58,13 +61,33 @@ type failoverResult struct {
 	LostWrites int `json:"lost_writes"`
 }
 
+type partitionResult struct {
+	Shards int `json:"shards"`
+	Ops    int `json:"ops"`
+	// CutAtOp is the op index after which the victim primary's replication
+	// link was cut one-way (primary→replica); the primary self-demotes on
+	// its next ship and the client promotes the replica without probing.
+	CutAtOp         int     `json:"cut_at_op"`
+	FencedFailovers int     `json:"fenced_failovers"`
+	OpsPerSec       float64 `json:"ops_per_sec"`
+	// BlipP99Millis is the p99 op latency including the fenced-failover
+	// window. Unlike the probe-driven failover blip, no probe sequence runs:
+	// the demotion rides back on the failed write itself.
+	BlipP99Millis float64 `json:"blip_p99_ms"`
+	BlipMaxMillis float64 `json:"blip_max_ms"`
+	// LostWrites must be zero: the un-acked in-flight write is re-shipped to
+	// the promoted replica, and every acked write survives.
+	LostWrites int `json:"lost_writes"`
+}
+
 type report struct {
-	GoVersion  string          `json:"go_version"`
-	GOMAXPROCS int             `json:"gomaxprocs"`
-	NumCPU     int             `json:"num_cpu"`
-	Note       string          `json:"note"`
-	Benchmarks []result        `json:"benchmarks"`
-	Failover   *failoverResult `json:"failover"`
+	GoVersion     string           `json:"go_version"`
+	GOMAXPROCS    int              `json:"gomaxprocs"`
+	NumCPU        int              `json:"num_cpu"`
+	Note          string           `json:"note"`
+	Benchmarks    []result         `json:"benchmarks"`
+	Failover      *failoverResult  `json:"failover"`
+	PartitionBlip *partitionResult `json:"partition_blip"`
 }
 
 func main() {
@@ -76,7 +99,7 @@ func main() {
 
 func run() error {
 	smoke := flag.Bool("smoke", false, "tiny op counts: a correctness smoke for the bench harness, numbers meaningless")
-	out := flag.String("out", "BENCH_PR9.json", "write the JSON report here")
+	out := flag.String("out", "BENCH_PR10.json", "write the JSON report here")
 	flag.Parse()
 
 	ops := 20000
@@ -89,7 +112,9 @@ func run() error {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Note: "replicated cluster puts (synchronous WAL-record shipping to followers); " +
-			"failover run kills a primary mid-stream and folds the promotion blip into the tail",
+			"failover run kills a primary mid-stream and folds the promotion blip into the tail; " +
+			"partition-blip run cuts a primary's replication link one-way so it self-demotes " +
+			"and the client fails over on the fencing rejection without probing",
 	}
 	for _, shards := range []int{1, 3} {
 		res, err := benchPuts(shards, ops)
@@ -107,6 +132,13 @@ func run() error {
 	rep.Failover = fo
 	fmt.Printf("%-20s %8.0f ops/sec   blip p99 %6.2fms  max %6.2fms  (%d failover, %d lost writes)\n",
 		"failover-3shard", fo.OpsPerSec, fo.BlipP99Millis, fo.BlipMaxMillis, fo.Failovers, fo.LostWrites)
+	pb, err := benchPartitionBlip(3, ops)
+	if err != nil {
+		return err
+	}
+	rep.PartitionBlip = pb
+	fmt.Printf("%-20s %8.0f ops/sec   blip p99 %6.2fms  max %6.2fms  (%d fenced failover, %d lost writes)\n",
+		"partition-3shard", pb.OpsPerSec, pb.BlipP99Millis, pb.BlipMaxMillis, pb.FencedFailovers, pb.LostWrites)
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -147,6 +179,9 @@ func startRig(shards int, faulty bool) (*rig, error) {
 				return nil, err
 			}
 			cfg.Listener = fault.WrapListener(ln, r.inj)
+			// Ship through the injector with the node's own source identity,
+			// so a one-way link cut severs this primary's replication path.
+			cfg.Follower = kvnet.ClientConfig{Dial: fault.DialerFrom(r.inj, ln.Addr().String())}
 		}
 		n, err := cluster.NewNode(cfg)
 		if err != nil {
@@ -298,5 +333,85 @@ func benchFailover(shards, ops int) (*failoverResult, error) {
 		BlipP99Millis: float64(lat[ops*99/100]) / float64(time.Millisecond),
 		BlipMaxMillis: float64(lat[ops-1]) / float64(time.Millisecond),
 		LostWrites:    lost,
+	}, nil
+}
+
+// benchPartitionBlip cuts one primary's replication link one-way (the
+// asymmetric partition: clients still reach it, its follower does not hear
+// from it) halfway through the op stream. The primary self-demotes when its
+// next synchronous ship fails; the fencing rejection rides back on the write
+// itself, so the client promotes the replica without any probe sequence and
+// re-acks the in-flight write there. The cell reports that fenced-failover
+// blip next to the probe-driven one.
+func benchPartitionBlip(shards, ops int) (*partitionResult, error) {
+	r, err := startRig(shards, true)
+	if err != nil {
+		return nil, err
+	}
+	defer r.close()
+	if err := r.client.CreateTable("bench", 1); err != nil {
+		return nil, err
+	}
+	value := make([]byte, valueSize)
+	cutAt := ops / 2
+	victim := r.primaries[0].Addr()
+	lat := make([]time.Duration, ops)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if i == cutAt {
+			r.inj.PartitionLink(victim, r.followers[0].Addr())
+		}
+		opStart := time.Now()
+		if err := r.client.Put("bench", fmt.Sprintf("row-%07d", i), "v", value); err != nil {
+			return nil, fmt.Errorf("put %d (across link cut): %w", i, err)
+		}
+		lat[i] = time.Since(opStart)
+	}
+	elapsed := time.Since(start)
+	// If no post-cut op happened to route to the victim shard, force writes
+	// (outside the timed window) until one trips the fenced failover, so the
+	// report always covers a promotion.
+	for extra := 0; extra < 1000 && r.client.Map().Shards[0].Primary == victim; extra++ {
+		if err := r.client.Put("bench", fmt.Sprintf("extra-%07d", extra), "v", value); err != nil {
+			return nil, fmt.Errorf("forced put across link cut: %w", err)
+		}
+	}
+	fenced := 0
+	m := r.client.Map()
+	for s := range m.Shards {
+		if m.Shards[s].Primary != r.primaries[s].Addr() {
+			fenced++
+		}
+	}
+	if fenced == 0 {
+		return nil, fmt.Errorf("link cut never tripped a fenced failover")
+	}
+
+	// Integrity: every acked write must be readable after the promotion —
+	// including the one whose ship died mid-flight.
+	lost := 0
+	checkEvery := ops / 200
+	if checkEvery == 0 {
+		checkEvery = 1
+	}
+	for i := 0; i < ops; i += checkEvery {
+		_, found, err := r.client.Get("bench", fmt.Sprintf("row-%07d", i), "v")
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			lost++
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return &partitionResult{
+		Shards:          shards,
+		Ops:             ops,
+		CutAtOp:         cutAt,
+		FencedFailovers: fenced,
+		OpsPerSec:       float64(ops) / elapsed.Seconds(),
+		BlipP99Millis:   float64(lat[ops*99/100]) / float64(time.Millisecond),
+		BlipMaxMillis:   float64(lat[ops-1]) / float64(time.Millisecond),
+		LostWrites:      lost,
 	}, nil
 }

@@ -7,6 +7,8 @@ import (
 	"smartflux/internal/durable"
 	"smartflux/internal/fault"
 	"smartflux/internal/kvstore"
+	"smartflux/internal/kvstore/cluster"
+	"smartflux/internal/kvstore/kvnet"
 	"smartflux/internal/kvstore/wire"
 )
 
@@ -129,4 +131,35 @@ func ackWireReadFrame(b *wire.Buffer) {
 func bareWireNoError() {
 	b := wire.GetBuffer()
 	b.Release()
+}
+
+// dropReplEpoch discards an epoch-stamped replication error: a fencing
+// rejection (kvnet.ErrFenced) is the cluster telling this node it has been
+// promoted past — dropping it is exactly the split-brain write the epoch
+// exists to prevent.
+func dropReplEpoch(c *kvnet.Client) {
+	c.ReplEpoch(1, nil) // want `call discards the error from kvnet.ReplEpoch`
+}
+
+// checkedReplEpoch propagates the fencing rejection so the caller can
+// demote itself.
+func checkedReplEpoch(c *kvnet.Client) error {
+	return c.ReplEpoch(1, nil)
+}
+
+// dropClusterPut discards a cluster write error: with retry budgets and
+// circuit breakers in the path the error may be kvnet.ErrUnavailable — the
+// op never happened, and nobody will retry it.
+func dropClusterPut(c *cluster.Client) {
+	c.PutFloat("t", "r", "c", 1) // want `call discards the error from cluster.PutFloat`
+}
+
+// checkedClusterPut propagates the budget/breaker verdict.
+func checkedClusterPut(c *cluster.Client) error {
+	return c.PutFloat("t", "r", "c", 1)
+}
+
+// bareClusterNoError reads cluster topology, which carries no error result.
+func bareClusterNoError(c *cluster.Client) {
+	c.Map()
 }

@@ -17,18 +17,22 @@ import (
 //     delivering anything; reads starve on the underlying connection and
 //     surface through read deadlines, exactly like a hung peer.
 //
-// A partitioned shard address (partition.go) additionally fails every
-// operation on connections counted against it, tearing the transport down —
-// the wire-level face of a dead shard.
-//
-// Deadlines, addresses and Close pass through untouched.
+// Partition checks are direction-aware (partition.go): a write carries
+// traffic local→remote, a read remote→local. A fully partitioned endpoint
+// tears the transport down — the wire-level face of a dead shard — while a
+// one-way or link partition fails only the blocked direction's operations,
+// leaving the connection open, exactly like a network path silently eating
+// packets one way.
 type Conn struct {
 	net.Conn
 	inj *Injector
-	// addr is the shard address this connection counts against for
-	// partition checks: the dialed address for client conns, the listener's
-	// address for accepted conns. Empty opts out of partitioning.
-	addr string
+	// local and remote are the shard identities of this connection's two
+	// ends, as far as the wrapper knows them: a dialed connection knows its
+	// remote (the dialed address) and, through DialerFrom, optionally its
+	// local source; an accepted connection knows its local (the listener's
+	// bound address) but not the client's identity. Empty opts that end out
+	// of partition matching.
+	local, remote string
 }
 
 // WrapConn interposes inj on c, counting it against its remote address for
@@ -37,28 +41,47 @@ func WrapConn(c net.Conn, inj *Injector) net.Conn {
 	if inj == nil {
 		return c
 	}
-	return &Conn{Conn: c, inj: inj, addr: c.RemoteAddr().String()}
+	return &Conn{Conn: c, inj: inj, remote: c.RemoteAddr().String()}
 }
 
-// WrapConnAddr is WrapConn with an explicit shard address to count the
-// connection against — the listener side uses its own bound address, since
-// an accepted connection's remote is the client's ephemeral port, not a
-// shard identity.
+// WrapConnFrom is WrapConn with the local end's shard identity attached, so
+// the connection also matches outbound and link partitions of its source —
+// the connection-level half of DialerFrom.
+func WrapConnFrom(c net.Conn, inj *Injector, from string) net.Conn {
+	if inj == nil {
+		return c
+	}
+	return &Conn{Conn: c, inj: inj, local: from, remote: c.RemoteAddr().String()}
+}
+
+// WrapConnAddr is WrapConn for the accepting side, with an explicit shard
+// address to count the connection against — the listener uses its own bound
+// address, since an accepted connection's remote is the client's ephemeral
+// port, not a shard identity.
 func WrapConnAddr(c net.Conn, inj *Injector, addr string) net.Conn {
 	if inj == nil {
 		return c
 	}
-	return &Conn{Conn: c, inj: inj, addr: addr}
+	return &Conn{Conn: c, inj: inj, local: addr}
 }
 
 // intercept evaluates one I/O operation. It reports whether the caller
 // should swallow the call (blackholed write) and the error to fail with.
 func (c *Conn) intercept(op string) (swallow bool, err error) {
 	d := c.inj.Decide(op)
-	// Partition check runs after Decide so an operation that itself trips a
-	// seeded shard kill already observes the partition.
-	if c.addr != "" && c.inj.Partitioned(c.addr) {
+	// Partition checks run after Decide so an operation that itself trips a
+	// seeded shard kill already observes the partition. A fully partitioned
+	// endpoint kills the transport; a one-way or link cut fails only the
+	// blocked direction and keeps the connection alive.
+	if c.inj.fullyPartitioned(c.local) || c.inj.fullyPartitioned(c.remote) {
 		_ = c.Conn.Close()
+		return false, ErrPartitioned
+	}
+	src, dst := c.local, c.remote
+	if op == "read" {
+		src, dst = c.remote, c.local
+	}
+	if c.inj.blocked(src, dst) {
 		return false, ErrPartitioned
 	}
 	if err := d.apply(); err != nil {
@@ -132,10 +155,25 @@ func (l *Listener) Accept() (net.Conn, error) {
 // Dialer returns a dial function that wraps every established connection
 // with the injector — the client-side counterpart of WrapListener, shaped
 // for kvnet's ClientConfig.Dial so reconnects keep flowing through the
-// fault layer.
+// fault layer. Dials are anonymous: the resulting connections match
+// partitions of the dialed address but carry no source identity.
 func Dialer(inj *Injector) func(addr string, timeout time.Duration) (net.Conn, error) {
+	return dialer(inj, "")
+}
+
+// DialerFrom is Dialer with a source identity: every connection it
+// establishes is tagged as originating at from, so it also matches
+// PartitionOutbound(from) and PartitionLink(from, addr) — the hook a
+// cluster node's replication link uses so one-way partitions of the node
+// cut its outgoing ships.
+func DialerFrom(inj *Injector, from string) func(addr string, timeout time.Duration) (net.Conn, error) {
+	return dialer(inj, from)
+}
+
+// dialer is the shared body of Dialer and DialerFrom.
+func dialer(inj *Injector, from string) func(addr string, timeout time.Duration) (net.Conn, error) {
 	return func(addr string, timeout time.Duration) (net.Conn, error) {
-		if inj != nil && inj.Partitioned(addr) {
+		if inj != nil && (inj.blocked(from, addr) || inj.fullyPartitioned(from)) {
 			return nil, ErrPartitioned
 		}
 		var c net.Conn
@@ -148,6 +186,6 @@ func Dialer(inj *Injector) func(addr string, timeout time.Duration) (net.Conn, e
 		if err != nil {
 			return nil, err
 		}
-		return WrapConn(c, inj), nil
+		return WrapConnFrom(c, inj, from), nil
 	}
 }

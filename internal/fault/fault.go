@@ -139,25 +139,28 @@ type Decision struct {
 // Stats counts what an injector has done, for assertions without an
 // observer.
 type Stats struct {
-	Ops         int // operations presented (after the Ops filter)
-	Errors      int // ErrInjected failures
-	Latencies   int // delayed operations
-	Disconnects int // injected disconnects
-	Crashes     int // crash points fired (0 or 1; the injector dies crashing)
-	Partitions  int // addresses partitioned (Partition calls + seeded kills)
+	Ops            int // operations presented (after the Ops filter)
+	Errors         int // ErrInjected failures
+	Latencies      int // delayed operations
+	Disconnects    int // injected disconnects
+	Crashes        int // crash points fired (0 or 1; the injector dies crashing)
+	Partitions     int // addresses partitioned (Partition calls + seeded kills)
+	LinkPartitions int // directed links partitioned (PartitionLink calls)
 }
 
 // Injector evaluates a Policy operation by operation. It is safe for
 // concurrent use; concurrent callers serialize on an internal lock so the
 // decision sequence stays a pure function of arrival order.
 type Injector struct {
-	mu          sync.Mutex
-	p           Policy
-	rng         *rand.Rand
-	stats       Stats
-	opCounts    map[string]int  // per-op occurrence counts for crash points
-	partitioned map[string]bool // addresses currently cut off (partition.go)
-	crashed     bool
+	mu        sync.Mutex
+	p         Policy
+	rng       *rand.Rand
+	stats     Stats
+	opCounts  map[string]int   // per-op occurrence counts for crash points
+	partIn    map[string]bool  // addresses whose inbound traffic is cut (partition.go)
+	partOut   map[string]bool  // addresses whose outbound traffic is cut
+	partLinks map[linkKey]bool // directed from→to links cut (partition.go)
+	crashed   bool
 
 	errs    *obs.Counter // nil when no observer is attached
 	delays  *obs.Counter

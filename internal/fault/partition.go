@@ -7,11 +7,25 @@ package fault
 // cluster health checkers. Heal lifts the partition, modeling the shard
 // rejoining the network.
 //
-// Partitions can be imposed two ways: directly (Partition / Heal, for
-// controller-driven chaos where the test decides the moment) or by policy
-// (KillShardAddrs + KillShardAfter, where the Nth eligible operation kills a
-// victim picked deterministically by the seed — "somewhere mid-run, one
-// shard dies", reproducibly).
+// Partitions come in three shapes:
+//
+//   - Symmetric (Partition / Heal): the address is cut in both directions —
+//     the classic dead-shard model. Connections counted against it are torn
+//     down on their next operation.
+//   - Asymmetric (PartitionInbound / PartitionOutbound): only one direction
+//     of the address's traffic fails. The transport stays up — a blocked
+//     write or read fails with ErrPartitioned without closing the
+//     connection, exactly like a firewall silently eating packets one way.
+//   - Link-level (PartitionLink / HealLink): one directed from→to path is
+//     cut, leaving every other path to both endpoints intact — the shape
+//     real partitions take, where a primary can still serve clients while
+//     its replication link to one follower is dark. Link identities come
+//     from DialerFrom, which tags dialed connections with their source.
+//
+// Partitions can be imposed directly (the test decides the moment) or by
+// policy (KillShardAddrs + KillShardAfter, where the Nth eligible operation
+// kills a victim picked deterministically by the seed — "somewhere mid-run,
+// one shard dies", reproducibly).
 
 import "fmt"
 
@@ -19,42 +33,140 @@ import "fmt"
 // partitioned. It wraps ErrInjected, so errors.Is(err, ErrInjected) holds.
 var ErrPartitioned = fmt.Errorf("%w: partitioned address", ErrInjected)
 
-// Partition cuts addr off: connections to (or accepted at) addr fail on
-// their next operation and new dials to it are refused, until Heal.
-// Partitioning an already-partitioned address is a no-op.
+// linkKey identifies one directed from→to network path.
+type linkKey struct{ from, to string }
+
+// Partition cuts addr off in both directions: connections to (or accepted
+// at) addr fail on their next operation and new dials to it are refused,
+// until Heal. Partitioning an already-partitioned address is a no-op.
 func (i *Injector) Partition(addr string) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	i.partitionLocked(addr)
 }
 
-// partitionLocked is Partition's body; callers hold i.mu.
+// PartitionInbound cuts only traffic flowing toward addr: dials to it are
+// refused and writes addressed to it fail, but addr's own outbound traffic
+// (and responses it has already sent) still flows. The connection survives —
+// only the blocked direction errors.
+func (i *Injector) PartitionInbound(addr string) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.partitionDirLocked(addr, true, false)
+}
+
+// PartitionOutbound cuts only traffic flowing out of addr: its writes (and
+// responses) fail while traffic toward it still arrives.
+func (i *Injector) PartitionOutbound(addr string) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.partitionDirLocked(addr, false, true)
+}
+
+// partitionLocked imposes a full (both-direction) partition; callers hold
+// i.mu.
 func (i *Injector) partitionLocked(addr string) {
-	if i.partitioned[addr] {
+	i.partitionDirLocked(addr, true, true)
+}
+
+// partitionDirLocked cuts the chosen directions of addr; callers hold i.mu.
+// The Partitions stat counts address transitions from connected to cut (in
+// any direction), matching the historical "addresses partitioned" meaning.
+func (i *Injector) partitionDirLocked(addr string, in, out bool) {
+	was := i.partIn[addr] || i.partOut[addr]
+	if in {
+		if i.partIn == nil {
+			i.partIn = make(map[string]bool)
+		}
+		i.partIn[addr] = true
+	}
+	if out {
+		if i.partOut == nil {
+			i.partOut = make(map[string]bool)
+		}
+		i.partOut[addr] = true
+	}
+	if !was && (i.partIn[addr] || i.partOut[addr]) {
+		i.stats.Partitions++
+		i.dropped.Inc() // nil-safe no-op when uninstrumented
+	}
+}
+
+// PartitionLink cuts the directed from→to path: operations carrying traffic
+// from `from` to `to` fail with ErrPartitioned while every other path —
+// including the reverse to→from direction — stays up. Link identities only
+// exist on connections dialed through DialerFrom (or wrapped with an
+// explicit source); anonymously dialed connections have no source and never
+// match a link.
+func (i *Injector) PartitionLink(from, to string) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	k := linkKey{from, to}
+	if i.partLinks[k] {
 		return
 	}
-	if i.partitioned == nil {
-		i.partitioned = make(map[string]bool)
+	if i.partLinks == nil {
+		i.partLinks = make(map[linkKey]bool)
 	}
-	i.partitioned[addr] = true
-	i.stats.Partitions++
+	i.partLinks[k] = true
+	i.stats.LinkPartitions++
 	i.dropped.Inc() // nil-safe no-op when uninstrumented
 }
 
-// Heal lifts the partition on addr. New connections to it succeed again;
-// connections torn down while it was partitioned stay dead (reconnecting is
-// the client's job, as after any disconnect).
+// HealLink restores the directed from→to path cut by PartitionLink.
+func (i *Injector) HealLink(from, to string) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	delete(i.partLinks, linkKey{from, to})
+}
+
+// Heal lifts every address-level partition on addr (both directions) and
+// every link partition it is an endpoint of. New connections to it succeed
+// again; connections torn down while it was partitioned stay dead
+// (reconnecting is the client's job, as after any disconnect). Use HealLink
+// to lift a single directed link instead.
 func (i *Injector) Heal(addr string) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
-	delete(i.partitioned, addr)
+	delete(i.partIn, addr)
+	delete(i.partOut, addr)
+	for k := range i.partLinks {
+		if k.from == addr || k.to == addr {
+			delete(i.partLinks, k)
+		}
+	}
 }
 
-// Partitioned reports whether addr is currently cut off.
+// Partitioned reports whether addr is currently cut off in any direction.
 func (i *Injector) Partitioned(addr string) bool {
 	i.mu.Lock()
 	defer i.mu.Unlock()
-	return i.partitioned[addr]
+	return i.partIn[addr] || i.partOut[addr]
+}
+
+// fullyPartitioned reports whether addr is cut in both directions — the
+// dead-shard shape whose connections are torn down rather than erroring in
+// place.
+func (i *Injector) fullyPartitioned(addr string) bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return addr != "" && i.partIn[addr] && i.partOut[addr]
+}
+
+// blocked reports whether traffic flowing from src to dst is currently cut:
+// by src's outbound partition, dst's inbound partition, or the directed
+// src→dst link. Empty identities (an endpoint the wrapper could not name)
+// never match.
+func (i *Injector) blocked(src, dst string) bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if src != "" && i.partOut[src] {
+		return true
+	}
+	if dst != "" && i.partIn[dst] {
+		return true
+	}
+	return src != "" && dst != "" && i.partLinks[linkKey{src, dst}]
 }
 
 // maybeKillShard fires the policy's seeded shard kill when the Nth eligible

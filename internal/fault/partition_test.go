@@ -1,0 +1,196 @@
+package fault
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestPartitionInboundBlocksOnlyThatDirection: with the server's inbound cut,
+// client→server traffic fails but the connection survives, and healing
+// restores it in place (no redial needed).
+func TestPartitionInboundBlocksOnlyThatDirection(t *testing.T) {
+	addr, stop := echoServer(t, rawListener(t))
+	defer stop()
+	inj := New(Policy{})
+	c, err := Dialer(inj)(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if got, err := roundTrip(c, "pre"); err != nil || got != "pre" {
+		t.Fatalf("roundTrip before partition = %q, %v", got, err)
+	}
+
+	inj.PartitionInbound(addr)
+	if !inj.Partitioned(addr) {
+		t.Fatal("Partitioned(addr) = false after PartitionInbound")
+	}
+	// Writes toward the partitioned inbound fail...
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("write = %v, want ErrPartitioned", err)
+	}
+	// ...and new dials are refused (dialing is inbound traffic).
+	if _, err := Dialer(inj)(addr, time.Second); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("dial = %v, want ErrPartitioned", err)
+	}
+	// One-way partitions do not tear the transport down: heal and the very
+	// same connection carries traffic again.
+	inj.Heal(addr)
+	if got, err := roundTrip(c, "healed"); err != nil || got != "healed" {
+		t.Fatalf("roundTrip after heal = %q, %v (conn must survive a one-way cut)", got, err)
+	}
+}
+
+// TestPartitionOutboundBlocksReplies: with the server's outbound cut, client
+// writes still arrive but the echo (server→client traffic) is blocked — the
+// server-side wrapped conn refuses the write, the client read times out.
+func TestPartitionOutboundBlocksReplies(t *testing.T) {
+	inj := New(Policy{})
+	ln := WrapListener(rawListener(t), inj)
+	addr, stop := echoServer(t, ln)
+	defer stop()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	inj.PartitionOutbound(addr)
+	_ = c.SetDeadline(time.Now().Add(300 * time.Millisecond))
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatalf("client write (inbound to server, not cut): %v", err)
+	}
+	if _, err := c.Read(make([]byte, 8)); err == nil {
+		t.Fatal("echo crossed the server's outbound partition")
+	}
+	// The inbound direction still works after healing outbound mid-conn.
+	inj.Heal(addr)
+	c2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c2.Close() }()
+	_ = c2.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c2.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if n, err := c2.Read(buf); err != nil || string(buf[:n]) != "ok" {
+		t.Fatalf("echo after heal = %q, %v", buf[:n], err)
+	}
+}
+
+// TestPartitionLinkCutsOneDirectedPath: a from→to link cut blocks only
+// connections dialed from that source toward that target; anonymous dials
+// and the reverse path stay up, and HealLink restores exactly that link.
+func TestPartitionLinkCutsOneDirectedPath(t *testing.T) {
+	addr, stop := echoServer(t, rawListener(t))
+	defer stop()
+	inj := New(Policy{})
+	const src = "10.9.9.9:999"
+
+	tagged, err := DialerFrom(inj, src)(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tagged.Close() }()
+	anon, err := Dialer(inj)(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = anon.Close() }()
+
+	inj.PartitionLink(src, addr)
+	if got := inj.Stats().LinkPartitions; got != 1 {
+		t.Fatalf("Stats.LinkPartitions = %d, want 1", got)
+	}
+	// The tagged connection's writes traverse src→addr: blocked.
+	if _, err := tagged.Write([]byte("x")); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("tagged write = %v, want ErrPartitioned", err)
+	}
+	// Reads traverse addr→src — the uncut reverse direction — so the
+	// connection is alive, just write-dark. The anonymous path is untouched.
+	if got, err := roundTrip(anon, "anon"); err != nil || got != "anon" {
+		t.Fatalf("anonymous roundTrip = %q, %v (link cut must not leak)", got, err)
+	}
+	// New dials from the tagged source are refused; anonymous dials succeed.
+	if _, err := DialerFrom(inj, src)(addr, time.Second); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("tagged dial = %v, want ErrPartitioned", err)
+	}
+	if c, err := Dialer(inj)(addr, time.Second); err != nil {
+		t.Fatalf("anonymous dial during link cut: %v", err)
+	} else {
+		_ = c.Close()
+	}
+
+	// Per-link heal: exactly the cut path comes back, on the same conn.
+	inj.HealLink(src, addr)
+	if got, err := roundTrip(tagged, "back"); err != nil || got != "back" {
+		t.Fatalf("tagged roundTrip after HealLink = %q, %v", got, err)
+	}
+}
+
+// TestHealClearsIncidentLinks: Heal(addr) lifts address-level cuts in both
+// directions and any link partitions touching addr.
+func TestHealClearsIncidentLinks(t *testing.T) {
+	inj := New(Policy{})
+	inj.PartitionInbound("a")
+	inj.PartitionOutbound("a")
+	inj.PartitionLink("a", "b")
+	inj.PartitionLink("c", "a")
+	inj.PartitionLink("c", "d")
+	inj.Heal("a")
+	if inj.Partitioned("a") {
+		t.Fatal("addr still partitioned after Heal")
+	}
+	if inj.blocked("a", "b") || inj.blocked("c", "a") {
+		t.Fatal("links incident to healed addr still blocked")
+	}
+	if !inj.blocked("c", "d") {
+		t.Fatal("Heal(a) must not lift the unrelated c→d link")
+	}
+}
+
+// TestFullPartitionStillTearsDown: the legacy symmetric shape keeps its
+// semantics — the transport is closed, not left erroring in place.
+func TestFullPartitionStillTearsDown(t *testing.T) {
+	addr, stop := echoServer(t, rawListener(t))
+	defer stop()
+	inj := New(Policy{})
+	c, err := Dialer(inj)(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Partition(addr)
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("write = %v, want ErrPartitioned", err)
+	}
+	inj.Heal(addr)
+	// The conn was torn down while fully partitioned; it stays dead after
+	// heal (reconnecting is the client's job).
+	_ = c.SetDeadline(time.Now().Add(time.Second))
+	if _, err := c.Write([]byte("x")); err == nil {
+		if _, err := c.Read(make([]byte, 1)); err == nil {
+			t.Fatal("fully partitioned conn survived; want torn down")
+		}
+	}
+}
+
+// TestPartitionStatsCountTransitions: repeated cuts of the same address
+// count once until healed, matching the historical Partitions semantics.
+func TestPartitionStatsCountTransitions(t *testing.T) {
+	inj := New(Policy{})
+	inj.PartitionInbound("a")
+	inj.PartitionOutbound("a") // same address, already counted
+	inj.Partition("a")         // still the same address
+	if got := inj.Stats().Partitions; got != 1 {
+		t.Fatalf("Stats.Partitions = %d, want 1", got)
+	}
+	inj.Heal("a")
+	inj.Partition("a")
+	if got := inj.Stats().Partitions; got != 2 {
+		t.Fatalf("Stats.Partitions after heal+repartition = %d, want 2", got)
+	}
+}

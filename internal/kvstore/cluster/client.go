@@ -35,6 +35,17 @@ type Config struct {
 	// ProbeBackoff is the base delay between probe attempts, doubling per
 	// attempt with seeded jitter (default 10ms).
 	ProbeBackoff time.Duration
+	// FailoverThreshold is how many consecutive failed health-loop sweeps a
+	// primary must accumulate before the loop declares it suspect and runs
+	// failover (default 2). One slow sweep is a blip; a streak is a death.
+	// Reactive (in-operation) failover is not gated — it already probes.
+	FailoverThreshold int
+	// BreakerThreshold is how many consecutive transport failures against a
+	// shard trip its circuit breaker open (default 5); BreakerCooldown is
+	// the open-state cooldown in operations before a half-open trial
+	// (default 16, doubling per failed trial). See breaker.go.
+	BreakerThreshold int
+	BreakerCooldown  int
 	// OnFailover, when non-nil, is called after every promotion with the
 	// shard index and the old and new primary addresses. Test hook.
 	OnFailover func(shard int, from, to string)
@@ -67,7 +78,13 @@ type Client struct {
 	probe  *prober
 	health *healthLoop // nil until StartHealthLoop
 
-	failoverSeq int // numbers failover spans
+	// breakers holds one circuit breaker per shard (breaker.go); methods
+	// are called under mu. probeFails counts each shard's consecutive
+	// failed health-loop sweeps toward Config.FailoverThreshold.
+	breakers   []*breaker
+	probeFails []int
+
+	failoverSeq int // numbers failover and breaker spans
 
 	// onScanPage, when set (package tests only), observes every shard page
 	// fetch (shard index, 0-based page number) before it runs — the hook
@@ -85,11 +102,16 @@ func New(cfg Config) (*Client, error) {
 		return nil, errors.New("cluster: config needs a partition map with at least one shard")
 	}
 	c := &Client{
-		cfg:   cfg,
-		m:     cfg.Map.Clone(),
-		ring:  cfg.Map.ring(),
-		conns: make([]*kvnet.Client, len(cfg.Map.Shards)),
-		probe: newProber(cfg),
+		cfg:        cfg,
+		m:          cfg.Map.Clone(),
+		ring:       cfg.Map.ring(),
+		conns:      make([]*kvnet.Client, len(cfg.Map.Shards)),
+		probe:      newProber(cfg),
+		breakers:   make([]*breaker, len(cfg.Map.Shards)),
+		probeFails: make([]int, len(cfg.Map.Shards)),
+	}
+	for i := range c.breakers {
+		c.breakers[i] = newBreaker(cfg, i)
 	}
 	if cfg.Obs != nil {
 		c.failovers = cfg.Obs.Counter("smartflux_cluster_failovers_total")
@@ -148,33 +170,90 @@ func (c *Client) conn(shard int) (*kvnet.Client, string, int, error) {
 	return c.conns[shard], addr, c.m.Version, nil
 }
 
-// withShard runs fn against shard's primary, probing and failing over on
-// transport-level failures. Application errors (the op executed server-side)
+// withShard runs fn against shard's primary, fast-failing when the shard's
+// circuit breaker is open, and failing over on transport-level failures or
+// fencing rejections. Application errors (the op executed server-side)
 // return immediately. fn must be idempotent — reads are, and writes are
 // replication records that replay idempotently — because a retry after
 // failover may re-execute work the dead primary already applied.
+//
+// Breaker accounting: any server response — success, application error, or
+// a fencing rejection — is transport health and closes the breaker; only
+// dial and I/O failures count against it. An ErrFenced response means the
+// node is alive but this client's map is behind its timeline, so the
+// replica is promoted without a liveness probe (probing would find the
+// demoted node perfectly healthy and refuse the failover forever).
 func (c *Client) withShard(shard int, fn func(cl *kvnet.Client) error) error {
 	if shard < len(c.shardOps) {
 		c.shardOps[shard].Inc()
 	}
 	var lastErr error
 	for attempt := 0; attempt <= maxFailoverRetries; attempt++ {
+		if err := c.breakerAllow(shard); err != nil {
+			return err
+		}
 		cl, addr, ver, err := c.conn(shard)
 		if err == nil {
 			err = fn(cl)
 			if err == nil {
+				c.breakerOutcome(shard, true)
 				return nil
 			}
+			if errors.Is(err, kvnet.ErrFenced) {
+				c.breakerOutcome(shard, true)
+				lastErr = err
+				if !c.failoverFenced(shard, addr, ver) {
+					return err
+				}
+				continue
+			}
 			if !kvnet.IsTransport(err) {
+				c.breakerOutcome(shard, true)
 				return err
 			}
 		}
+		c.breakerOutcome(shard, false)
 		lastErr = err
 		if !c.failover(shard, addr, ver) {
 			return err
 		}
 	}
 	return lastErr
+}
+
+// breakerAllow consults shard's circuit breaker; an open breaker fast-fails
+// with an ErrUnavailable-wrapping error, spending no retry budget and no
+// network round-trip.
+func (c *Client) breakerAllow(shard int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.breakers[shard].allow() {
+		return fmt.Errorf("%w: shard %d circuit breaker open", kvnet.ErrUnavailable, shard)
+	}
+	return nil
+}
+
+// breakerOutcome feeds one operation's transport verdict to shard's breaker
+// and emits a span when this failure trips it open.
+func (c *Client) breakerOutcome(shard int, ok bool) {
+	c.mu.Lock()
+	if ok {
+		c.breakers[shard].onSuccess()
+		c.mu.Unlock()
+		return
+	}
+	tripped := c.breakers[shard].onFailure()
+	var sp *obs.Span
+	if tripped && c.cfg.Obs.Spanning() {
+		sp = c.cfg.Obs.RootSpan(fmt.Sprintf("cluster/breaker%d", c.failoverSeq), "breaker", "cluster")
+		c.failoverSeq++
+	}
+	c.mu.Unlock()
+	if sp != nil {
+		sp.SetAttr("shard", fmt.Sprintf("%d", shard))
+		sp.SetAttr("state", "open")
+		sp.End()
+	}
 }
 
 // failover decides whether a failed operation against shard should retry:
@@ -197,7 +276,32 @@ func (c *Client) failover(shard int, addr string, seenVersion int) bool {
 	if replica == "" {
 		return false // dead and unreplicated: nothing to promote
 	}
+	return c.promote(shard, addr, seenVersion)
+}
 
+// failoverFenced handles a fencing rejection: the primary answered, so it is
+// alive, but it has demoted itself (or holds a higher epoch than our map
+// stamps), meaning the shard's authority has moved. No liveness probe —
+// the node would pass it — just promote the replica and retry there.
+func (c *Client) failoverFenced(shard int, addr string, seenVersion int) bool {
+	c.mu.Lock()
+	if c.m.Version != seenVersion {
+		c.mu.Unlock()
+		return true // a concurrent caller already moved the map
+	}
+	replica := c.m.Shards[shard].Replica
+	c.mu.Unlock()
+	if replica == "" {
+		return false // fenced and unreplicated: nowhere to go
+	}
+	return c.promote(shard, addr, seenVersion)
+}
+
+// promote is the shared failover tail: bump the map (advancing the shard's
+// fencing epoch), drop the dead primary's connection, reset the shard's
+// breaker (it was guarding an address we no longer talk to), emit the
+// failover span and counter, and push the new map to the surviving nodes.
+func (c *Client) promote(shard int, addr string, seenVersion int) bool {
 	c.mu.Lock()
 	if c.m.Version != seenVersion {
 		c.mu.Unlock()
@@ -211,6 +315,8 @@ func (c *Client) failover(shard int, addr string, seenVersion int) bool {
 		_ = c.conns[shard].Close()
 		c.conns[shard] = nil
 	}
+	c.breakers[shard].reset()
+	c.probeFails[shard] = 0
 	newPrimary := c.m.Shards[shard].Primary
 	encoded := c.m.Encode()
 	var sp *obs.Span
@@ -249,9 +355,18 @@ func (c *Client) pushMap(encoded []byte) {
 	}
 }
 
-// ship sends replication records to shard with failover retry.
+// ship sends replication records to shard with failover retry, stamping
+// each frame with the shard's current fencing epoch. The epoch is read
+// per attempt, inside the retry loop: after a fenced failover the map has
+// advanced, and the retry must carry the promoted epoch or the new primary
+// would reject it as stale too.
 func (c *Client) ship(shard int, recs [][]byte) error {
-	err := c.withShard(shard, func(cl *kvnet.Client) error { return cl.Repl(recs) })
+	err := c.withShard(shard, func(cl *kvnet.Client) error {
+		c.mu.Lock()
+		epoch := c.m.Shards[shard].Epoch
+		c.mu.Unlock()
+		return cl.ReplEpoch(epoch, recs)
+	})
 	if err == nil {
 		c.shipped.Add(uint64(len(recs)))
 	}

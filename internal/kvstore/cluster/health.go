@@ -27,9 +27,10 @@ import (
 
 // Probe defaults; Config overrides.
 const (
-	defaultProbeRetries = 3
-	defaultProbeBackoff = 10 * time.Millisecond
-	probeDialTimeout    = 500 * time.Millisecond
+	defaultProbeRetries      = 3
+	defaultProbeBackoff      = 10 * time.Millisecond
+	probeDialTimeout         = 500 * time.Millisecond
+	defaultFailoverThreshold = 2
 )
 
 // prober decides whether an address is dead.
@@ -153,12 +154,21 @@ func (c *Client) StartHealthLoop(interval time.Duration) bool {
 	return true
 }
 
-// probeAll sweeps every shard once, promoting replicas of dead primaries.
+// probeAll sweeps every shard once. A failed ping only increments the
+// shard's consecutive-failure count; failover runs when the streak reaches
+// Config.FailoverThreshold (default 2) — one slow or dropped sweep is a
+// blip, and promoting on it would flap the cluster through an epoch bump,
+// a breaker reset and a map push for nothing. Any successful ping clears
+// the streak.
 func (c *Client) probeAll() {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return
+	}
+	threshold := c.cfg.FailoverThreshold
+	if threshold <= 0 {
+		threshold = defaultFailoverThreshold
 	}
 	type target struct {
 		shard int
@@ -171,9 +181,20 @@ func (c *Client) probeAll() {
 	}
 	c.mu.Unlock()
 	for _, t := range targets {
-		if c.probe.ping(t.addr) != nil {
+		if c.probe.ping(t.addr) == nil {
+			c.mu.Lock()
+			c.probeFails[t.shard] = 0
+			c.mu.Unlock()
+			continue
+		}
+		c.mu.Lock()
+		c.probeFails[t.shard]++
+		suspect := c.probeFails[t.shard] >= threshold
+		c.mu.Unlock()
+		if suspect {
 			// failover re-probes with the full retry budget and re-checks
-			// the map version, so a concurrent promotion is respected.
+			// the map version, so a concurrent promotion is respected; the
+			// streak resets inside promote on success.
 			c.failover(t.shard, t.addr, t.ver)
 		}
 	}

@@ -57,6 +57,14 @@ type Node struct {
 	// itself and must not be re-logged (the record is already in the log).
 	applying atomic.Int32
 
+	// epoch is the highest fencing epoch this node has observed — from a
+	// stamped replication frame, a partition-map push, or its own shard
+	// entry. fenced marks the node demoted: it learned of a higher epoch
+	// (or could not reach its follower mid-ship) and refuses every write
+	// until Reset wipes it for a rejoin (DESIGN.md §15).
+	epoch  atomic.Uint64
+	fenced atomic.Bool
+
 	// shipMu serializes append-and-ship so the follower receives records in
 	// exactly this node's log order — the invariant the cursor/checksum
 	// catch-up handshake rests on. AttachFollower holds it while streaming
@@ -69,9 +77,11 @@ type Node struct {
 	mapMu    sync.Mutex
 	mapBytes []byte
 
-	replApplied *obs.Counter // nil-safe when uninstrumented
-	replShipped *obs.Counter
-	shipErrs    *obs.Counter
+	replApplied  *obs.Counter // nil-safe when uninstrumented
+	replShipped  *obs.Counter
+	shipErrs     *obs.Counter
+	fencedWrites *obs.Counter
+	demotions    *obs.Counter
 }
 
 // NewNode creates a node and starts its server.
@@ -89,10 +99,13 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		n.replApplied = cfg.Obs.Counter("smartflux_cluster_repl_applied_total" + label)
 		n.replShipped = cfg.Obs.Counter("smartflux_cluster_repl_shipped_total" + label)
 		n.shipErrs = cfg.Obs.Counter("smartflux_cluster_ship_errors_total" + label)
+		n.fencedWrites = cfg.Obs.Counter("smartflux_cluster_fenced_writes_total" + label)
+		n.demotions = cfg.Obs.Counter("smartflux_cluster_self_demotions_total" + label)
 	}
 	n.store.OnTableCreate(n.onTableCreate)
 	n.srv = kvnet.NewServer(n.store)
 	n.srv.SetReplHandler(n.applyRepl)
+	n.srv.SetWriteGate(n.writeGate)
 	n.srv.SetStatusHandler(n.status)
 	n.srv.SetMapHandlers(n.mapGet, n.mapSet)
 	if cfg.Obs != nil {
@@ -127,6 +140,56 @@ func (n *Node) Store() *kvstore.Store { return n.store }
 // Log exposes the node's replication log.
 func (n *Node) Log() *durable.ReplLog { return n.log }
 
+// Epoch returns the highest fencing epoch the node has observed.
+func (n *Node) Epoch() uint64 { return n.epoch.Load() }
+
+// Fenced reports whether the node has self-demoted to read-only mode.
+func (n *Node) Fenced() bool { return n.fenced.Load() }
+
+// writeGate is consulted by the server before every mutating op and every
+// replication frame: a fenced node serves reads but refuses all writes, so
+// a demoted primary alive behind a healed partition can never ack state the
+// promoted timeline will not contain.
+func (n *Node) writeGate() error {
+	if n.fenced.Load() {
+		n.fencedWrites.Inc() // nil-safe no-op when uninstrumented
+		return fmt.Errorf("%w: node %s demoted at epoch %d", kvnet.ErrFenced, n.addr, n.epoch.Load())
+	}
+	return nil
+}
+
+// adoptEpoch raises the node's observed epoch to e; lower values are ignored.
+func (n *Node) adoptEpoch(e uint64) {
+	for {
+		cur := n.epoch.Load()
+		if e <= cur || n.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// fence demotes the node: it severs the outgoing follower link (a demoted
+// primary usually still points at the very node promoted over it) and flips
+// the fenced flag. Idempotent; only the first demotion counts.
+func (n *Node) fence() {
+	n.shipMu.Lock()
+	defer n.shipMu.Unlock()
+	if n.follower != nil {
+		_ = n.follower.Close()
+		n.follower = nil
+		n.followerAddr = ""
+	}
+	n.fenceLocked()
+}
+
+// fenceLocked flips the fenced flag; callers hold shipMu (or otherwise
+// guarantee the follower link is already severed).
+func (n *Node) fenceLocked() {
+	if !n.fenced.Swap(true) {
+		n.demotions.Inc() // nil-safe no-op when uninstrumented
+	}
+}
+
 // onTableCreate runs for every table created on the store, from any path.
 // It always subscribes the mutation observer (a promoted follower's direct
 // writes must be logged and shipped too), but logs a create record only for
@@ -136,47 +199,68 @@ func (n *Node) onTableCreate(t *kvstore.Table) {
 	local := n.applying.Load() == 0
 	t.Subscribe(kvstore.ObserverFunc(n.onMutation))
 	if local {
-		n.appendAndShip([][]byte{durable.EncodeCreateRecord(t.Name(), t.MaxVersions())})
+		// Store observers cannot veto the create; the fencing consequence
+		// of a failed ship (the node demotes) is carried by the flag.
+		_ = n.appendAndShip([][]byte{durable.EncodeCreateRecord(t.Name(), t.MaxVersions())})
 	}
 }
 
 // onMutation logs and ships every live mutation (direct kvnet Put/Delete/
 // Apply or in-process writes). Replication applications never reach here —
 // the replay operations do not notify observers — so there is no loop.
+// Observers cannot fail the mutation; a ship failure still fences the node
+// so no later write is acked on the dead timeline.
 func (n *Node) onMutation(m kvstore.Mutation) {
-	n.appendAndShip([][]byte{durable.EncodeMutationRecord(m)})
+	_ = n.appendAndShip([][]byte{durable.EncodeMutationRecord(m)})
 }
 
 // appendAndShip appends records to the log and synchronously forwards them
-// to the attached follower. Shipping before the originating operation
-// returns means every write acked by this node has reached its follower — a
-// promotion can lose only writes that were never acknowledged, and those
-// retry idempotently. A ship failure detaches the follower (it will catch
-// up from its cursor when re-attached) and never fails the local write: the
-// primary remains authoritative.
-func (n *Node) appendAndShip(recs [][]byte) {
+// to the attached follower, stamped with this node's epoch. Shipping before
+// the originating operation returns means every write acked by this node has
+// reached its follower — a promotion can lose only writes that were never
+// acknowledged, and those retry idempotently. A ship failure severs the link
+// and self-demotes: a primary that cannot reach its follower may already be
+// the partitioned minority, and acking writes the promoted timeline will
+// never contain is exactly the split-brain fencing exists to prevent. The
+// returned error (wrapping kvnet.ErrFenced) fails the triggering operation,
+// so the write is not acked.
+func (n *Node) appendAndShip(recs [][]byte) error {
 	n.shipMu.Lock()
 	defer n.shipMu.Unlock()
 	for _, rec := range recs {
 		n.log.Append(rec)
 	}
 	if n.follower == nil {
-		return
+		return nil
 	}
-	if err := n.follower.Repl(recs); err != nil {
+	if err := n.follower.ReplEpoch(n.epoch.Load(), recs); err != nil {
 		n.shipErrs.Inc()
 		_ = n.follower.Close()
 		n.follower = nil
 		n.followerAddr = ""
-		return
+		n.fenceLocked()
+		return fmt.Errorf("%w: ship to follower failed, self-demoting: %v", kvnet.ErrFenced, err)
 	}
 	n.replShipped.Add(uint64(len(recs)))
+	return nil
 }
 
 // applyRepl answers OpRepl frames: apply each record to the store, append it
 // to this node's log, and forward the batch to this node's own follower (so
 // a primary that is itself replicated passes client writes down the chain).
-func (n *Node) applyRepl(records [][]byte) error {
+// The frame's epoch stamp is the fencing check: a stamp below the highest
+// epoch this node has seen is a stale-timeline write (a client or demoted
+// primary that missed a promotion) and is rejected with ErrFenced; a higher
+// stamp is adopted. Epoch 0 marks an unstamped (pre-fencing) sender and
+// passes, preserving wire compatibility.
+func (n *Node) applyRepl(epoch uint64, records [][]byte) error {
+	if epoch != 0 {
+		if cur := n.epoch.Load(); epoch < cur {
+			n.fencedWrites.Inc() // nil-safe no-op when uninstrumented
+			return fmt.Errorf("%w: repl epoch %d below node epoch %d", kvnet.ErrFenced, epoch, cur)
+		}
+		n.adoptEpoch(epoch)
+	}
 	n.applying.Add(1)
 	for _, rec := range records {
 		if err := durable.ApplyRecord(n.store, rec); err != nil {
@@ -186,8 +270,7 @@ func (n *Node) applyRepl(records [][]byte) error {
 	}
 	n.applying.Add(-1)
 	n.replApplied.Add(uint64(len(records)))
-	n.appendAndShip(records)
-	return nil
+	return n.appendAndShip(records)
 }
 
 // status answers OpStatus frames: the store clock and the replication log
@@ -206,28 +289,65 @@ func (n *Node) mapGet() []byte {
 
 // mapSet answers OpMapSet frames, validating before accepting. Stale
 // versions are rejected so a delayed push cannot roll the node's view back.
+// An accepted map is also learned from: the node adopts its own shard's
+// epoch, and a node the map has demoted (it was a shard's primary, now its
+// replica) fences itself.
 func (n *Node) mapSet(b []byte) error {
 	m, err := DecodeMap(b)
 	if err != nil {
 		return err
 	}
 	n.mapMu.Lock()
-	defer n.mapMu.Unlock()
+	var prev *Map
 	if n.mapBytes != nil {
-		if cur, err := DecodeMap(n.mapBytes); err == nil && m.Version < cur.Version {
-			return fmt.Errorf("cluster: stale partition map version %d < %d", m.Version, cur.Version)
+		if cur, err := DecodeMap(n.mapBytes); err == nil {
+			if m.Version < cur.Version {
+				n.mapMu.Unlock()
+				return fmt.Errorf("cluster: stale partition map version %d < %d", m.Version, cur.Version)
+			}
+			prev = cur
 		}
 	}
 	n.mapBytes = append([]byte(nil), b...)
+	n.mapMu.Unlock()
+	n.learnMap(prev, m)
 	return nil
 }
 
 // SetMap installs a partition map locally (the in-process equivalent of an
-// OpMapSet push).
+// OpMapSet push), with the same epoch learning as mapSet.
 func (n *Node) SetMap(m *Map) {
 	n.mapMu.Lock()
-	defer n.mapMu.Unlock()
+	var prev *Map
+	if n.mapBytes != nil {
+		if cur, err := DecodeMap(n.mapBytes); err == nil {
+			prev = cur
+		}
+	}
 	n.mapBytes = m.Encode()
+	n.mapMu.Unlock()
+	n.learnMap(prev, m)
+}
+
+// learnMap extracts this node's fencing facts from a newly installed map.
+// A shard listing us as primary carries our authoritative epoch. A shard
+// listing us as replica demotes us only when our previous map listed us as
+// that shard's primary — the map moved past us, so we fence. Without that
+// prior-primary condition a fresh follower would fence at cluster startup,
+// since initial maps list it as replica at epoch 1 against its epoch 0.
+func (n *Node) learnMap(prev, m *Map) {
+	for i := range m.Shards {
+		s := &m.Shards[i]
+		switch n.addr {
+		case s.Primary:
+			n.adoptEpoch(s.Epoch)
+		case s.Replica:
+			if prev != nil && i < len(prev.Shards) && prev.Shards[i].Primary == n.addr {
+				n.adoptEpoch(s.Epoch)
+				n.fence()
+			}
+		}
+	}
 }
 
 // AttachFollower makes this node ship its replication stream to the node at
@@ -268,7 +388,7 @@ func (n *Node) AttachFollower(addr string) error {
 		if len(seg) > replSegment {
 			seg = seg[:replSegment]
 		}
-		if err := cl.Repl(seg); err != nil {
+		if err := cl.ReplEpoch(n.epoch.Load(), seg); err != nil {
 			_ = cl.Close()
 			return fmt.Errorf("cluster: catch-up to %s: %w", addr, err)
 		}
@@ -298,17 +418,18 @@ func (n *Node) FollowerAddr() string {
 	return n.followerAddr
 }
 
-// Reset wipes the node back to empty — tables, clock, replication log and
-// the outgoing follower link — so a node with diverged history (a demoted
-// primary rejoining after failover) can re-attach as a follower and resync
-// from cursor zero. Dropping the follower link matters: a demoted primary
-// usually still ships to the very node that was promoted over it, and
-// keeping that link alive would forward the catch-up stream back to its
-// source — a replication cycle. The caller must ensure no traffic is being
-// served during the reset.
+// Reset wipes the node back to empty — tables, clock, replication log, the
+// outgoing follower link, and all fencing state — so a node with diverged
+// history (a demoted primary rejoining after failover) can re-attach as a
+// follower and resync from cursor zero. Dropping the follower link matters:
+// a demoted primary usually still ships to the very node that was promoted
+// over it, and keeping that link alive would forward the catch-up stream
+// back to its source — a replication cycle. The fence clears with the data
+// it protected; the cached map clears too, or the next map push would see
+// this node as the shard's prior primary and immediately re-fence it. The
+// caller must ensure no traffic is being served during the reset.
 func (n *Node) Reset() {
 	n.shipMu.Lock()
-	defer n.shipMu.Unlock()
 	if n.follower != nil {
 		_ = n.follower.Close()
 		n.follower = nil
@@ -319,6 +440,12 @@ func (n *Node) Reset() {
 	}
 	n.store.SetClock(0)
 	n.log.Reset()
+	n.fenced.Store(false)
+	n.epoch.Store(0)
+	n.shipMu.Unlock()
+	n.mapMu.Lock()
+	n.mapBytes = nil
+	n.mapMu.Unlock()
 }
 
 // Close detaches the follower link and shuts the server down.

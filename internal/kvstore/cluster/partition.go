@@ -21,6 +21,12 @@ type Shard struct {
 	// shard runs unreplicated. On failover the replica becomes primary and
 	// this field keeps the dead node's address until a rejoin replaces it.
 	Replica string `json:"replica,omitempty"`
+	// Epoch is the shard's fencing generation: monotone, starting at 1,
+	// bumped by every Promote. Clients stamp replication frames with it and
+	// nodes reject stamps older than the highest epoch they have seen, so a
+	// demoted primary alive behind a partition can never ack a write the
+	// promoted timeline will not contain (DESIGN.md §15).
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Map is the versioned partition table.
@@ -40,6 +46,7 @@ func NewMap(primaries []string) *Map {
 	m := &Map{Version: 1, Shards: make([]Shard, len(primaries))}
 	for i, addr := range primaries {
 		m.Shards[i].Primary = addr
+		m.Shards[i].Epoch = 1
 	}
 	return m
 }
@@ -75,7 +82,8 @@ func (m *Map) Clone() *Map {
 
 // Promote fails shard over to its replica: the replica becomes primary, the
 // dead primary's address is retained in the replica slot (a rejoin resyncs
-// or replaces it), and the map version advances.
+// or replaces it), the shard's fencing epoch advances, and the map version
+// advances.
 func (m *Map) Promote(shard int) error {
 	if shard < 0 || shard >= len(m.Shards) {
 		return fmt.Errorf("cluster: promote: no shard %d", shard)
@@ -85,6 +93,7 @@ func (m *Map) Promote(shard int) error {
 		return fmt.Errorf("cluster: promote: shard %d has no replica", shard)
 	}
 	s.Primary, s.Replica = s.Replica, s.Primary
+	s.Epoch++
 	m.Version++
 	return nil
 }

@@ -1,0 +1,128 @@
+package kvnet
+
+// Retry-budget and op-deadline regression tests (the unbounded-reconnect
+// fix): a client facing a permanently dead peer must fail its operations
+// with a typed ErrUnavailable once the per-op deadline passes or the retry
+// budget drains — never spin through MaxRetries' worth of redials when the
+// configuration says to give up sooner.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"smartflux/internal/kvstore"
+	"smartflux/internal/obs"
+)
+
+// deadCfg is a config whose MaxRetries alone would retry for a very long
+// time; the budget/deadline under test must cut it short.
+func deadCfg() ClientConfig {
+	return ClientConfig{
+		DialTimeout:  200 * time.Millisecond,
+		ReadTimeout:  200 * time.Millisecond,
+		WriteTimeout: 200 * time.Millisecond,
+		MaxRetries:   1000,
+		RetryBackoff: time.Millisecond,
+	}
+}
+
+// TestOpTimeoutCapsReconnectRetries kills the server for good and checks an
+// op with OpTimeout fails with ErrUnavailable well before MaxRetries×backoff
+// would — the reconnect loop is capped against the op deadline.
+func TestOpTimeoutCapsReconnectRetries(t *testing.T) {
+	store := kvstore.New()
+	srv := NewServer(store)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := deadCfg()
+	cfg.OpTimeout = 300 * time.Millisecond
+	client, err := DialConfig(addr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.CreateTable("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil { // the peer is gone, permanently
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	err = client.PutFloat("t", "r", "c", 1)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("op against dead peer = %v, want ErrUnavailable", err)
+	}
+	if !IsTransport(err) {
+		t.Fatalf("deadline failure %v must be transport-level for failover routing", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("op took %v; OpTimeout=300ms did not cap the reconnect loop", elapsed)
+	}
+}
+
+// TestRetryBudgetExhaustion gives the client a two-token budget against a
+// dead peer: the op fails with ErrUnavailable once the budget drains, and
+// the exhaustion counter records it.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	store := kvstore.New()
+	srv := NewServer(store)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cfg := deadCfg()
+	cfg.RetryBudget = 2
+	cfg.Obs = obs.New(reg)
+	client, err := DialConfig(addr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.CreateTable("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	err = client.PutFloat("t", "r", "c", 1)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("op with drained budget = %v, want ErrUnavailable", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("op took %v; a 2-token budget must not ride out 1000 retries", elapsed)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["smartflux_kvnet_client_budget_exhausted_total"]; got < 1 {
+		t.Fatalf("budget exhaustion counter = %d, want >= 1", got)
+	}
+}
+
+// TestRetryBudgetRefillsOnSuccess: completed frames earn budget back, so a
+// client that mostly succeeds never starves even with a small budget.
+func TestRetryBudgetRefillsOnSuccess(t *testing.T) {
+	_, addr := startServer(t)
+	cfg := deadCfg()
+	cfg.RetryBudget = 1
+	cfg.RetryRefill = 0.5
+	client, err := DialConfig(addr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.CreateTable("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := client.PutFloat("t", "r", "c", float64(i)); err != nil {
+			t.Fatalf("put %d on a healthy link: %v (budget must refill on success)", i, err)
+		}
+	}
+}

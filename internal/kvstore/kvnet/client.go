@@ -55,6 +55,23 @@ type ClientConfig struct {
 	// RetrySeed seeds the jitter source; retries are deterministic given
 	// the seed and the failure sequence.
 	RetrySeed int64
+	// RetryBudget, when positive, caps retries with a client-wide token
+	// bucket: the bucket starts full at RetryBudget tokens, every granted
+	// retry spends one, and every successfully completed frame earns back
+	// RetryRefill tokens (capped at RetryBudget). A frame that needs a retry
+	// while the bucket is empty fails fast with ErrUnavailable instead of
+	// amplifying an outage into a retry storm. Zero disables budgeting and
+	// leaves MaxRetries as the only cap.
+	RetryBudget float64
+	// RetryRefill is the fraction of a token earned per successful frame
+	// (default 0.1 when RetryBudget is set).
+	RetryRefill float64
+	// OpTimeout, when positive, bounds each operation end-to-end across
+	// reconnect attempts: once an op has been pending longer than OpTimeout,
+	// the next connection failure abandons it with ErrUnavailable instead of
+	// retrying again. Under a persistent partition this turns an unbounded
+	// redial loop into a prompt typed failure.
+	OpTimeout time.Duration
 	// Dial overrides connection establishment (e.g. to interpose
 	// internal/fault's Dialer); nil dials TCP with DialTimeout.
 	Dial func(addr string, timeout time.Duration) (net.Conn, error)
@@ -92,6 +109,7 @@ type Client struct {
 	pending  []*wframe
 	inflight map[uint64]*wframe
 	conn     net.Conn // live epoch's conn, so Close can sever it
+	budget   float64  // remaining retry tokens (RetryBudget semantics)
 
 	// overlap latches once two ops have ever been outstanding at the same
 	// time. Strictly sequential callers never set it, which keeps the
@@ -113,6 +131,7 @@ type Client struct {
 	reconnects    *obs.Counter
 	bytesSent     *obs.Counter
 	bytesRecv     *obs.Counter
+	budgetDenied  *obs.Counter
 }
 
 // call is one public-API operation in flight: its request, its span and its
@@ -140,6 +159,7 @@ type wframe struct {
 	batched   bool
 	calls     []*call
 	attempts  int            // failed epochs charged so far
+	deadline  time.Time      // op-level abandon point; zero = none
 	cells     []kvstore.Cell // scan chunk reassembly, reset on retry
 	reqBytes  int64          // exact encoded request frame bytes
 	respBytes int64          // exact response frame bytes received
@@ -184,6 +204,7 @@ func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
 		work:     make(chan struct{}, 1),
 		closeCh:  make(chan struct{}),
 		done:     make(chan struct{}),
+		budget:   cfg.RetryBudget,
 		jitter:   mrand.New(mrand.NewSource(cfg.RetrySeed)),
 	}
 	if cfg.Obs != nil {
@@ -193,6 +214,7 @@ func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
 		c.reconnects = cfg.Obs.Counter("smartflux_kvnet_client_reconnects_total")
 		c.bytesSent = cfg.Obs.Counter(`smartflux_kvnet_client_bytes_total{dir="sent"}`)
 		c.bytesRecv = cfg.Obs.Counter(`smartflux_kvnet_client_bytes_total{dir="recv"}`)
+		c.budgetDenied = cfg.Obs.Counter("smartflux_kvnet_client_budget_exhausted_total")
 	}
 	if cfg.Obs.Spanning() {
 		idx := clientSpanSeq.Add(1) - 1
@@ -358,7 +380,11 @@ func (c *Client) do(req wire.Request) (*call, error) {
 	if !c.overlap.Load() && (len(c.pending) > 0 || len(c.inflight) > 0) {
 		c.overlap.Store(true)
 	}
-	c.pending = append(c.pending, &wframe{calls: []*call{cl}})
+	f := &wframe{calls: []*call{cl}}
+	if c.cfg.OpTimeout > 0 {
+		f.deadline = time.Now().Add(c.cfg.OpTimeout)
+	}
+	c.pending = append(c.pending, f)
 	c.mu.Unlock()
 	c.kick()
 	<-cl.done
@@ -463,11 +489,16 @@ func (c *Client) sleepBackoff(attempt int) bool {
 
 // chargeFailure charges a connection failure to the frames it stranded —
 // those in flight on the dead epoch, or (for a dial failure) everything
-// pending. Frames out of retry budget fail; survivors requeue at the front
-// of pending, in sequence order, keeping their assigned seqs so retried
-// mutations stay exactly-once server-side.
+// pending. Frames out of retry allowance fail; survivors requeue at the
+// front of pending, in sequence order, keeping their assigned seqs so
+// retried mutations stay exactly-once server-side. A retry is granted only
+// when every cap agrees: the per-frame MaxRetries count, the frame's op
+// deadline (OpTimeout) and the client-wide token-bucket RetryBudget — the
+// last two fail the frame with a typed ErrUnavailable so callers stop
+// waiting on a peer that is not coming back.
 func (c *Client) chargeFailure(err error, dialFailure bool) {
 	closing := errors.Is(err, ErrClosed)
+	now := time.Now()
 	c.mu.Lock()
 	var affected []*wframe
 	if dialFailure {
@@ -482,13 +513,26 @@ func (c *Client) chargeFailure(err error, dialFailure bool) {
 		clear(c.inflight)
 	}
 	var requeue, failed []*wframe
+	var failErrs []error
+	var denied int
 	for _, f := range affected {
 		f.attempts++
 		f.cells = nil // discard partial scan chunks from the dead epoch
 		f.respBytes = 0
-		if closing || f.attempts > c.cfg.MaxRetries {
+		switch {
+		case closing || f.attempts > c.cfg.MaxRetries:
+			failed, failErrs = append(failed, f), append(failErrs, err)
+		case !f.deadline.IsZero() && now.After(f.deadline):
 			failed = append(failed, f)
-		} else {
+			failErrs = append(failErrs, &opError{stage: "retry", kind: ErrUnavailable, err: fmt.Errorf("op deadline exceeded after %d attempts: %w", f.attempts, err)})
+		case c.cfg.RetryBudget > 0 && c.budget < 1:
+			denied++
+			failed = append(failed, f)
+			failErrs = append(failErrs, &opError{stage: "retry", kind: ErrUnavailable, err: fmt.Errorf("retry budget exhausted: %w", err)})
+		default:
+			if c.cfg.RetryBudget > 0 {
+				c.budget--
+			}
 			requeue = append(requeue, f)
 		}
 	}
@@ -497,8 +541,11 @@ func (c *Client) chargeFailure(err error, dialFailure bool) {
 	for range requeue {
 		c.retries.Inc() // nil-safe no-op when uninstrumented
 	}
-	for _, f := range failed {
-		f.fail(err)
+	if denied > 0 {
+		c.budgetDenied.Add(uint64(denied)) // nil-safe no-op when uninstrumented
+	}
+	for i, f := range failed {
+		f.fail(failErrs[i])
 	}
 }
 
@@ -748,6 +795,18 @@ func (c *Client) deliver(resp *wire.Response, frameBytes int64, conn net.Conn) {
 		if !resp.Chunk {
 			delete(c.inflight, resp.Seq)
 			completed = f
+			if c.cfg.RetryBudget > 0 {
+				// A finished frame earns back a fraction of a retry token —
+				// pure arithmetic on the completion sequence, so budget state
+				// is deterministic for a deterministic failure sequence.
+				refill := c.cfg.RetryRefill
+				if refill <= 0 {
+					refill = 0.1
+				}
+				if c.budget += refill; c.budget > c.cfg.RetryBudget {
+					c.budget = c.cfg.RetryBudget
+				}
+			}
 		}
 	}
 	kick := len(c.pending) > 0 && len(c.inflight) < maxInflightFrames
@@ -798,7 +857,13 @@ func appendCells(dst []kvstore.Cell, src []wire.Cell) []kvstore.Cell {
 func (f *wframe) complete(resp *wire.Response) {
 	var appErr error
 	if resp.Err != "" {
-		appErr = errors.New(resp.Err)
+		if resp.Flags&wire.FlagFenced != 0 {
+			// Rehydrate the fencing sentinel the server flattened to a
+			// string: callers match with errors.Is(err, ErrFenced).
+			appErr = fmt.Errorf("%w: %s", ErrFenced, resp.Err)
+		} else {
+			appErr = errors.New(resp.Err)
+		}
 	}
 	n := int64(len(f.calls))
 	baseBytes := (f.reqBytes + f.respBytes) / n
@@ -936,10 +1001,18 @@ func (c *Client) Status() (clock, cursor uint64, crc uint32, err error) {
 	return cl.clock, cl.cursor, cl.crc, nil
 }
 
-// Repl ships a batch of replication records to the server. Records carry
+// Repl ships a batch of replication records to the server without an epoch
+// stamp (accepted only while the receiving node is unfenced). Records carry
 // explicit timestamps and apply idempotently, so retried batches are safe.
 func (c *Client) Repl(records [][]byte) error {
-	_, err := c.do(wire.Request{Op: wire.OpRepl, Records: records})
+	return c.ReplEpoch(0, records)
+}
+
+// ReplEpoch ships a batch of replication records stamped with the sender's
+// shard epoch. A node holding a higher epoch rejects the batch with an
+// ErrFenced-matchable error — the wire half of epoch fencing (DESIGN.md §15).
+func (c *Client) ReplEpoch(epoch uint64, records [][]byte) error {
+	_, err := c.do(wire.Request{Op: wire.OpRepl, Epoch: epoch, Records: records})
 	return err
 }
 

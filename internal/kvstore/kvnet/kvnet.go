@@ -55,6 +55,16 @@ var (
 	// ErrTimeout reports an I/O deadline expiring on a round trip. The
 	// original net.Error remains reachable via errors.As.
 	ErrTimeout = errors.New("kvnet: i/o timeout")
+	// ErrFenced reports a write rejected by epoch fencing: the frame's epoch
+	// is stale or the serving node has demoted itself to read-only
+	// (DESIGN.md §15). It crosses the wire as wire.FlagFenced, so a client's
+	// error stays errors.Is-matchable after the round trip.
+	ErrFenced = errors.New("kvnet: fenced: stale epoch or demoted node")
+	// ErrUnavailable reports an operation abandoned without executing: the
+	// retry budget ran dry or the op deadline expired while the peer stayed
+	// unreachable. Callers get a prompt typed failure instead of an unbounded
+	// reconnect loop.
+	ErrUnavailable = errors.New("kvnet: peer unavailable")
 )
 
 // DefaultDrainTimeout bounds how long Server.Close lets in-flight responses
@@ -96,10 +106,11 @@ type Server struct {
 	// handler OpRepl frames are rejected, without map handlers OpMapGet /
 	// OpMapSet are, and without a status handler OpStatus reports the
 	// store's clock with a zero log cursor.
-	replApply func(records [][]byte) error
+	replApply func(epoch uint64, records [][]byte) error
 	statusFn  func() (clock, cursor uint64, crc uint32)
 	mapGetFn  func() []byte
 	mapSetFn  func(m []byte) error
+	writeGate func() error
 
 	obs *serverObs
 }
@@ -198,12 +209,24 @@ func (s *Server) Instrument(o *obs.Observer) {
 
 // SetReplHandler installs the callback answering OpRepl frames: a batch of
 // replication records to apply (idempotently — records carry explicit
-// timestamps) to this node's store. Call before Listen; without a handler
+// timestamps) to this node's store, stamped with the sender's shard epoch
+// (0 = unstamped legacy sender). Call before Listen; without a handler
 // replication frames are rejected with an application error.
-func (s *Server) SetReplHandler(fn func(records [][]byte) error) {
+func (s *Server) SetReplHandler(fn func(epoch uint64, records [][]byte) error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.replApply = fn
+}
+
+// SetWriteGate installs a hook consulted before every mutating op and every
+// OpRepl frame. A non-nil error rejects the request without executing it —
+// the hook a fenced (demoted, read-only) cluster node uses to refuse writes.
+// Errors wrapping ErrFenced cross the wire flagged wire.FlagFenced. Call
+// before Listen.
+func (s *Server) SetWriteGate(fn func() error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writeGate = fn
 }
 
 // SetStatusHandler installs the callback answering OpStatus frames with the
@@ -462,6 +485,15 @@ func (s *Server) serveRequest(req *wire.Request, clientID uint64, bw *bufio.Writ
 		return s.serveScan(req, bw, out)
 	}
 	out.Reset()
+	// The write gate runs before dedup: a gate rejection reflects the node's
+	// current role, not the op's outcome, so it must never be remembered as
+	// one.
+	if (wire.Mutating(req.Op) || req.Op == wire.OpRepl) && s.writeGate != nil {
+		if err := s.writeGate(); err != nil {
+			appendError(out, req.Op, req.Seq, err)
+			return s.writeFrames(bw, out)
+		}
+	}
 	switch {
 	case req.Op == wire.OpPing:
 		wire.AppendOKResponse(out, wire.OpPing, req.Seq)
@@ -479,7 +511,11 @@ func (s *Server) serveRequest(req *wire.Request, clientID uint64, bw *bufio.Writ
 		}
 		// No dedup entry: replication records replay idempotently by
 		// explicit timestamp, so a retried batch is harmless by design.
-		appendResult(out, wire.OpRepl, req.Seq, errString(s.replApply(req.Records)))
+		if err := s.replApply(req.Epoch, req.Records); err != nil {
+			appendError(out, wire.OpRepl, req.Seq, err)
+		} else {
+			wire.AppendOKResponse(out, wire.OpRepl, req.Seq)
+		}
 	case req.Op == wire.OpMapGet:
 		if s.mapGetFn == nil {
 			wire.AppendErrResponse(out, wire.OpMapGet, req.Seq, "kvnet: node serves no partition map")
@@ -637,6 +673,16 @@ func appendResult(out *wire.Buffer, op byte, seq uint64, msg string) {
 	} else {
 		wire.AppendErrResponse(out, op, seq, msg)
 	}
+}
+
+// appendError encodes an application error, preserving epoch-fencing
+// rejections as wire.FlagFenced so clients can match them with errors.Is.
+func appendError(out *wire.Buffer, op byte, seq uint64, err error) {
+	if errors.Is(err, ErrFenced) {
+		wire.AppendErrResponseFlags(out, op, seq, wire.FlagFenced, err.Error())
+		return
+	}
+	wire.AppendErrResponse(out, op, seq, err.Error())
 }
 
 // errString flattens an error for the wire.

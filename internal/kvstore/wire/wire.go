@@ -36,7 +36,9 @@ const (
 	Magic uint16 = 0xFA57
 	// Version is this build's protocol revision. Peers speaking any other
 	// revision are rejected with ErrVersion before any payload is trusted.
-	Version byte = 1
+	// v2 added the epoch stamp to OpRepl payloads and the FlagFenced
+	// response flag (DESIGN.md §15).
+	Version byte = 2
 	// HeaderSize is the fixed frame header length in bytes.
 	HeaderSize = 18
 	// MaxPayload bounds a frame's declared payload length. A length field
@@ -91,6 +93,12 @@ const (
 	// the latest — the cluster dump path. Response chunks reuse the plain
 	// scan cell encoding, repeating row/column per version.
 	FlagVersions
+	// FlagFenced marks an error response as an epoch-fencing rejection: the
+	// node refused the write because the frame's epoch is stale or the node
+	// itself is demoted (DESIGN.md §15). Riding a header flag keeps the
+	// rejection typed across the wire, where application errors otherwise
+	// flatten to strings.
+	FlagFenced
 )
 
 // Protocol errors. ErrBadMagic and ErrVersion are terminal for a
@@ -419,6 +427,7 @@ type Request struct {
 	Scan     kvstore.ScanOptions
 	Ops      []kvstore.Op // OpApply; values alias the frame payload on decode
 	Records  [][]byte     // OpRepl; records alias the frame payload on decode
+	Epoch    uint64       // OpRepl; the sender's shard epoch (0 = unstamped)
 	Map      []byte       // OpMapSet; aliases the frame payload on decode
 }
 
@@ -462,6 +471,7 @@ func AppendRequest(b *Buffer, req *Request) {
 	case OpPing, OpStatus, OpMapGet:
 		// Empty payloads.
 	case OpRepl:
+		b.U64(req.Epoch)
 		b.U32(uint32(len(req.Records)))
 		for _, rec := range req.Records {
 			b.Bytes32(rec)
@@ -519,6 +529,7 @@ func DecodeRequest(h Header, payload []byte) (Request, error) {
 	case OpPing, OpStatus, OpMapGet:
 		// Empty payloads.
 	case OpRepl:
+		req.Epoch = r.U64()
 		n := int(r.U32())
 		if n < 0 || n > len(payload)/4 { // each record encodes to ≥4 bytes
 			return req, fmt.Errorf("%w: %d repl records declared in %d-byte payload", ErrTruncated, n, len(payload))
@@ -562,7 +573,13 @@ type Cell struct {
 
 // AppendErrResponse encodes an application-error response.
 func AppendErrResponse(b *Buffer, op byte, seq uint64, msg string) {
-	b.BeginFrame(op, FlagError, seq)
+	AppendErrResponseFlags(b, op, seq, 0, msg)
+}
+
+// AppendErrResponseFlags encodes an application-error response with extra
+// flags (e.g. FlagFenced) OR-ed into FlagError.
+func AppendErrResponseFlags(b *Buffer, op byte, seq uint64, flags uint16, msg string) {
+	b.BeginFrame(op, FlagError|flags, seq)
 	b.String(msg)
 	b.EndFrame()
 }

@@ -55,6 +55,7 @@ func sampleRequests() []Request {
 		{Op: OpStatus, Seq: 12},
 		{Op: OpRepl, Seq: 13, Records: [][]byte{[]byte("rec-one"), {}, []byte("rec-three")}},
 		{Op: OpRepl, Seq: 14},
+		{Op: OpRepl, Seq: 18, Epoch: 7, Records: [][]byte{[]byte("stamped")}},
 		{Op: OpMapGet, Seq: 15},
 		{Op: OpMapSet, Seq: 16, Map: []byte(`{"version":3}`)},
 		{Op: OpScan, Seq: 17, Table: "t", Flags: FlagVersions},
@@ -64,7 +65,8 @@ func sampleRequests() []Request {
 func requestsEquivalent(a, b *Request) bool {
 	if a.Op != b.Op || a.Flags != b.Flags || a.Seq != b.Seq ||
 		a.ClientID != b.ClientID || a.Table != b.Table || a.Row != b.Row ||
-		a.Column != b.Column || a.MaxVers != b.MaxVers || a.Scan != b.Scan {
+		a.Column != b.Column || a.MaxVers != b.MaxVers || a.Scan != b.Scan ||
+		a.Epoch != b.Epoch {
 		return false
 	}
 	if !bytes.Equal(a.Value, b.Value) || len(a.Ops) != len(b.Ops) {
@@ -104,6 +106,7 @@ func TestResponseRoundTrip(t *testing.T) {
 	buf := GetBuffer()
 	defer buf.Release()
 	AppendErrResponse(buf, OpPut, 1, "boom")
+	AppendErrResponseFlags(buf, OpRepl, 9, FlagFenced, "stale epoch")
 	AppendOKResponse(buf, OpDelete, 2)
 	AppendGetResponse(buf, 3, []byte("value"), true)
 	AppendGetResponse(buf, 4, nil, false)
@@ -132,6 +135,9 @@ func TestResponseRoundTrip(t *testing.T) {
 
 	if resp := next(); resp.Err != "boom" || resp.Op != OpPut || resp.Seq != 1 {
 		t.Errorf("err response mismatch: %+v", resp)
+	}
+	if resp := next(); resp.Err != "stale epoch" || resp.Flags&FlagFenced == 0 || resp.Op != OpRepl {
+		t.Errorf("fenced response mismatch: %+v", resp)
 	}
 	if resp := next(); resp.Err != "" || resp.Op != OpDelete || resp.Seq != 2 {
 		t.Errorf("ok response mismatch: %+v", resp)

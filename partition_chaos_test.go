@@ -1,0 +1,426 @@
+package smartflux_test
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"smartflux"
+	"smartflux/internal/durable"
+	"smartflux/internal/fault"
+	"smartflux/internal/kvstore"
+	"smartflux/internal/kvstore/cluster"
+	"smartflux/internal/kvstore/kvnet"
+)
+
+// The partition chaos suite drives the replicated cluster through network
+// partitions — symmetric (a primary cut off in both directions, the classic
+// dead shard) and asymmetric (a single replication link cut one way, the
+// shape real partitions take) — and asserts the fencing contract (DESIGN.md
+// §15): at every point exactly one unfenced primary serves each shard, a
+// demoted primary acks zero writes after its fence, no acked write is lost
+// across partition and heal, and the healed cluster's merged dump is
+// bit-identical to a single-store run of the same workload. Run via
+// `make chaos-partition` (the TestPartitionChaos prefix is the filter;
+// deliberately matched by neither `make chaos`'s TestChaos pattern nor
+// `make chaos-cluster`'s TestClusterChaos).
+
+const (
+	partitionChaosShards    = 2
+	partitionChaosWaves     = 24 // waves across the seeded cut
+	partitionChaosPostWaves = 12 // waves after heal + rejoin
+	// partitionChaosSeed picks the victim shard (seed % shards) and seeds
+	// the injector, probe jitter and breakers, so two runs of the same
+	// scenario replay the same failovers and counters. Every node's
+	// replication link dials through the same injector with its own source
+	// identity (DialerFrom), so partitioning a node cuts its outgoing ships
+	// along with its client traffic.
+	partitionChaosSeed = 11
+)
+
+// partitionCluster is the suite's rig: fault-wrapped primaries whose
+// follower links carry their source identity, plain followers, and the map.
+type partitionCluster struct {
+	primaries, followers []*cluster.Node
+	addrs                []string
+	m                    *cluster.Map
+}
+
+func startPartitionCluster(t *testing.T, shards int, inj *fault.Injector, o *smartflux.RunObserver) *partitionCluster {
+	t.Helper()
+	pc := &partitionCluster{addrs: make([]string, shards)}
+	// Pre-bind every listener — primaries and followers — so each node's
+	// replication link can be dialed with the node's own address as its
+	// source identity (DialerFrom). That is what lets a one-way or link
+	// partition of a node cut its outgoing ships, not just traffic to it.
+	lns := make([]net.Listener, 2*shards)
+	addrOf := make([]string, 2*shards)
+	for s := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[s] = ln
+		addrOf[s] = ln.Addr().String()
+	}
+	copy(pc.addrs, addrOf[:shards])
+	newNode := func(i int, label string) *cluster.Node {
+		n, err := cluster.NewNode(cluster.NodeConfig{
+			Listener: fault.WrapListener(lns[i], inj),
+			Follower: kvnet.ClientConfig{Dial: fault.DialerFrom(inj, addrOf[i])},
+			Label:    label,
+			Obs:      o,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	for s := 0; s < shards; s++ {
+		pc.primaries = append(pc.primaries, newNode(s, fmt.Sprintf("p%d", s)))
+	}
+	pc.m = cluster.NewMap(pc.addrs)
+	for s := 0; s < shards; s++ {
+		f := newNode(shards+s, fmt.Sprintf("f%d", s))
+		pc.followers = append(pc.followers, f)
+		if err := pc.primaries[s].AttachFollower(f.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		if err := pc.m.SetReplica(s, f.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, n := range append(pc.followers, pc.primaries...) {
+			_ = n.Close()
+		}
+	})
+	return pc
+}
+
+// assertOneUnfencedPrimaryPerShard checks the core invariant: the node each
+// shard's map entry names as primary is unfenced, and every node the map
+// has moved past (fenced) is not serving as any shard's primary.
+func assertOneUnfencedPrimaryPerShard(t *testing.T, cc *cluster.Client, nodes map[string]*cluster.Node) {
+	t.Helper()
+	for s, sh := range cc.Map().Shards {
+		p, ok := nodes[sh.Primary]
+		if !ok {
+			t.Fatalf("shard %d primary %s is not a known node", s, sh.Primary)
+		}
+		if p.Fenced() {
+			t.Fatalf("shard %d primary %s is fenced — a fenced node is serving writes", s, sh.Primary)
+		}
+	}
+}
+
+// TestPartitionChaosSymmetricFencedFailover is the headline run: a seeded
+// symmetric partition kills a primary mid-workload, the replica is promoted
+// under a bumped epoch, the healed zombie is fenced on its first
+// stale-timeline write (acking nothing after the fence), the node rejoins
+// through Reset + catch-up, and the merged dump is bit-identical to the
+// single-store reference. The whole scenario runs twice; the fencing and
+// breaker counters must match exactly across runs (seeded determinism).
+func TestPartitionChaosSymmetricFencedFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short mode")
+	}
+	c1, d1 := runPartitionChaosSymmetric(t)
+	c2, d2 := runPartitionChaosSymmetric(t)
+	if d1 != d2 {
+		t.Errorf("same-seed runs produced different merged dumps")
+	}
+	for _, key := range []string{
+		"smartflux_cluster_failovers_total",
+		fmt.Sprintf("smartflux_cluster_fenced_writes_total{node=%q}", "p0"),
+		fmt.Sprintf("smartflux_cluster_fenced_writes_total{node=%q}", "p1"),
+		fmt.Sprintf("smartflux_cluster_self_demotions_total{node=%q}", "p0"),
+		fmt.Sprintf("smartflux_cluster_self_demotions_total{node=%q}", "p1"),
+		`smartflux_breaker_opens_total{shard="0"}`,
+		`smartflux_breaker_opens_total{shard="1"}`,
+		"smartflux_cluster_repl_records_total",
+	} {
+		if c1[key] != c2[key] {
+			t.Errorf("counter %s diverged across same-seed runs: %d vs %d", key, c1[key], c2[key])
+		}
+	}
+	if c1["smartflux_cluster_failovers_total"] != 1 {
+		t.Errorf("failovers = %d, want exactly 1", c1["smartflux_cluster_failovers_total"])
+	}
+	victimLabel := fmt.Sprintf("smartflux_cluster_self_demotions_total{node=%q}",
+		fmt.Sprintf("p%d", int(uint64(partitionChaosSeed)%uint64(partitionChaosShards))))
+	if c1[victimLabel] != 1 {
+		t.Errorf("victim self-demotions = %d, want exactly 1", c1[victimLabel])
+	}
+}
+
+func runPartitionChaosSymmetric(t *testing.T) (map[string]uint64, string) {
+	t.Helper()
+
+	// Reference: the acked workload against one plain store.
+	control := smartflux.NewStore()
+	for w := 0; w < partitionChaosWaves+partitionChaosPostWaves; w++ {
+		if err := clusterChaosWave(localOps{control}, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	reg := smartflux.NewMetricsRegistry()
+	observer := chaosObserver(t, reg)
+	inj := fault.New(fault.Policy{Seed: partitionChaosSeed})
+	pc := startPartitionCluster(t, partitionChaosShards, inj, observer)
+	// The victim is the seed's choice, same formula the kill policy uses —
+	// spelled out so the cut can be imposed symmetrically at a fixed wave
+	// boundary (deterministic across reruns by construction).
+	victim := int(uint64(partitionChaosSeed) % uint64(partitionChaosShards))
+
+	var failovers []string
+	cc, err := cluster.New(cluster.Config{
+		Map:          pc.m,
+		Client:       kvnet.ClientConfig{Dial: fault.Dialer(inj)},
+		Seed:         partitionChaosSeed,
+		ProbeRetries: 1,
+		ProbeBackoff: time.Millisecond,
+		OnFailover: func(shard int, from, to string) {
+			failovers = append(failovers, fmt.Sprintf("%d:%s->%s", shard, from, to))
+		},
+		Obs: observer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cc.Close() }()
+	for s := range pc.primaries {
+		pc.primaries[s].SetMap(pc.m)
+		pc.followers[s].SetMap(pc.m)
+	}
+
+	nodes := make(map[string]*cluster.Node)
+	for _, n := range append(append([]*cluster.Node{}, pc.primaries...), pc.followers...) {
+		nodes[n.Addr()] = n
+	}
+
+	// Phase 1: waves up to the cut, then the symmetric partition of the
+	// seeded victim — both directions, so its client traffic and its
+	// outgoing ships die together — then waves across the failover.
+	half := partitionChaosWaves / 2
+	for w := 0; w < half; w++ {
+		if err := clusterChaosWave(clusterOps{cc}, w); err != nil {
+			t.Fatalf("wave %d: %v", w, err)
+		}
+	}
+	inj.Partition(pc.addrs[victim])
+	for w := half; w < partitionChaosWaves; w++ {
+		if err := clusterChaosWave(clusterOps{cc}, w); err != nil {
+			t.Fatalf("wave %d across partition: %v", w, err)
+		}
+	}
+	if len(failovers) != 1 || !strings.HasPrefix(failovers[0], fmt.Sprint(victim)) {
+		t.Fatalf("failovers = %v, want exactly one on shard %d", failovers, victim)
+	}
+	if got := cc.Map().Shards[victim]; got.Primary != pc.followers[victim].Addr() || got.Epoch != 2 {
+		t.Fatalf("post-failover shard %d = %+v, want promoted follower at epoch 2", victim, got)
+	}
+	assertOneUnfencedPrimaryPerShard(t, cc, nodes)
+
+	// Phase 2: heal. The zombie primary comes back believing it owns the
+	// shard at epoch 1. Its first stale-timeline write is applied locally at
+	// most, fenced by its follower — the very node promoted over it — and
+	// never acked; the node demotes and refuses everything after.
+	inj.Heal(pc.addrs[victim])
+	zombie := pc.primaries[victim]
+	cl, err := kvnet.Dial(pc.addrs[victim])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cl.Close() }()
+	ghost := durable.EncodeMutationRecord(kvstore.Mutation{
+		Table: "readings", Row: "ghost", Column: "temp", New: []byte("lost-timeline"),
+		Timestamp: 1 << 40, Kind: kvstore.MutationPut,
+	})
+	if err := cl.ReplEpoch(1, [][]byte{ghost}); !errors.Is(err, kvnet.ErrFenced) {
+		t.Fatalf("stale-timeline write to healed zombie = %v, want ErrFenced", err)
+	}
+	if !zombie.Fenced() {
+		t.Fatal("zombie primary not fenced after its stale write was rejected")
+	}
+	if err := cl.PutFloat("readings", "ghost2", "temp", 1); !errors.Is(err, kvnet.ErrFenced) {
+		t.Fatalf("post-fence write = %v, want ErrFenced (zero acked writes after the fence)", err)
+	}
+	assertOneUnfencedPrimaryPerShard(t, cc, nodes)
+
+	// Phase 3: rejoin through Reset + cursor catch-up, then the tail waves.
+	zombie.Reset()
+	if err := pc.followers[victim].AttachFollower(zombie.Addr()); err != nil {
+		t.Fatalf("rejoin catch-up: %v", err)
+	}
+	for w := partitionChaosWaves; w < partitionChaosWaves+partitionChaosPostWaves; w++ {
+		if err := clusterChaosWave(clusterOps{cc}, w); err != nil {
+			t.Fatalf("post-rejoin wave %d: %v", w, err)
+		}
+	}
+
+	// The contract: zero acked-write loss, no ghost, bit-identical merge.
+	want := dumpStore(t, control, "readings", "agg")
+	got := clusterDumpVersions(t, cc, "readings", "agg")
+	if got != want {
+		t.Errorf("merged dump diverged from single store across partition/heal:\ncluster:\n%s\ncontrol:\n%s", got, want)
+	}
+	if strings.Contains(got, "ghost") {
+		t.Error("un-acked ghost write surfaced in the merged dump")
+	}
+	snap := reg.Snapshot()
+	return snap.Counters, got
+}
+
+// TestPartitionChaosAsymmetricLinkFence cuts single directed replication
+// links while clients keep reaching both nodes — both orientations in turn.
+// Cutting primary→replica makes the primary's synchronous ship fail, so it
+// self-demotes without acking the in-flight write; the client follows the
+// fencing rejection to the replica and the retried write is acked there —
+// the client-visible call succeeds, losing nothing. After the old primary
+// rejoins as a follower, the reverse link is cut and the roles swap again
+// under a third epoch.
+func TestPartitionChaosAsymmetricLinkFence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short mode")
+	}
+	control := smartflux.NewStore()
+	reg := smartflux.NewMetricsRegistry()
+	observer := chaosObserver(t, reg)
+	inj := fault.New(fault.Policy{Seed: partitionChaosSeed})
+	pc := startPartitionCluster(t, 1, inj, observer)
+	p, r := pc.primaries[0], pc.followers[0]
+
+	var failovers []string
+	cc, err := cluster.New(cluster.Config{
+		Map:          pc.m,
+		Client:       kvnet.ClientConfig{Dial: fault.Dialer(inj)},
+		Seed:         partitionChaosSeed,
+		ProbeRetries: 1,
+		ProbeBackoff: time.Millisecond,
+		OnFailover: func(shard int, from, to string) {
+			failovers = append(failovers, fmt.Sprintf("%d:%s->%s", shard, from, to))
+		},
+		Obs: observer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cc.Close() }()
+	p.SetMap(pc.m)
+	r.SetMap(pc.m)
+
+	put := func(row string, v float64) {
+		t.Helper()
+		if err := cc.PutFloat("t", row, "v", v); err != nil {
+			t.Fatalf("Put %s: %v", row, err)
+		}
+		ct, err := control.Table("t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ct.PutFloat(row, "v", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cc.CreateTable("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := control.EnsureTable("t", smartflux.TableOptions{MaxVersions: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		put(fmt.Sprintf("r%02d", i), float64(i)/4)
+	}
+
+	// Orientation 1: cut primary→replica. Clients still reach p, but its
+	// next ship dies, it fences, and the in-flight write is re-acked on r.
+	inj.PartitionLink(pc.addrs[0], r.Addr())
+	put("across-cut", 42.5)
+	if len(failovers) != 1 {
+		t.Fatalf("failovers = %v, want exactly one fenced failover", failovers)
+	}
+	if !p.Fenced() {
+		t.Fatal("primary did not self-demote when its replication link died")
+	}
+	if got := cc.Map().Shards[0]; got.Primary != r.Addr() || got.Epoch != 2 {
+		t.Fatalf("shard after link cut = %+v, want replica primary at epoch 2", got)
+	}
+	rt, err := r.Store().Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, found := rt.Get("across-cut", "v"); !found {
+		t.Fatalf("acked write missing from promoted replica: %q", v)
+	}
+	for i := 20; i < 30; i++ {
+		put(fmt.Sprintf("r%02d", i), float64(i)/4)
+	}
+
+	// Healing the link does not unfence: the demoted node acks nothing —
+	// not client writes, not catch-up replication — until it is Reset. (Its
+	// log is not diverged: it appended the in-flight record before the ship
+	// died, and the client re-shipped the identical bytes to the replica;
+	// the node is merely behind, and fenced.)
+	inj.HealLink(pc.addrs[0], r.Addr())
+	cl, err := kvnet.Dial(pc.addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cl.Close() }()
+	if err := cl.PutFloat("t", "zombie", "v", 1); !errors.Is(err, kvnet.ErrFenced) {
+		t.Fatalf("write to healed-but-demoted node = %v, want ErrFenced", err)
+	}
+	if err := r.AttachFollower(p.Addr()); !errors.Is(err, kvnet.ErrFenced) {
+		t.Fatalf("attach of fenced node without Reset = %v, want ErrFenced", err)
+	}
+	p.Reset()
+	if err := r.AttachFollower(p.Addr()); err != nil {
+		t.Fatalf("rejoin after reset: %v", err)
+	}
+
+	// Orientation 2: cut the reverse link (new primary → its follower).
+	// Now r fences mid-write and the client promotes p back — epoch 3 —
+	// with the retried write acked there.
+	inj.PartitionLink(r.Addr(), p.Addr())
+	put("across-reverse-cut", 43.5)
+	if len(failovers) != 2 {
+		t.Fatalf("failovers = %v, want a second fenced failover", failovers)
+	}
+	if !r.Fenced() {
+		t.Fatal("second primary did not self-demote on the reverse link cut")
+	}
+	if got := cc.Map().Shards[0]; got.Primary != p.Addr() || got.Epoch != 3 {
+		t.Fatalf("shard after reverse cut = %+v, want original node back at epoch 3", got)
+	}
+	for i := 30; i < 40; i++ {
+		put(fmt.Sprintf("r%02d", i), float64(i)/4)
+	}
+
+	// Exactly one unfenced primary; zero acked-write loss; bit-identical.
+	if p.Fenced() {
+		t.Fatal("serving primary is fenced")
+	}
+	want := dumpStore(t, control, "t")
+	got := clusterDumpVersions(t, cc, "t")
+	if got != want {
+		t.Errorf("merged dump diverged across asymmetric cuts:\ncluster:\n%s\ncontrol:\n%s", got, want)
+	}
+	if strings.Contains(got, "zombie") {
+		t.Error("un-acked zombie write surfaced in the merged dump")
+	}
+	if st := inj.Stats(); st.LinkPartitions != 2 {
+		t.Errorf("link partitions = %d, want 2 (one per orientation)", st.LinkPartitions)
+	}
+	snap := reg.Snapshot()
+	for _, label := range []string{"p0", "f0"} {
+		key := fmt.Sprintf("smartflux_cluster_self_demotions_total{node=%q}", label)
+		if snap.Counters[key] != 1 {
+			t.Errorf("%s = %d, want 1 (each node demoted exactly once)", key, snap.Counters[key])
+		}
+	}
+}
